@@ -1,0 +1,361 @@
+//! The shared FPGA device: area budget and reconfiguration.
+//!
+//! The paper statically partitions one Arria 10 between the two
+//! acceleration processes — 18 % of LUTs for remote memory access and 24 %
+//! for RPC offload — and distinguishes *hard* reconfiguration (bitstream
+//! swap, used for coarse decisions like the CPU–NIC interface protocol or
+//! TCP-vs-UDP transport) from *soft* reconfiguration (host-visible register
+//! files controlling CCI-P batch size, queue number/size, active RPC flows,
+//! and the load-balancing scheme).
+
+use std::fmt;
+
+use hivemind_sim::time::SimDuration;
+
+/// Which acceleration process occupies a region of the FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricProcess {
+    /// RoCE-style remote memory access between serverless functions.
+    RemoteMemory,
+    /// Full RPC stack offload for cloud↔edge and cloud↔cloud messages.
+    RpcOffload,
+}
+
+impl fmt::Display for FabricProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricProcess::RemoteMemory => write!(f, "remote-memory"),
+            FabricProcess::RpcOffload => write!(f, "rpc-offload"),
+        }
+    }
+}
+
+/// Transport selected by hard reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Reliable, connection-oriented.
+    #[default]
+    Tcp,
+    /// Datagram transport for latency-critical small RPCs.
+    Udp,
+}
+
+/// A reconfiguration action and its cost class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigKind {
+    /// Full/partial bitstream swap; takes on the order of a second and
+    /// quiesces the fabric.
+    Hard,
+    /// Register-file update; microseconds, no quiesce.
+    Soft,
+}
+
+/// Soft-register configuration exposed to the host over PCIe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftRegisters {
+    /// Number of CCI-P transfers batched per doorbell.
+    pub ccip_batch: u32,
+    /// Number of transmit/receive queue pairs provisioned.
+    pub queue_pairs: u32,
+    /// Entries per queue.
+    pub queue_depth: u32,
+    /// Concurrently active RPC flows.
+    pub active_flows: u32,
+    /// Load-balancing scheme across RPC processing threads.
+    pub load_balance: LoadBalance,
+}
+
+/// RPC load-balancing schemes selectable by soft reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadBalance {
+    /// Round-robin across processing threads.
+    #[default]
+    RoundRobin,
+    /// Hash on the flow id (sticky placement; packets of one RPC stay on
+    /// one thread — the paper processes packets to completion on a single
+    /// thread).
+    FlowHash,
+}
+
+impl Default for SoftRegisters {
+    fn default() -> Self {
+        SoftRegisters {
+            ccip_batch: 4,
+            queue_pairs: 8,
+            queue_depth: 256,
+            active_flows: 64,
+            load_balance: LoadBalance::default(),
+        }
+    }
+}
+
+/// Construction parameters for [`FpgaFabric`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaConfig {
+    /// Total LUTs on the device (Arria 10 GX1150 ≈ 1,150 k).
+    pub total_luts: u64,
+    /// Fraction of LUTs consumed by the remote-memory process (paper: 18 %).
+    pub remote_mem_lut_frac: f64,
+    /// Fraction of LUTs consumed by the RPC offload process (paper: 24 %).
+    pub rpc_lut_frac: f64,
+    /// Hard (bitstream) reconfiguration time.
+    pub hard_reconfig: SimDuration,
+    /// Soft (register) reconfiguration time.
+    pub soft_reconfig: SimDuration,
+}
+
+impl Default for FpgaConfig {
+    fn default() -> Self {
+        FpgaConfig {
+            total_luts: 1_150_000,
+            remote_mem_lut_frac: 0.18,
+            rpc_lut_frac: 0.24,
+            hard_reconfig: SimDuration::from_secs(1),
+            soft_reconfig: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// One FPGA board, statically partitioned between the two acceleration
+/// processes.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_accel::fpga::{FpgaFabric, FpgaConfig, FabricProcess, Transport};
+///
+/// let mut fpga = FpgaFabric::new(FpgaConfig::default());
+/// assert!(fpga.supports(FabricProcess::RemoteMemory));
+/// assert!(fpga.supports(FabricProcess::RpcOffload));
+/// // Switching transports is a hard reconfiguration (≈ 1 s of downtime).
+/// let cost = fpga.set_transport(Transport::Udp);
+/// assert!(cost.as_secs_f64() >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaFabric {
+    config: FpgaConfig,
+    transport: Transport,
+    registers: SoftRegisters,
+    hard_reconfigs: u32,
+    soft_reconfigs: u32,
+}
+
+impl FpgaFabric {
+    /// Creates a fabric and checks the static partition fits the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two processes together exceed the LUT budget or a
+    /// fraction is outside `[0, 1]`.
+    pub fn new(config: FpgaConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.remote_mem_lut_frac)
+                && (0.0..=1.0).contains(&config.rpc_lut_frac),
+            "LUT fractions must be in [0, 1]"
+        );
+        assert!(
+            config.remote_mem_lut_frac + config.rpc_lut_frac <= 1.0,
+            "acceleration processes exceed the FPGA's LUT budget"
+        );
+        FpgaFabric {
+            config,
+            transport: Transport::default(),
+            registers: SoftRegisters::default(),
+            hard_reconfigs: 0,
+            soft_reconfigs: 0,
+        }
+    }
+
+    /// Whether the given process fits on this device (non-zero area).
+    pub fn supports(&self, process: FabricProcess) -> bool {
+        match process {
+            FabricProcess::RemoteMemory => self.config.remote_mem_lut_frac > 0.0,
+            FabricProcess::RpcOffload => self.config.rpc_lut_frac > 0.0,
+        }
+    }
+
+    /// LUTs used by a process.
+    pub fn luts_used(&self, process: FabricProcess) -> u64 {
+        let frac = match process {
+            FabricProcess::RemoteMemory => self.config.remote_mem_lut_frac,
+            FabricProcess::RpcOffload => self.config.rpc_lut_frac,
+        };
+        (self.config.total_luts as f64 * frac) as u64
+    }
+
+    /// LUTs still free for other logic.
+    pub fn luts_free(&self) -> u64 {
+        self.config.total_luts
+            - self.luts_used(FabricProcess::RemoteMemory)
+            - self.luts_used(FabricProcess::RpcOffload)
+    }
+
+    /// Currently selected transport.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Selects the transport layer; a coarse-grained decision requiring
+    /// hard reconfiguration. Returns the downtime incurred (zero when the
+    /// transport is unchanged).
+    pub fn set_transport(&mut self, transport: Transport) -> SimDuration {
+        if self.transport == transport {
+            return SimDuration::ZERO;
+        }
+        self.transport = transport;
+        self.hard_reconfigs += 1;
+        self.config.hard_reconfig
+    }
+
+    /// Current soft-register contents.
+    pub fn registers(&self) -> &SoftRegisters {
+        &self.registers
+    }
+
+    /// Applies a soft reconfiguration (per-application buffer/queue tuning,
+    /// Sec. 4.5). Returns the (small) reconfiguration cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` provisions zero queues or zero flows.
+    pub fn configure(&mut self, regs: SoftRegisters) -> SimDuration {
+        assert!(regs.queue_pairs > 0 && regs.queue_depth > 0, "queues must be provisioned");
+        assert!(regs.active_flows > 0, "need at least one RPC flow");
+        assert!(regs.ccip_batch > 0, "CCI-P batch must be at least 1");
+        self.registers = regs;
+        self.soft_reconfigs += 1;
+        self.config.soft_reconfig
+    }
+
+    /// How many reconfigurations of each kind have occurred:
+    /// `(hard, soft)`.
+    pub fn reconfig_counts(&self) -> (u32, u32) {
+        (self.hard_reconfigs, self.soft_reconfigs)
+    }
+
+    /// Cost of a reconfiguration of the given kind.
+    pub fn reconfig_cost(&self, kind: ReconfigKind) -> SimDuration {
+        match kind {
+            ReconfigKind::Hard => self.config.hard_reconfig,
+            ReconfigKind::Soft => self.config.soft_reconfig,
+        }
+    }
+
+    /// Dynamically repartitions the fabric between the two acceleration
+    /// processes. The paper statically partitions but notes "dynamic
+    /// partitioning could be supported if needed" (Sec. 4.5); this is
+    /// that extension — a partial bitstream swap, so it costs a hard
+    /// reconfiguration and quiesces the fabric for that long.
+    ///
+    /// Returns the downtime (zero when the partition is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested fractions do not fit the device.
+    pub fn repartition(&mut self, remote_mem_frac: f64, rpc_frac: f64) -> SimDuration {
+        assert!(
+            (0.0..=1.0).contains(&remote_mem_frac) && (0.0..=1.0).contains(&rpc_frac),
+            "LUT fractions must be in [0, 1]"
+        );
+        assert!(
+            remote_mem_frac + rpc_frac <= 1.0,
+            "acceleration processes exceed the FPGA's LUT budget"
+        );
+        let unchanged = (self.config.remote_mem_lut_frac - remote_mem_frac).abs() < 1e-12
+            && (self.config.rpc_lut_frac - rpc_frac).abs() < 1e-12;
+        if unchanged {
+            return SimDuration::ZERO;
+        }
+        self.config.remote_mem_lut_frac = remote_mem_frac;
+        self.config.rpc_lut_frac = rpc_frac;
+        self.hard_reconfigs += 1;
+        self.config.hard_reconfig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_partition_matches_paper() {
+        let f = FpgaFabric::new(FpgaConfig::default());
+        let rm = f.luts_used(FabricProcess::RemoteMemory) as f64;
+        let rpc = f.luts_used(FabricProcess::RpcOffload) as f64;
+        let total = 1_150_000.0;
+        assert!((rm / total - 0.18).abs() < 1e-6);
+        assert!((rpc / total - 0.24).abs() < 1e-6);
+        assert!(f.luts_free() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT budget")]
+    fn overcommitted_partition_rejected() {
+        let _ = FpgaFabric::new(FpgaConfig {
+            remote_mem_lut_frac: 0.6,
+            rpc_lut_frac: 0.5,
+            ..FpgaConfig::default()
+        });
+    }
+
+    #[test]
+    fn transport_change_is_hard_reconfig() {
+        let mut f = FpgaFabric::new(FpgaConfig::default());
+        assert_eq!(f.set_transport(Transport::Tcp), SimDuration::ZERO);
+        let cost = f.set_transport(Transport::Udp);
+        assert_eq!(cost, SimDuration::from_secs(1));
+        assert_eq!(f.reconfig_counts(), (1, 0));
+        assert_eq!(f.transport(), Transport::Udp);
+    }
+
+    #[test]
+    fn soft_reconfig_is_cheap() {
+        let mut f = FpgaFabric::new(FpgaConfig::default());
+        let cost = f.configure(SoftRegisters {
+            ccip_batch: 8,
+            ..SoftRegisters::default()
+        });
+        assert!(cost < SimDuration::from_millis(1));
+        assert_eq!(f.reconfig_counts(), (0, 1));
+        assert_eq!(f.registers().ccip_batch, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "provisioned")]
+    fn zero_queues_rejected() {
+        let mut f = FpgaFabric::new(FpgaConfig::default());
+        let _ = f.configure(SoftRegisters {
+            queue_pairs: 0,
+            ..SoftRegisters::default()
+        });
+    }
+
+    #[test]
+    fn dynamic_repartition_is_a_hard_reconfig() {
+        let mut f = FpgaFabric::new(FpgaConfig::default());
+        // Shift area from RPC offload to remote memory.
+        let cost = f.repartition(0.30, 0.12);
+        assert_eq!(cost, SimDuration::from_secs(1));
+        assert_eq!(f.reconfig_counts(), (1, 0));
+        assert!(f.luts_used(FabricProcess::RemoteMemory) > f.luts_used(FabricProcess::RpcOffload));
+        // A no-op repartition is free.
+        assert_eq!(f.repartition(0.30, 0.12), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT budget")]
+    fn repartition_rejects_overcommit() {
+        let mut f = FpgaFabric::new(FpgaConfig::default());
+        let _ = f.repartition(0.7, 0.5);
+    }
+
+    #[test]
+    fn disabled_process_not_supported() {
+        let f = FpgaFabric::new(FpgaConfig {
+            remote_mem_lut_frac: 0.0,
+            ..FpgaConfig::default()
+        });
+        assert!(!f.supports(FabricProcess::RemoteMemory));
+        assert!(f.supports(FabricProcess::RpcOffload));
+    }
+}

@@ -1,0 +1,240 @@
+//! People deduplication by embedding clustering.
+//!
+//! In Scenario B "the same person may be photographed by multiple drones,
+//! requiring disambiguation" (Sec. 2.1). Deduplication runs after a
+//! synchronization barrier over all recognition outputs: observations whose
+//! embeddings fall within a distance threshold are merged with union-find,
+//! and the number of clusters is the swarm's answer for "how many unique
+//! people are in the field".
+
+use crate::kernels::embedding::{distance, Embedding};
+
+/// Disjoint-set forest with path compression and union by rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Finds the representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Current number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+}
+
+/// One face observation carried to the deduplication stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Which device captured it (provenance, not used for merging).
+    pub device: u32,
+    /// The embedding extracted by the recognition stage.
+    pub embedding: Embedding,
+    /// Ground-truth identity (hidden from the algorithm; used only to
+    /// score accuracy).
+    pub truth: u32,
+}
+
+/// Result of deduplicating a batch of observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupResult {
+    /// Estimated number of unique people.
+    pub unique_count: usize,
+    /// Cluster assignment per observation (cluster representative index).
+    pub clusters: Vec<usize>,
+}
+
+/// Clusters observations whose embeddings are within `threshold` and
+/// counts unique people.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::dedup::{deduplicate, Observation};
+/// use hivemind_apps::kernels::embedding::observe;
+/// use hivemind_sim::rng::RngForge;
+///
+/// let mut rng = RngForge::new(1).stream("dedup");
+/// // Three observations of two people, from different drones.
+/// let obs: Vec<Observation> = [(0u32, 5u32), (1, 5), (2, 9)]
+///     .iter()
+///     .map(|&(device, person)| Observation {
+///         device,
+///         embedding: observe(person, 0.03, &mut rng),
+///         truth: person,
+///     })
+///     .collect();
+/// let result = deduplicate(&obs, 0.8);
+/// assert_eq!(result.unique_count, 2);
+/// ```
+pub fn deduplicate(observations: &[Observation], threshold: f64) -> DedupResult {
+    let n = observations.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if distance(&observations[i].embedding, &observations[j].embedding) <= threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    let clusters = (0..n).map(|i| uf.find(i)).collect();
+    DedupResult {
+        unique_count: uf.set_count(),
+        clusters,
+    }
+}
+
+/// Scores a dedup run against ground truth: returns
+/// `(correct_unique, undercount, overcount)` where `undercount` is how
+/// many real people were lost by over-merging and `overcount` how many
+/// phantom people were invented by under-merging.
+pub fn score(observations: &[Observation], result: &DedupResult) -> (usize, usize, usize) {
+    use std::collections::HashSet;
+    let truth: HashSet<u32> = observations.iter().map(|o| o.truth).collect();
+    let real = truth.len();
+    let estimated = result.unique_count;
+    if estimated >= real {
+        (real, 0, estimated - real)
+    } else {
+        (estimated, real - estimated, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::embedding::observe;
+    use hivemind_sim::rng::RngForge;
+
+    fn make_observations(people: u32, per_person: u32, sigma: f64, seed: u64) -> Vec<Observation> {
+        let mut rng = RngForge::new(seed).stream("dedup");
+        let mut out = Vec::new();
+        for person in 0..people {
+            for rep in 0..per_person {
+                out.push(Observation {
+                    device: rep % 16,
+                    embedding: observe(person, sigma, &mut rng),
+                    truth: person,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(4));
+    }
+
+    #[test]
+    fn counts_25_people_seen_multiple_times() {
+        // The paper's Scenario B: 25 people, each photographed by several
+        // drones.
+        let obs = make_observations(25, 4, 0.03, 1);
+        let result = deduplicate(&obs, 0.8);
+        assert_eq!(result.unique_count, 25);
+        let (correct, under, over) = score(&obs, &result);
+        assert_eq!((correct, under, over), (25, 0, 0));
+    }
+
+    #[test]
+    fn noisy_embeddings_overcount() {
+        let obs = make_observations(10, 4, 0.9, 2);
+        let result = deduplicate(&obs, 0.5);
+        // With heavy noise and a tight threshold, clusters fracture.
+        assert!(result.unique_count > 10, "got {}", result.unique_count);
+        let (_, _, over) = score(&obs, &result);
+        assert!(over > 0);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everyone() {
+        let obs = make_observations(5, 2, 0.03, 3);
+        let result = deduplicate(&obs, 10.0);
+        assert_eq!(result.unique_count, 1);
+        let (correct, under, _) = score(&obs, &result);
+        assert_eq!(correct, 1);
+        assert_eq!(under, 4);
+    }
+
+    #[test]
+    fn cluster_assignments_are_consistent() {
+        let obs = make_observations(4, 3, 0.03, 4);
+        let result = deduplicate(&obs, 0.8);
+        for (i, oi) in obs.iter().enumerate() {
+            for (j, oj) in obs.iter().enumerate() {
+                if oi.truth == oj.truth {
+                    assert_eq!(
+                        result.clusters[i], result.clusters[j],
+                        "same person split into clusters"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = deduplicate(&[], 0.8);
+        assert_eq!(result.unique_count, 0);
+        assert!(result.clusters.is_empty());
+    }
+}

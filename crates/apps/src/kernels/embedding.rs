@@ -1,0 +1,201 @@
+//! FaceNet-style identity embeddings.
+//!
+//! FaceNet "uses a CNN to learn a mapping between faces and a compact
+//! Euclidean space, where distances correspond to an indication of face
+//! similarity" (Sec. 2.1). We model the *output* of such a network: every
+//! identity owns a stable point on the unit sphere in `D` dimensions, and
+//! each observation of that identity is the point plus bounded noise.
+//! Matching and deduplication then work exactly as with the real network:
+//! threshold on Euclidean distance.
+
+use rand::Rng;
+
+/// Dimensionality of the embedding space (FaceNet uses 128).
+pub const EMBEDDING_DIMS: usize = 128;
+
+/// An embedding vector.
+pub type Embedding = Vec<f64>;
+
+/// Euclidean distance between two embeddings.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn distance(a: &Embedding, b: &Embedding) -> f64 {
+    assert_eq!(a.len(), b.len(), "embedding dimensionality mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Generates identity `id`'s canonical embedding: a deterministic unit
+/// vector derived from the id (so every device in the swarm agrees on it).
+pub fn identity_anchor(id: u32) -> Embedding {
+    // Deterministic pseudo-random direction from a per-identity stream.
+    let forge = hivemind_sim::rng::RngForge::new(0x00FACE);
+    let mut rng = forge.indexed_stream("identity", id as u64);
+    let mut v: Vec<f64> = (0..EMBEDDING_DIMS)
+        .map(|_| gaussian(&mut rng))
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Observes identity `id` with observation noise `sigma` per dimension.
+pub fn observe<R: Rng + ?Sized>(id: u32, sigma: f64, rng: &mut R) -> Embedding {
+    let mut v = identity_anchor(id);
+    for x in &mut v {
+        *x += sigma * gaussian(rng);
+    }
+    normalize(&mut v);
+    v
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// A gallery of known identities supporting nearest-anchor matching.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::embedding::{Gallery, observe};
+/// use hivemind_sim::rng::RngForge;
+///
+/// let gallery = Gallery::with_identities(0..10);
+/// let mut rng = RngForge::new(1).stream("face");
+/// let sample = observe(4, 0.02, &mut rng);
+/// assert_eq!(gallery.identify(&sample, 0.8), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gallery {
+    ids: Vec<u32>,
+    anchors: Vec<Embedding>,
+}
+
+impl Gallery {
+    /// Builds a gallery for the given identity ids.
+    pub fn with_identities<I: IntoIterator<Item = u32>>(ids: I) -> Gallery {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let anchors = ids.iter().map(|&id| identity_anchor(id)).collect();
+        Gallery { ids, anchors }
+    }
+
+    /// Number of enrolled identities.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the gallery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Identifies the closest enrolled identity within `threshold`, or
+    /// `None` for an unknown face.
+    pub fn identify(&self, sample: &Embedding, threshold: f64) -> Option<u32> {
+        self.anchors
+            .iter()
+            .zip(&self.ids)
+            .map(|(anchor, &id)| (distance(anchor, sample), id))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .filter(|&(d, _)| d <= threshold)
+            .map(|(_, id)| id)
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::rng::RngForge;
+
+    #[test]
+    fn anchors_are_unit_and_stable() {
+        let a1 = identity_anchor(7);
+        let a2 = identity_anchor(7);
+        assert_eq!(a1, a2);
+        let norm: f64 = a1.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_identities_are_far_apart() {
+        // Random unit vectors in 128-d are nearly orthogonal: distance ≈ √2.
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                let d = distance(&identity_anchor(i), &identity_anchor(j));
+                assert!(d > 1.0, "identities {i},{j} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_identity_observations_are_close() {
+        let mut rng = RngForge::new(2).stream("emb");
+        for _ in 0..20 {
+            let a = observe(3, 0.03, &mut rng);
+            let b = observe(3, 0.03, &mut rng);
+            assert!(distance(&a, &b) < 0.8);
+        }
+    }
+
+    #[test]
+    fn gallery_identifies_with_noise() {
+        let gallery = Gallery::with_identities(0..25);
+        let mut rng = RngForge::new(3).stream("emb");
+        let mut correct = 0;
+        for id in 0..25 {
+            let sample = observe(id, 0.03, &mut rng);
+            if gallery.identify(&sample, 0.8) == Some(id) {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 25, "clean observations identify perfectly");
+    }
+
+    #[test]
+    fn unknown_face_rejected_by_threshold() {
+        let gallery = Gallery::with_identities(0..5);
+        let mut rng = RngForge::new(4).stream("emb");
+        // Identity 99 is not enrolled; with a tight threshold it's unknown.
+        let sample = observe(99, 0.03, &mut rng);
+        assert_eq!(gallery.identify(&sample, 0.8), None);
+    }
+
+    #[test]
+    fn heavy_noise_breaks_identification() {
+        let gallery = Gallery::with_identities(0..5);
+        let mut rng = RngForge::new(5).stream("emb");
+        let mut correct = 0;
+        for id in 0..5 {
+            for _ in 0..10 {
+                let sample = observe(id, 1.5, &mut rng);
+                if gallery.identify(&sample, 0.8) == Some(id) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct < 40, "extreme noise must cause misses, got {correct}/50");
+    }
+
+    #[test]
+    fn empty_gallery() {
+        let gallery = Gallery::with_identities(std::iter::empty());
+        assert!(gallery.is_empty());
+        assert_eq!(gallery.identify(&identity_anchor(0), 2.0), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! Text recognition (S9): template-matching OCR on a 5×7 bitmap font.
+//!
+//! S9 performs "image to text conversion of signs" (Sec. 2.1), and the
+//! robotic cars' Treasure Hunt reads instruction panels telling them
+//! "where to move next" (Sec. 5.5). The alphabet covers the digits and
+//! the compass letters those panels use (e.g. `"N3"` = move 3 cells
+//! north, `"G"` = goal). Recognition renders each character cell and
+//! picks the glyph with the minimum Hamming distance — robust to the
+//! salt-and-pepper noise a real camera pipeline would leave after
+//! binarization.
+
+use rand::Rng;
+
+/// Glyph width in pixels.
+pub const GLYPH_W: usize = 5;
+/// Glyph height in pixels.
+pub const GLYPH_H: usize = 7;
+
+/// The supported alphabet.
+pub const ALPHABET: &[char] = &[
+    '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'N', 'E', 'S', 'W', 'G',
+];
+
+/// 5×7 glyph bitmaps; each byte is one row, low 5 bits used, MSB-left.
+fn glyph(c: char) -> Option<[u8; GLYPH_H]> {
+    let g = match c {
+        '0' => [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+        '1' => [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        '2' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+        '3' => [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+        '4' => [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+        '5' => [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+        '6' => [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+        '7' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+        '8' => [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+        '9' => [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+        'N' => [0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001],
+        'E' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111],
+        'S' => [0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110],
+        'W' => [0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010],
+        'G' => [0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111],
+        _ => return None,
+    };
+    Some(g)
+}
+
+/// A binarized sign image: one row of character cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignImage {
+    chars: usize,
+    /// Row-major bits, `chars * GLYPH_W` wide, `GLYPH_H` tall.
+    bits: Vec<bool>,
+}
+
+impl SignImage {
+    /// Renders `text` into a clean bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is empty or contains characters outside
+    /// [`ALPHABET`].
+    pub fn render(text: &str) -> SignImage {
+        assert!(!text.is_empty(), "sign text must be non-empty");
+        let glyphs: Vec<[u8; GLYPH_H]> = text
+            .chars()
+            .map(|c| glyph(c).unwrap_or_else(|| panic!("unsupported character {c:?}")))
+            .collect();
+        let chars = glyphs.len();
+        let width = chars * GLYPH_W;
+        let mut bits = vec![false; width * GLYPH_H];
+        for (ci, g) in glyphs.iter().enumerate() {
+            for (row, &rowbits) in g.iter().enumerate() {
+                for col in 0..GLYPH_W {
+                    let on = rowbits & (1 << (GLYPH_W - 1 - col)) != 0;
+                    bits[row * width + ci * GLYPH_W + col] = on;
+                }
+            }
+        }
+        SignImage { chars, bits }
+    }
+
+    /// Flips each pixel independently with probability `p` (camera noise
+    /// surviving binarization).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_noise<R: Rng + ?Sized>(mut self, p: f64, rng: &mut R) -> SignImage {
+        assert!((0.0..=1.0).contains(&p), "noise probability in [0, 1]");
+        for b in &mut self.bits {
+            if rng.gen::<f64>() < p {
+                *b = !*b;
+            }
+        }
+        self
+    }
+
+    /// Number of character cells.
+    pub fn char_count(&self) -> usize {
+        self.chars
+    }
+
+    fn cell_bits(&self, ci: usize) -> Vec<bool> {
+        let width = self.chars * GLYPH_W;
+        let mut out = Vec::with_capacity(GLYPH_W * GLYPH_H);
+        for row in 0..GLYPH_H {
+            for col in 0..GLYPH_W {
+                out.push(self.bits[row * width + ci * GLYPH_W + col]);
+            }
+        }
+        out
+    }
+}
+
+fn hamming_to_glyph(cell: &[bool], g: &[u8; GLYPH_H]) -> u32 {
+    let mut d = 0;
+    for row in 0..GLYPH_H {
+        for col in 0..GLYPH_W {
+            let on = g[row] & (1 << (GLYPH_W - 1 - col)) != 0;
+            if on != cell[row * GLYPH_W + col] {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+/// Recognizes the text on a sign by nearest-template matching.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::ocr::{recognize, SignImage};
+/// use hivemind_sim::rng::RngForge;
+///
+/// let mut rng = RngForge::new(1).stream("ocr");
+/// let noisy = SignImage::render("N3").with_noise(0.05, &mut rng);
+/// assert_eq!(recognize(&noisy), "N3");
+/// ```
+pub fn recognize(image: &SignImage) -> String {
+    (0..image.char_count())
+        .map(|ci| {
+            let cell = image.cell_bits(ci);
+            ALPHABET
+                .iter()
+                .map(|&c| (hamming_to_glyph(&cell, &glyph(c).expect("alphabet member")), c))
+                .min_by_key(|&(d, _)| d)
+                .map(|(_, c)| c)
+                .expect("alphabet is non-empty")
+        })
+        .collect()
+}
+
+/// A parsed Treasure-Hunt instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Move `steps` cells in a compass direction (`'N' | 'E' | 'S' | 'W'`).
+    Move {
+        /// Compass direction letter.
+        dir: char,
+        /// Number of cells.
+        steps: u32,
+    },
+    /// This panel is the final target.
+    Goal,
+}
+
+/// Parses recognized panel text (`"N3"`, `"W12"`, `"G"`).
+///
+/// Returns `None` for garbled text — the mission layer treats that as a
+/// failed recognition and re-photographs the panel.
+pub fn parse_instruction(text: &str) -> Option<Instruction> {
+    let mut chars = text.chars();
+    let head = chars.next()?;
+    if head == 'G' && chars.clone().next().is_none() {
+        return Some(Instruction::Goal);
+    }
+    if !"NESW".contains(head) {
+        return None;
+    }
+    let rest: String = chars.collect();
+    if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(Instruction::Move {
+        dir: head,
+        steps: rest.parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::rng::RngForge;
+
+    #[test]
+    fn clean_rendering_roundtrips() {
+        for text in ["0123456789", "NESW", "G", "N3", "W12"] {
+            let img = SignImage::render(text);
+            assert_eq!(recognize(&img), text, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        // Every glyph pair differs in several pixels; otherwise noise
+        // tolerance would be impossible.
+        for &a in ALPHABET {
+            for &b in ALPHABET {
+                if a == b {
+                    continue;
+                }
+                let cell = SignImage::render(&a.to_string()).cell_bits(0);
+                let d = hamming_to_glyph(&cell, &glyph(b).unwrap());
+                assert!(d >= 3, "glyphs {a} and {b} differ by only {d} pixels");
+            }
+        }
+    }
+
+    #[test]
+    fn moderate_noise_still_recognized() {
+        let mut rng = RngForge::new(2).stream("ocr");
+        let mut correct = 0;
+        for trial in 0..100 {
+            let text = ["N3", "E7", "S2", "W9", "G"][trial % 5];
+            let img = SignImage::render(text).with_noise(0.06, &mut rng);
+            if recognize(&img) == text {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 90, "correct {correct}/100");
+    }
+
+    #[test]
+    fn heavy_noise_degrades() {
+        let mut rng = RngForge::new(3).stream("ocr");
+        let mut correct = 0;
+        for _ in 0..100 {
+            let img = SignImage::render("N3").with_noise(0.4, &mut rng);
+            if recognize(&img) == "N3" {
+                correct += 1;
+            }
+        }
+        assert!(correct < 90, "40% pixel flips must cause errors, got {correct}");
+    }
+
+    #[test]
+    fn instruction_parsing() {
+        assert_eq!(
+            parse_instruction("N3"),
+            Some(Instruction::Move { dir: 'N', steps: 3 })
+        );
+        assert_eq!(
+            parse_instruction("W12"),
+            Some(Instruction::Move { dir: 'W', steps: 12 })
+        );
+        assert_eq!(parse_instruction("G"), Some(Instruction::Goal));
+        assert_eq!(parse_instruction(""), None);
+        assert_eq!(parse_instruction("3N"), None);
+        assert_eq!(parse_instruction("N"), None);
+        assert_eq!(parse_instruction("GG"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported character")]
+    fn unsupported_character_panics() {
+        let _ = SignImage::render("N3X");
+    }
+}

@@ -1,0 +1,436 @@
+//! SLAM (S10): occupancy-grid mapping with scan-matching localization.
+//!
+//! The drones run "simultaneous localization and mapping … using image
+//! and sensor data" (Sec. 2.1, via ORB-SLAM on the testbed). We implement
+//! the classic 2-D grid formulation: the robot carries a ray-cast range
+//! sensor; each scan is matched against the map built so far to correct
+//! pose drift (localization), then integrated into per-cell log-odds
+//! (mapping).
+
+/// Log-odds occupancy grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyGrid {
+    width: u32,
+    height: u32,
+    log_odds: Vec<f64>,
+}
+
+/// Increment applied to a cell observed occupied.
+const L_OCC: f64 = 0.85;
+/// Decrement applied to a cell observed free.
+const L_FREE: f64 = -0.4;
+/// Clamp to keep cells revisable.
+const L_CLAMP: f64 = 6.0;
+
+impl OccupancyGrid {
+    /// Creates an unknown (all-zero log-odds) grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: u32, height: u32) -> OccupancyGrid {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        OccupancyGrid {
+            width,
+            height,
+            log_odds: vec![0.0; (width * height) as usize],
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn idx(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Occupancy probability of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn probability(&self, x: u32, y: u32) -> f64 {
+        assert!(x < self.width && y < self.height, "cell out of bounds");
+        let l = self.log_odds[self.idx(x, y)];
+        1.0 - 1.0 / (1.0 + l.exp())
+    }
+
+    /// Whether the map believes a cell is occupied (p > 0.65).
+    pub fn is_occupied(&self, x: u32, y: u32) -> bool {
+        self.probability(x, y) > 0.65
+    }
+
+    /// Whether the map has information about a cell at all.
+    pub fn is_known(&self, x: u32, y: u32) -> bool {
+        self.log_odds[self.idx(x, y)].abs() > 0.2
+    }
+
+    fn update(&mut self, x: u32, y: u32, delta: f64) {
+        let i = self.idx(x, y);
+        self.log_odds[i] = (self.log_odds[i] + delta).clamp(-L_CLAMP, L_CLAMP);
+    }
+
+    /// Integrates one range scan taken from `pose`.
+    pub fn integrate(&mut self, pose: (u32, u32), scan: &Scan) {
+        for beam in &scan.beams {
+            let cells = bresenham(pose, beam.endpoint);
+            // All cells before the endpoint are free.
+            for &(x, y) in &cells[..cells.len().saturating_sub(1)] {
+                if x < self.width && y < self.height {
+                    self.update(x, y, L_FREE);
+                }
+            }
+            if let Some(&(x, y)) = cells.last() {
+                if x < self.width && y < self.height {
+                    // Endpoint: obstacle if the beam hit, otherwise it was
+                    // observed free (max-range or clipped beam).
+                    self.update(x, y, if beam.hit { L_OCC } else { L_FREE });
+                }
+            }
+        }
+    }
+
+    /// Fraction of cells the map has classified (known cells / total).
+    pub fn coverage(&self) -> f64 {
+        let known = self.log_odds.iter().filter(|l| l.abs() > 0.2).count();
+        known as f64 / self.log_odds.len() as f64
+    }
+}
+
+/// One range-sensor beam: the observed endpoint and whether it hit an
+/// obstacle (vs reaching max range in free space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Beam {
+    /// Cell where the beam terminated.
+    pub endpoint: (u32, u32),
+    /// `true` if it terminated on an obstacle.
+    pub hit: bool,
+}
+
+/// A set of beams from one sensing position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// The beams.
+    pub beams: Vec<Beam>,
+}
+
+/// A ground-truth world for simulating the range sensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    width: u32,
+    height: u32,
+    obstacles: Vec<bool>,
+}
+
+impl World {
+    /// Creates an empty world.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: u32, height: u32) -> World {
+        assert!(width > 0 && height > 0);
+        World {
+            width,
+            height,
+            obstacles: vec![false; (width * height) as usize],
+        }
+    }
+
+    /// Places an obstacle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add_obstacle(&mut self, x: u32, y: u32) {
+        assert!(x < self.width && y < self.height);
+        self.obstacles[(y * self.width + x) as usize] = true;
+    }
+
+    /// Whether a cell holds an obstacle.
+    pub fn occupied(&self, x: u32, y: u32) -> bool {
+        x < self.width && y < self.height && self.obstacles[(y * self.width + x) as usize]
+    }
+
+    /// Simulates an 8-direction range scan from `pose` with `max_range`.
+    pub fn scan_from(&self, pose: (u32, u32), max_range: u32) -> Scan {
+        const DIRS: [(i64, i64); 8] = [
+            (1, 0),
+            (-1, 0),
+            (0, 1),
+            (0, -1),
+            (1, 1),
+            (1, -1),
+            (-1, 1),
+            (-1, -1),
+        ];
+        let beams = DIRS
+            .iter()
+            .map(|&(dx, dy)| {
+                let mut x = pose.0 as i64;
+                let mut y = pose.1 as i64;
+                for _ in 0..max_range {
+                    x += dx;
+                    y += dy;
+                    if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+                        // Clip to the last in-bounds cell, observed free.
+                        return Beam {
+                            endpoint: ((x - dx) as u32, (y - dy) as u32),
+                            hit: false,
+                        };
+                    }
+                    if self.occupied(x as u32, y as u32) {
+                        return Beam {
+                            endpoint: (x as u32, y as u32),
+                            hit: true,
+                        };
+                    }
+                }
+                Beam {
+                    endpoint: (x as u32, y as u32),
+                    hit: false,
+                }
+            })
+            .collect();
+        Scan { beams }
+    }
+}
+
+/// Integer line rasterization from `a` to `b`, inclusive.
+fn bresenham(a: (u32, u32), b: (u32, u32)) -> Vec<(u32, u32)> {
+    let (mut x0, mut y0) = (a.0 as i64, a.1 as i64);
+    let (x1, y1) = (b.0 as i64, b.1 as i64);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let mut out = Vec::new();
+    loop {
+        out.push((x0 as u32, y0 as u32));
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+    out
+}
+
+/// Scan-matching localization: finds the offset in `[-search, search]²`
+/// that best aligns `scan` (taken at unknown true pose) with the map,
+/// starting from odometry estimate `guess`. Returns the corrected pose.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::slam::{localize, OccupancyGrid, World};
+///
+/// let mut world = World::new(30, 30);
+/// for i in 0..30 {
+///     world.add_obstacle(i, 0);
+///     world.add_obstacle(i, 29);
+///     world.add_obstacle(0, i);
+///     world.add_obstacle(29, i);
+/// }
+/// for i in 5..25 {
+///     world.add_obstacle(i, 20);
+/// }
+/// // Build a map from known poses...
+/// let mut map = OccupancyGrid::new(30, 30);
+/// for &p in &[(10u32, 10u32), (20, 10), (10, 25), (20, 25), (5, 15)] {
+///     map.integrate(p, &world.scan_from(p, 30));
+/// }
+/// // ...then localize a drifted odometry estimate. The robot measures
+/// // beam endpoints *relative to itself*, so endpoints arrive expressed
+/// // in the (wrong) odometry frame:
+/// use hivemind_apps::kernels::slam::odometry_frame;
+/// let true_pose = (15, 10);
+/// let guess = (17, 11);
+/// let scan = odometry_frame(&world.scan_from(true_pose, 30), true_pose, guess);
+/// let corrected = localize(&map, guess, &scan, 3);
+/// assert_eq!(corrected, true_pose);
+/// ```
+/// Re-expresses a scan taken at `true_pose` in the frame of an odometry
+/// estimate `guess` — i.e. what the robot *thinks* the endpoints'
+/// absolute coordinates are. Endpoints that would fall outside the map
+/// keep their clipped coordinates saturated at zero.
+pub fn odometry_frame(scan: &Scan, true_pose: (u32, u32), guess: (u32, u32)) -> Scan {
+    let dx = guess.0 as i64 - true_pose.0 as i64;
+    let dy = guess.1 as i64 - true_pose.1 as i64;
+    Scan {
+        beams: scan
+            .beams
+            .iter()
+            .map(|b| Beam {
+                endpoint: (
+                    (b.endpoint.0 as i64 + dx).max(0) as u32,
+                    (b.endpoint.1 as i64 + dy).max(0) as u32,
+                ),
+                hit: b.hit,
+            })
+            .collect(),
+    }
+}
+
+/// Scan-matching localization over a small search window (see the module
+/// docs and the example above).
+pub fn localize(
+    map: &OccupancyGrid,
+    guess: (u32, u32),
+    scan: &Scan,
+    search: i64,
+) -> (u32, u32) {
+    let mut best = guess;
+    let mut best_score = f64::NEG_INFINITY;
+    for dx in -search..=search {
+        for dy in -search..=search {
+            let cx = guess.0 as i64 + dx;
+            let cy = guess.1 as i64 + dy;
+            if cx < 0 || cy < 0 || cx >= map.width() as i64 || cy >= map.height() as i64 {
+                continue;
+            }
+            let candidate = (cx as u32, cy as u32);
+            let mut score = 0.0;
+            for beam in &scan.beams {
+                // Translate the beam endpoint by the candidate offset.
+                let ex = beam.endpoint.0 as i64 + (candidate.0 as i64 - guess.0 as i64);
+                let ey = beam.endpoint.1 as i64 + (candidate.1 as i64 - guess.1 as i64);
+                if ex < 0 || ey < 0 || ex >= map.width() as i64 || ey >= map.height() as i64 {
+                    continue;
+                }
+                let p = map.probability(ex as u32, ey as u32);
+                score += if beam.hit { p } else { 1.0 - p };
+            }
+            // Prefer smaller corrections on ties (stable & physical).
+            let tie_break = -0.001 * ((dx * dx + dy * dy) as f64);
+            if score + tie_break > best_score {
+                best_score = score + tie_break;
+                best = candidate;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walled_world() -> World {
+        let mut w = World::new(40, 40);
+        for i in 0..40 {
+            w.add_obstacle(i, 0);
+            w.add_obstacle(i, 39);
+            w.add_obstacle(0, i);
+            w.add_obstacle(39, i);
+        }
+        for i in 10..30 {
+            w.add_obstacle(i, 20);
+        }
+        w
+    }
+
+    #[test]
+    fn mapping_marks_walls_occupied_and_interior_free() {
+        let world = walled_world();
+        let mut map = OccupancyGrid::new(40, 40);
+        for &pose in &[(5u32, 5u32), (20, 10), (35, 5), (20, 5)] {
+            for _ in 0..3 {
+                map.integrate(pose, &world.scan_from(pose, 40));
+            }
+        }
+        // The interior wall under the scans must be seen.
+        assert!(map.is_occupied(20, 20) || map.is_occupied(19, 20));
+        // Free space along the scan paths is known-free.
+        assert!(map.is_known(20, 12));
+        assert!(!map.is_occupied(20, 12));
+    }
+
+    #[test]
+    fn coverage_grows_with_scans() {
+        let world = walled_world();
+        let mut map = OccupancyGrid::new(40, 40);
+        map.integrate((5, 5), &world.scan_from((5, 5), 40));
+        let one = map.coverage();
+        for &pose in &[(35u32, 35u32), (5, 35), (35, 5), (20, 10)] {
+            map.integrate(pose, &world.scan_from(pose, 40));
+        }
+        assert!(map.coverage() > one * 2.0);
+    }
+
+    #[test]
+    fn localization_corrects_odometry_drift() {
+        let world = walled_world();
+        let mut map = OccupancyGrid::new(40, 40);
+        // Build a decent map first.
+        for &pose in &[(5u32, 5u32), (10, 10), (30, 10), (10, 30), (30, 30), (20, 10)] {
+            for _ in 0..2 {
+                map.integrate(pose, &world.scan_from(pose, 40));
+            }
+        }
+        let mut recovered = 0;
+        for &true_pose in &[(15u32, 10u32), (25, 10), (15, 30), (25, 30)] {
+            let drifted = (true_pose.0 + 2, true_pose.1 + 1);
+            let scan = odometry_frame(&world.scan_from(true_pose, 40), true_pose, drifted);
+            if localize(&map, drifted, &scan, 3) == true_pose {
+                recovered += 1;
+            }
+        }
+        assert!(recovered >= 3, "recovered {recovered}/4 poses");
+    }
+
+    #[test]
+    fn bresenham_endpoints_and_connectivity() {
+        let line = bresenham((0, 0), (5, 3));
+        assert_eq!(*line.first().unwrap(), (0, 0));
+        assert_eq!(*line.last().unwrap(), (5, 3));
+        for w in line.windows(2) {
+            let dx = (w[1].0 as i64 - w[0].0 as i64).abs();
+            let dy = (w[1].1 as i64 - w[0].1 as i64).abs();
+            assert!(dx <= 1 && dy <= 1 && dx + dy >= 1);
+        }
+    }
+
+    #[test]
+    fn log_odds_clamped() {
+        let mut map = OccupancyGrid::new(3, 3);
+        let world = {
+            let mut w = World::new(3, 3);
+            w.add_obstacle(2, 1);
+            w
+        };
+        for _ in 0..100 {
+            map.integrate((0, 1), &world.scan_from((0, 1), 3));
+        }
+        let p = map.probability(2, 1);
+        assert!(p > 0.95 && p <= 1.0);
+        // Still revisable: a long streak of free observations flips it.
+        let empty = World::new(3, 3);
+        for _ in 0..100 {
+            map.integrate((0, 1), &empty.scan_from((0, 1), 3));
+        }
+        assert!(!map.is_occupied(2, 1));
+    }
+
+    #[test]
+    fn unknown_cells_report_half_probability() {
+        let map = OccupancyGrid::new(4, 4);
+        assert!((map.probability(2, 2) - 0.5).abs() < 1e-12);
+        assert!(!map.is_known(2, 2));
+    }
+}

@@ -1,0 +1,168 @@
+//! Soil analytics (S8): hydration estimation from images + humidity.
+//!
+//! S8 performs "estimation of soil hydration from images and humidity
+//! sensor" (Sec. 2.1). The image contribution is the darkness/saturation
+//! signature of wet soil; we compute it from a real (synthetic-pixel)
+//! image patch, then fuse it with the hygrometer reading.
+
+use rand::Rng;
+
+/// An 8-bit RGB image patch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patch {
+    width: u32,
+    height: u32,
+    /// Row-major RGB triples.
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Patch {
+    /// Creates a patch from raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or the patch is empty.
+    pub fn new(width: u32, height: u32, pixels: Vec<[u8; 3]>) -> Patch {
+        assert!(width > 0 && height > 0, "patch must be non-empty");
+        assert_eq!(pixels.len(), (width * height) as usize, "pixel count mismatch");
+        Patch {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Synthesizes a soil patch at `moisture ∈ [0, 1]`: wetter soil is
+    /// darker and slightly bluer.
+    pub fn synthesize_soil<R: Rng + ?Sized>(moisture: f64, rng: &mut R) -> Patch {
+        assert!((0.0..=1.0).contains(&moisture), "moisture in [0, 1]");
+        let (w, h) = (16u32, 16u32);
+        let base = 150.0 - 90.0 * moisture; // dry ≈ 150, wet ≈ 60
+        let pixels = (0..w * h)
+            .map(|_| {
+                let jitter = rng.gen_range(-12.0..12.0);
+                let v = (base + jitter).clamp(0.0, 255.0);
+                let r = v as u8;
+                let g = (v * 0.82) as u8;
+                let b = (v * 0.62 + 18.0 * moisture) as u8;
+                [r, g, b]
+            })
+            .collect();
+        Patch::new(w, h, pixels)
+    }
+
+    /// Mean luminance in `[0, 255]`.
+    pub fn mean_luminance(&self) -> f64 {
+        let total: f64 = self
+            .pixels
+            .iter()
+            .map(|[r, g, b]| 0.299 * *r as f64 + 0.587 * *g as f64 + 0.114 * *b as f64)
+            .sum();
+        total / self.pixels.len() as f64
+    }
+}
+
+/// Fused hydration estimate in `[0, 1]`.
+///
+/// Combines the image darkness cue (wet soil is dark) with the air
+/// humidity reading; weights favour the direct visual evidence.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::soil::{estimate_hydration, Patch};
+/// use hivemind_sim::rng::RngForge;
+///
+/// let mut rng = RngForge::new(1).stream("soil");
+/// let wet = Patch::synthesize_soil(0.9, &mut rng);
+/// let dry = Patch::synthesize_soil(0.1, &mut rng);
+/// let wet_est = estimate_hydration(&wet, 80.0);
+/// let dry_est = estimate_hydration(&dry, 30.0);
+/// assert!(wet_est > dry_est + 0.3);
+/// ```
+pub fn estimate_hydration(patch: &Patch, humidity_pct: f64) -> f64 {
+    let lum = patch.mean_luminance();
+    // Invert the synthesis model: lum(m) = 0.851·(150 − 90 m) + 2.05 m
+    //                                   ≈ 127.65 − 74.54 m.
+    let visual = ((127.65 - lum) / 74.54).clamp(0.0, 1.0);
+    let humid = (humidity_pct / 100.0).clamp(0.0, 1.0);
+    (0.75 * visual + 0.25 * humid).clamp(0.0, 1.0)
+}
+
+/// Classifies hydration for irrigation decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoilState {
+    /// Needs irrigation.
+    Dry,
+    /// Healthy range.
+    Moist,
+    /// Over-watered / standing water risk.
+    Saturated,
+}
+
+/// Thresholds an estimate into a [`SoilState`].
+pub fn classify(hydration: f64) -> SoilState {
+    if hydration < 0.35 {
+        SoilState::Dry
+    } else if hydration < 0.75 {
+        SoilState::Moist
+    } else {
+        SoilState::Saturated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::rng::RngForge;
+
+    #[test]
+    fn wetter_soil_is_darker() {
+        let mut rng = RngForge::new(2).stream("soil");
+        let dry = Patch::synthesize_soil(0.0, &mut rng);
+        let wet = Patch::synthesize_soil(1.0, &mut rng);
+        assert!(dry.mean_luminance() > wet.mean_luminance() + 40.0);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_moisture() {
+        let mut rng = RngForge::new(3).stream("soil");
+        let mut last = -1.0;
+        for step in 0..5 {
+            let m = step as f64 / 4.0;
+            let patch = Patch::synthesize_soil(m, &mut rng);
+            let est = estimate_hydration(&patch, 50.0);
+            assert!(est > last, "estimate must increase with moisture");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn humidity_nudges_the_estimate() {
+        let mut rng = RngForge::new(4).stream("soil");
+        let patch = Patch::synthesize_soil(0.5, &mut rng);
+        assert!(estimate_hydration(&patch, 90.0) > estimate_hydration(&patch, 10.0));
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(classify(0.1), SoilState::Dry);
+        assert_eq!(classify(0.5), SoilState::Moist);
+        assert_eq!(classify(0.9), SoilState::Saturated);
+    }
+
+    #[test]
+    fn end_to_end_classification_recovers_state() {
+        let mut rng = RngForge::new(5).stream("soil");
+        let dry = Patch::synthesize_soil(0.05, &mut rng);
+        let wet = Patch::synthesize_soil(0.95, &mut rng);
+        assert_eq!(classify(estimate_hydration(&dry, 20.0)), SoilState::Dry);
+        assert_eq!(classify(estimate_hydration(&wet, 85.0)), SoilState::Saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn bad_pixel_count_panics() {
+        let _ = Patch::new(2, 2, vec![[0, 0, 0]]);
+    }
+}

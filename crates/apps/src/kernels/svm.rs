@@ -1,0 +1,192 @@
+//! Linear SVM trained with stochastic sub-gradient descent.
+//!
+//! S3 detects other drones "using an SVM classifier trained for the orange
+//! tag all our drones have" (Sec. 2.1); the on-board obstacle-avoidance
+//! engine uses the same classifier family "trained on trees, people,
+//! drones, and buildings". This is a standard Pegasos-style hinge-loss
+//! SGD on dense feature vectors.
+
+use rand::Rng;
+
+/// A binary linear classifier `sign(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    w: Vec<f64>,
+    b: f64,
+    lambda: f64,
+    steps: u64,
+}
+
+impl LinearSvm {
+    /// Creates an untrained SVM over `dims`-dimensional features with
+    /// regularization strength `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or `lambda <= 0`.
+    pub fn new(dims: usize, lambda: f64) -> LinearSvm {
+        assert!(dims > 0, "need at least one feature");
+        assert!(lambda > 0.0, "lambda must be positive");
+        LinearSvm {
+            w: vec![0.0; dims],
+            b: 0.0,
+            lambda,
+            steps: 0,
+        }
+    }
+
+    /// Number of SGD steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The raw decision value `w·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.w.len(), "feature dimensionality mismatch");
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + self.b
+    }
+
+    /// Predicts the class of `x` (`true` = positive).
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// One Pegasos SGD step on `(x, label)`.
+    pub fn train_step(&mut self, x: &[f64], label: bool) {
+        assert_eq!(x.len(), self.w.len(), "feature dimensionality mismatch");
+        self.steps += 1;
+        let y = if label { 1.0 } else { -1.0 };
+        // Pegasos step size with a warm-up offset: the textbook 1/(λt)
+        // takes enormous first steps (η = 100 at t = 1 for λ = 0.01),
+        // which leaves a large residual bias on small datasets.
+        let eta = 1.0 / (self.lambda * (self.steps as f64 + 100.0));
+        let margin = y * self.decision(x);
+        for w in &mut self.w {
+            *w *= 1.0 - eta * self.lambda;
+        }
+        if margin < 1.0 {
+            for (w, &xi) in self.w.iter_mut().zip(x) {
+                *w += eta * y * xi;
+            }
+            self.b += eta * y;
+        }
+    }
+
+    /// Trains over a dataset for `epochs` passes.
+    pub fn fit(&mut self, data: &[(Vec<f64>, bool)], epochs: u32) {
+        for _ in 0..epochs {
+            for (x, y) in data {
+                self.train_step(x, *y);
+            }
+        }
+    }
+
+    /// Fraction of `data` classified correctly.
+    pub fn accuracy(&self, data: &[(Vec<f64>, bool)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| self.predict(x) == *y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Generates a synthetic "orange tag" dataset: positives cluster around
+/// `+mu` in every dimension, negatives around `-mu`, with unit Gaussian
+/// noise. `mu` controls separability.
+pub fn tag_dataset<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    dims: usize,
+    mu: f64,
+) -> Vec<(Vec<f64>, bool)> {
+    (0..n)
+        .map(|i| {
+            let label = i % 2 == 0;
+            let center = if label { mu } else { -mu };
+            let x = (0..dims)
+                .map(|_| center + gaussian(rng))
+                .collect();
+            (x, label)
+        })
+        .collect()
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::rng::RngForge;
+
+    #[test]
+    fn learns_separable_data() {
+        let mut rng = RngForge::new(1).stream("svm");
+        let train = tag_dataset(&mut rng, 400, 8, 1.5);
+        let test = tag_dataset(&mut rng, 200, 8, 1.5);
+        let mut svm = LinearSvm::new(8, 0.01);
+        svm.fit(&train, 10);
+        let acc = svm.accuracy(&test);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn hard_data_learns_worse_than_easy_data() {
+        let mut rng = RngForge::new(2).stream("svm");
+        let easy_train = tag_dataset(&mut rng, 300, 4, 2.0);
+        let easy_test = tag_dataset(&mut rng, 300, 4, 2.0);
+        let hard_train = tag_dataset(&mut rng, 300, 4, 0.3);
+        let hard_test = tag_dataset(&mut rng, 300, 4, 0.3);
+        let mut easy = LinearSvm::new(4, 0.01);
+        easy.fit(&easy_train, 5);
+        let mut hard = LinearSvm::new(4, 0.01);
+        hard.fit(&hard_train, 5);
+        assert!(easy.accuracy(&easy_test) > hard.accuracy(&hard_test));
+    }
+
+    #[test]
+    fn untrained_svm_is_chance() {
+        let mut rng = RngForge::new(3).stream("svm");
+        let test = tag_dataset(&mut rng, 100, 4, 2.0);
+        let svm = LinearSvm::new(4, 0.01);
+        // w = 0, b = 0 → predicts positive everywhere → 50% on balanced data.
+        let acc = svm.accuracy(&test);
+        assert!((acc - 0.5).abs() < 0.05, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_training_does_not_hurt() {
+        let mut rng = RngForge::new(4).stream("svm");
+        let train = tag_dataset(&mut rng, 500, 6, 1.0);
+        let test = tag_dataset(&mut rng, 500, 6, 1.0);
+        let mut few = LinearSvm::new(6, 0.01);
+        few.fit(&train[..20], 1);
+        let mut many = LinearSvm::new(6, 0.01);
+        many.fit(&train, 5);
+        assert!(many.accuracy(&test) >= few.accuracy(&test) - 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dimension_mismatch_panics() {
+        let svm = LinearSvm::new(4, 0.01);
+        let _ = svm.decision(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        let svm = LinearSvm::new(4, 0.01);
+        assert_eq!(svm.accuracy(&[]), 0.0);
+    }
+}

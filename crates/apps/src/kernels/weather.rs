@@ -1,0 +1,183 @@
+//! Weather analytics (S7): prediction from temperature/humidity series.
+//!
+//! The drones carry thermometer and hygrometer sensors; S7 performs
+//! "weather prediction based on temperature and humidity levels in sensor
+//! data" (Sec. 2.1). We implement ordinary least squares over a sliding
+//! window of readings to fit local trends and extrapolate, plus a simple
+//! dew-point-style rain indicator — the kind of lightweight analytics that
+//! runs comparably on cloud and edge.
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// Seconds since mission start.
+    pub t: f64,
+    /// Temperature, °C.
+    pub temperature: f64,
+    /// Relative humidity, percent.
+    pub humidity: f64,
+}
+
+/// Least-squares line `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trend {
+    /// Slope per second.
+    pub slope: f64,
+    /// Intercept at `t = 0`.
+    pub intercept: f64,
+}
+
+impl Trend {
+    /// Evaluates the trend at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        self.slope * t + self.intercept
+    }
+}
+
+/// Fits an OLS trend to `(t, y)` pairs.
+///
+/// Returns `None` with fewer than two distinct time points.
+pub fn fit_trend(points: &[(f64, f64)]) -> Option<Trend> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some(Trend { slope, intercept })
+}
+
+/// Magnus-formula dew point, °C.
+pub fn dew_point(temperature: f64, humidity: f64) -> f64 {
+    let h = humidity.clamp(1.0, 100.0);
+    let gamma = (h / 100.0).ln() + (17.62 * temperature) / (243.12 + temperature);
+    243.12 * gamma / (17.62 - gamma)
+}
+
+/// A weather forecast from a window of readings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Forecast {
+    /// Predicted temperature at `horizon` seconds past the last reading.
+    pub temperature: f64,
+    /// Predicted humidity at the horizon (clamped to `[0, 100]`).
+    pub humidity: f64,
+    /// Whether conditions point to precipitation (dew-point spread < 2 °C
+    /// and humidity rising).
+    pub rain_likely: bool,
+}
+
+/// Runs the S7 analytic over a reading window.
+///
+/// # Panics
+///
+/// Panics if `readings` has fewer than two samples.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_apps::kernels::weather::{analyze, Reading};
+///
+/// let readings: Vec<Reading> = (0..10)
+///     .map(|i| Reading { t: i as f64, temperature: 20.0 + 0.1 * i as f64, humidity: 60.0 })
+///     .collect();
+/// let f = analyze(&readings, 30.0);
+/// assert!((f.temperature - 23.9).abs() < 0.2, "trend extrapolates");
+/// assert!(!f.rain_likely);
+/// ```
+pub fn analyze(readings: &[Reading], horizon: f64) -> Forecast {
+    assert!(readings.len() >= 2, "need at least two readings");
+    let temp_pts: Vec<(f64, f64)> = readings.iter().map(|r| (r.t, r.temperature)).collect();
+    let hum_pts: Vec<(f64, f64)> = readings.iter().map(|r| (r.t, r.humidity)).collect();
+    let t_end = readings.last().expect("non-empty").t + horizon;
+    let temp_trend = fit_trend(&temp_pts).expect("two readings fit a line");
+    let hum_trend = fit_trend(&hum_pts).expect("two readings fit a line");
+    let temperature = temp_trend.at(t_end);
+    let humidity = hum_trend.at(t_end).clamp(0.0, 100.0);
+    let spread = temperature - dew_point(temperature, humidity);
+    Forecast {
+        temperature,
+        humidity,
+        rain_likely: spread < 2.0 && hum_trend.slope >= 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(temp0: f64, tslope: f64, hum0: f64, hslope: f64, n: usize) -> Vec<Reading> {
+        (0..n)
+            .map(|i| Reading {
+                t: i as f64,
+                temperature: temp0 + tslope * i as f64,
+                humidity: (hum0 + hslope * i as f64).clamp(0.0, 100.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trend_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let t = fit_trend(&pts).unwrap();
+        assert!((t.slope - 2.0).abs() < 1e-9);
+        assert!((t.intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_needs_two_distinct_points() {
+        assert!(fit_trend(&[(1.0, 2.0)]).is_none());
+        assert!(fit_trend(&[(1.0, 2.0), (1.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn dew_point_saturated_air() {
+        // At 100% humidity the dew point equals the temperature.
+        assert!((dew_point(20.0, 100.0) - 20.0).abs() < 0.01);
+        // Dry air has a much lower dew point.
+        assert!(dew_point(20.0, 30.0) < 5.0);
+    }
+
+    #[test]
+    fn humid_cooling_evening_predicts_rain() {
+        // Humidity climbing to saturation while temperature falls.
+        let readings = series(18.0, -0.05, 90.0, 0.3, 40);
+        let f = analyze(&readings, 60.0);
+        assert!(f.rain_likely, "forecast {f:?}");
+    }
+
+    #[test]
+    fn dry_warming_morning_predicts_clear() {
+        let readings = series(22.0, 0.05, 40.0, -0.1, 40);
+        let f = analyze(&readings, 60.0);
+        assert!(!f.rain_likely, "forecast {f:?}");
+        assert!(f.temperature > 22.0);
+    }
+
+    #[test]
+    fn humidity_is_clamped() {
+        let readings = series(20.0, 0.0, 95.0, 1.0, 30);
+        let f = analyze(&readings, 600.0);
+        assert!(f.humidity <= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two readings")]
+    fn single_reading_panics() {
+        let _ = analyze(
+            &[Reading {
+                t: 0.0,
+                temperature: 20.0,
+                humidity: 50.0,
+            }],
+            10.0,
+        );
+    }
+}

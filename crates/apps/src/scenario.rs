@@ -1,0 +1,268 @@
+//! Multi-phase mission scenarios.
+//!
+//! The end-to-end evaluations run four missions (Secs. 2.1, 5.5):
+//!
+//! * **Scenario A — Stationary Items**: 16 drones locate 15 tennis balls.
+//!   Phases: route calculation (A*), image collection, on-board obstacle
+//!   avoidance, item recognition.
+//! * **Scenario B — Moving People**: count 25 moving people. Phases add
+//!   face recognition and a synchronization barrier feeding
+//!   deduplication.
+//! * **Treasure Hunt** (cars): follow OCR'd instruction panels to a goal.
+//! * **Car Maze** (cars): traverse an unknown maze with the Wall
+//!   Follower.
+//!
+//! A scenario is described as a linear sequence of [`PhaseSpec`]s over the
+//! benchmark [`App`]s; the execution engine in `hivemind-core` interprets
+//! these against the swarm and cluster models.
+
+use hivemind_sim::time::SimDuration;
+
+use crate::suite::App;
+
+/// The four end-to-end missions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Scenario A: locate 15 stationary tennis balls (drones).
+    StationaryItems,
+    /// Scenario B: count 25 moving people with deduplication (drones).
+    MovingPeople,
+    /// Robotic cars: follow instruction panels to a target.
+    TreasureHunt,
+    /// Robotic cars: traverse an unknown maze.
+    CarMaze,
+}
+
+/// Which fleet a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fleet {
+    /// The 16-drone swarm.
+    Drones,
+    /// The 14-car swarm.
+    Cars,
+}
+
+/// One computation phase of a mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// DSL-level task name.
+    pub name: &'static str,
+    /// The benchmark app whose cost profile this phase uses.
+    pub app: App,
+    /// Whether this phase consumes the raw sensor stream (one task per
+    /// collected frame batch) as opposed to running once per mission.
+    pub per_frame: bool,
+    /// Whether all devices must finish the previous phase before this one
+    /// starts (`Synchronize(task, 'all')` in the DSL).
+    pub sync_barrier: bool,
+}
+
+impl Scenario {
+    /// All four scenarios.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::StationaryItems,
+        Scenario::MovingPeople,
+        Scenario::TreasureHunt,
+        Scenario::CarMaze,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::StationaryItems => "ScA",
+            Scenario::MovingPeople => "ScB",
+            Scenario::TreasureHunt => "TreasureHunt",
+            Scenario::CarMaze => "CarMaze",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::StationaryItems => "Scenario A: Static Item Recognition",
+            Scenario::MovingPeople => "Scenario B: Moving People Recognition",
+            Scenario::TreasureHunt => "Treasure Hunt",
+            Scenario::CarMaze => "Maze",
+        }
+    }
+
+    /// Which fleet flies/drives it.
+    pub fn fleet(self) -> Fleet {
+        match self {
+            Scenario::StationaryItems | Scenario::MovingPeople => Fleet::Drones,
+            Scenario::TreasureHunt | Scenario::CarMaze => Fleet::Cars,
+        }
+    }
+
+    /// Default device count (16 drones / 14 cars).
+    pub fn default_devices(self) -> u32 {
+        match self.fleet() {
+            Fleet::Drones => 16,
+            Fleet::Cars => 14,
+        }
+    }
+
+    /// The phase pipeline, in execution order.
+    pub fn phases(self) -> Vec<PhaseSpec> {
+        match self {
+            Scenario::StationaryItems => vec![
+                PhaseSpec {
+                    name: "createRoute",
+                    app: App::Maze, // planning-class compute cost (A*)
+                    per_frame: false,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "obstacleAvoidance",
+                    app: App::ObstacleAvoidance,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "itemRecognition",
+                    app: App::TreeRecognition, // CNN detector cost class
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+            ],
+            Scenario::MovingPeople => vec![
+                PhaseSpec {
+                    name: "createRoute",
+                    app: App::Maze,
+                    per_frame: false,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "obstacleAvoidance",
+                    app: App::ObstacleAvoidance,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "faceRecognition",
+                    app: App::FaceRecognition,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "deduplication",
+                    app: App::PeopleDedup,
+                    per_frame: false,
+                    sync_barrier: true,
+                },
+            ],
+            Scenario::TreasureHunt => vec![
+                PhaseSpec {
+                    name: "panelRecognition",
+                    app: App::TextRecognition,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "routeUpdate",
+                    app: App::Maze,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+            ],
+            Scenario::CarMaze => vec![
+                PhaseSpec {
+                    name: "wallFollowing",
+                    app: App::Maze,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+                PhaseSpec {
+                    name: "obstacleAvoidance",
+                    app: App::ObstacleAvoidance,
+                    per_frame: true,
+                    sync_barrier: false,
+                },
+            ],
+        }
+    }
+
+    /// Ground-truth targets in the world (15 balls / 25 people).
+    pub fn target_count(self) -> u32 {
+        match self {
+            Scenario::StationaryItems => 15,
+            Scenario::MovingPeople => 25,
+            Scenario::TreasureHunt => 1,
+            Scenario::CarMaze => 1,
+        }
+    }
+
+    /// A generous wall-clock bound used by harnesses to declare a mission
+    /// failed (battery death usually triggers first).
+    pub fn mission_timeout(self) -> SimDuration {
+        SimDuration::from_secs(1800)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleets_and_sizes() {
+        assert_eq!(Scenario::StationaryItems.fleet(), Fleet::Drones);
+        assert_eq!(Scenario::StationaryItems.default_devices(), 16);
+        assert_eq!(Scenario::TreasureHunt.fleet(), Fleet::Cars);
+        assert_eq!(Scenario::TreasureHunt.default_devices(), 14);
+    }
+
+    #[test]
+    fn scenario_b_ends_with_dedup_behind_barrier() {
+        let phases = Scenario::MovingPeople.phases();
+        let last = phases.last().unwrap();
+        assert_eq!(last.app, App::PeopleDedup);
+        assert!(last.sync_barrier);
+        assert!(!last.per_frame, "dedup runs once over pooled output");
+    }
+
+    #[test]
+    fn obstacle_avoidance_phase_uses_pinned_app() {
+        for s in [Scenario::StationaryItems, Scenario::MovingPeople] {
+            let has_oa = s
+                .phases()
+                .iter()
+                .any(|p| p.app == App::ObstacleAvoidance && p.app.edge_pinned());
+            assert!(has_oa, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn target_counts_match_paper() {
+        assert_eq!(Scenario::StationaryItems.target_count(), 15);
+        assert_eq!(Scenario::MovingPeople.target_count(), 25);
+    }
+
+    #[test]
+    fn every_scenario_has_phases_and_labels() {
+        for s in Scenario::ALL {
+            assert!(!s.phases().is_empty());
+            assert!(!s.label().is_empty());
+            assert!(!s.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario_b_heavier_than_a() {
+        // "more pronounced for the more computationally-intensive
+        // Scenario B": the full pipeline (recognition + deduplication)
+        // costs more compute than Scenario A's.
+        let total = |s: Scenario| -> f64 {
+            s.phases()
+                .iter()
+                .map(|p| p.app.cloud_profile().exec.mean_secs())
+                .sum()
+        };
+        assert!(total(Scenario::MovingPeople) > total(Scenario::StationaryItems));
+    }
+}

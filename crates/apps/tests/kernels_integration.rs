@@ -1,0 +1,193 @@
+//! Integration across the application kernels: the semantic pipelines the
+//! missions rely on, run end to end without the simulator.
+
+use hivemind_apps::kernels::dedup::{deduplicate, score, Observation};
+use hivemind_apps::kernels::embedding::{observe, Gallery};
+use hivemind_apps::kernels::ocr::{parse_instruction, recognize, Instruction, SignImage};
+use hivemind_apps::kernels::slam::{localize, odometry_frame, OccupancyGrid, World};
+use hivemind_apps::kernels::svm::{tag_dataset, LinearSvm};
+use hivemind_apps::kernels::weather::{analyze, Reading};
+use hivemind_sim::rng::RngForge;
+use hivemind_swarm::maze::{wall_follower, Maze};
+use rand::Rng;
+
+/// A full Scenario-B recognition pipeline: drones photograph moving
+/// people, a gallery identifies known faces, the dedup stage counts
+/// unique individuals, and accuracy is scored against ground truth.
+#[test]
+fn scenario_b_recognition_pipeline() {
+    let mut rng = RngForge::new(41).stream("pipeline");
+    let people = 25u32;
+    let gallery = Gallery::with_identities(0..people);
+
+    let mut observations = Vec::new();
+    let mut identified = 0;
+    for pass in 0..3u32 {
+        for person in 0..people {
+            // The first sweep photographs everyone; later sweeps are
+            // opportunistic.
+            if pass == 0 || rng.gen::<f64>() < 0.8 {
+                let sample = observe(person, 0.03, &mut rng);
+                if gallery.identify(&sample, 0.8) == Some(person) {
+                    identified += 1;
+                }
+                observations.push(Observation {
+                    device: (person + pass) % 16,
+                    embedding: sample,
+                    truth: person,
+                });
+            }
+        }
+    }
+    assert!(identified as f64 / observations.len() as f64 > 0.95);
+    let result = deduplicate(&observations, 0.8);
+    let (correct, under, over) = score(&observations, &result);
+    assert_eq!(under + over, 0, "clean embeddings dedup exactly");
+    assert_eq!(correct, 25);
+}
+
+/// The Treasure-Hunt chain: render → photograph (noise) → OCR → parse →
+/// act, across a whole instruction course.
+#[test]
+fn treasure_hunt_instruction_chain() {
+    let mut rng = RngForge::new(42).stream("hunt");
+    let course = ["N3", "E7", "S2", "W4", "E1", "G"];
+    let mut pos = (10i64, 10i64);
+    let mut reached_goal = false;
+    for truth in course {
+        // Up to three photographs per panel, as the mission allows.
+        let mut read = None;
+        for _ in 0..3 {
+            let img = SignImage::render(truth).with_noise(0.05, &mut rng);
+            let text = recognize(&img);
+            if text == truth {
+                read = parse_instruction(&text);
+                break;
+            }
+        }
+        match read.expect("three attempts suffice at 5% pixel noise") {
+            Instruction::Goal => {
+                reached_goal = true;
+                break;
+            }
+            Instruction::Move { dir, steps } => {
+                let (dx, dy) = match dir {
+                    'N' => (0, 1),
+                    'E' => (1, 0),
+                    'S' => (0, -1),
+                    _ => (-1, 0),
+                };
+                pos = (pos.0 + dx * steps as i64, pos.1 + dy * steps as i64);
+            }
+        }
+    }
+    assert!(reached_goal);
+    assert_eq!(pos, (10 + 7 - 4 + 1, 10 + 3 - 2));
+}
+
+/// SLAM + navigation: map a walled world from a survey, then localize a
+/// drifted robot repeatedly as it walks a corridor.
+#[test]
+fn slam_supports_sustained_navigation() {
+    let mut world = World::new(50, 50);
+    for i in 0..50 {
+        world.add_obstacle(i, 0);
+        world.add_obstacle(i, 49);
+        world.add_obstacle(0, i);
+        world.add_obstacle(49, i);
+    }
+    for i in 10..40 {
+        world.add_obstacle(i, 25);
+    }
+    let mut map = OccupancyGrid::new(50, 50);
+    for x in (5..45).step_by(5) {
+        for y in [10u32, 20, 40] {
+            for _ in 0..2 {
+                map.integrate((x, y), &world.scan_from((x, y), 50));
+            }
+        }
+    }
+    assert!(map.coverage() > 0.3, "survey mapped the world");
+
+    let mut recovered = 0;
+    let mut total = 0;
+    for x in (8..40).step_by(4) {
+        let true_pose = (x, 12u32);
+        let drift = ((x + 2).min(49), 13u32);
+        let scan = odometry_frame(&world.scan_from(true_pose, 50), true_pose, drift);
+        total += 1;
+        if localize(&map, drift, &scan, 3) == true_pose {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered * 10 >= total * 6,
+        "scan matching recovers most poses: {recovered}/{total}"
+    );
+}
+
+/// The obstacle-avoidance classifier story: an SVM trained on the swarm's
+/// pooled data beats one trained on a single device's share.
+#[test]
+fn swarm_pooling_helps_the_svm() {
+    let mut rng = RngForge::new(43).stream("svm");
+    let swarm_data = tag_dataset(&mut rng, 640, 8, 0.8);
+    let test = tag_dataset(&mut rng, 400, 8, 0.8);
+
+    let mut single = LinearSvm::new(8, 0.01);
+    single.fit(&swarm_data[..40], 3); // one device's 1/16 share
+    let mut pooled = LinearSvm::new(8, 0.01);
+    pooled.fit(&swarm_data, 3);
+
+    assert!(
+        pooled.accuracy(&test) >= single.accuracy(&test),
+        "pooled {} vs single {}",
+        pooled.accuracy(&test),
+        single.accuracy(&test)
+    );
+}
+
+/// Weather analytics on a synthetic day: the forecast flips from clear to
+/// rain as the air saturates.
+#[test]
+fn weather_forecast_tracks_conditions() {
+    let morning: Vec<Reading> = (0..60)
+        .map(|i| Reading {
+            t: i as f64,
+            temperature: 18.0 + 0.05 * i as f64,
+            humidity: 55.0 - 0.1 * i as f64,
+        })
+        .collect();
+    assert!(!analyze(&morning, 120.0).rain_likely);
+
+    let evening: Vec<Reading> = (0..60)
+        .map(|i| Reading {
+            t: i as f64,
+            temperature: 16.0 - 0.04 * i as f64,
+            humidity: (88.0 + 0.2 * i as f64).min(100.0),
+        })
+        .collect();
+    assert!(analyze(&evening, 120.0).rain_likely);
+}
+
+/// Maze generation + wall following stays robust across shapes and seeds
+/// (the cars' mission substrate).
+#[test]
+fn maze_course_statistics() {
+    let mut total_steps = 0usize;
+    let mut runs = 0usize;
+    for seed in 0..30u64 {
+        for (w, h) in [(8u32, 8u32), (12, 9), (20, 5)] {
+            let maze = Maze::generate(w, h, RngForge::new(seed));
+            let t = wall_follower(&maze);
+            assert!(t.reached);
+            // The wall follower never takes more than twice every passage
+            // in each direction.
+            assert!(t.steps() <= 4 * (w * h) as usize);
+            total_steps += t.steps();
+            runs += 1;
+        }
+    }
+    let mean = total_steps as f64 / runs as f64;
+    assert!(mean > 10.0, "non-trivial courses, mean steps {mean}");
+}

@@ -1,0 +1,127 @@
+//! End-to-end experiment benchmarks, one per evaluation table/figure
+//! family. These time the *regeneration cost* of the paper's experiments
+//! on the simulator (the `fig*` binaries print the actual rows); each uses
+//! a reduced configuration so `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hivemind_apps::learning::{run_campaign, RetrainMode};
+use hivemind_apps::scenario::Scenario;
+use hivemind_apps::suite::App;
+use hivemind_core::analytic::QuickModel;
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
+
+fn small_app(app: App, platform: Platform) -> ExperimentConfig {
+    ExperimentConfig::single_app(app)
+        .platform(platform)
+        .duration_secs(10.0)
+        .seed(1)
+}
+
+fn fig01_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_scenario_a");
+    g.sample_size(10);
+    for platform in Platform::MAIN {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(platform.label()),
+            &platform,
+            |b, &p| {
+                b.iter(|| {
+                    Experiment::new(
+                        ExperimentConfig::scenario(Scenario::StationaryItems)
+                            .platform(p)
+                            .seed(1),
+                    )
+                    .run()
+                    .mission
+                    .duration_secs
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig04_single_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_single_app_10s");
+    g.sample_size(10);
+    for app in [App::FaceRecognition, App::WeatherAnalytics, App::Slam] {
+        for platform in [Platform::CentralizedFaaS, Platform::DistributedEdge] {
+            g.bench_with_input(
+                BenchmarkId::new(app.label(), platform.label()),
+                &(app, platform),
+                |b, &(a, p)| b.iter(|| Experiment::new(small_app(a, p)).run().tasks.len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig13_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_ablation_s9_10s");
+    g.sample_size(10);
+    for platform in Platform::ABLATIONS {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(platform.label()),
+            &platform,
+            |b, &p| b.iter(|| Experiment::new(small_app(App::TextRecognition, p)).run().tasks.len()),
+        );
+    }
+    g.finish();
+}
+
+fn fig15_learning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_learning_campaign");
+    g.sample_size(10);
+    for mode in RetrainMode::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            b.iter(|| run_campaign(m, 16, 40, 6, 42).correct_pct)
+        });
+    }
+    g.finish();
+}
+
+fn fig16_cars(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_car_missions");
+    g.sample_size(10);
+    for scenario in [Scenario::TreasureHunt, Scenario::CarMaze] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scenario.label()),
+            &scenario,
+            |b, &s| {
+                b.iter(|| {
+                    Experiment::new(
+                        ExperimentConfig::scenario(s)
+                            .platform(Platform::HiveMind)
+                            .seed(1),
+                    )
+                    .run()
+                    .mission
+                    .duration_secs
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig18_analytic(c: &mut Criterion) {
+    c.bench_function("fig18_quickmodel_4k_samples", |b| {
+        let model = QuickModel::testbed(Platform::CentralizedFaaS, App::FaceRecognition);
+        b.iter(|| model.predict(4000, 8).len())
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig01_scenario,
+        fig04_single_apps,
+        fig13_ablations,
+        fig15_learning,
+        fig16_cars,
+        fig18_analytic
+}
+criterion_main!(figures);

@@ -1,0 +1,123 @@
+//! Microbenchmarks for the real algorithmic kernels behind the benchmark
+//! suite (Table-level performance of the building blocks).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hivemind_apps::kernels::dedup::{deduplicate, Observation};
+use hivemind_apps::kernels::embedding::observe;
+use hivemind_apps::kernels::ocr::{recognize, SignImage};
+use hivemind_apps::kernels::slam::{localize, OccupancyGrid, World};
+use hivemind_apps::kernels::svm::{tag_dataset, LinearSvm};
+use hivemind_sim::rng::RngForge;
+use hivemind_swarm::geometry::Rect;
+use hivemind_swarm::maze::{wall_follower, Maze};
+use hivemind_swarm::route::{astar, coverage_lanes, Cell, GridMap};
+
+fn bench_astar(c: &mut Criterion) {
+    let mut map = GridMap::new(64, 64);
+    for y in 0..60 {
+        map.block(Cell { x: 32, y });
+    }
+    c.bench_function("astar_64x64_with_wall", |b| {
+        b.iter(|| {
+            astar(
+                black_box(&map),
+                Cell { x: 0, y: 0 },
+                Cell { x: 63, y: 0 },
+            )
+            .expect("reachable")
+        })
+    });
+}
+
+fn bench_wall_follower(c: &mut Criterion) {
+    let maze = Maze::generate(24, 24, RngForge::new(5));
+    c.bench_function("wall_follower_24x24", |b| {
+        b.iter(|| {
+            let t = wall_follower(black_box(&maze));
+            assert!(t.reached);
+            t.steps()
+        })
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut rng = RngForge::new(7).stream("bench");
+    let obs: Vec<Observation> = (0..100)
+        .map(|i| Observation {
+            device: i % 16,
+            embedding: observe(i % 25, 0.03, &mut rng),
+            truth: i % 25,
+        })
+        .collect();
+    c.bench_function("dedup_100_observations", |b| {
+        b.iter(|| deduplicate(black_box(&obs), 0.8).unique_count)
+    });
+}
+
+fn bench_ocr(c: &mut Criterion) {
+    let mut rng = RngForge::new(9).stream("bench");
+    let img = SignImage::render("W12").with_noise(0.05, &mut rng);
+    c.bench_function("ocr_recognize_3_glyphs", |b| {
+        b.iter(|| recognize(black_box(&img)))
+    });
+}
+
+fn bench_svm_train(c: &mut Criterion) {
+    let mut rng = RngForge::new(11).stream("bench");
+    let data = tag_dataset(&mut rng, 200, 8, 1.5);
+    c.bench_function("svm_fit_200x8_5_epochs", |b| {
+        b.iter(|| {
+            let mut svm = LinearSvm::new(8, 0.01);
+            svm.fit(black_box(&data), 5);
+            svm.accuracy(&data)
+        })
+    });
+}
+
+fn bench_slam(c: &mut Criterion) {
+    let mut world = World::new(40, 40);
+    for i in 0..40 {
+        world.add_obstacle(i, 0);
+        world.add_obstacle(i, 39);
+    }
+    for i in 10..30 {
+        world.add_obstacle(i, 20);
+    }
+    let mut map = OccupancyGrid::new(40, 40);
+    for &p in &[(5u32, 5u32), (30, 10), (10, 30), (20, 10)] {
+        map.integrate(p, &world.scan_from(p, 40));
+    }
+    let scan = world.scan_from((15, 10), 40);
+    c.bench_function("slam_integrate_scan", |b| {
+        b.iter(|| {
+            let mut m = map.clone();
+            m.integrate((15, 10), black_box(&scan));
+            m.coverage()
+        })
+    });
+    c.bench_function("slam_localize_search3", |b| {
+        b.iter(|| localize(black_box(&map), (16, 11), &scan, 3))
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let region = Rect::new(0.0, 0.0, 40.0, 25.0);
+    c.bench_function("coverage_lanes_region", |b| {
+        b.iter(|| coverage_lanes(black_box(&region), 6.7))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_astar,
+        bench_wall_follower,
+        bench_dedup,
+        bench_ocr,
+        bench_svm_train,
+        bench_slam,
+        bench_coverage
+}
+criterion_main!(kernels);

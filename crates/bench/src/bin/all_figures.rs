@@ -1,0 +1,27 @@
+//! Runs every figure harness in sequence (the full paper evaluation).
+//!
+//! ```text
+//! cargo run --release -p hivemind-bench --bin all_figures
+//! ```
+//!
+//! Set `HIVEMIND_FULL=1` for paper-length runs (120 s jobs, 10 repeats,
+//! swarm sweep to 8192 devices).
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for fig in figures {
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} exited with {status}");
+    }
+    println!();
+    println!("All figures regenerated.");
+}

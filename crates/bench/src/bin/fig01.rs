@@ -1,0 +1,57 @@
+//! Fig. 1 — execution time and consumed battery for the end-to-end
+//! "treasure hunt" scenario (locating tennis balls in a field) on a real
+//! 16-drone swarm (top) and a simulated 1000-drone swarm (bottom), across
+//! Centralized IaaS, Centralized FaaS, Distributed Edge, and HiveMind.
+
+use hivemind_apps::scenario::Scenario;
+use hivemind_bench::{banner, repeats, Table};
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
+
+fn main() {
+    banner("Figure 1: treasure-hunt scenario, execution time + consumed battery");
+    for devices in [16u32, 1000] {
+        println!("--- {devices}-drone swarm ---");
+        let mut table = Table::new([
+            "platform",
+            "exec time (s)",
+            "battery mean (%)",
+            "battery max (%)",
+            "found",
+            "completed",
+        ]);
+        for platform in Platform::MAIN {
+            let mut durations = Vec::new();
+            let mut batt_mean = 0.0;
+            let mut batt_max: f64 = 0.0;
+            let mut found = 0;
+            let mut completed = true;
+            let n = if devices > 100 { 1 } else { repeats() };
+            for seed in 0..n {
+                let o = Experiment::new(
+                    ExperimentConfig::scenario(Scenario::StationaryItems)
+                        .platform(platform)
+                        .drones(devices)
+                        .seed(seed + 1),
+                )
+                .run();
+                durations.push(o.mission.duration_secs);
+                batt_mean += o.battery.mean_pct / n as f64;
+                batt_max = batt_max.max(o.battery.max_pct);
+                found = o.mission.targets_found;
+                completed &= o.mission.completed;
+            }
+            let mean_dur = durations.iter().sum::<f64>() / durations.len() as f64;
+            table.row([
+                platform.label().to_string(),
+                format!("{mean_dur:.1}"),
+                format!("{batt_mean:.1}"),
+                format!("{batt_max:.1}"),
+                format!("{found}/15"),
+                completed.to_string(),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 4 — task-latency distributions for the ten single-tier jobs (a)
+//! and job latencies for the two end-to-end scenarios (b), centralized
+//! cloud vs distributed edge execution.
+
+use hivemind_apps::scenario::Scenario;
+use hivemind_bench::{banner, ms, repeats, Table, Workload};
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
+use hivemind_sim::stats::Summary;
+
+fn main() {
+    banner("Figure 4a: task latency (ms), centralized cloud vs distributed edge");
+    let mut table = Table::new([
+        "app",
+        "cloud p25",
+        "cloud p50",
+        "cloud p99",
+        "edge p25",
+        "edge p50",
+        "edge p99",
+    ]);
+    for w in Workload::evaluation_set().into_iter().take(10) {
+        let mut cloud = w.run(Platform::CentralizedFaaS, 1);
+        let mut edge = w.run(Platform::DistributedEdge, 1);
+        table.row([
+            w.label().to_string(),
+            ms(cloud.tasks.total.quantile(0.25)),
+            ms(cloud.tasks.total.median()),
+            ms(cloud.tasks.total.p99()),
+            ms(edge.tasks.total.quantile(0.25)),
+            ms(edge.tasks.total.median()),
+            ms(edge.tasks.total.p99()),
+        ]);
+    }
+    table.print();
+    println!("(paper: cloud wins for most jobs; S3/S7 comparable, S4 better at the edge)");
+
+    banner("Figure 4b: job latency (s) for the end-to-end scenarios");
+    let mut table = Table::new(["scenario", "platform", "median (s)", "max (s)", "completed"]);
+    for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
+        for platform in [Platform::CentralizedFaaS, Platform::DistributedEdge] {
+            let mut s = Summary::new();
+            let mut completed = true;
+            for seed in 0..repeats() {
+                let o = Experiment::new(
+                    ExperimentConfig::scenario(scenario)
+                        .platform(platform)
+                        .seed(seed + 1),
+                )
+                .run();
+                s.record(o.mission.duration_secs);
+                completed &= o.mission.completed;
+            }
+            table.row([
+                scenario.label().to_string(),
+                platform.label().to_string(),
+                format!("{:.1}", s.median()),
+                format!("{:.1}", s.max()),
+                completed.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("(paper: on-board execution leaves Scenario B incomplete — drones run out of power)");
+}

@@ -1,0 +1,42 @@
+//! Fig. 11 — task latency across all single-tier tasks and job latency
+//! for the multi-tier scenarios, with centralized cloud, distributed
+//! edge, and HiveMind.
+
+use hivemind_bench::{banner, ms, Table, Workload};
+use hivemind_core::platform::Platform;
+
+fn main() {
+    banner("Figure 11: latency per platform (task ms for S1-S10; job s for scenarios)");
+    let mut table = Table::new([
+        "workload",
+        "centralized p50",
+        "centralized p99",
+        "distributed p50",
+        "distributed p99",
+        "hivemind p50",
+        "hivemind p99",
+    ]);
+    for w in Workload::evaluation_set() {
+        let mut row = vec![w.label().to_string()];
+        for platform in [
+            Platform::CentralizedFaaS,
+            Platform::DistributedEdge,
+            Platform::HiveMind,
+        ] {
+            let mut o = w.run(platform, 1);
+            match w {
+                Workload::App(_) => {
+                    row.push(ms(o.tasks.total.median()));
+                    row.push(ms(o.tasks.total.p99()));
+                }
+                Workload::Scenario(_) => {
+                    row.push(format!("{:.1}s", o.mission.duration_secs));
+                    row.push((if o.mission.completed { "done" } else { "INCOMPLETE" }).to_string());
+                }
+            }
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("(paper: HiveMind consistently better and less variable than both baselines)");
+}

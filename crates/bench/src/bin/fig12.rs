@@ -1,0 +1,71 @@
+//! Fig. 12 — latency breakdown (network / management / data I/O /
+//! execution) comparing fully centralized execution against HiveMind, to
+//! attribute where HiveMind's gains come from.
+
+use hivemind_bench::{banner, ms, pct, Table, Workload};
+use hivemind_core::platform::Platform;
+
+fn main() {
+    banner("Figure 12: latency breakdown, Centralized Cloud vs HiveMind");
+    let mut table = Table::new([
+        "workload",
+        "platform",
+        "network",
+        "management",
+        "data I/O",
+        "exec",
+        "mean total (ms)",
+    ]);
+    let mut cen_net_frac = 0.0;
+    let mut hm_net_frac = 0.0;
+    let mut cen_total = 0.0;
+    let mut hm_total = 0.0;
+    let mut n = 0.0;
+    for w in Workload::evaluation_set() {
+        for platform in [Platform::CentralizedFaaS, Platform::HiveMind] {
+            let o = match w {
+                Workload::App(app) => hivemind_core::experiment::Experiment::new(
+                    hivemind_core::experiment::ExperimentConfig::single_app(app)
+                        .platform(platform)
+                        .input_scale(2.0)
+                        .seed(2),
+                )
+                .run(),
+                Workload::Scenario(_) => w.run(platform, 2),
+            };
+            let total = o.tasks.total.mean().max(1e-12);
+            let net = o.tasks.network.mean() / total;
+            let mgmt = o.tasks.management.mean() / total;
+            let io = o.tasks.data_io.mean() / total;
+            let exec = o.tasks.exec.mean() / total;
+            if platform == Platform::CentralizedFaaS {
+                cen_net_frac += net;
+                cen_total += total;
+                n += 1.0;
+            } else {
+                hm_net_frac += net;
+                hm_total += total;
+            }
+            table.row([
+                w.label().to_string(),
+                platform.label().to_string(),
+                pct(net),
+                pct(mgmt),
+                pct(io),
+                pct(exec),
+                ms(total),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!(
+        "network share of latency: centralized {:.1}% -> hivemind {:.1}%  (paper: 33% -> 9.3%)",
+        100.0 * cen_net_frac / n,
+        100.0 * hm_net_frac / n
+    );
+    println!(
+        "mean end-to-end improvement: {:.0}%  (paper: 56% on average, up to 2.85x)",
+        100.0 * (1.0 - (hm_total / n) / (cen_total / n))
+    );
+}

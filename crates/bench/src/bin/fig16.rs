@@ -1,0 +1,59 @@
+//! Fig. 16 — porting HiveMind to the 14-car rover swarm: job latency and
+//! battery consumption for the Treasure Hunt and Maze scenarios.
+
+use hivemind_apps::scenario::Scenario;
+use hivemind_bench::{banner, repeats, Table};
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
+use hivemind_sim::stats::Summary;
+
+fn main() {
+    banner("Figure 16: robotic cars — job latency (s) and battery (%)");
+    let mut table = Table::new([
+        "scenario",
+        "platform",
+        "latency p50 (s)",
+        "latency max (s)",
+        "battery mean (%)",
+        "battery max (%)",
+        "goals",
+    ]);
+    for scenario in [Scenario::TreasureHunt, Scenario::CarMaze] {
+        for platform in [
+            Platform::CentralizedFaaS,
+            Platform::DistributedEdge,
+            Platform::HiveMind,
+        ] {
+            let mut lat = Summary::new();
+            let mut batt_mean = 0.0;
+            let mut batt_max: f64 = 0.0;
+            let mut goals = 0;
+            let n = repeats();
+            for seed in 0..n {
+                let o = Experiment::new(
+                    ExperimentConfig::scenario(scenario)
+                        .platform(platform)
+                        .seed(seed + 1),
+                )
+                .run();
+                lat.record(o.mission.duration_secs);
+                batt_mean += o.battery.mean_pct / n as f64;
+                batt_max = batt_max.max(o.battery.max_pct);
+                goals = o.mission.targets_found;
+            }
+            table.row([
+                scenario.label().to_string(),
+                platform.label().to_string(),
+                format!("{:.1}", lat.median()),
+                format!("{:.1}", lat.max()),
+                format!("{batt_mean:.1}"),
+                format!("{batt_max:.1}"),
+                format!("{goals}/14"),
+            ]);
+        }
+    }
+    table.print();
+    println!("(paper: performance better and more predictable with HiveMind; the cars gain ~22%");
+    println!(" from network acceleration and ~19% from fast remote memory, and being less");
+    println!(" power-constrained they keep obstacle avoidance and sensor analytics on-board)");
+}

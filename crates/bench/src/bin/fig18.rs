@@ -1,0 +1,64 @@
+//! Fig. 18 — simulator validation: tail-latency deviation between the
+//! detailed event-driven simulator (playing the paper's real testbed) and
+//! the fast queueing-network model (playing the paper's simulator), for
+//! all workloads across the three platforms.
+
+use hivemind_apps::suite::App;
+use hivemind_bench::{banner, ms, single_app_duration_secs, Table};
+use hivemind_core::analytic::{deviation_pct, QuickModel};
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
+
+fn main() {
+    banner("Figure 18: DES vs analytic queueing model, tail (p99) latency deviation");
+    let mut table = Table::new([
+        "app",
+        "platform",
+        "DES p50 (ms)",
+        "model p50 (ms)",
+        "DES p99 (ms)",
+        "model p99 (ms)",
+        "p99 deviation",
+    ]);
+    let mut worst: f64 = 0.0;
+    let mut mean_abs = 0.0;
+    let mut n = 0.0;
+    for app in App::ALL {
+        for platform in [
+            Platform::CentralizedFaaS,
+            Platform::DistributedEdge,
+            Platform::HiveMind,
+        ] {
+            let mut des = Experiment::new(
+                ExperimentConfig::single_app(app)
+                    .platform(platform)
+                    .duration_secs(single_app_duration_secs())
+                    .seed(8),
+            )
+            .run();
+            let mut qm = QuickModel::testbed(platform, app);
+            qm.duration_secs = single_app_duration_secs();
+            let mut model = qm.predict(8000, 8);
+            let dev = deviation_pct(des.tasks.total.p99(), model.p99());
+            worst = worst.max(dev.abs());
+            mean_abs += dev.abs();
+            n += 1.0;
+            table.row([
+                app.label().to_string(),
+                platform.label().to_string(),
+                ms(des.tasks.total.median()),
+                ms(model.median()),
+                ms(des.tasks.total.p99()),
+                ms(model.p99()),
+                format!("{dev:+.1}%"),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!(
+        "mean |deviation| = {:.1}%, worst = {:.1}%  (paper: < 5% everywhere)",
+        mean_abs / n,
+        worst
+    );
+}

@@ -1,0 +1,253 @@
+//! The centralized HiveMind controller (Secs. 4.2, 4.3, 4.6).
+//!
+//! "The controller consists of a load balancer, which partitions the
+//! available work across all devices, an interface to the scheduler …, an
+//! interface to communicate to the edge devices, and a monitoring system."
+//! This module implements the swarm-facing half: work partitioning,
+//! heartbeat-based failure detection with geometric load repartitioning
+//! (Fig. 10), and the shared-state scheduler sharding that keeps the
+//! centralized design scalable (Sec. 4.3's multi-scheduler escape hatch).
+
+use hivemind_sim::time::SimTime;
+use hivemind_swarm::failover::{repartition, HeartbeatTracker};
+use hivemind_swarm::geometry::{partition_field, Rect};
+
+/// Controller-side view of the swarm's work assignment.
+#[derive(Debug, Clone)]
+pub struct SwarmController {
+    field: Rect,
+    regions: Vec<Rect>,
+    /// Extra sub-regions inherited from failed devices.
+    extra: Vec<Vec<Rect>>,
+    alive: Vec<bool>,
+    heartbeats: HeartbeatTracker,
+    /// Scheduler shards (1 = single centralized scheduler).
+    shards: u32,
+}
+
+impl SwarmController {
+    /// Partitions `field` among `devices` and starts heartbeat tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn new(field: Rect, devices: u32) -> SwarmController {
+        assert!(devices > 0, "need at least one device");
+        SwarmController {
+            regions: partition_field(&field, devices),
+            extra: vec![Vec::new(); devices as usize],
+            alive: vec![true; devices as usize],
+            heartbeats: HeartbeatTracker::new(devices),
+            field,
+            shards: 1,
+        }
+    }
+
+    /// The mission field.
+    pub fn field(&self) -> Rect {
+        self.field
+    }
+
+    /// The initial region assigned to `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn region_of(&self, device: u32) -> Rect {
+        self.regions[device as usize]
+    }
+
+    /// All regions currently assigned to `device` (initial + inherited).
+    pub fn assignment_of(&self, device: u32) -> Vec<Rect> {
+        let mut out = vec![self.regions[device as usize]];
+        out.extend(self.extra[device as usize].iter().copied());
+        out
+    }
+
+    /// Whether a device is still alive.
+    pub fn is_alive(&self, device: u32) -> bool {
+        self.alive[device as usize]
+    }
+
+    /// Number of live devices.
+    pub fn alive_count(&self) -> u32 {
+        self.alive.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// Records a heartbeat.
+    pub fn heartbeat(&mut self, device: u32, now: SimTime) {
+        self.heartbeats.beat(device, now);
+    }
+
+    /// Checks for newly failed devices at `now`; for each, repartitions
+    /// its area among live neighbours and returns `(failed_device,
+    /// inherited_assignments)` pairs.
+    pub fn check_failures(&mut self, now: SimTime) -> Vec<(u32, Vec<(u32, Rect)>)> {
+        let failed_now: Vec<u32> = self
+            .heartbeats
+            .failed_at(now)
+            .into_iter()
+            .filter(|&d| self.alive[d as usize])
+            .collect();
+        let mut out = Vec::new();
+        for dev in failed_now {
+            self.alive[dev as usize] = false;
+            if self.alive_count() == 0 {
+                out.push((dev, Vec::new()));
+                continue;
+            }
+            let extra = repartition(&self.regions, &self.alive, dev as usize);
+            for &(heir, rect) in &extra {
+                self.extra[heir].push(rect);
+            }
+            out.push((dev, extra.into_iter().map(|(d, r)| (d as u32, r)).collect()));
+        }
+        out
+    }
+
+    /// Declares `device` failed immediately (the same path
+    /// [`SwarmController::check_failures`] takes after a 3 s heartbeat
+    /// silence — used when the failure instant is known, e.g. injected
+    /// faults in experiments) and repartitions its area among live
+    /// neighbours. Returns the `(heir, strip)` assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or it is the last live device.
+    pub fn force_fail(&mut self, device: u32) -> Vec<(u32, Rect)> {
+        assert!((device as usize) < self.alive.len(), "device out of range");
+        if !self.alive[device as usize] {
+            return Vec::new();
+        }
+        self.alive[device as usize] = false;
+        assert!(self.alive_count() > 0, "cannot fail the last device");
+        let extra = repartition(&self.regions, &self.alive, device as usize);
+        for &(heir, rect) in &extra {
+            self.extra[heir].push(rect);
+        }
+        extra.into_iter().map(|(d, r)| (d as u32, r)).collect()
+    }
+
+    /// Configures scheduler sharding: with `n` shards each scheduler owns
+    /// `1/n` of the task stream but keeps global visibility (Omega-style
+    /// shared state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_scheduler_shards(&mut self, n: u32) {
+        assert!(n > 0, "need at least one scheduler shard");
+        self.shards = n;
+    }
+
+    /// The shard responsible for a task id.
+    pub fn shard_of(&self, task: u64) -> u32 {
+        (task % self.shards as u64) as u32
+    }
+
+    /// Scheduler decision throughput model: a single shard sustains
+    /// `base_rate` decisions/s; shards scale near-linearly with a small
+    /// shared-state conflict penalty (Sec. 4.3 cites Omega/Tarcil-style
+    /// designs).
+    pub fn scheduler_capacity(&self, base_rate: f64) -> f64 {
+        let n = self.shards as f64;
+        base_rate * n * (1.0 - 0.03 * (n - 1.0)).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::time::SimDuration;
+
+    fn controller() -> SwarmController {
+        SwarmController::new(Rect::new(0.0, 0.0, 120.0, 80.0), 16)
+    }
+
+    #[test]
+    fn partitions_cover_field() {
+        let c = controller();
+        let total: f64 = (0..16).map(|d| c.region_of(d).area()).sum();
+        assert!((total - c.field().area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_reassigns_area_to_neighbors() {
+        let mut c = controller();
+        // Everyone beats except device 5.
+        for t in 0..10 {
+            for d in 0..16 {
+                if d != 5 {
+                    c.heartbeat(d, SimTime::from_secs(t));
+                }
+            }
+        }
+        let events = c.check_failures(SimTime::from_secs(10));
+        assert_eq!(events.len(), 1);
+        let (dev, extra) = &events[0];
+        assert_eq!(*dev, 5);
+        assert!(!c.is_alive(5));
+        assert_eq!(c.alive_count(), 15);
+        let inherited: f64 = extra.iter().map(|(_, r)| r.area()).sum();
+        assert!((inherited - c.region_of(5).area()).abs() < 1e-6);
+        // Heirs actually track the extra area.
+        for (heir, rect) in extra {
+            assert!(c.assignment_of(*heir).contains(rect));
+        }
+    }
+
+    #[test]
+    fn failure_is_reported_once() {
+        let mut c = controller();
+        for t in 1..=4 {
+            for d in 1..16 {
+                c.heartbeat(d, SimTime::from_secs(t));
+            }
+        }
+        let first = c.check_failures(SimTime::from_secs(5));
+        assert_eq!(first.len(), 1, "only device 0 went silent");
+        // Device 0 is not re-reported, and fresh beats keep others alive.
+        for d in 1..16 {
+            c.heartbeat(d, SimTime::from_secs(6));
+        }
+        let second = c.check_failures(SimTime::from_secs(6));
+        assert!(second.is_empty(), "already handled");
+    }
+
+    #[test]
+    fn no_failures_before_timeout() {
+        let mut c = controller();
+        for d in 0..16 {
+            c.heartbeat(d, SimTime::from_secs(1));
+        }
+        assert!(c
+            .check_failures(SimTime::from_secs(1) + SimDuration::from_secs(3))
+            .is_empty());
+    }
+
+    #[test]
+    fn force_fail_matches_heartbeat_path() {
+        let mut c = controller();
+        let extra = c.force_fail(5);
+        assert!(!c.is_alive(5));
+        assert_eq!(c.alive_count(), 15);
+        let inherited: f64 = extra.iter().map(|(_, r)| r.area()).sum();
+        assert!((inherited - c.region_of(5).area()).abs() < 1e-6);
+        // Idempotent.
+        assert!(c.force_fail(5).is_empty());
+    }
+
+    #[test]
+    fn sharding_scales_decision_rate() {
+        let mut c = controller();
+        let single = c.scheduler_capacity(1000.0);
+        c.set_scheduler_shards(4);
+        let sharded = c.scheduler_capacity(1000.0);
+        assert!(sharded > 3.0 * single, "near-linear scaling");
+        assert!(sharded < 4.0 * single, "with a conflict penalty");
+        // Shard assignment is stable and in range.
+        for task in 0..100u64 {
+            assert!(c.shard_of(task) < 4);
+        }
+    }
+}

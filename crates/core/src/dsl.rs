@@ -1,0 +1,714 @@
+//! The HiveMind domain-specific language (Sec. 4.1).
+//!
+//! Users "express a high-level description of their task graph" and
+//! HiveMind synthesizes everything below it. This module is the Rust
+//! embedding of Listings 1–3: [`TaskDef`] mirrors `Task(...)`,
+//! [`TaskGraphBuilder`] mirrors `TaskGraph(...)` plus the relation
+//! declarations (`Parallel`, `Serial`, `Overlap`, `Synchronize`), and
+//! [`Directive`] carries the optional management directives.
+//!
+//! Validation happens at [`TaskGraphBuilder::build`]: unknown task
+//! references, duplicate names, inconsistent parent/child links, and
+//! cycles are all rejected — the paper notes incorrect API/dependency
+//! definitions are a dominant source of bugs in multi-tier apps, which is
+//! exactly what a compiled task graph rules out.
+//!
+//! # Examples
+//!
+//! Listing 3 (people recognition and deduplication), expressed here:
+//!
+//! ```rust
+//! use hivemind_core::dsl::*;
+//!
+//! let graph = TaskGraphBuilder::new()
+//!     .constraint(Constraint::ExecTime { secs: 10.0 })
+//!     .task(TaskDef::new("createRoute").code("tasks/create_route"))
+//!     .task(
+//!         TaskDef::new("collectImage")
+//!             .code("tasks/collect_image")
+//!             .parent("createRoute")
+//!             .arg("resolution", "1024p"),
+//!     )
+//!     .task(
+//!         TaskDef::new("obstacleAvoidance")
+//!             .code("tasks/obstacle_avoid")
+//!             .parent("collectImage"),
+//!     )
+//!     .task(
+//!         TaskDef::new("faceRecognition")
+//!             .code("tasks/face_rec")
+//!             .parent("collectImage"),
+//!     )
+//!     .task(
+//!         TaskDef::new("deduplication")
+//!             .code("tasks/dedup")
+//!             .parent("faceRecognition"),
+//!     )
+//!     .parallel("obstacleAvoidance", "faceRecognition")
+//!     .serial("faceRecognition", "deduplication")
+//!     .directive(Directive::Learn {
+//!         task: "faceRecognition".into(),
+//!         scope: LearnScope::Swarm,
+//!     })
+//!     .directive(Directive::Place {
+//!         task: "obstacleAvoidance".into(),
+//!         site: PlacementSite::Edge,
+//!     })
+//!     .directive(Directive::Persist { task: "deduplication".into() })
+//!     .build()
+//!     .expect("valid graph");
+//!
+//! assert_eq!(graph.len(), 5);
+//! assert_eq!(graph.roots(), vec!["createRoute"]);
+//! assert!(graph.pinned_site("obstacleAvoidance") == Some(PlacementSite::Edge));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Where a task is (or must be) placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementSite {
+    /// On the edge devices.
+    Edge,
+    /// In the backend cloud.
+    Cloud,
+}
+
+/// Scope of continuous learning for a task's model (Sec. 4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LearnScope {
+    /// No retraining.
+    Off,
+    /// Retrain from this device's own decisions.
+    Device,
+    /// Retrain jointly from the whole swarm's decisions.
+    Swarm,
+}
+
+/// Fault-tolerance policy for a task (`Restore(task)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RestorePolicy {
+    /// Re-run the task elsewhere on failure (default).
+    #[default]
+    Respawn,
+    /// Drop the task's pending work on failure.
+    Discard,
+}
+
+/// One `Task(...)` declaration (Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDef {
+    /// Unique task name.
+    pub name: String,
+    /// Logical input object name.
+    pub data_in: Option<String>,
+    /// Logical output object name.
+    pub data_out: Option<String>,
+    /// Path to the task's code.
+    pub code: String,
+    /// Free-form task arguments (`speed='4'`, `algorithm='slam'`, …).
+    pub args: Vec<(String, String)>,
+    /// Declared parent task names.
+    pub parents: Vec<String>,
+}
+
+impl TaskDef {
+    /// Starts a task definition.
+    pub fn new(name: impl Into<String>) -> TaskDef {
+        TaskDef {
+            name: name.into(),
+            data_in: None,
+            data_out: None,
+            code: String::new(),
+            args: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Sets the input object name.
+    pub fn data_in(mut self, name: impl Into<String>) -> TaskDef {
+        self.data_in = Some(name.into());
+        self
+    }
+
+    /// Sets the output object name.
+    pub fn data_out(mut self, name: impl Into<String>) -> TaskDef {
+        self.data_out = Some(name.into());
+        self
+    }
+
+    /// Sets the code path.
+    pub fn code(mut self, path: impl Into<String>) -> TaskDef {
+        self.code = path.into();
+        self
+    }
+
+    /// Adds a free-form argument.
+    pub fn arg(mut self, key: impl Into<String>, value: impl Into<String>) -> TaskDef {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// Declares a parent task.
+    pub fn parent(mut self, name: impl Into<String>) -> TaskDef {
+        self.parents.push(name.into());
+        self
+    }
+}
+
+/// Application-level constraints (`TaskGraph(..., constraints)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// End-to-end execution time bound, seconds.
+    ExecTime {
+        /// Bound in seconds.
+        secs: f64,
+    },
+    /// Per-task latency bound, seconds.
+    Latency {
+        /// Bound in seconds.
+        secs: f64,
+    },
+    /// Minimum throughput, tasks/second.
+    Throughput {
+        /// Tasks per second.
+        tasks_per_sec: f64,
+    },
+    /// Maximum device power budget, fraction of battery.
+    PowerBudget {
+        /// Battery fraction in `[0, 1]`.
+        battery_fraction: f64,
+    },
+    /// Upper limit on cloud cost, dollars.
+    CloudCost {
+        /// Dollars.
+        dollars: f64,
+    },
+}
+
+/// Declared timing relation between two tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Relation {
+    /// The tasks may execute fully in parallel.
+    Parallel(String, String),
+    /// The tasks may partially overlap.
+    Overlap(String, String),
+    /// The second task must strictly follow the first.
+    Serial(String, String),
+}
+
+/// Optional management directives (Listing 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// Scheduling constraint / priority for a task.
+    Schedule {
+        /// Target task.
+        task: String,
+        /// Priority (higher = sooner).
+        priority: i32,
+    },
+    /// The task requires a dedicated container.
+    Isolate {
+        /// Target task.
+        task: String,
+    },
+    /// Pin task placement to cloud or edge.
+    Place {
+        /// Target task.
+        task: String,
+        /// Where it must run.
+        site: PlacementSite,
+    },
+    /// Fault-tolerance policy.
+    Restore {
+        /// Target task.
+        task: String,
+        /// Policy on device/function failure.
+        policy: RestorePolicy,
+    },
+    /// Enable/disable online learning, one device vs swarm-wide.
+    Learn {
+        /// Target task.
+        task: String,
+        /// Learning scope.
+        scope: LearnScope,
+    },
+    /// Persist the task's output in durable storage.
+    Persist {
+        /// Target task.
+        task: String,
+    },
+    /// Synchronization barrier: the task waits for `condition` (e.g.
+    /// `"all"` devices) before running.
+    Synchronize {
+        /// Target task.
+        task: String,
+        /// Barrier condition.
+        condition: String,
+    },
+}
+
+impl Directive {
+    /// The task this directive applies to.
+    pub fn task(&self) -> &str {
+        match self {
+            Directive::Schedule { task, .. }
+            | Directive::Isolate { task }
+            | Directive::Place { task, .. }
+            | Directive::Restore { task, .. }
+            | Directive::Learn { task, .. }
+            | Directive::Persist { task }
+            | Directive::Synchronize { task, .. } => task,
+        }
+    }
+}
+
+/// Errors produced by graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two tasks share a name.
+    DuplicateTask(String),
+    /// A parent/relation/directive references an unknown task.
+    UnknownTask(String),
+    /// The dependency graph has a cycle through this task.
+    Cycle(String),
+    /// The graph has no tasks.
+    Empty,
+    /// A task lists itself as a parent.
+    SelfParent(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateTask(t) => write!(f, "duplicate task name {t:?}"),
+            GraphError::UnknownTask(t) => write!(f, "reference to unknown task {t:?}"),
+            GraphError::Cycle(t) => write!(f, "dependency cycle through task {t:?}"),
+            GraphError::Empty => write!(f, "task graph has no tasks"),
+            GraphError::SelfParent(t) => write!(f, "task {t:?} lists itself as parent"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builder for a [`TaskGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraphBuilder {
+    tasks: Vec<TaskDef>,
+    relations: Vec<Relation>,
+    directives: Vec<Directive>,
+    constraints: Vec<Constraint>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts an empty graph.
+    pub fn new() -> TaskGraphBuilder {
+        TaskGraphBuilder::default()
+    }
+
+    /// Adds a task definition.
+    pub fn task(mut self, def: TaskDef) -> TaskGraphBuilder {
+        self.tasks.push(def);
+        self
+    }
+
+    /// Declares that two tasks may run in parallel.
+    pub fn parallel(mut self, a: impl Into<String>, b: impl Into<String>) -> TaskGraphBuilder {
+        self.relations.push(Relation::Parallel(a.into(), b.into()));
+        self
+    }
+
+    /// Declares that two tasks may partially overlap.
+    pub fn overlap(mut self, a: impl Into<String>, b: impl Into<String>) -> TaskGraphBuilder {
+        self.relations.push(Relation::Overlap(a.into(), b.into()));
+        self
+    }
+
+    /// Declares strict ordering between two tasks.
+    pub fn serial(mut self, a: impl Into<String>, b: impl Into<String>) -> TaskGraphBuilder {
+        self.relations.push(Relation::Serial(a.into(), b.into()));
+        self
+    }
+
+    /// Adds a management directive.
+    pub fn directive(mut self, d: Directive) -> TaskGraphBuilder {
+        self.directives.push(d);
+        self
+    }
+
+    /// Adds an application constraint.
+    pub fn constraint(mut self, c: Constraint) -> TaskGraphBuilder {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for duplicate names, unknown references,
+    /// self-parents, cycles, or an empty graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if self.tasks.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut names = HashSet::new();
+        for t in &self.tasks {
+            if !names.insert(t.name.clone()) {
+                return Err(GraphError::DuplicateTask(t.name.clone()));
+            }
+        }
+        let known = |n: &str| names.contains(n);
+        for t in &self.tasks {
+            for p in &t.parents {
+                if p == &t.name {
+                    return Err(GraphError::SelfParent(t.name.clone()));
+                }
+                if !known(p) {
+                    return Err(GraphError::UnknownTask(p.clone()));
+                }
+            }
+        }
+        for r in &self.relations {
+            let (a, b) = match r {
+                Relation::Parallel(a, b) | Relation::Overlap(a, b) | Relation::Serial(a, b) => {
+                    (a, b)
+                }
+            };
+            for n in [a, b] {
+                if !known(n) {
+                    return Err(GraphError::UnknownTask(n.clone()));
+                }
+            }
+        }
+        for d in &self.directives {
+            if !known(d.task()) {
+                return Err(GraphError::UnknownTask(d.task().to_string()));
+            }
+        }
+        // Cycle detection over parent edges + Serial relations.
+        let index: HashMap<&str, usize> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for p in &t.parents {
+                adj[index[p.as_str()]].push(i);
+            }
+        }
+        for r in &self.relations {
+            if let Relation::Serial(a, b) = r {
+                adj[index[a.as_str()]].push(index[b.as_str()]);
+            }
+        }
+        // Kahn's algorithm; leftovers indicate a cycle.
+        let mut indeg = vec![0usize; adj.len()];
+        for edges in &adj {
+            for &v in edges {
+                indeg[v] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = 0;
+        let mut topo = Vec::with_capacity(adj.len());
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            topo.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen != adj.len() {
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a positive in-degree");
+            return Err(GraphError::Cycle(self.tasks[stuck].name.clone()));
+        }
+        Ok(TaskGraph {
+            tasks: self.tasks,
+            relations: self.relations,
+            directives: self.directives,
+            constraints: self.constraints,
+            topo_order: topo,
+        })
+    }
+}
+
+/// A validated task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<TaskDef>,
+    relations: Vec<Relation>,
+    directives: Vec<Directive>,
+    constraints: Vec<Constraint>,
+    topo_order: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty (never true for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task definitions, in declaration order.
+    pub fn tasks(&self) -> &[TaskDef] {
+        &self.tasks
+    }
+
+    /// A task by name.
+    pub fn task(&self, name: &str) -> Option<&TaskDef> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Task names in a valid topological execution order.
+    pub fn topological_names(&self) -> Vec<&str> {
+        self.topo_order
+            .iter()
+            .map(|&i| self.tasks[i].name.as_str())
+            .collect()
+    }
+
+    /// Tasks with no parents.
+    pub fn roots(&self) -> Vec<&str> {
+        self.tasks
+            .iter()
+            .filter(|t| t.parents.is_empty())
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Children of a task.
+    pub fn children(&self, name: &str) -> Vec<&str> {
+        self.tasks
+            .iter()
+            .filter(|t| t.parents.iter().any(|p| p == name))
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Declared relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Management directives.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
+    /// Application constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The pinned placement for a task, if a `Place` directive exists.
+    pub fn pinned_site(&self, task: &str) -> Option<PlacementSite> {
+        self.directives.iter().find_map(|d| match d {
+            Directive::Place { task: t, site } if t == task => Some(*site),
+            _ => None,
+        })
+    }
+
+    /// Whether a task demands a dedicated container.
+    pub fn is_isolated(&self, task: &str) -> bool {
+        self.directives
+            .iter()
+            .any(|d| matches!(d, Directive::Isolate { task: t } if t == task))
+    }
+
+    /// Whether a task's output must be persisted.
+    pub fn is_persisted(&self, task: &str) -> bool {
+        self.directives
+            .iter()
+            .any(|d| matches!(d, Directive::Persist { task: t } if t == task))
+    }
+
+    /// The learning scope for a task (default [`LearnScope::Off`]).
+    pub fn learn_scope(&self, task: &str) -> LearnScope {
+        self.directives
+            .iter()
+            .find_map(|d| match d {
+                Directive::Learn { task: t, scope } if t == task => Some(*scope),
+                _ => None,
+            })
+            .unwrap_or(LearnScope::Off)
+    }
+
+    /// Whether two tasks were declared parallel-safe.
+    pub fn may_run_parallel(&self, a: &str, b: &str) -> bool {
+        self.relations.iter().any(|r| match r {
+            Relation::Parallel(x, y) | Relation::Overlap(x, y) => {
+                (x == a && y == b) || (x == b && y == a)
+            }
+            Relation::Serial(..) => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> TaskGraphBuilder {
+        TaskGraphBuilder::new()
+            .task(TaskDef::new("collect").code("c"))
+            .task(TaskDef::new("recognize").code("r").parent("collect"))
+    }
+
+    #[test]
+    fn builds_and_orders() {
+        let g = two_tier().build().unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.roots(), vec!["collect"]);
+        assert_eq!(g.children("collect"), vec!["recognize"]);
+        assert_eq!(g.topological_names(), vec!["collect", "recognize"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = TaskGraphBuilder::new()
+            .task(TaskDef::new("a"))
+            .task(TaskDef::new("a"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateTask("a".into()));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let err = TaskGraphBuilder::new()
+            .task(TaskDef::new("a").parent("ghost"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask("ghost".into()));
+    }
+
+    #[test]
+    fn self_parent_rejected() {
+        let err = TaskGraphBuilder::new()
+            .task(TaskDef::new("a").parent("a"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::SelfParent("a".into()));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let err = TaskGraphBuilder::new()
+            .task(TaskDef::new("a").parent("b"))
+            .task(TaskDef::new("b").parent("a"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn serial_relation_participates_in_cycle_check() {
+        let err = two_tier()
+            .serial("recognize", "collect") // contradicts the parent edge
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn unknown_relation_target_rejected() {
+        let err = two_tier().parallel("collect", "ghost").build().unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_directive_target_rejected() {
+        let err = two_tier()
+            .directive(Directive::Persist {
+                task: "ghost".into(),
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask("ghost".into()));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(TaskGraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn directives_are_queryable() {
+        let g = two_tier()
+            .directive(Directive::Place {
+                task: "collect".into(),
+                site: PlacementSite::Edge,
+            })
+            .directive(Directive::Isolate {
+                task: "recognize".into(),
+            })
+            .directive(Directive::Persist {
+                task: "recognize".into(),
+            })
+            .directive(Directive::Learn {
+                task: "recognize".into(),
+                scope: LearnScope::Swarm,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(g.pinned_site("collect"), Some(PlacementSite::Edge));
+        assert_eq!(g.pinned_site("recognize"), None);
+        assert!(g.is_isolated("recognize"));
+        assert!(!g.is_isolated("collect"));
+        assert!(g.is_persisted("recognize"));
+        assert_eq!(g.learn_scope("recognize"), LearnScope::Swarm);
+        assert_eq!(g.learn_scope("collect"), LearnScope::Off);
+    }
+
+    #[test]
+    fn parallel_relation_is_symmetric() {
+        let g = two_tier().parallel("collect", "recognize").build().unwrap();
+        assert!(g.may_run_parallel("collect", "recognize"));
+        assert!(g.may_run_parallel("recognize", "collect"));
+        assert!(!g.may_run_parallel("collect", "collect"));
+    }
+
+    #[test]
+    fn topological_order_respects_all_edges() {
+        let g = TaskGraphBuilder::new()
+            .task(TaskDef::new("a"))
+            .task(TaskDef::new("b").parent("a"))
+            .task(TaskDef::new("c").parent("a"))
+            .task(TaskDef::new("d").parent("b").parent("c"))
+            .serial("b", "c")
+            .build()
+            .unwrap();
+        let order = g.topological_names();
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"), "serial(b, c) must order them");
+        assert!(pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_concise() {
+        let e = GraphError::Cycle("x".into());
+        let s = e.to_string();
+        assert!(s.starts_with("dependency cycle"));
+    }
+}

@@ -1,0 +1,1099 @@
+//! The execution engine: swarm + network + cloud as one simulation.
+//!
+//! The engine owns the network [`Fabric`], the serverless [`Cluster`] (or
+//! the IaaS [`FixedPool`]), one on-device [`FifoServer`]
+//! per edge device, and the device battery models, and routes events
+//! between them in global time order. Experiment harnesses inject *tasks*
+//! (one sensor frame batch to process) and receive [`TaskRecord`]s with
+//! the same latency decomposition the paper reports: network, management,
+//! instantiation, data I/O, execution.
+//!
+//! ## Task pipelines
+//!
+//! Cloud-placed task (centralized platforms; heavy apps under HiveMind):
+//!
+//! ```text
+//! capture → [hybrid: on-device filter tier] → device RPC send
+//!         → wireless/ToR transfer → server RPC recv → FaaS control path
+//!         → container (cold/warm) → data-in → exec → data-out
+//!         → server RPC send → downlink transfer → device RPC recv → done
+//! ```
+//!
+//! Edge-placed task (distributed platforms; light apps under HiveMind):
+//!
+//! ```text
+//! capture → on-device FIFO queue → exec (slowdown × cloud time)
+//!         → result upload → done at cloud
+//! ```
+
+pub mod fifo;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hivemind_apps::suite::App;
+use hivemind_faas::cluster::Cluster;
+use hivemind_faas::iaas::FixedPool;
+use hivemind_faas::types::{AppId, AppProfile, Invocation};
+use hivemind_net::fabric::{Fabric, Transfer};
+use hivemind_net::rpc::RpcProfile;
+use hivemind_net::topology::{Node, Topology, TopologyParams};
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+use crate::dsl::PlacementSite;
+use crate::platform::Platform;
+use crate::synthesis;
+use fifo::FifoServer;
+use hivemind_accel::fpga::{FpgaConfig, FpgaFabric, SoftRegisters};
+
+use hivemind_swarm::device::DeviceProfile;
+use hivemind_swarm::Battery;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Platform configuration.
+    pub platform: Platform,
+    /// Number of edge devices.
+    pub devices: u32,
+    /// Number of backend servers.
+    pub servers: u32,
+    /// Cores per server.
+    pub cores_per_server: u32,
+    /// Root random seed.
+    pub seed: u64,
+    /// Injected function fault probability.
+    pub fault_rate: f64,
+    /// Enable intra-task parallelism (fan each task into k functions).
+    pub intra_task: bool,
+    /// Device class profile.
+    pub device_profile: DeviceProfile,
+    /// Scales every app's sensor payload (resolution sweeps); 1.0 =
+    /// paper default.
+    pub input_scale: f64,
+    /// Overrides the IaaS fixed-pool size (Fig. 5b provisions for average
+    /// vs worst-case load); `None` = the platform's equal-cost default.
+    pub iaas_workers: Option<u32>,
+}
+
+impl EngineConfig {
+    /// Testbed defaults for `platform`: 16 drones, 12×40-core servers.
+    pub fn testbed(platform: Platform) -> EngineConfig {
+        EngineConfig {
+            platform,
+            devices: 16,
+            servers: 12,
+            cores_per_server: 40,
+            seed: 1,
+            fault_rate: 0.0,
+            intra_task: false,
+            device_profile: DeviceProfile::drone(),
+            input_scale: 1.0,
+            iaas_workers: None,
+        }
+    }
+}
+
+/// Completed-task record with the paper's latency decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Engine-assigned task id.
+    pub task: u32,
+    /// The benchmark app.
+    pub app: App,
+    /// Device that produced the sensor data.
+    pub device: u32,
+    /// Caller label (mission phase index, etc.).
+    pub label: u32,
+    /// Sensor capture time.
+    pub capture: SimTime,
+    /// Result availability time.
+    pub done: SimTime,
+    /// Where it executed.
+    pub placement: PlacementSite,
+    /// Wire + RPC-processing time (both directions).
+    pub network: SimDuration,
+    /// Management: control path, scheduling, queueing (cloud or device).
+    pub management: SimDuration,
+    /// Container instantiation.
+    pub instantiation: SimDuration,
+    /// Function data-plane I/O.
+    pub data_io: SimDuration,
+    /// Useful execution.
+    pub exec: SimDuration,
+    /// Whether the executing container was cold-started.
+    pub cold_start: bool,
+}
+
+impl TaskRecord {
+    /// End-to-end task latency.
+    pub fn latency(&self) -> SimDuration {
+        self.done - self.capture
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Capture { task: u32 },
+    Upload { task: u32 },
+    SubmitCloud { task: u32 },
+    Response { task: u32, from_server: u32 },
+    Finish { task: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagPurpose {
+    Upload { task: u32 },
+    Response { task: u32 },
+    ResultUpload { task: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeJobKind {
+    Exec,
+    Filter,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    app: App,
+    device: u32,
+    label: u32,
+    capture: SimTime,
+    placement: PlacementSite,
+    network: SimDuration,
+    management: SimDuration,
+    instantiation: SimDuration,
+    data_io: SimDuration,
+    exec: SimDuration,
+    cold: bool,
+    /// Outstanding cloud sub-invocations (intra-task parallelism).
+    remaining: u32,
+    /// Latest sub-completion time (the task finishes at the max).
+    sub_done: SimTime,
+    upload_bytes: u64,
+    done: bool,
+}
+
+/// The simulation engine.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    now: SimTime,
+    fabric: Fabric,
+    cluster: Option<Cluster>,
+    pool: Option<FixedPool>,
+    edge: Vec<FifoServer>,
+    batteries: Vec<Battery>,
+    actions: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
+    seq: u64,
+    tasks: Vec<TaskState>,
+    tags: HashMap<u64, TagPurpose>,
+    edge_jobs: HashMap<u64, (u32, EdgeJobKind)>,
+    /// Conservative wake index over per-device FIFO queues (entries may
+    /// be early, never late) — avoids O(devices) scans per event.
+    edge_wake: BinaryHeap<Reverse<(SimTime, u32)>>,
+    records: Vec<TaskRecord>,
+    rng: SmallRng,
+    next_server: u32,
+    /// Per-task uplink byte budget for hybrid platforms (rate adaptation).
+    uplink_budget_bytes: f64,
+    placements: HashMap<App, PlacementSite>,
+    edge_rpc: RpcProfile,
+    cloud_rpc: RpcProfile,
+    /// The servers' FPGA boards, present on accelerated platforms. The
+    /// model charges their reconfiguration costs at registration time and
+    /// exposes the device for area/reconfiguration accounting.
+    fpga: Option<FpgaFabric>,
+}
+
+impl Engine {
+    /// Builds an engine for `cfg`: constructs the topology, registers the
+    /// benchmark suite on the cloud backend, and resolves per-app
+    /// placements through the synthesis pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized configurations.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        assert!(cfg.devices > 0 && cfg.servers > 0);
+        assert!(cfg.input_scale > 0.0);
+        let forge = RngForge::new(cfg.seed);
+        let topology = Topology::new(TopologyParams {
+            devices: cfg.devices,
+            servers: cfg.servers,
+            ..TopologyParams::default()
+        });
+        let fabric = Fabric::new(topology);
+
+        let mut cluster = cfg
+            .platform
+            .cluster_params(cfg.servers, cfg.cores_per_server, cfg.fault_rate)
+            .map(|mut p| {
+                if cfg.platform.is_hybrid() {
+                    // Sec. 4.3: when a single scheduler would saturate,
+                    // HiveMind shards the scheduler while keeping global
+                    // visibility (shared-state cluster management).
+                    p.scheduler_shards = cfg.devices.div_ceil(200).max(1);
+                }
+                // The per-user function-concurrency limit is raised for
+                // large simulated swarms (providers allow this on request).
+                p.max_concurrent = p.max_concurrent.max(cfg.devices * 2);
+                Cluster::new(p, forge.child("cluster"))
+            });
+        let mut pool = if cfg.platform.uses_fixed_pool() {
+            let mut params = cfg
+                .platform
+                .fixed_pool_params(cfg.servers * cfg.cores_per_server);
+            if let Some(workers) = cfg.iaas_workers {
+                params.workers = workers;
+            }
+            Some(FixedPool::new(params, forge.child("pool")))
+        } else {
+            None
+        };
+
+        // Register the suite (and intra-task split variants) on whichever
+        // backend exists.
+        for app in App::ALL {
+            let profile = scaled_profile(app, &cfg);
+            if let Some(c) = cluster.as_mut() {
+                c.register_app(app.app_id(), profile.clone());
+                if cfg.intra_task {
+                    c.register_app(split_id(app), split_profile(app, &cfg));
+                }
+            }
+            if let Some(p) = pool.as_mut() {
+                p.register_app(app.app_id(), profile.clone());
+            }
+        }
+
+        let placements = App::ALL
+            .iter()
+            .map(|&app| (app, synthesis::single_app_placement(app, cfg.platform)))
+            .collect();
+
+        // Accelerated platforms carry the FPGA fabric; buffer sizes are
+        // "configured on a per-application basis, online, through partial
+        // reconfiguration" (Sec. 4.5) — one soft reconfiguration per app.
+        let fpga = if cfg.platform.network_accelerated() {
+            let mut board = FpgaFabric::new(FpgaConfig::default());
+            for app in App::ALL {
+                let profile = app.cloud_profile();
+                let _ = board.configure(SoftRegisters {
+                    // Deeper queues for chatty small-payload apps, fewer
+                    // larger buffers for bulk-frame apps.
+                    queue_depth: if profile.input_bytes > 1_000_000 { 64 } else { 512 },
+                    ..SoftRegisters::default()
+                });
+            }
+            Some(board)
+        } else {
+            None
+        };
+
+        let devices = cfg.devices as usize;
+        let topo_params = hivemind_net::topology::TopologyParams {
+            devices: cfg.devices,
+            servers: cfg.servers,
+            ..Default::default()
+        };
+        let devices_per_router =
+            cfg.devices.div_ceil(topo_params.effective_routers()).max(1);
+        let uplink_budget_bytes =
+            0.7 * (topo_params.wireless_bps / 8.0) / devices_per_router as f64;
+        Engine {
+            uplink_budget_bytes,
+            edge: (0..devices)
+                .map(|_| FifoServer::new(cfg.device_profile.cores))
+                .collect(),
+            batteries: (0..devices)
+                .map(|_| Battery::new(cfg.device_profile.battery))
+                .collect(),
+            fabric,
+            cluster,
+            pool,
+            now: SimTime::ZERO,
+            actions: BinaryHeap::new(),
+            seq: 0,
+            tasks: Vec::new(),
+            tags: HashMap::new(),
+            edge_jobs: HashMap::new(),
+            edge_wake: BinaryHeap::new(),
+            records: Vec::new(),
+            rng: forge.stream("engine"),
+            next_server: 0,
+            placements,
+            edge_rpc: RpcProfile::edge_software(),
+            cloud_rpc: cfg.platform.cloud_rpc_profile(),
+            fpga,
+            cfg,
+        }
+    }
+
+    /// The acceleration fabric, when this platform carries one.
+    pub fn fpga(&self) -> Option<&FpgaFabric> {
+        self.fpga.as_ref()
+    }
+
+    /// Whether this platform has any cloud execution backend (serverless
+    /// cluster or reserved pool) to place tasks on.
+    pub fn has_cloud_backend(&self) -> bool {
+        self.cluster.is_some() || self.pool.is_some()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The resolved placement for an app on this platform.
+    pub fn placement_of(&self, app: App) -> PlacementSite {
+        self.placements[&app]
+    }
+
+    /// Overrides the placement of one app (missions pin obstacle
+    /// avoidance to the edge on every platform).
+    pub fn pin_placement(&mut self, app: App, site: PlacementSite) {
+        self.placements.insert(app, site);
+    }
+
+    /// Injects a task: device `device` captured a frame batch for `app`
+    /// at time `at` (which must not precede the current engine time).
+    /// Returns the task id.
+    pub fn submit_task(&mut self, at: SimTime, device: u32, app: App, label: u32) -> u32 {
+        assert!(at >= self.now, "cannot submit into the past");
+        assert!(device < self.cfg.devices, "device out of range");
+        let placement = self.placements[&app];
+        let id = self.tasks.len() as u32;
+        self.tasks.push(TaskState {
+            app,
+            device,
+            label,
+            capture: at,
+            placement,
+            network: SimDuration::ZERO,
+            management: SimDuration::ZERO,
+            instantiation: SimDuration::ZERO,
+            data_io: SimDuration::ZERO,
+            exec: SimDuration::ZERO,
+            cold: false,
+            remaining: 0,
+            sub_done: at,
+            upload_bytes: 0,
+            done: false,
+        });
+        self.push_action(at, Action::Capture { task: id });
+        id
+    }
+
+    fn push_action(&mut self, at: SimTime, action: Action) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.actions.push(Reverse((at, seq, action)));
+    }
+
+    /// The earliest instant at which anything will happen.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = self.actions.peek().map(|Reverse((t, _, _))| *t);
+        let mut merge = |t: Option<SimTime>| {
+            best = match (best, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        merge(self.fabric.next_wakeup());
+        merge(self.cluster.as_ref().and_then(|c| c.next_wakeup()));
+        merge(self.pool.as_ref().and_then(|p| p.next_wakeup()));
+        merge(self.edge_wake.peek().map(|Reverse((t, _))| *t));
+        best
+    }
+
+    fn edge_submit(&mut self, now: SimTime, device: u32, job: u64, service: SimDuration) {
+        let q = &mut self.edge[device as usize];
+        let prev = q.next_wakeup();
+        q.submit(now, job, service);
+        let new = q.next_wakeup();
+        // Index only head changes — one live entry per device, not one
+        // per job (which would go quadratic on overloaded devices).
+        if new != prev {
+            if let Some(t) = new {
+                self.edge_wake.push(Reverse((t, device)));
+            }
+        }
+    }
+
+    /// Runs until quiescent or `deadline`, returning completed records
+    /// accumulated since the last call.
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<TaskRecord> {
+        while let Some(t) = self.next_wakeup() {
+            if t > deadline {
+                break;
+            }
+            debug_assert!(t >= self.now, "engine time went backwards");
+            self.now = t;
+            self.tick(t);
+        }
+        if deadline > self.now && deadline < SimTime::MAX {
+            self.now = deadline;
+        }
+        std::mem::take(&mut self.records)
+    }
+
+    /// Runs until every injected task has completed.
+    pub fn run_to_completion(&mut self) -> Vec<TaskRecord> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until at least one task completes (or the engine quiesces),
+    /// returning the records produced. Used by missions whose next step
+    /// depends on a result — e.g. a car waiting for an instruction panel
+    /// to be OCR'd before it can move.
+    pub fn run_until_record(&mut self) -> Vec<TaskRecord> {
+        while self.records.is_empty() {
+            let Some(t) = self.next_wakeup() else {
+                break;
+            };
+            self.now = t;
+            self.tick(t);
+        }
+        std::mem::take(&mut self.records)
+    }
+
+    fn tick(&mut self, t: SimTime) {
+        // 1. Externally scheduled actions due now.
+        while self
+            .actions
+            .peek()
+            .is_some_and(|Reverse((at, _, _))| *at <= t)
+        {
+            let Reverse((at, _, action)) = self.actions.pop().expect("peeked");
+            self.handle_action(at, action);
+        }
+        // 2. Network deliveries.
+        let deliveries = self.fabric.advance_to(t);
+        for d in deliveries {
+            self.handle_delivery(d);
+        }
+        // 3. Cloud completions.
+        if let Some(cluster) = self.cluster.as_mut() {
+            for c in cluster.advance_to(t) {
+                self.handle_cloud_completion(
+                    c.finished,
+                    c.tag,
+                    c.server,
+                    c.breakdown,
+                    c.cold_start,
+                );
+            }
+        }
+        if let Some(pool) = self.pool.as_mut() {
+            for c in pool.advance_to(t) {
+                self.handle_cloud_completion(
+                    c.finished,
+                    c.tag,
+                    c.server,
+                    c.breakdown,
+                    c.cold_start,
+                );
+            }
+        }
+        // 4. On-device completions, in global head-time order (entries
+        //    are exact head times or stale-early duplicates).
+        while let Some(&Reverse((et, dev))) = self.edge_wake.peek() {
+            if et > t {
+                break;
+            }
+            self.edge_wake.pop();
+            match self.edge[dev as usize].next_wakeup() {
+                Some(actual) if actual <= t => {
+                    let done = self.edge[dev as usize].advance_to(actual);
+                    if let Some(next) = self.edge[dev as usize].next_wakeup() {
+                        self.edge_wake.push(Reverse((next, dev)));
+                    }
+                    for (finish, job, queued) in done {
+                        self.handle_edge_completion(finish, job, queued);
+                    }
+                }
+                Some(actual) => self.edge_wake.push(Reverse((actual, dev))),
+                None => {}
+            }
+        }
+    }
+
+    fn handle_action(&mut self, t: SimTime, action: Action) {
+        match action {
+            Action::Capture { task } => self.start_task(t, task),
+            Action::Upload { task } => {
+                let st = &self.tasks[task as usize];
+                let bytes = st.upload_bytes;
+                let device = st.device;
+                let server = self.pick_server();
+                self.batteries[device as usize].draw_radio(bytes);
+                let tag = self.fabric.send(
+                    t,
+                    Transfer {
+                        src: Node::Device(device),
+                        dst: Node::Server(server),
+                        bytes,
+                        tag: task as u64,
+                    },
+                );
+                self.tags.insert(tag.0, TagPurpose::Upload { task });
+            }
+            Action::SubmitCloud { task } => {
+                let st = &self.tasks[task as usize];
+                let app = st.app;
+                let k = if self.cfg.intra_task {
+                    app.intra_parallelism()
+                } else {
+                    1
+                };
+                self.tasks[task as usize].remaining = k;
+                let app_id = if k > 1 { split_id(app) } else { app.app_id() };
+                for i in 0..k {
+                    let tag = (task as u64) * 16 + i as u64;
+                    let inv = Invocation::root(app_id, tag);
+                    if let Some(c) = self.cluster.as_mut() {
+                        c.submit(t, inv);
+                    } else if let Some(p) = self.pool.as_mut() {
+                        p.submit(t, inv);
+                    } else {
+                        unreachable!("cloud placement requires a backend");
+                    }
+                }
+            }
+            Action::Response { task, from_server } => {
+                let st = &self.tasks[task as usize];
+                let bytes = st.app.cloud_profile().output_bytes;
+                let device = st.device;
+                let tag = self.fabric.send(
+                    t,
+                    Transfer {
+                        src: Node::Server(from_server),
+                        dst: Node::Device(device),
+                        bytes,
+                        tag: task as u64,
+                    },
+                );
+                self.tags.insert(tag.0, TagPurpose::Response { task });
+            }
+            Action::Finish { task } => self.finish_task(t, task),
+        }
+    }
+
+    fn start_task(&mut self, t: SimTime, task: u32) {
+        let (app, device, placement) = {
+            let st = &self.tasks[task as usize];
+            (st.app, st.device, st.placement)
+        };
+        match placement {
+            PlacementSite::Edge => {
+                let service = self.edge_service(app);
+                self.tasks[task as usize].exec = service;
+                self.batteries[device as usize].draw_compute(service);
+                let job = (task as u64) * 4;
+                self.edge_jobs.insert(job, (task, EdgeJobKind::Exec));
+                self.edge_submit(t, device, job, service);
+            }
+            PlacementSite::Cloud => {
+                let mut upload_bytes = (scaled_input(app, &self.cfg) as f64)
+                    * self.cfg.platform.upload_fraction();
+                if self.cfg.platform.is_hybrid() {
+                    // The synthesized collect tier is rate-adaptive: it
+                    // never offers more than ~70% of the device's fair
+                    // share of the wireless medium, so HiveMind "does not
+                    // saturate the network links" even at 8 MB / 32 fps
+                    // (Sec. 5.6, Fig. 17a) — excess pixels are culled by
+                    // the on-device filter instead.
+                    upload_bytes = upload_bytes.min(self.uplink_budget_bytes);
+                }
+                self.tasks[task as usize].upload_bytes = (upload_bytes as u64).max(1);
+                if self.cfg.platform.is_hybrid() {
+                    // The synthesized on-device filter tier runs first: a
+                    // cheap salience detector, far lighter than the full
+                    // model (bounded so it never dominates the device).
+                    let filter = self
+                        .edge_service(app)
+                        .mul_f64(0.02)
+                        .min(SimDuration::from_millis(40));
+                    self.batteries[device as usize].draw_compute(filter);
+                    let job = (task as u64) * 4 + 1;
+                    self.edge_jobs.insert(job, (task, EdgeJobKind::Filter));
+                    self.edge_submit(t, device, job, filter);
+                } else {
+                    let send = self
+                        .edge_rpc
+                        .send_cost(&mut self.rng, self.tasks[task as usize].upload_bytes);
+                    self.tasks[task as usize].network += send;
+                    self.push_action(t + send, Action::Upload { task });
+                }
+            }
+        }
+    }
+
+    fn edge_service(&mut self, app: App) -> SimDuration {
+        // The app's edge slow-down is calibrated for the drone's
+        // Cortex-A8; other device classes scale proportionally.
+        let device_factor = self.cfg.device_profile.compute_slowdown / 10.0;
+        let factor = (app.edge_slowdown() * device_factor).max(1.0);
+        let cloud = app.cloud_profile().exec.sample(&mut self.rng);
+        cloud.mul_f64(factor)
+    }
+
+    fn pick_server(&mut self) -> u32 {
+        let s = self.next_server % self.cfg.servers;
+        self.next_server += 1;
+        s
+    }
+
+    fn handle_delivery(&mut self, d: hivemind_net::fabric::Delivery) {
+        let Some(purpose) = self.tags.remove(&d.id.0) else {
+            return;
+        };
+        match purpose {
+            TagPurpose::Upload { task } => {
+                self.tasks[task as usize].network += d.latency();
+                let recv = self.cloud_rpc.recv_cost(&mut self.rng, d.bytes);
+                self.tasks[task as usize].network += recv;
+                self.push_action(d.delivered_at + recv, Action::SubmitCloud { task });
+            }
+            TagPurpose::Response { task } => {
+                let st = &mut self.tasks[task as usize];
+                st.network += d.latency();
+                let recv = self.edge_rpc.recv_overhead.sample(&mut self.rng);
+                st.network += recv;
+                self.batteries[st.device as usize].draw_radio(d.bytes);
+                self.push_action(d.delivered_at + recv, Action::Finish { task });
+            }
+            TagPurpose::ResultUpload { task } => {
+                self.tasks[task as usize].network += d.latency();
+                let recv = self.cloud_rpc.recv_cost(&mut self.rng, d.bytes);
+                self.tasks[task as usize].network += recv;
+                self.push_action(d.delivered_at + recv, Action::Finish { task });
+            }
+        }
+    }
+
+    fn handle_edge_completion(&mut self, finish: SimTime, job: u64, queued: SimDuration) {
+        let Some((task, kind)) = self.edge_jobs.remove(&job) else {
+            return;
+        };
+        match kind {
+            EdgeJobKind::Exec => {
+                // Device-side queueing is the edge analogue of management.
+                let (device, bytes) = {
+                    let st = &mut self.tasks[task as usize];
+                    st.management += queued;
+                    (st.device, st.app.cloud_profile().output_bytes.max(1))
+                };
+                // Ship the result to the backend.
+                self.batteries[device as usize].draw_radio(bytes);
+                let send = self.edge_rpc.send_cost(&mut self.rng, bytes);
+                self.tasks[task as usize].network += send;
+                let server = self.pick_server();
+                let tag = self.fabric.send(
+                    finish + send,
+                    Transfer {
+                        src: Node::Device(device),
+                        dst: Node::Server(server),
+                        bytes,
+                        tag: task as u64,
+                    },
+                );
+                self.tags.insert(tag.0, TagPurpose::ResultUpload { task });
+            }
+            EdgeJobKind::Filter => {
+                let upload_bytes = {
+                    let st = &mut self.tasks[task as usize];
+                    st.management += queued;
+                    st.upload_bytes
+                };
+                let send = self.edge_rpc.send_cost(&mut self.rng, upload_bytes);
+                self.tasks[task as usize].network += send;
+                self.push_action(finish + send, Action::Upload { task });
+            }
+        }
+    }
+
+    fn handle_cloud_completion(
+        &mut self,
+        finished: SimTime,
+        tag: u64,
+        server: u32,
+        breakdown: hivemind_faas::types::LatencyBreakdown,
+        cold: bool,
+    ) {
+        let task = (tag / 16) as u32;
+        let (output_bytes, sub_done) = {
+            let st = &mut self.tasks[task as usize];
+            // Aggregate sub-invocation contributions; the slowest defines
+            // the completion time, the cost components take the max (they
+            // overlap in wall-clock time), management accumulates.
+            st.management += breakdown.queueing + breakdown.management;
+            st.instantiation = st.instantiation.max(breakdown.instantiation);
+            st.data_io = st.data_io.max(breakdown.data_io);
+            st.exec = st.exec.max(breakdown.exec);
+            st.cold |= cold;
+            st.sub_done = st.sub_done.max(finished);
+            st.remaining -= 1;
+            if st.remaining != 0 {
+                return;
+            }
+            (st.app.cloud_profile().output_bytes, st.sub_done)
+        };
+        let send = self.cloud_rpc.send_cost(&mut self.rng, output_bytes);
+        self.tasks[task as usize].network += send;
+        self.push_action(sub_done + send, Action::Response { task, from_server: server });
+    }
+
+    fn finish_task(&mut self, t: SimTime, task: u32) {
+        let st = &mut self.tasks[task as usize];
+        debug_assert!(!st.done, "double finish for task {task}");
+        st.done = true;
+        self.records.push(TaskRecord {
+            task,
+            app: st.app,
+            device: st.device,
+            label: st.label,
+            capture: st.capture,
+            done: t,
+            placement: st.placement,
+            network: st.network,
+            management: st.management,
+            instantiation: st.instantiation,
+            data_io: st.data_io,
+            exec: st.exec,
+            cold_start: st.cold,
+        });
+    }
+
+    /// Battery state of a device.
+    pub fn battery(&self, device: u32) -> &Battery {
+        &self.batteries[device as usize]
+    }
+
+    /// Mutable battery access (missions charge motion energy directly).
+    pub fn battery_mut(&mut self, device: u32) -> &mut Battery {
+        &mut self.batteries[device as usize]
+    }
+
+    /// The network fabric (bandwidth accounting).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (meter finalization).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The FaaS cluster, when this platform runs one.
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.cluster.as_ref()
+    }
+
+    /// The IaaS fixed pool, when this platform runs one.
+    pub fn pool(&self) -> Option<&FixedPool> {
+        self.pool.as_ref()
+    }
+
+    /// Concurrently active cloud functions over time, whichever backend
+    /// is in use.
+    pub fn active_series(&self) -> Option<&hivemind_sim::stats::TimeSeries> {
+        self.cluster
+            .as_ref()
+            .map(|c| c.active_series())
+            .or_else(|| self.pool.as_ref().map(|p| p.active_series()))
+    }
+
+    /// Pending on-device work for a device (queue depth).
+    pub fn edge_load(&self, device: u32) -> usize {
+        self.edge[device as usize].load()
+    }
+
+    /// Total on-device busy compute time for a device.
+    pub fn edge_busy_time(&self, device: u32) -> SimDuration {
+        self.edge[device as usize].busy_time()
+    }
+}
+
+fn scaled_input(app: App, cfg: &EngineConfig) -> u64 {
+    ((app.cloud_profile().input_bytes as f64) * cfg.input_scale).max(1.0) as u64
+}
+
+fn scaled_profile(app: App, cfg: &EngineConfig) -> AppProfile {
+    let base = app.cloud_profile();
+    AppProfile {
+        input_bytes: ((base.input_bytes as f64)
+            * cfg.input_scale
+            * cfg.platform.upload_fraction()) as u64,
+        ..base
+    }
+}
+
+fn split_id(app: App) -> AppId {
+    AppId(100 + app.app_id().0)
+}
+
+fn split_profile(app: App, cfg: &EngineConfig) -> AppProfile {
+    let base = scaled_profile(app, cfg);
+    let k = app.intra_parallelism().max(1) as f64;
+    AppProfile {
+        exec: base.exec.scaled(1.0 / k),
+        input_bytes: ((base.input_bytes as f64) / k) as u64,
+        output_bytes: ((base.output_bytes as f64) / k).max(1.0) as u64,
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(platform: Platform, app: App) -> TaskRecord {
+        let mut engine = Engine::new(EngineConfig::testbed(platform));
+        engine.submit_task(SimTime::ZERO, 0, app, 0);
+        let records = engine.run_to_completion();
+        assert_eq!(records.len(), 1);
+        records.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn centralized_task_round_trips() {
+        let r = run_one(Platform::CentralizedFaaS, App::FaceRecognition);
+        assert_eq!(r.placement, PlacementSite::Cloud);
+        assert!(r.network > SimDuration::from_millis(10), "2 MB uplink");
+        assert!(r.exec >= SimDuration::from_millis(100));
+        assert!(r.instantiation > SimDuration::ZERO, "first call is cold");
+        assert!(r.cold_start);
+        let parts = r.network + r.management + r.instantiation + r.data_io + r.exec;
+        assert!(
+            parts <= r.latency() + SimDuration::from_millis(1),
+            "breakdown must not exceed total: {parts} vs {}",
+            r.latency()
+        );
+    }
+
+    #[test]
+    fn distributed_task_runs_on_device() {
+        let r = run_one(Platform::DistributedEdge, App::FaceRecognition);
+        assert_eq!(r.placement, PlacementSite::Edge);
+        // 10× slower than the ~250 ms cloud median.
+        assert!(r.exec > SimDuration::from_secs(1));
+        assert_eq!(r.instantiation, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hivemind_places_light_apps_at_edge_heavy_in_cloud() {
+        let engine = Engine::new(EngineConfig::testbed(Platform::HiveMind));
+        assert_eq!(engine.placement_of(App::WeatherAnalytics), PlacementSite::Edge);
+        assert_eq!(engine.placement_of(App::DroneDetection), PlacementSite::Edge);
+        assert_eq!(engine.placement_of(App::ObstacleAvoidance), PlacementSite::Edge);
+        assert_eq!(engine.placement_of(App::FaceRecognition), PlacementSite::Cloud);
+        assert_eq!(engine.placement_of(App::Slam), PlacementSite::Cloud);
+    }
+
+    #[test]
+    fn hivemind_beats_centralized_on_heavy_apps() {
+        let mut latencies = Vec::new();
+        for platform in [Platform::CentralizedFaaS, Platform::HiveMind] {
+            let mut engine = Engine::new(EngineConfig::testbed(platform));
+            for i in 0..60u64 {
+                for dev in 0..16 {
+                    engine.submit_task(
+                        SimTime::from_secs(i),
+                        dev,
+                        App::TextRecognition,
+                        0,
+                    );
+                }
+            }
+            let records = engine.run_to_completion();
+            let mut s = hivemind_sim::stats::Summary::new();
+            for r in &records {
+                s.record_duration(r.latency());
+            }
+            latencies.push(s.median());
+        }
+        assert!(
+            latencies[1] < latencies[0],
+            "HiveMind {} should beat centralized {}",
+            latencies[1],
+            latencies[0]
+        );
+    }
+
+    #[test]
+    fn edge_queueing_explodes_for_heavy_distributed_apps() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::DistributedEdge));
+        for i in 0..30u64 {
+            engine.submit_task(SimTime::from_secs(i), 0, App::Slam, 0);
+        }
+        let records = engine.run_to_completion();
+        let first = records.first().unwrap().latency();
+        let last = records.last().unwrap().latency();
+        assert!(
+            last > first * 3,
+            "queue must grow: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn intra_task_parallelism_cuts_latency() {
+        let lat = |intra: bool| {
+            let mut cfg = EngineConfig::testbed(Platform::CentralizedFaaS);
+            cfg.intra_task = intra;
+            let mut engine = Engine::new(cfg);
+            for i in 0..20u64 {
+                engine.submit_task(SimTime::from_secs(i), 0, App::Slam, 0);
+            }
+            let records = engine.run_to_completion();
+            let mut s = hivemind_sim::stats::Summary::new();
+            for r in &records {
+                s.record_duration(r.latency());
+            }
+            s.median()
+        };
+        let serial = lat(false);
+        let parallel = lat(true);
+        assert!(
+            parallel < serial * 0.75,
+            "8-way SLAM split should cut latency: {serial} -> {parallel}"
+        );
+    }
+
+    #[test]
+    fn batteries_charge_radio_and_compute() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::CentralizedFaaS));
+        engine.submit_task(SimTime::ZERO, 3, App::FaceRecognition, 0);
+        let _ = engine.run_to_completion();
+        assert!(engine.battery(3).consumed_j() > 0.0, "radio energy spent");
+        assert_eq!(engine.battery(0).consumed_j(), 0.0);
+
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::DistributedEdge));
+        engine.submit_task(SimTime::ZERO, 3, App::FaceRecognition, 0);
+        let _ = engine.run_to_completion();
+        let (_, compute, _, _) = engine.battery(3).energy_split();
+        assert!(compute > 0.0, "on-board exec costs compute energy");
+    }
+
+    #[test]
+    fn bandwidth_meter_sees_uploads() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::CentralizedFaaS));
+        for dev in 0..16 {
+            engine.submit_task(SimTime::ZERO, dev, App::FaceRecognition, 0);
+        }
+        let _ = engine.run_to_completion();
+        // 16 × 2 MB uplink + small responses.
+        assert!(engine.fabric().edge_bytes_total() >= 32_000_000.0);
+    }
+
+    #[test]
+    fn hybrid_uploads_less_than_centralized() {
+        let edge_bytes = |platform| {
+            let mut engine = Engine::new(EngineConfig::testbed(platform));
+            for dev in 0..16 {
+                engine.submit_task(SimTime::ZERO, dev, App::FaceRecognition, 0);
+            }
+            let _ = engine.run_to_completion();
+            engine.fabric().edge_bytes_total()
+        };
+        let centralized = edge_bytes(Platform::CentralizedFaaS);
+        let hivemind = edge_bytes(Platform::HiveMind);
+        assert!(
+            hivemind < centralized * 0.7,
+            "hybrid filtering must cut uplink bytes: {hivemind} vs {centralized}"
+        );
+    }
+
+    #[test]
+    fn input_scale_grows_network_share() {
+        let net = |scale: f64| {
+            let mut cfg = EngineConfig::testbed(Platform::CentralizedFaaS);
+            cfg.input_scale = scale;
+            let mut engine = Engine::new(cfg);
+            engine.submit_task(SimTime::ZERO, 0, App::FaceRecognition, 0);
+            engine.run_to_completion()[0].network
+        };
+        assert!(net(4.0) > net(1.0) * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_panics() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::CentralizedFaaS));
+        engine.submit_task(SimTime::ZERO, 99, App::Maze, 0);
+    }
+
+    #[test]
+    fn multi_tenant_apps_share_the_cluster() {
+        // "We evaluate one service at a time to eliminate interference,
+        // however, the platform supports multi-tenancy" (Sec. 2.1).
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::CentralizedFaaS));
+        for i in 0..20u64 {
+            for (dev, app) in [
+                (0u32, App::FaceRecognition),
+                (1, App::WeatherAnalytics),
+                (2, App::Slam),
+            ] {
+                engine.submit_task(SimTime::from_secs(i), dev, app, 0);
+            }
+        }
+        let records = engine.run_to_completion();
+        assert_eq!(records.len(), 60);
+        let median = |app: App| {
+            let mut s = hivemind_sim::stats::Summary::new();
+            for r in records.iter().filter(|r| r.app == app) {
+                s.record_duration(r.latency());
+            }
+            s.median()
+        };
+        // Per-app latencies keep their identity under co-tenancy.
+        assert!(median(App::WeatherAnalytics) < median(App::FaceRecognition));
+        assert!(median(App::FaceRecognition) < median(App::Slam));
+    }
+
+    #[test]
+    fn worker_monitors_report_utilization() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::HiveMind));
+        for dev in 0..16 {
+            engine.submit_task(SimTime::ZERO, dev, App::Slam, 0);
+        }
+        // Advance partway: functions should be in flight.
+        let _ = engine.run_until(SimTime::ZERO + SimDuration::from_millis(400));
+        let cluster = engine.cluster().expect("HiveMind runs a cluster");
+        let utils = cluster.server_utilizations();
+        assert_eq!(utils.len(), 12);
+        assert!(utils.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(
+            utils.iter().sum::<f64>() > 0.0,
+            "monitors observe the in-flight load"
+        );
+        let _ = engine.run_to_completion();
+    }
+
+    #[test]
+    fn accelerated_platforms_carry_the_fpga() {
+        let hm = Engine::new(EngineConfig::testbed(Platform::HiveMind));
+        let board = hm.fpga().expect("HiveMind deploys the fabric");
+        // Ten apps registered → ten soft reconfigurations, no hard ones.
+        assert_eq!(board.reconfig_counts(), (0, 10));
+        let cen = Engine::new(EngineConfig::testbed(Platform::CentralizedFaaS));
+        assert!(cen.fpga().is_none(), "stock OpenWhisk has no FPGA");
+    }
+
+    #[test]
+    fn iaas_pool_executes_tasks() {
+        let r = run_one(Platform::CentralizedIaaS, App::WeatherAnalytics);
+        assert_eq!(r.placement, PlacementSite::Cloud);
+        assert_eq!(r.instantiation, SimDuration::ZERO, "reserved workers");
+    }
+}

@@ -1,0 +1,518 @@
+//! The experiment harness every figure is generated from.
+//!
+//! An [`Experiment`] couples a workload — one of the S1–S10 single-app
+//! benchmarks under a configurable load, or an end-to-end mission — with
+//! a [`Platform`] and swarm/cluster sizing, runs it on the deterministic
+//! engine, and returns an [`Outcome`] carrying the paper's metrics.
+//!
+//! # Examples
+//!
+//! A 120-second S1 benchmark on the centralized serverless platform
+//! (Fig. 4's setup):
+//!
+//! ```rust
+//! use hivemind_core::experiment::{Experiment, ExperimentConfig};
+//! use hivemind_core::platform::Platform;
+//! use hivemind_apps::suite::App;
+//!
+//! let mut outcome = Experiment::new(
+//!     ExperimentConfig::single_app(App::WeatherAnalytics)
+//!         .platform(Platform::CentralizedFaaS)
+//!         .duration_secs(30.0)
+//!         .seed(1),
+//! )
+//! .run();
+//! assert!(outcome.tasks.len() > 100);
+//! assert!(outcome.median_task_ms() > 1.0);
+//! ```
+
+use hivemind_apps::learning::RetrainMode;
+use hivemind_apps::scenario::{Fleet, Scenario};
+use hivemind_apps::suite::App;
+use hivemind_sim::stats::Summary;
+use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_swarm::device::DeviceProfile;
+
+use crate::engine::{Engine, EngineConfig, TaskRecord};
+use crate::metrics::{BandwidthStats, BatteryStats, MissionOutcome, Outcome};
+use crate::mission;
+use crate::platform::Platform;
+
+/// What the experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// One benchmark app at steady (or profiled) load for a duration.
+    SingleApp {
+        /// The app.
+        app: App,
+        /// Workload duration in seconds (paper: 120 s per job).
+        duration_secs: f64,
+    },
+    /// An end-to-end mission.
+    Mission(Scenario),
+}
+
+/// Full experiment configuration (builder-style).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The workload.
+    pub workload: Workload,
+    /// The platform.
+    pub platform: Platform,
+    /// Edge device count.
+    pub devices: u32,
+    /// Backend servers.
+    pub servers: u32,
+    /// Cores per server.
+    pub cores_per_server: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// Sensor payload scale (1.0 = 2 MB frames).
+    pub input_scale: f64,
+    /// Task-rate scale (1.0 = the app's default; 2.0 doubles fps).
+    pub rate_scale: f64,
+    /// Injected function fault probability.
+    pub fault_rate: f64,
+    /// Enable intra-task parallelism.
+    pub intra_task: bool,
+    /// Optional load profile: `(seconds_from_start, active_devices)`
+    /// steps; `None` = all devices active throughout.
+    pub load_profile: Option<Vec<(f64, u32)>>,
+    /// Continuous-learning mode for missions.
+    pub retrain: RetrainMode,
+    /// Override the IaaS pool size.
+    pub iaas_workers: Option<u32>,
+    /// Mid-mission device failures: `(seconds_from_start, device)`. The
+    /// controller detects each via missed heartbeats and repartitions the
+    /// failed device's remaining area among its live neighbours (Fig. 10).
+    pub device_failures: Vec<(f64, u32)>,
+}
+
+impl ExperimentConfig {
+    /// A single-app benchmark with the paper's defaults (120 s, 16
+    /// drones, 12×40-core cluster, centralized FaaS).
+    pub fn single_app(app: App) -> ExperimentConfig {
+        ExperimentConfig {
+            workload: Workload::SingleApp {
+                app,
+                duration_secs: 120.0,
+            },
+            platform: Platform::CentralizedFaaS,
+            devices: 16,
+            servers: 12,
+            cores_per_server: 40,
+            seed: 1,
+            input_scale: 1.0,
+            rate_scale: 1.0,
+            fault_rate: 0.0,
+            intra_task: false,
+            load_profile: None,
+            retrain: RetrainMode::SwarmWide,
+            iaas_workers: None,
+            device_failures: Vec::new(),
+        }
+    }
+
+    /// An end-to-end mission with the scenario's default fleet size.
+    pub fn scenario(s: Scenario) -> ExperimentConfig {
+        ExperimentConfig {
+            workload: Workload::Mission(s),
+            devices: s.default_devices(),
+            ..ExperimentConfig::single_app(App::FaceRecognition)
+        }
+    }
+
+    /// Sets the platform.
+    pub fn platform(mut self, p: Platform) -> Self {
+        self.platform = p;
+        self
+    }
+
+    /// Sets the device count.
+    pub fn drones(mut self, n: u32) -> Self {
+        self.devices = n;
+        self
+    }
+
+    /// Sets the backend server count.
+    pub fn servers(mut self, n: u32) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the single-app workload duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is a mission.
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        match &mut self.workload {
+            Workload::SingleApp { duration_secs, .. } => *duration_secs = secs,
+            Workload::Mission(_) => panic!("missions run to completion, not a duration"),
+        }
+        self
+    }
+
+    /// Sets the payload scale.
+    pub fn input_scale(mut self, s: f64) -> Self {
+        self.input_scale = s;
+        self
+    }
+
+    /// Sets the task-rate scale.
+    pub fn rate_scale(mut self, s: f64) -> Self {
+        self.rate_scale = s;
+        self
+    }
+
+    /// Sets the fault-injection rate.
+    pub fn fault_rate(mut self, r: f64) -> Self {
+        self.fault_rate = r;
+        self
+    }
+
+    /// Enables intra-task parallelism.
+    pub fn intra_task(mut self, on: bool) -> Self {
+        self.intra_task = on;
+        self
+    }
+
+    /// Installs a load profile (Fig. 5b/5c's fluctuating load).
+    pub fn load_profile(mut self, steps: Vec<(f64, u32)>) -> Self {
+        self.load_profile = Some(steps);
+        self
+    }
+
+    /// Sets the retraining mode for missions.
+    pub fn retrain(mut self, mode: RetrainMode) -> Self {
+        self.retrain = mode;
+        self
+    }
+
+    /// Overrides the IaaS pool size.
+    pub fn iaas_workers(mut self, workers: u32) -> Self {
+        self.iaas_workers = Some(workers);
+        self
+    }
+
+    /// Kills a device `at_secs` into the mission (missions only).
+    pub fn fail_device(mut self, at_secs: f64, device: u32) -> Self {
+        self.device_failures.push((at_secs, device));
+        self
+    }
+
+    /// The device profile implied by the workload's fleet.
+    pub fn device_profile(&self) -> DeviceProfile {
+        match self.workload {
+            Workload::Mission(s) if s.fleet() == Fleet::Cars => DeviceProfile::car(),
+            _ => DeviceProfile::drone(),
+        }
+    }
+
+    pub(crate) fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            platform: self.platform,
+            devices: self.devices,
+            servers: self.servers,
+            cores_per_server: self.cores_per_server,
+            seed: self.seed,
+            fault_rate: self.fault_rate,
+            intra_task: self.intra_task,
+            device_profile: self.device_profile(),
+            input_scale: self.input_scale,
+            iaas_workers: self.iaas_workers,
+        }
+    }
+}
+
+/// How to account for device motion energy at assembly time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MotionPolicy {
+    /// Devices fly/hover from t = 0 until their last result (at least
+    /// `floor_secs`); used by the steady-load single-app benchmarks.
+    UntilLastDone {
+        /// Minimum airborne time, seconds.
+        floor_secs: f64,
+    },
+    /// The mission already charged motion/idle energy explicitly.
+    PreCharged,
+}
+
+/// A configured, runnable experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Wraps a configuration.
+    pub fn new(config: ExperimentConfig) -> Experiment {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(&self) -> Outcome {
+        match self.config.workload {
+            Workload::SingleApp { app, duration_secs } => self.run_single_app(app, duration_secs),
+            Workload::Mission(s) => mission::run_mission(&self.config, s),
+        }
+    }
+
+    fn active_devices_at(&self, t_secs: f64) -> u32 {
+        match &self.config.load_profile {
+            None => self.config.devices,
+            Some(steps) => {
+                let mut active = 0;
+                for &(at, n) in steps {
+                    if t_secs >= at {
+                        active = n;
+                    }
+                }
+                active.min(self.config.devices)
+            }
+        }
+    }
+
+    fn run_single_app(&self, app: App, duration_secs: f64) -> Outcome {
+        let cfg = &self.config;
+        let mut engine = Engine::new(cfg.engine_config());
+        let rate = app.tasks_per_sec() * cfg.rate_scale;
+        assert!(rate > 0.0, "task rate must be positive");
+        let period = 1.0 / rate;
+
+        // Deterministic arrivals with per-device phase offsets so devices
+        // don't fire in lockstep.
+        let mut n_tasks = 0u64;
+        for dev in 0..cfg.devices {
+            let offset = period * (dev as f64 / cfg.devices as f64);
+            let mut t = offset;
+            while t < duration_secs {
+                if dev < self.active_devices_at(t) {
+                    engine.submit_task(
+                        SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        dev,
+                        app,
+                        0,
+                    );
+                    n_tasks += 1;
+                }
+                t += period;
+            }
+        }
+        assert!(n_tasks > 0, "workload produced no tasks");
+        let records = engine.run_to_completion();
+        self.assemble(
+            engine,
+            records,
+            MotionPolicy::UntilLastDone {
+                floor_secs: duration_secs,
+            },
+            MissionOutcome::default(),
+        )
+    }
+
+    pub(crate) fn assemble(
+        &self,
+        mut engine: Engine,
+        records: Vec<TaskRecord>,
+        motion: MotionPolicy,
+        mut mission: MissionOutcome,
+    ) -> Outcome {
+        let cfg = &self.config;
+        let mut outcome = Outcome::default();
+        // Per-device last completion, for hover-time accounting.
+        let floor = match motion {
+            MotionPolicy::UntilLastDone { floor_secs } => floor_secs,
+            MotionPolicy::PreCharged => 0.0,
+        };
+        let mut last_done = vec![floor; cfg.devices as usize];
+        for r in &records {
+            outcome.tasks.record(r);
+            let d = &mut last_done[r.device as usize];
+            *d = d.max(r.done.as_secs_f64());
+        }
+        // Devices stay airborne (motion power) until their own results
+        // land — waiting on slow backends costs battery (Fig. 1's IaaS
+        // column). Missions account for motion themselves.
+        if matches!(motion, MotionPolicy::UntilLastDone { .. }) {
+            for dev in 0..cfg.devices {
+                let airborne = SimDuration::from_secs_f64(last_done[dev as usize]);
+                engine.battery_mut(dev).draw_motion(airborne);
+            }
+        }
+
+        let mut battery = Summary::new();
+        let mut depleted = 0;
+        for dev in 0..cfg.devices {
+            let b = engine.battery(dev);
+            battery.record(b.consumed_percent());
+            if b.is_depleted() {
+                depleted += 1;
+            }
+        }
+        outcome.battery = BatteryStats {
+            mean_pct: battery.mean(),
+            max_pct: battery.max(),
+            depleted,
+        };
+
+        let end = records
+            .iter()
+            .map(|r| r.done)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(SimTime::ZERO + SimDuration::from_secs_f64(floor));
+        let (edge, _) = engine.fabric_mut().finish_meters(end);
+        outcome.bandwidth = BandwidthStats {
+            mean_mbps: edge.mean_rate() / 1e6,
+            p99_mbps: edge.p99_rate() / 1e6,
+            total_mb: edge.total() / 1e6,
+        };
+
+        if let Some(series) = engine.active_series() {
+            outcome.active_tasks = series.clone();
+        }
+        if let Some(cluster) = engine.cluster() {
+            outcome.container_stats = cluster.container_stats();
+            outcome.stragglers_mitigated = cluster.stragglers_mitigated();
+            outcome.faults_recovered = cluster.faults_recovered();
+        }
+        if mission.duration_secs == 0.0 {
+            mission.duration_secs = end.as_secs_f64();
+        }
+        outcome.mission = mission;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(app: App, platform: Platform) -> Outcome {
+        Experiment::new(
+            ExperimentConfig::single_app(app)
+                .platform(platform)
+                .duration_secs(20.0)
+                .seed(3),
+        )
+        .run()
+    }
+
+    #[test]
+    fn single_app_produces_expected_task_count() {
+        let outcome = quick(App::WeatherAnalytics, Platform::CentralizedFaaS);
+        // 16 devices × 1 task/s × 20 s.
+        assert_eq!(outcome.tasks.len(), 320);
+        assert!(outcome.mission.completed);
+    }
+
+    #[test]
+    fn centralized_beats_distributed_for_heavy_apps() {
+        let mut cen = quick(App::TextRecognition, Platform::CentralizedFaaS);
+        let mut dist = quick(App::TextRecognition, Platform::DistributedEdge);
+        assert!(
+            cen.median_task_ms() < dist.median_task_ms(),
+            "cloud must win S9: {} vs {}",
+            cen.median_task_ms(),
+            dist.median_task_ms()
+        );
+    }
+
+    #[test]
+    fn distributed_wins_obstacle_avoidance() {
+        let mut cen = quick(App::ObstacleAvoidance, Platform::CentralizedFaaS);
+        let mut dist = quick(App::ObstacleAvoidance, Platform::DistributedEdge);
+        assert!(
+            dist.median_task_ms() < cen.median_task_ms(),
+            "S4 is better at the edge: {} vs {}",
+            dist.median_task_ms(),
+            cen.median_task_ms()
+        );
+    }
+
+    #[test]
+    fn hivemind_reduces_network_fraction() {
+        let cen = quick(App::FaceRecognition, Platform::CentralizedFaaS);
+        let hm = quick(App::FaceRecognition, Platform::HiveMind);
+        assert!(
+            hm.tasks.network_fraction() < cen.tasks.network_fraction(),
+            "network share must drop: {} -> {}",
+            cen.tasks.network_fraction(),
+            hm.tasks.network_fraction()
+        );
+    }
+
+    #[test]
+    fn load_profile_limits_arrivals() {
+        let outcome = Experiment::new(
+            ExperimentConfig::single_app(App::WeatherAnalytics)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(20.0)
+                .load_profile(vec![(0.0, 2), (10.0, 4)])
+                .seed(1),
+        )
+        .run();
+        // 2 devices × 10 s + 4 devices × 10 s = 60 tasks.
+        assert_eq!(outcome.tasks.len(), 60);
+    }
+
+    #[test]
+    fn faults_are_recovered_not_lost() {
+        let outcome = Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(20.0)
+                .fault_rate(0.2)
+                .seed(2),
+        )
+        .run();
+        assert_eq!(outcome.tasks.len(), 320, "every task completes");
+        assert!(outcome.faults_recovered > 20);
+    }
+
+    #[test]
+    fn battery_and_bandwidth_populate() {
+        let outcome = quick(App::FaceRecognition, Platform::CentralizedFaaS);
+        assert!(outcome.battery.mean_pct > 0.0);
+        assert!(outcome.bandwidth.total_mb > 500.0, "16 devices × 20 × 2 MB");
+        assert!(outcome.bandwidth.mean_mbps > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let mut a = quick(App::SoilAnalytics, Platform::HiveMind);
+        let mut b = quick(App::SoilAnalytics, Platform::HiveMind);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        assert_eq!(a.median_task_ms(), b.median_task_ms());
+        assert_eq!(a.p99_task_ms(), b.p99_task_ms());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Experiment::new(
+            ExperimentConfig::single_app(App::SoilAnalytics)
+                .duration_secs(10.0)
+                .seed(1),
+        )
+        .run();
+        let mut b = Experiment::new(
+            ExperimentConfig::single_app(App::SoilAnalytics)
+                .duration_secs(10.0)
+                .seed(2),
+        )
+        .run();
+        assert_ne!(a.median_task_ms(), b.median_task_ms());
+    }
+}

@@ -1,0 +1,46 @@
+//! # hivemind-core
+//!
+//! The HiveMind platform itself — the paper's contribution, built on the
+//! substrates in the sibling crates:
+//!
+//! * [`dsl`] — the declarative programming model (Listings 1–3): tasks,
+//!   task graphs, timing/execution dependencies, and the optional
+//!   management directives (`Schedule`, `Isolate`, `Place`, `Restore`,
+//!   `Learn`, `Persist`).
+//! * [`synthesis`] — program synthesis for task placement (Fig. 8):
+//!   enumerate the *meaningful* cloud/edge execution models, generate the
+//!   cross-tier communication bindings, profile each candidate, and pick
+//!   the one satisfying the user's performance/power/cost constraints.
+//! * [`platform`] — the evaluated system configurations: Centralized
+//!   IaaS/FaaS, Distributed edge, HiveMind, and the Fig. 13 ablations.
+//! * [`controller`] — the centralized controller: load balancing across
+//!   devices, heartbeat-based failure handling with geometric load
+//!   repartitioning, monitoring, and sharded-scheduler scalability.
+//! * [`engine`] — the execution engine binding swarm, network, and
+//!   serverless cluster into one deterministic simulation.
+//! * [`experiment`] — the experiment harness every figure is generated
+//!   from: single-app benchmarks (S1–S10) and end-to-end missions.
+//! * [`adaptive`] — runtime task re-mapping when user goals are not met
+//!   (Sec. 4.2).
+//! * [`analytic`] — the fast queueing cross-model used to validate the
+//!   simulator (Fig. 18).
+//! * [`metrics`] — outcome records: latency summaries and breakdowns,
+//!   bandwidth, battery, detection quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod analytic;
+pub mod controller;
+pub mod dsl;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod mission;
+pub mod platform;
+pub mod programs;
+pub mod synthesis;
+
+pub use experiment::{Experiment, ExperimentConfig};
+pub use platform::Platform;

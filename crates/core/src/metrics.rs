@@ -1,0 +1,223 @@
+//! Experiment outcome records.
+//!
+//! Every figure reduces to the quantities collected here: task-latency
+//! distributions with the paper's four-way breakdown, mission-level
+//! results (duration, completion, detection quality), bandwidth, and
+//! battery.
+
+use hivemind_apps::learning::DetectionQuality;
+use hivemind_sim::stats::{Summary, TimeSeries};
+use hivemind_sim::time::SimDuration;
+
+use crate::engine::TaskRecord;
+
+/// Latency summaries split by the paper's breakdown categories.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownSummary {
+    /// End-to-end task latency.
+    pub total: Summary,
+    /// Network (wire + RPC processing).
+    pub network: Summary,
+    /// Management (control path, scheduling, queueing).
+    pub management: Summary,
+    /// Container instantiation.
+    pub instantiation: Summary,
+    /// Data-plane I/O.
+    pub data_io: Summary,
+    /// Execution.
+    pub exec: Summary,
+}
+
+impl BreakdownSummary {
+    /// Accumulates one task record.
+    pub fn record(&mut self, r: &TaskRecord) {
+        self.total.record_duration(r.latency());
+        self.network.record_duration(r.network);
+        self.management
+            .record_duration(r.management + r.instantiation);
+        self.instantiation.record_duration(r.instantiation);
+        self.data_io.record_duration(r.data_io);
+        self.exec.record_duration(r.exec);
+    }
+
+    /// Number of tasks recorded.
+    pub fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Whether any tasks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+
+    /// Mean fraction of latency spent in the network (Fig. 3a's metric).
+    pub fn network_fraction(&self) -> f64 {
+        let t = self.total.mean();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.network.mean() / t
+        }
+    }
+
+    /// Mean fraction spent in management + instantiation.
+    pub fn management_fraction(&self) -> f64 {
+        let t = self.total.mean();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.management.mean() / t
+        }
+    }
+
+    /// Mean fraction spent in instantiation alone (Fig. 6b's metric).
+    pub fn instantiation_fraction(&self) -> f64 {
+        let t = self.total.mean();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.instantiation.mean() / t
+        }
+    }
+}
+
+/// Bandwidth usage over the edge↔cloud boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BandwidthStats {
+    /// Mean rate, MB/s.
+    pub mean_mbps: f64,
+    /// 99th-percentile windowed rate, MB/s.
+    pub p99_mbps: f64,
+    /// Total volume, MB.
+    pub total_mb: f64,
+}
+
+/// Battery consumption across the swarm at the end of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatteryStats {
+    /// Mean consumed battery, percent of capacity.
+    pub mean_pct: f64,
+    /// Worst device, percent.
+    pub max_pct: f64,
+    /// Devices that fully depleted mid-mission.
+    pub depleted: u32,
+}
+
+/// Mission-level outcome (end-to-end scenarios).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionOutcome {
+    /// Whether the mission ran to completion (false = battery death or
+    /// timeout left work unfinished).
+    pub completed: bool,
+    /// Wall-clock mission duration, seconds.
+    pub duration_secs: f64,
+    /// Targets found / counted (tennis balls, unique people, goals).
+    pub targets_found: u32,
+    /// Ground-truth target count.
+    pub targets_total: u32,
+    /// Detection quality when the scenario exercises recognition.
+    pub detection: Option<DetectionQuality>,
+}
+
+impl Default for MissionOutcome {
+    fn default() -> Self {
+        MissionOutcome {
+            completed: true,
+            duration_secs: 0.0,
+            targets_found: 0,
+            targets_total: 0,
+            detection: None,
+        }
+    }
+}
+
+/// Full outcome of one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Task-latency summaries with breakdown.
+    pub tasks: BreakdownSummary,
+    /// Mission result (defaults for single-app runs: completed, duration
+    /// = workload duration).
+    pub mission: MissionOutcome,
+    /// Edge↔cloud bandwidth.
+    pub bandwidth: BandwidthStats,
+    /// Swarm battery consumption.
+    pub battery: BatteryStats,
+    /// Concurrently active cloud functions over time (Fig. 5b/5c).
+    pub active_tasks: TimeSeries,
+    /// Container pool statistics `(warm_hits, cold_misses)`.
+    pub container_stats: (u64, u64),
+    /// Straggler respawns that won.
+    pub stragglers_mitigated: u64,
+    /// Functions that recovered from injected faults.
+    pub faults_recovered: u64,
+}
+
+impl Outcome {
+    /// Median task latency in milliseconds (the paper's Fig. 4/11 axis).
+    pub fn median_task_ms(&mut self) -> f64 {
+        self.tasks.total.median() * 1e3
+    }
+
+    /// p99 task latency in milliseconds.
+    pub fn p99_task_ms(&mut self) -> f64 {
+        self.tasks.total.p99() * 1e3
+    }
+}
+
+/// Helper: a duration as fractional seconds (for summary recording).
+pub fn secs(d: SimDuration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::PlacementSite;
+    use hivemind_apps::suite::App;
+    use hivemind_sim::time::SimTime;
+
+    fn record(net_ms: u64, exec_ms: u64) -> TaskRecord {
+        TaskRecord {
+            task: 0,
+            app: App::FaceRecognition,
+            device: 0,
+            label: 0,
+            capture: SimTime::ZERO,
+            done: SimTime::ZERO + SimDuration::from_millis(net_ms + exec_ms),
+            placement: PlacementSite::Cloud,
+            network: SimDuration::from_millis(net_ms),
+            management: SimDuration::ZERO,
+            instantiation: SimDuration::ZERO,
+            data_io: SimDuration::ZERO,
+            exec: SimDuration::from_millis(exec_ms),
+            cold_start: false,
+        }
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let mut b = BreakdownSummary::default();
+        b.record(&record(30, 70));
+        b.record(&record(40, 60));
+        assert_eq!(b.len(), 2);
+        assert!((b.network_fraction() - 0.35).abs() < 1e-9);
+        assert_eq!(b.management_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = BreakdownSummary::default();
+        assert!(b.is_empty());
+        assert_eq!(b.network_fraction(), 0.0);
+        assert_eq!(b.instantiation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn outcome_latency_accessors() {
+        let mut o = Outcome::default();
+        o.tasks.record(&record(50, 50));
+        assert!((o.median_task_ms() - 100.0).abs() < 1e-6);
+        assert!((o.p99_task_ms() - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,811 @@
+//! The serverless cluster component.
+//!
+//! Accepts [`Invocation`]s, runs them through the modeled OpenWhisk
+//! pipeline — management control path, scheduling, container acquisition,
+//! data plane I/O, execution on a pinned core — and reports [`Completion`]s
+//! with full latency breakdowns. Implements the paper's fault tolerance
+//! (failed functions respawn automatically, Fig. 5c) and straggler
+//! mitigation (functions exceeding the job's 90th percentile are respawned
+//! and the first finisher wins; nodes producing repeated stragglers go on
+//! probation, Sec. 4.6).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use hivemind_sim::component::Component;
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::stats::{Summary, TimeSeries};
+use hivemind_sim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::container::{ContainerParams, WarmPool};
+use crate::dataplane::{DataPlane, ExchangeProtocol};
+use hivemind_net::rpc::RateGate;
+use crate::scheduler::{SchedulerPolicy, ServerView};
+use crate::types::{AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome};
+
+/// Cluster sizing and policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterParams {
+    /// Number of servers (paper testbed: 12).
+    pub servers: u32,
+    /// Logical cores per server (paper testbed: 40).
+    pub cores_per_server: u32,
+    /// Placement policy.
+    pub policy: SchedulerPolicy,
+    /// Container lifecycle parameters.
+    pub container: ContainerParams,
+    /// Protocol for input fetch when not colocated.
+    pub exchange_in: ExchangeProtocol,
+    /// Protocol for output store.
+    pub exchange_out: ExchangeProtocol,
+    /// Probability an invocation attempt fails mid-run (Fig. 5c injects
+    /// 0.05–0.20).
+    pub fault_rate: f64,
+    /// Enable p90 straggler respawn.
+    pub straggler_mitigation: bool,
+    /// Quantile that flags a straggler (paper: 0.90, tunable).
+    pub straggler_quantile: f64,
+    /// Minimum completed samples before straggler detection activates.
+    pub straggler_min_samples: usize,
+    /// Stragglers within [`Self::probation_window`] that trigger probation.
+    pub probation_threshold: u32,
+    /// Sliding window for counting per-node stragglers.
+    pub probation_window: SimDuration,
+    /// How long a node stays on probation ("a few minutes", Sec. 4.6).
+    pub probation_duration: SimDuration,
+    /// Cluster-wide cap on concurrently admitted functions (AWS Lambda's
+    /// default user limit is 1,000).
+    pub max_concurrent: u32,
+    /// Control-plane decision throughput of one scheduler, decisions/s.
+    /// The centralized controller serializes admissions; past this rate
+    /// the control plane itself queues (the Sec. 5.6 scalability wall).
+    pub controller_rps: f64,
+    /// Number of scheduler shards (Sec. 4.3: HiveMind falls back to
+    /// multiple schedulers with shared state when one saturates).
+    pub scheduler_shards: u32,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            servers: 12,
+            cores_per_server: 40,
+            policy: SchedulerPolicy::OpenWhiskDefault,
+            container: ContainerParams::openwhisk_default(),
+            exchange_in: ExchangeProtocol::CouchDb,
+            exchange_out: ExchangeProtocol::CouchDb,
+            fault_rate: 0.0,
+            straggler_mitigation: false,
+            straggler_quantile: 0.90,
+            straggler_min_samples: 20,
+            probation_threshold: 3,
+            probation_window: SimDuration::from_secs(60),
+            probation_duration: SimDuration::from_secs(180),
+            max_concurrent: 1000,
+            controller_rps: 500.0,
+            scheduler_shards: 1,
+        }
+    }
+}
+
+impl ClusterParams {
+    /// The full HiveMind configuration: HiveMind scheduler, long
+    /// keep-alive, FPGA remote-memory data plane.
+    pub fn hivemind() -> Self {
+        ClusterParams {
+            policy: SchedulerPolicy::HiveMind,
+            container: ContainerParams::hivemind(),
+            exchange_in: ExchangeProtocol::RemoteMemory,
+            exchange_out: ExchangeProtocol::RemoteMemory,
+            straggler_mitigation: true,
+            ..ClusterParams::default()
+        }
+    }
+
+    /// HiveMind without hardware acceleration (the "HiveMind-No Accel"
+    /// ablation of Fig. 13): same scheduler/keep-alive, CouchDB data plane.
+    pub fn hivemind_no_accel() -> Self {
+        ClusterParams {
+            exchange_in: ExchangeProtocol::CouchDb,
+            exchange_out: ExchangeProtocol::CouchDb,
+            ..ClusterParams::hivemind()
+        }
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.servers * self.cores_per_server
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Admit(u32),
+    /// Container ready; fetch the input through the data plane.
+    DataIn(u32),
+    /// Execution finished; store the output through the data plane.
+    DataOut(u32),
+    Complete(u32),
+}
+
+#[derive(Debug)]
+struct InvState {
+    inv: Invocation,
+    arrived: SimTime,
+    ready: SimTime, // arrived + management
+    management: SimDuration,
+    server: u32,
+    breakdown: LatencyBreakdown,
+    cold: bool,
+    in_memory: bool,
+    outcome: Outcome,
+    done: bool,
+    /// Whether the child was colocated with its parent's container.
+    colocated: bool,
+}
+
+/// The serverless cluster.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_faas::cluster::{Cluster, ClusterParams};
+/// use hivemind_faas::types::{AppId, AppProfile, Invocation};
+/// use hivemind_sim::rng::RngForge;
+/// use hivemind_sim::time::SimTime;
+///
+/// let mut cluster = Cluster::new(ClusterParams::default(), RngForge::new(1));
+/// cluster.register_app(AppId(0), AppProfile::test_profile(100.0));
+/// cluster.submit(SimTime::ZERO, Invocation::root(AppId(0), 7));
+/// let mut done = Vec::new();
+/// while let Some(t) = cluster.next_wakeup() {
+///     done.extend(cluster.advance_to(t));
+/// }
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].tag, 7);
+/// assert!(done[0].latency().as_millis_f64() > 100.0); // exec + overheads
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    params: ClusterParams,
+    apps: HashMap<AppId, AppProfile>,
+    busy: Vec<u32>,
+    probation_until: Vec<SimTime>,
+    straggler_events: Vec<VecDeque<SimTime>>,
+    warm: WarmPool,
+    dataplane: DataPlane,
+    rng: SmallRng,
+    invs: Vec<InvState>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
+    seq: u64,
+    wait_queue: VecDeque<u32>,
+    running: u32,
+    completions: Vec<Completion>,
+    /// Exec-time history per app for straggler thresholds.
+    exec_history: HashMap<AppId, Summary>,
+    active_series: TimeSeries,
+    stragglers_mitigated: u64,
+    faults_recovered: u64,
+    last_event_time: SimTime,
+    controller_gate: RateGate,
+}
+
+impl Cluster {
+    /// Creates a cluster; randomness derives from `forge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized clusters or out-of-range rates.
+    pub fn new(params: ClusterParams, forge: RngForge) -> Self {
+        assert!(params.servers > 0 && params.cores_per_server > 0);
+        assert!((0.0..=1.0).contains(&params.fault_rate));
+        assert!((0.0..1.0).contains(&params.straggler_quantile));
+        assert!(params.controller_rps > 0.0 && params.scheduler_shards > 0);
+        let servers = params.servers as usize;
+        let gate_rate = params.controller_rps * params.scheduler_shards as f64;
+        Cluster {
+            controller_gate: RateGate::new(gate_rate),
+            warm: WarmPool::new(params.container.clone()),
+            busy: vec![0; servers],
+            probation_until: vec![SimTime::ZERO; servers],
+            straggler_events: vec![VecDeque::new(); servers],
+            dataplane: DataPlane::for_cluster(params.servers),
+            rng: forge.stream("faas-cluster"),
+            apps: HashMap::new(),
+            invs: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            wait_queue: VecDeque::new(),
+            running: 0,
+            completions: Vec::new(),
+            exec_history: HashMap::new(),
+            active_series: TimeSeries::new(),
+            stragglers_mitigated: 0,
+            faults_recovered: 0,
+            last_event_time: SimTime::ZERO,
+            params,
+        }
+    }
+
+    /// Registers (or replaces) an application profile.
+    pub fn register_app(&mut self, app: AppId, profile: AppProfile) {
+        self.apps.insert(app, profile);
+    }
+
+    /// The cluster parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Submits an invocation at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app was never registered.
+    pub fn submit(&mut self, now: SimTime, inv: Invocation) {
+        assert!(
+            self.apps.contains_key(&inv.app),
+            "app {:?} not registered",
+            inv.app
+        );
+        // The control plane serializes scheduling decisions: wait for a
+        // scheduler slot, then pay the per-decision management cost.
+        let control_wait = self.controller_gate.admit(now);
+        let management = control_wait
+            + self.params.policy.management_cost().sample(&mut self.rng);
+        let idx = self.invs.len() as u32;
+        self.invs.push(InvState {
+            inv,
+            arrived: now,
+            ready: now + management,
+            management,
+            server: 0,
+            breakdown: LatencyBreakdown::default(),
+            cold: false,
+            in_memory: false,
+            outcome: Outcome::Ok,
+            done: false,
+            colocated: false,
+        });
+        self.push_event(now + management, Ev::Admit(idx));
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, ev)));
+    }
+
+    fn server_views(&self, now: SimTime) -> Vec<ServerView> {
+        (0..self.params.servers)
+            .map(|s| ServerView {
+                id: s,
+                total_cores: self.params.cores_per_server,
+                busy_cores: self.busy[s as usize],
+                on_probation: self.probation_until[s as usize] > now,
+            })
+            .collect()
+    }
+
+    fn straggler_threshold(&mut self, app: AppId) -> Option<SimDuration> {
+        let hist = self.exec_history.get_mut(&app)?;
+        if hist.len() < self.params.straggler_min_samples {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(
+            hist.quantile(self.params.straggler_quantile),
+        ))
+    }
+
+    fn admit(&mut self, now: SimTime, idx: u32) {
+        if self.running >= self.params.max_concurrent {
+            self.wait_queue.push_back(idx);
+            return;
+        }
+        let views = self.server_views(now);
+        let choice = {
+            let st = &self.invs[idx as usize];
+            self.params.policy.choose(now, &st.inv, &views, &self.warm)
+        };
+        let Some(server) = choice else {
+            self.wait_queue.push_back(idx);
+            return;
+        };
+
+        // --- Occupy a pinned core. ---
+        self.busy[server as usize] += 1;
+        self.running += 1;
+        self.active_series.record(now, self.running as f64);
+
+        let (app, isolate, parent_server, parent_in_memory) = {
+            let st = &self.invs[idx as usize];
+            (
+                st.inv.app,
+                st.inv.isolate,
+                st.inv.parent_server,
+                st.inv.parent_in_memory,
+            )
+        };
+
+        // --- Container acquisition. ---
+        let colocated = parent_server == Some(server) && parent_in_memory;
+        let warm_hit = if isolate {
+            false
+        } else if colocated {
+            // Child reuses the parent's still-live container outright.
+            true
+        } else {
+            self.warm.try_take(now, server, app)
+        };
+        let instantiation = self.warm.instantiation_cost(warm_hit, &mut self.rng);
+        {
+            let st = &mut self.invs[idx as usize];
+            st.server = server;
+            st.cold = !warm_hit;
+            st.in_memory = colocated;
+            st.colocated = colocated;
+            st.breakdown.queueing = now - st.ready;
+            st.breakdown.management = st.management;
+            st.breakdown.instantiation = instantiation;
+        }
+        self.push_event(now + instantiation, Ev::DataIn(idx));
+    }
+
+    /// Container is up: fetch input, then execute. Runs at its true
+    /// chronological instant so the shared data plane sees arrivals in
+    /// order (a CouchDB instance is a FIFO queue — feeding it future
+    /// timestamps would corrupt its backlog accounting).
+    fn data_in_stage(&mut self, now: SimTime, idx: u32) {
+        let (app, colocated, server) = {
+            let st = &self.invs[idx as usize];
+            (st.inv.app, st.colocated, st.server)
+        };
+        let profile = self.apps.get(&app).expect("registered").clone();
+        let in_proto = if colocated {
+            ExchangeProtocol::InMemory
+        } else {
+            self.params.exchange_in
+        };
+        let data_in = if profile.input_bytes > 0 {
+            self.dataplane
+                .exchange(now, in_proto, profile.input_bytes, &mut self.rng)
+        } else {
+            SimDuration::ZERO
+        };
+
+        // --- Execution with fault injection. ---
+        let mut wasted = SimDuration::ZERO;
+        let mut respawns = 0u32;
+        let final_exec = loop {
+            let draw = profile.exec.sample(&mut self.rng);
+            if respawns < 5 && self.rng.gen::<f64>() < self.params.fault_rate {
+                // Fails a uniform way through; OpenWhisk respawns it.
+                wasted += draw.mul_f64(self.rng.gen::<f64>());
+                wasted += self.warm.instantiation_cost(true, &mut self.rng);
+                respawns += 1;
+                continue;
+            }
+            break draw;
+        };
+
+        // --- Straggler mitigation. ---
+        let threshold = if self.params.straggler_mitigation {
+            self.straggler_threshold(app)
+        } else {
+            None
+        };
+        let (exec_eff, straggled) = match threshold {
+            Some(th) if final_exec > th => {
+                let dup = profile.exec.sample(&mut self.rng);
+                let capped = th + dup;
+                if capped < final_exec {
+                    (capped, true)
+                } else {
+                    (final_exec, false)
+                }
+            }
+            _ => (final_exec, false),
+        };
+        if straggled {
+            self.stragglers_mitigated += 1;
+            let q = &mut self.straggler_events[server as usize];
+            q.push_back(now);
+            while q
+                .front()
+                .is_some_and(|&t| now.saturating_since(t) > self.params.probation_window)
+            {
+                q.pop_front();
+            }
+            if q.len() as u32 >= self.params.probation_threshold {
+                self.probation_until[server as usize] = now + self.params.probation_duration;
+                q.clear();
+            }
+        }
+        let exec_total = wasted + exec_eff;
+        self.exec_history
+            .entry(app)
+            .or_default()
+            .record_duration(exec_eff);
+        {
+            let st = &mut self.invs[idx as usize];
+            st.outcome = if respawns > 0 {
+                self.faults_recovered += 1;
+                Outcome::RecoveredFromFaults { respawns }
+            } else if straggled {
+                Outcome::MitigatedStraggler
+            } else {
+                Outcome::Ok
+            };
+            st.breakdown.data_io += data_in;
+            st.breakdown.exec = exec_total;
+        }
+        self.push_event(now + data_in + exec_total, Ev::DataOut(idx));
+    }
+
+    /// Execution finished: store the output, then complete.
+    fn data_out_stage(&mut self, now: SimTime, idx: u32) {
+        let app = self.invs[idx as usize].inv.app;
+        let profile = self.apps.get(&app).expect("registered").clone();
+        let data_out = if profile.output_bytes > 0 {
+            self.dataplane.exchange(
+                now,
+                self.params.exchange_out,
+                profile.output_bytes,
+                &mut self.rng,
+            )
+        } else {
+            SimDuration::ZERO
+        };
+        self.invs[idx as usize].breakdown.data_io += data_out;
+        self.push_event(now + data_out, Ev::Complete(idx));
+    }
+
+    fn complete(&mut self, now: SimTime, idx: u32) {
+        let (server, app, tag) = {
+            let st = &mut self.invs[idx as usize];
+            debug_assert!(!st.done, "double completion");
+            st.done = true;
+            (st.server, st.inv.app, st.inv.tag)
+        };
+        self.busy[server as usize] -= 1;
+        self.running -= 1;
+        self.active_series.record(now, self.running as f64);
+        self.warm.park(now, server, app);
+
+        let st = &self.invs[idx as usize];
+        self.completions.push(Completion {
+            tag,
+            app,
+            server,
+            arrived: st.arrived,
+            finished: now,
+            breakdown: st.breakdown,
+            cold_start: st.cold,
+            in_memory_exchange: st.in_memory,
+            outcome: st.outcome,
+        });
+
+        // Admit as many queued invocations as now fit.
+        while let Some(&head) = self.wait_queue.front() {
+            let views = self.server_views(now);
+            let can_place = self.running < self.params.max_concurrent
+                && self
+                    .params
+                    .policy
+                    .choose(now, &self.invs[head as usize].inv, &views, &self.warm)
+                    .is_some();
+            if !can_place {
+                break;
+            }
+            self.wait_queue.pop_front();
+            self.admit(now, head);
+        }
+    }
+
+    /// The earliest internal event, if any.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Advances to `now`, returning completions that finished at or before
+    /// `now` (chronological).
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<Completion> {
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse((t, _, _))| *t <= now)
+        {
+            let Reverse((t, _, ev)) = self.heap.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.last_event_time);
+            self.last_event_time = t;
+            match ev {
+                Ev::Admit(idx) => self.admit(t, idx),
+                Ev::DataIn(idx) => self.data_in_stage(t, idx),
+                Ev::DataOut(idx) => self.data_out_stage(t, idx),
+                Ev::Complete(idx) => self.complete(t, idx),
+            }
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Functions currently executing.
+    pub fn running(&self) -> u32 {
+        self.running
+    }
+
+    /// Per-server core utilization in `[0, 1]` — what each node's worker
+    /// monitor reports to the scheduler (Sec. 4.3: "a lightweight process
+    /// that periodically monitors the performance of active functions,
+    /// and the server's utilization").
+    pub fn server_utilizations(&self) -> Vec<f64> {
+        self.busy
+            .iter()
+            .map(|&b| b as f64 / self.params.cores_per_server as f64)
+            .collect()
+    }
+
+    /// Servers currently on straggler probation at `now`.
+    pub fn servers_on_probation(&self, now: SimTime) -> u32 {
+        self.probation_until.iter().filter(|&&t| t > now).count() as u32
+    }
+
+    /// Invocations waiting for a free core.
+    pub fn queued(&self) -> usize {
+        self.wait_queue.len()
+    }
+
+    /// Time series of concurrently active functions (Fig. 5c).
+    pub fn active_series(&self) -> &TimeSeries {
+        &self.active_series
+    }
+
+    /// `(warm_hits, cold_misses)` of the container pool.
+    pub fn container_stats(&self) -> (u64, u64) {
+        self.warm.hit_stats()
+    }
+
+    /// Number of straggler respawns that won.
+    pub fn stragglers_mitigated(&self) -> u64 {
+        self.stragglers_mitigated
+    }
+
+    /// Number of invocations that recovered from injected faults.
+    pub fn faults_recovered(&self) -> u64 {
+        self.faults_recovered
+    }
+
+    /// Mean unloaded latency of a root invocation of `app` under this
+    /// configuration — used by the analytical cross-model.
+    pub fn mean_unloaded_latency_secs(&self, app: AppId, warm_fraction: f64) -> f64 {
+        let profile = &self.apps[&app];
+        let p = &self.params;
+        let inst = warm_fraction * p.container.warm_start.mean_secs()
+            + (1.0 - warm_fraction) * p.container.cold_start.mean_secs();
+        p.policy.management_cost().mean_secs()
+            + inst
+            + self
+                .dataplane
+                .mean_exchange_secs(p.exchange_in, profile.input_bytes)
+            + profile.exec.mean_secs()
+            + self
+                .dataplane
+                .mean_exchange_secs(p.exchange_out, profile.output_bytes)
+    }
+}
+
+impl Component for Cluster {
+    type Command = Invocation;
+    type Output = Completion;
+
+    fn handle(&mut self, now: SimTime, cmd: Invocation) {
+        self.submit(now, cmd);
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        Cluster::next_wakeup(self)
+    }
+
+    fn advance(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        out.extend(self.advance_to(now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_all(cluster: &mut Cluster) -> Vec<Completion> {
+        let mut done = Vec::new();
+        while let Some(t) = cluster.next_wakeup() {
+            done.extend(cluster.advance_to(t));
+        }
+        done
+    }
+
+    fn small_cluster(params: ClusterParams) -> Cluster {
+        let mut c = Cluster::new(params, RngForge::new(42));
+        c.register_app(AppId(0), AppProfile::test_profile(100.0));
+        c
+    }
+
+    #[test]
+    fn single_invocation_breakdown_sums() {
+        let mut c = small_cluster(ClusterParams::default());
+        c.submit(SimTime::ZERO, Invocation::root(AppId(0), 1));
+        let done = run_all(&mut c);
+        assert_eq!(done.len(), 1);
+        let comp = &done[0];
+        assert_eq!(comp.breakdown.total(), comp.latency());
+        assert!(comp.cold_start, "first run must be a cold start");
+        assert!(comp.breakdown.exec >= SimDuration::from_millis(100));
+        assert!(comp.breakdown.management > SimDuration::ZERO);
+        assert!(comp.breakdown.instantiation > SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn second_invocation_hits_warm_container() {
+        let mut c = small_cluster(ClusterParams::hivemind());
+        c.submit(SimTime::ZERO, Invocation::root(AppId(0), 1));
+        // Long after the first finishes but inside the 20 s keep-alive.
+        c.submit(SimTime::from_secs(5), Invocation::root(AppId(0), 2));
+        let done = run_all(&mut c);
+        assert!(!done[1].cold_start, "keep-alive should give a warm hit");
+        assert!(done[1].breakdown.instantiation < SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn openwhisk_short_keepalive_goes_cold_again() {
+        let mut c = small_cluster(ClusterParams::default());
+        c.submit(SimTime::ZERO, Invocation::root(AppId(0), 1));
+        c.submit(SimTime::from_secs(30), Invocation::root(AppId(0), 2));
+        let done = run_all(&mut c);
+        assert!(done[1].cold_start, "2 s keep-alive expired after 30 s");
+    }
+
+    #[test]
+    fn saturation_queues_and_queueing_shows_in_breakdown() {
+        let params = ClusterParams {
+            servers: 1,
+            cores_per_server: 2,
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..6 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        let done = run_all(&mut c);
+        assert_eq!(done.len(), 6);
+        let queued: Vec<_> = done
+            .iter()
+            .filter(|d| d.breakdown.queueing > SimDuration::ZERO)
+            .collect();
+        assert!(
+            queued.len() >= 3,
+            "with 2 cores and 6 tasks most must queue; queued = {}",
+            queued.len()
+        );
+    }
+
+    #[test]
+    fn colocated_child_uses_in_memory_exchange() {
+        let mut c = small_cluster(ClusterParams::hivemind());
+        c.submit(SimTime::ZERO, Invocation::root(AppId(0), 1));
+        let done = run_all(&mut c);
+        let parent_server = done[0].server;
+        c.submit(
+            SimTime::from_secs(1),
+            Invocation::child_of(AppId(0), 2, parent_server, true),
+        );
+        let done = run_all(&mut c);
+        assert!(done[0].in_memory_exchange);
+        assert!(!done[0].cold_start);
+        // In-memory input fetch leaves only the (remote-memory) output
+        // store in data_io — well under a millisecond in total.
+        assert!(done[0].breakdown.data_io < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn faults_recover_and_inflate_exec() {
+        let params = ClusterParams {
+            fault_rate: 0.5,
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..40 {
+            c.submit(SimTime::from_secs(tag), Invocation::root(AppId(0), tag));
+        }
+        let done = run_all(&mut c);
+        assert_eq!(done.len(), 40, "every faulted task must still complete");
+        assert!(c.faults_recovered() > 5, "recovered {}", c.faults_recovered());
+        let recovered = done
+            .iter()
+            .find(|d| matches!(d.outcome, Outcome::RecoveredFromFaults { .. }))
+            .expect("some task recovered");
+        assert!(recovered.breakdown.exec > SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn straggler_mitigation_caps_heavy_tail() {
+        let heavy = AppProfile {
+            name: "heavy-tail",
+            exec: hivemind_sim::dist::Dist::bounded_pareto(0.05, 20.0, 1.1),
+            input_bytes: 0,
+            output_bytes: 0,
+            memory_mb: 128,
+        };
+        let run = |mitigate: bool| -> f64 {
+            let params = ClusterParams {
+                straggler_mitigation: mitigate,
+                exchange_in: ExchangeProtocol::InMemory,
+                exchange_out: ExchangeProtocol::InMemory,
+                ..ClusterParams::default()
+            };
+            let mut c = Cluster::new(params, RngForge::new(7));
+            c.register_app(AppId(1), heavy.clone());
+            for tag in 0..400 {
+                c.submit(
+                    SimTime::from_nanos(tag * 200_000_000),
+                    Invocation::root(AppId(1), tag),
+                );
+            }
+            let done = run_all(&mut c);
+            let mut s = Summary::new();
+            for d in &done {
+                s.record_duration(d.breakdown.exec);
+            }
+            s.p99()
+        };
+        let unmitigated = run(false);
+        let mitigated = run(true);
+        assert!(
+            mitigated < unmitigated * 0.8,
+            "p99 exec should drop: {unmitigated} -> {mitigated}"
+        );
+    }
+
+    #[test]
+    fn active_series_tracks_concurrency() {
+        let mut c = small_cluster(ClusterParams::default());
+        for tag in 0..5 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        let _ = run_all(&mut c);
+        assert!(c.active_series().max() >= 5.0);
+        assert_eq!(c.running(), 0);
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_app_panics() {
+        let mut c = Cluster::new(ClusterParams::default(), RngForge::new(1));
+        c.submit(SimTime::ZERO, Invocation::root(AppId(9), 0));
+    }
+
+    #[test]
+    fn concurrency_cap_respected() {
+        let params = ClusterParams {
+            max_concurrent: 3,
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..10 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        // Drive event by event, checking the invariant throughout.
+        while let Some(t) = c.next_wakeup() {
+            let _ = c.advance_to(t);
+            assert!(c.running() <= 3, "cap violated: {}", c.running());
+        }
+    }
+
+    #[test]
+    fn mean_unloaded_latency_is_sane() {
+        let c = small_cluster(ClusterParams::default());
+        let m = c.mean_unloaded_latency_secs(AppId(0), 0.5);
+        // 100 ms exec + management + ~60 ms mixed instantiation + data I/O.
+        assert!(m > 0.1 && m < 0.5, "mean {m}");
+    }
+}

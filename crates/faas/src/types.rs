@@ -1,0 +1,215 @@
+//! Request/response vocabulary of the serverless cluster.
+
+use hivemind_sim::dist::Dist;
+use hivemind_sim::time::{SimDuration, SimTime};
+
+/// Identifies a registered application (function image) on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u16);
+
+/// Resource/cost profile of a registered function.
+///
+/// Profiles carry everything the cluster needs to execute an invocation:
+/// the service-time distribution on a server core, the input/output object
+/// sizes exchanged through the data plane, and a memory footprint used for
+/// admission bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Per-invocation execution time on one cloud core.
+    pub exec: Dist,
+    /// Input object size fetched before execution, bytes.
+    pub input_bytes: u64,
+    /// Output object size stored after execution, bytes.
+    pub output_bytes: u64,
+    /// Container memory footprint, MB.
+    pub memory_mb: u32,
+}
+
+impl AppProfile {
+    /// A convenience profile for tests: constant `exec_ms` execution,
+    /// small objects.
+    pub fn test_profile(exec_ms: f64) -> AppProfile {
+        AppProfile {
+            name: "test",
+            exec: Dist::constant_ms(exec_ms),
+            input_bytes: 64 * 1024,
+            output_bytes: 16 * 1024,
+            memory_mb: 256,
+        }
+    }
+}
+
+/// A request to run one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// Caller correlation tag, echoed in the [`Completion`].
+    pub tag: u64,
+    /// Which registered application to run.
+    pub app: AppId,
+    /// Server where the parent function ran, if this is a child in a
+    /// multi-tier job; enables colocation and in-memory data exchange.
+    pub parent_server: Option<u32>,
+    /// Whether the parent's container is still alive with output staged in
+    /// a shared virtual-memory region (Sec. 4.3's first optimization).
+    pub parent_in_memory: bool,
+    /// Require a dedicated (fresh) container — the DSL's `Isolate(task)`
+    /// directive; disables warm reuse for this invocation.
+    pub isolate: bool,
+}
+
+impl Invocation {
+    /// A root invocation (no parent) of `app` with correlation `tag`.
+    pub fn root(app: AppId, tag: u64) -> Invocation {
+        Invocation {
+            tag,
+            app,
+            parent_server: None,
+            parent_in_memory: false,
+            isolate: false,
+        }
+    }
+
+    /// A child invocation whose parent ran on `server`.
+    pub fn child_of(app: AppId, tag: u64, server: u32, in_memory: bool) -> Invocation {
+        Invocation {
+            tag,
+            app,
+            parent_server: Some(server),
+            parent_in_memory: in_memory,
+            isolate: false,
+        }
+    }
+}
+
+/// Where the latency of a completed invocation went.
+///
+/// Matches the paper's breakdown categories: management operations
+/// (control path + scheduling), container instantiation, data I/O through
+/// the function data plane, and useful execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Queueing for a free core before admission.
+    pub queueing: SimDuration,
+    /// Control-path management: front-end, auth, bus, invoker dispatch.
+    pub management: SimDuration,
+    /// Container instantiation (zero for warm hits).
+    pub instantiation: SimDuration,
+    /// Input fetch + output store through the data plane.
+    pub data_io: SimDuration,
+    /// Useful function execution (includes fault re-execution time).
+    pub exec: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency.
+    pub fn total(&self) -> SimDuration {
+        self.queueing + self.management + self.instantiation + self.data_io + self.exec
+    }
+
+    /// Fraction of the total spent in a part; 0 when the total is zero.
+    pub fn fraction(&self, part: SimDuration) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            part.as_secs_f64() / total
+        }
+    }
+}
+
+/// How an invocation finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion on the first attempt.
+    Ok,
+    /// One or more injected faults occurred; the function was respawned
+    /// and eventually succeeded.
+    RecoveredFromFaults {
+        /// Number of respawns needed.
+        respawns: u32,
+    },
+    /// The straggler monitor respawned it and the duplicate won.
+    MitigatedStraggler,
+}
+
+/// Record of one finished invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller's correlation tag.
+    pub tag: u64,
+    /// The application that ran.
+    pub app: AppId,
+    /// Server that executed the (winning) attempt.
+    pub server: u32,
+    /// When the invocation entered the cluster.
+    pub arrived: SimTime,
+    /// When the result was ready.
+    pub finished: SimTime,
+    /// Latency decomposition.
+    pub breakdown: LatencyBreakdown,
+    /// Whether a cold container start was required.
+    pub cold_start: bool,
+    /// Whether data exchange used the in-memory fast path.
+    pub in_memory_exchange: bool,
+    /// How it finished.
+    pub outcome: Outcome,
+}
+
+impl Completion {
+    /// End-to-end latency of the invocation.
+    pub fn latency(&self) -> SimDuration {
+        self.finished - self.arrived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_parts() {
+        let b = LatencyBreakdown {
+            queueing: SimDuration::from_millis(1),
+            management: SimDuration::from_millis(2),
+            instantiation: SimDuration::from_millis(3),
+            data_io: SimDuration::from_millis(4),
+            exec: SimDuration::from_millis(10),
+        };
+        assert_eq!(b.total(), SimDuration::from_millis(20));
+        assert!((b.fraction(b.exec) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        let b = LatencyBreakdown::default();
+        assert_eq!(b.fraction(SimDuration::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn invocation_constructors() {
+        let root = Invocation::root(AppId(3), 42);
+        assert_eq!(root.parent_server, None);
+        assert!(!root.parent_in_memory);
+        let child = Invocation::child_of(AppId(3), 43, 7, true);
+        assert_eq!(child.parent_server, Some(7));
+        assert!(child.parent_in_memory);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            tag: 0,
+            app: AppId(0),
+            server: 0,
+            arrived: SimTime::from_secs(1),
+            finished: SimTime::from_secs(3),
+            breakdown: LatencyBreakdown::default(),
+            cold_start: false,
+            in_memory_exchange: false,
+            outcome: Outcome::Ok,
+        };
+        assert_eq!(c.latency(), SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the serverless substrate.
+
+use hivemind_faas::cluster::{Cluster, ClusterParams};
+use hivemind_faas::iaas::{FixedPool, FixedPoolParams};
+use hivemind_faas::types::{AppId, AppProfile, Invocation};
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn drain_cluster(c: &mut Cluster) -> Vec<hivemind_faas::types::Completion> {
+    let mut done = Vec::new();
+    while let Some(t) = c.next_wakeup() {
+        done.extend(c.advance_to(t));
+    }
+    done
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted invocation completes exactly once, with a
+    /// breakdown that sums to its latency, regardless of arrival pattern,
+    /// app mix, fault rate, or cluster size.
+    #[test]
+    fn cluster_conserves_invocations(
+        arrivals in prop::collection::vec((0u64..30_000, 0u16..3), 1..120),
+        servers in 1u32..6,
+        cores in 1u32..8,
+        fault_pct in 0u32..30,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|&(t, _)| t);
+        let params = ClusterParams {
+            servers,
+            cores_per_server: cores,
+            fault_rate: fault_pct as f64 / 100.0,
+            ..ClusterParams::default()
+        };
+        let mut cluster = Cluster::new(params, RngForge::new(7));
+        for app in 0..3u16 {
+            cluster.register_app(
+                AppId(app),
+                AppProfile::test_profile(10.0 + 40.0 * app as f64),
+            );
+        }
+        for (i, &(t_ms, app)) in arrivals.iter().enumerate() {
+            cluster.submit(
+                SimTime::ZERO + SimDuration::from_millis(t_ms),
+                Invocation::root(AppId(app), i as u64),
+            );
+        }
+        let done = drain_cluster(&mut cluster);
+        prop_assert_eq!(done.len(), arrivals.len());
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), arrivals.len(), "no duplicate completions");
+        for c in &done {
+            prop_assert_eq!(c.breakdown.total(), c.latency());
+            prop_assert!(c.finished >= c.arrived);
+            prop_assert!(c.server < servers);
+        }
+        prop_assert_eq!(cluster.running(), 0);
+        prop_assert_eq!(cluster.queued(), 0);
+    }
+
+    /// Warm hits + cold misses equals container acquisitions, and the
+    /// isolate flag always forces a cold start.
+    #[test]
+    fn warm_accounting_is_consistent(n in 1usize..60, isolate in any::<bool>()) {
+        let mut cluster = Cluster::new(ClusterParams::default(), RngForge::new(9));
+        cluster.register_app(AppId(0), AppProfile::test_profile(20.0));
+        for i in 0..n {
+            let mut inv = Invocation::root(AppId(0), i as u64);
+            inv.isolate = isolate;
+            cluster.submit(SimTime::from_secs(i as u64), inv);
+        }
+        let done = drain_cluster(&mut cluster);
+        let (warm, cold) = cluster.container_stats();
+        if isolate {
+            prop_assert!(done.iter().all(|c| c.cold_start), "Isolate forbids reuse");
+        }
+        prop_assert_eq!(
+            done.iter().filter(|c| c.cold_start).count() as u64,
+            done.len() as u64 - warm,
+            "cold completions + warm hits account for every run (cold = {}, warm = {})",
+            cold,
+            warm
+        );
+    }
+
+    /// The fixed pool also conserves work and never exceeds its size.
+    #[test]
+    fn fixed_pool_conserves_work(
+        arrivals in prop::collection::vec(0u64..20_000, 1..80),
+        workers in 1u32..6,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let mut pool = FixedPool::new(
+            FixedPoolParams {
+                workers,
+                ..FixedPoolParams::default()
+            },
+            RngForge::new(3),
+        );
+        pool.register_app(AppId(0), AppProfile::test_profile(50.0));
+        for (i, &t_ms) in arrivals.iter().enumerate() {
+            pool.submit(
+                SimTime::ZERO + SimDuration::from_millis(t_ms),
+                Invocation::root(AppId(0), i as u64),
+            );
+        }
+        let mut done = Vec::new();
+        while let Some(t) = pool.next_wakeup() {
+            done.extend(pool.advance_to(t));
+        }
+        prop_assert_eq!(done.len(), arrivals.len());
+        prop_assert!(pool.active_series().max() <= workers as f64);
+        prop_assert_eq!(pool.queued(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! A single store-and-forward FIFO link.
+//!
+//! Each link serializes transfers in arrival order at its configured
+//! capacity: a transfer arriving at `t` begins transmission at
+//! `max(t, busy_until)`, occupies the link for `bytes / capacity`, and
+//! arrives at the far end one propagation delay after transmission ends.
+//! This is the minimal model that still produces the queueing collapse of
+//! Fig. 3b when offered load exceeds capacity.
+
+use std::collections::BinaryHeap;
+use std::cmp::Ordering;
+
+use hivemind_sim::time::{SimDuration, SimTime};
+
+/// An opaque item flowing through a link (the fabric stores hop state here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkItem<T> {
+    /// When the item arrived at this link's input queue.
+    pub arrived: SimTime,
+    /// FIFO tie-break for simultaneous arrivals.
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Caller payload.
+    pub payload: T,
+}
+
+impl<T: Eq> PartialOrd for LinkItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Eq> Ord for LinkItem<T> {
+    // Min-heap by (arrived, seq).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .arrived
+            .cmp(&self.arrived)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// FIFO store-and-forward link state.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_net::link::Link;
+/// use hivemind_sim::time::{SimDuration, SimTime};
+///
+/// // 1000 bytes/s, 10 ms propagation.
+/// let mut link: Link<&str> = Link::new(1000.0, SimDuration::from_millis(10));
+/// link.enqueue(SimTime::ZERO, 500, "a"); // 0.5 s transmission
+/// link.enqueue(SimTime::ZERO, 500, "b"); // queued behind "a"
+/// let (t_a, a) = link.pop_ready(SimTime::MAX).unwrap();
+/// let (t_b, b) = link.pop_ready(SimTime::MAX).unwrap();
+/// assert_eq!(a, "a");
+/// assert_eq!(t_a.as_secs_f64(), 0.510);
+/// assert_eq!(b, "b");
+/// assert_eq!(t_b.as_secs_f64(), 1.010);
+/// ```
+#[derive(Debug)]
+pub struct Link<T> {
+    bytes_per_sec: f64,
+    propagation: SimDuration,
+    busy_until: SimTime,
+    seq: u64,
+    /// Items waiting to start transmission, ordered by arrival.
+    waiting: BinaryHeap<LinkItem<T>>,
+    /// Items in flight: (delivery_time, seq, payload), ordered by delivery.
+    in_flight: BinaryHeap<InFlight<T>>,
+    /// Total bytes that completed transmission on this link.
+    bytes_carried: u64,
+}
+
+#[derive(Debug)]
+struct InFlight<T> {
+    deliver_at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for InFlight<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for InFlight<T> {}
+impl<T> PartialOrd for InFlight<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for InFlight<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: Eq> Link<T> {
+    /// Creates a link with `bytes_per_sec` capacity and one-way
+    /// `propagation` delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn new(bytes_per_sec: f64, propagation: SimDuration) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "link capacity must be positive"
+        );
+        Link {
+            bytes_per_sec,
+            propagation,
+            busy_until: SimTime::ZERO,
+            seq: 0,
+            waiting: BinaryHeap::new(),
+            in_flight: BinaryHeap::new(),
+            bytes_carried: 0,
+        }
+    }
+
+    /// Queues an item arriving at time `now`.
+    pub fn enqueue(&mut self, now: SimTime, bytes: u64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.waiting.push(LinkItem {
+            arrived: now,
+            seq,
+            bytes,
+            payload,
+        });
+        self.pump();
+    }
+
+    /// Starts transmission for every queued item whose start time is
+    /// already determined (FIFO: each starts when the previous finishes).
+    fn pump(&mut self) {
+        while let Some(head) = self.waiting.pop() {
+            let start = self.busy_until.max(head.arrived);
+            let tx = SimDuration::from_secs_f64(head.bytes as f64 / self.bytes_per_sec);
+            let done = start + tx;
+            self.busy_until = done;
+            self.bytes_carried += head.bytes;
+            self.in_flight.push(InFlight {
+                deliver_at: done + self.propagation,
+                seq: head.seq,
+                payload: head.payload,
+            });
+        }
+    }
+
+    /// The earliest pending delivery time, if any.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.in_flight.peek().map(|f| f.deliver_at)
+    }
+
+    /// Pops the next item whose delivery time is `<= now`, returning
+    /// `(delivery_time, payload)`.
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        if self
+            .in_flight
+            .peek()
+            .is_some_and(|f| f.deliver_at <= now)
+        {
+            let f = self.in_flight.pop().expect("peeked item vanished");
+            Some((f.deliver_at, f.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Items currently queued or in flight.
+    pub fn load(&self) -> usize {
+        self.waiting.len() + self.in_flight.len()
+    }
+
+    /// Instant at which the link next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total payload bytes that have begun transmission.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Link capacity in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link<u32> {
+        // 1 MB/s, 1 ms propagation.
+        Link::new(1e6, SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut l = link();
+        l.enqueue(SimTime::from_secs(1), 500_000, 7);
+        let (t, v) = l.pop_ready(SimTime::MAX).unwrap();
+        assert_eq!(v, 7);
+        // 0.5 s transmission + 1 ms propagation.
+        assert_eq!(t.as_secs_f64(), 1.501);
+        assert_eq!(l.bytes_carried(), 500_000);
+    }
+
+    #[test]
+    fn fifo_serialization_under_contention() {
+        let mut l = link();
+        l.enqueue(SimTime::ZERO, 1_000_000, 1);
+        l.enqueue(SimTime::ZERO, 1_000_000, 2);
+        l.enqueue(SimTime::ZERO, 1_000_000, 3);
+        let mut times = vec![];
+        while let Some((t, v)) = l.pop_ready(SimTime::MAX) {
+            times.push((t.as_secs_f64(), v));
+        }
+        assert_eq!(
+            times,
+            vec![(1.001, 1), (2.001, 2), (3.001, 3)],
+            "each 1 MB transfer serializes for 1 s"
+        );
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut l = link();
+        l.enqueue(SimTime::ZERO, 1_000_000, 1);
+        // Arrives long after the first transfer finished.
+        l.enqueue(SimTime::from_secs(10), 1_000_000, 2);
+        let (_, _) = l.pop_ready(SimTime::MAX).unwrap();
+        let (t2, _) = l.pop_ready(SimTime::MAX).unwrap();
+        assert_eq!(t2.as_secs_f64(), 11.001);
+    }
+
+    #[test]
+    fn pop_ready_respects_now() {
+        let mut l = link();
+        l.enqueue(SimTime::ZERO, 1_000_000, 1);
+        assert!(l.pop_ready(SimTime::from_secs(1)).is_none()); // delivers at 1.001
+        assert!(l.pop_ready(SimTime::from_secs(2)).is_some());
+    }
+
+    #[test]
+    fn next_delivery_tracks_head() {
+        let mut l = link();
+        assert_eq!(l.next_delivery(), None);
+        l.enqueue(SimTime::ZERO, 2_000_000, 1);
+        assert_eq!(l.next_delivery().unwrap().as_secs_f64(), 2.001);
+    }
+
+    #[test]
+    fn load_counts_everything() {
+        let mut l = link();
+        l.enqueue(SimTime::ZERO, 100, 1);
+        l.enqueue(SimTime::ZERO, 100, 2);
+        assert_eq!(l.load(), 2);
+        let _ = l.pop_ready(SimTime::MAX);
+        assert_eq!(l.load(), 1);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_only_propagation() {
+        let mut l = link();
+        l.enqueue(SimTime::ZERO, 0, 1);
+        let (t, _) = l.pop_ready(SimTime::MAX).unwrap();
+        assert_eq!(t.as_secs_f64(), 0.001);
+    }
+}

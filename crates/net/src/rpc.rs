@@ -1,0 +1,181 @@
+//! RPC processing cost model.
+//!
+//! A network transfer pays for wire time on every hop (modeled by the
+//! [`fabric`](crate::fabric)) *plus* end-host protocol processing:
+//! serialization, kernel network stack traversal, and user-space dispatch.
+//! The paper's FPGA fabric exists precisely to remove these costs —
+//! "HiveMind's network acceleration achieves 2.1 µs round trip latencies …
+//! and a max throughput with a single CPU core of 12.4 Mrps for 64 B RPCs"
+//! (Sec. 4.5). `hivemind-accel` builds the accelerated profile from this
+//! module's types.
+
+use hivemind_sim::dist::Dist;
+use hivemind_sim::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Per-message end-host processing costs for one side of an RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcProfile {
+    /// Cost to send a message (serialize + stack traversal).
+    pub send_overhead: Dist,
+    /// Cost to receive a message (interrupt, copy, dispatch).
+    pub recv_overhead: Dist,
+    /// Per-byte marshalling cost in seconds (software copies scale with
+    /// payload size; zero-copy hardware paths set this to zero).
+    pub per_byte: f64,
+    /// Maximum sustainable requests/second per end-host core, if capped.
+    pub max_rps_per_core: Option<f64>,
+}
+
+impl RpcProfile {
+    /// The classic kernel TCP/IP + Thrift software stack: tens of
+    /// microseconds per message per side, with per-byte copy costs.
+    pub fn software() -> Self {
+        RpcProfile {
+            send_overhead: Dist::lognormal_median_sigma(25e-6, 0.3),
+            recv_overhead: Dist::lognormal_median_sigma(30e-6, 0.3),
+            per_byte: 0.35e-9, // ~2.8 GB/s effective copy/marshal bandwidth
+            max_rps_per_core: Some(0.8e6),
+        }
+    }
+
+    /// A software stack tuned for constrained edge CPUs (the drones' 1 GHz
+    /// Cortex-A8 runs the same stack several times slower).
+    pub fn edge_software() -> Self {
+        RpcProfile {
+            send_overhead: Dist::lognormal_median_sigma(120e-6, 0.35),
+            recv_overhead: Dist::lognormal_median_sigma(140e-6, 0.35),
+            per_byte: 2.0e-9,
+            max_rps_per_core: Some(0.1e6),
+        }
+    }
+
+    /// Samples the host-side cost of sending `bytes`.
+    pub fn send_cost<R: Rng + ?Sized>(&self, rng: &mut R, bytes: u64) -> SimDuration {
+        self.send_overhead.sample(rng) + SimDuration::from_secs_f64(self.per_byte * bytes as f64)
+    }
+
+    /// Samples the host-side cost of receiving `bytes`.
+    pub fn recv_cost<R: Rng + ?Sized>(&self, rng: &mut R, bytes: u64) -> SimDuration {
+        self.recv_overhead.sample(rng) + SimDuration::from_secs_f64(self.per_byte * bytes as f64)
+    }
+
+    /// Mean one-way processing cost for a message of `bytes`, for the
+    /// analytical model.
+    pub fn mean_one_way_secs(&self, bytes: u64) -> f64 {
+        self.send_overhead.mean_secs()
+            + self.recv_overhead.mean_secs()
+            + 2.0 * self.per_byte * bytes as f64
+    }
+}
+
+/// A per-core token-bucket rate limiter for RPC processing throughput.
+///
+/// When a profile declares `max_rps_per_core`, end hosts push message
+/// timestamps through a [`RateGate`] to model head-of-line blocking once
+/// the core's packet-processing capacity is exceeded.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_net::rpc::RateGate;
+/// use hivemind_sim::time::SimTime;
+///
+/// let mut gate = RateGate::new(2.0); // 2 messages/second
+/// assert_eq!(gate.admit(SimTime::ZERO).as_secs_f64(), 0.0);
+/// assert_eq!(gate.admit(SimTime::ZERO).as_secs_f64(), 0.5);
+/// assert_eq!(gate.admit(SimTime::ZERO).as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateGate {
+    interval: SimDuration,
+    next_free: SimTime,
+}
+
+impl RateGate {
+    /// Creates a gate that admits `rps` messages per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rps` is not strictly positive and finite.
+    pub fn new(rps: f64) -> Self {
+        assert!(rps > 0.0 && rps.is_finite(), "rate must be positive");
+        RateGate {
+            interval: SimDuration::from_secs_f64(1.0 / rps),
+            next_free: SimTime::ZERO,
+        }
+    }
+
+    /// Admits a message at `now`, returning the queueing delay it incurs
+    /// before processing can start.
+    pub fn admit(&mut self, now: SimTime) -> SimDuration {
+        let start = self.next_free.max(now);
+        self.next_free = start + self.interval;
+        start.saturating_since(now)
+    }
+
+    /// The instant at which the next admission would start immediately.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::rng::RngForge;
+
+    #[test]
+    fn software_profile_costs_scale_with_bytes() {
+        let p = RpcProfile::software();
+        let mut rng = RngForge::new(1).stream("rpc");
+        let small = p.send_cost(&mut rng, 64);
+        let large = p.send_cost(&mut rng, 10_000_000);
+        assert!(large > small);
+        // 10 MB at 0.35 ns/B dominates: ≈ 3.5 ms.
+        assert!(large.as_millis_f64() > 3.0);
+    }
+
+    #[test]
+    fn edge_stack_is_slower() {
+        let edge = RpcProfile::edge_software();
+        let cloud = RpcProfile::software();
+        assert!(edge.mean_one_way_secs(1024) > cloud.mean_one_way_secs(1024) * 3.0);
+    }
+
+    #[test]
+    fn mean_one_way_matches_parts() {
+        let p = RpcProfile {
+            send_overhead: Dist::constant(1e-6),
+            recv_overhead: Dist::constant(2e-6),
+            per_byte: 1e-9,
+            max_rps_per_core: None,
+        };
+        let m = p.mean_one_way_secs(1000);
+        assert!((m - (3e-6 + 2e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rate_gate_spaces_admissions() {
+        let mut g = RateGate::new(1000.0);
+        let mut delays = vec![];
+        for _ in 0..5 {
+            delays.push(g.admit(SimTime::ZERO).as_micros_f64());
+        }
+        assert_eq!(delays, vec![0.0, 1000.0, 2000.0, 3000.0, 4000.0]);
+    }
+
+    #[test]
+    fn rate_gate_idles_between_bursts() {
+        let mut g = RateGate::new(10.0);
+        assert_eq!(g.admit(SimTime::ZERO), SimDuration::ZERO);
+        // Long quiet period: the next message is admitted immediately.
+        assert_eq!(g.admit(SimTime::from_secs(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = RateGate::new(0.0);
+    }
+}

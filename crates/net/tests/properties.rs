@@ -1,0 +1,125 @@
+//! Property-based tests for the network substrate.
+
+use hivemind_net::fabric::{Fabric, Transfer};
+use hivemind_net::link::Link;
+use hivemind_net::rpc::RateGate;
+use hivemind_net::topology::{Node, Topology, TopologyParams};
+use hivemind_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO links deliver in arrival order, never faster than the wire
+    /// allows, and conserve every byte.
+    #[test]
+    fn link_is_fifo_and_work_conserving(
+        arrivals in prop::collection::vec((0u64..5_000_000, 1u64..2_000_000), 1..100),
+        bw_mbps in 1.0f64..1000.0,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|&(t, _)| t);
+        let bytes_per_sec = bw_mbps * 1e6;
+        let mut link: Link<usize> = Link::new(bytes_per_sec, SimDuration::from_micros(10));
+        let mut total_bytes = 0u64;
+        for (i, &(t_us, bytes)) in arrivals.iter().enumerate() {
+            link.enqueue(SimTime::ZERO + SimDuration::from_micros(t_us), bytes, i);
+            total_bytes += bytes;
+        }
+        let mut deliveries = Vec::new();
+        while let Some((t, id)) = link.pop_ready(SimTime::MAX) {
+            deliveries.push((t, id));
+        }
+        prop_assert_eq!(deliveries.len(), arrivals.len());
+        prop_assert_eq!(link.bytes_carried(), total_bytes);
+        // FIFO: delivery order equals arrival order.
+        for (pos, &(_, id)) in deliveries.iter().enumerate() {
+            prop_assert_eq!(id, pos);
+        }
+        // Work conservation: the last delivery is no earlier than
+        // first-arrival + total transmission time, and no later than
+        // last-arrival + total transmission time (+propagation).
+        let tx_total = SimDuration::from_secs_f64(total_bytes as f64 / bytes_per_sec);
+        let first_in = SimTime::ZERO + SimDuration::from_micros(arrivals[0].0);
+        let last_in = SimTime::ZERO + SimDuration::from_micros(arrivals.last().unwrap().0);
+        let last_out = deliveries.last().unwrap().0;
+        prop_assert!(last_out >= first_in + tx_total);
+        prop_assert!(
+            last_out <= last_in + tx_total + SimDuration::from_micros(10) + SimDuration::from_nanos(arrivals.len() as u64)
+        );
+    }
+
+    /// The multi-hop fabric preserves per-(src,dst) pair ordering: two
+    /// transfers between the same endpoints arrive in send order.
+    #[test]
+    fn fabric_preserves_flow_order(
+        sends in prop::collection::vec((0u64..1_000_000, 1u64..3_000_000), 2..60),
+        dev in 0u32..16,
+        srv in 0u32..12,
+    ) {
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, _)| t);
+        let mut fabric = Fabric::new(Topology::new(TopologyParams::default()));
+        for (i, &(t_us, bytes)) in sends.iter().enumerate() {
+            fabric.send(
+                SimTime::ZERO + SimDuration::from_micros(t_us),
+                Transfer {
+                    src: Node::Device(dev),
+                    dst: Node::Server(srv),
+                    bytes,
+                    tag: i as u64,
+                },
+            );
+        }
+        let mut deliveries = Vec::new();
+        while let Some(t) = fabric.next_wakeup() {
+            deliveries.extend(fabric.advance_to(t));
+        }
+        prop_assert_eq!(deliveries.len(), sends.len());
+        for (pos, d) in deliveries.iter().enumerate() {
+            prop_assert_eq!(d.tag, pos as u64, "same-flow transfers stay ordered");
+        }
+    }
+
+    /// Rate gates never admit above their configured rate, and delays are
+    /// monotone within a burst.
+    #[test]
+    fn rate_gate_enforces_rate(rps in 1.0f64..1e6, burst in 2usize..50) {
+        let mut gate = RateGate::new(rps);
+        let mut last = SimDuration::ZERO;
+        for i in 0..burst {
+            let delay = gate.admit(SimTime::ZERO);
+            prop_assert!(delay >= last);
+            let expected = i as f64 / rps;
+            // The gate quantizes its interval to whole nanoseconds, so
+            // allow up to a nanosecond of drift per admitted message.
+            prop_assert!(
+                (delay.as_secs_f64() - expected).abs() <= (i as f64 + 1.0) * 1e-9
+            );
+            last = delay;
+        }
+    }
+
+    /// Every route in every topology size starts and ends at the right
+    /// link classes and stays in bounds.
+    #[test]
+    fn topology_routes_are_wellformed(devices in 1u32..200, servers in 1u32..24, d in 0u32..200, s in 0u32..24) {
+        prop_assume!(d < devices && s < servers);
+        let topo = Topology::new(TopologyParams {
+            devices,
+            servers,
+            ..TopologyParams::default()
+        });
+        let up = topo.path(Node::Device(d), Node::Server(s));
+        prop_assert!(!up.is_empty());
+        for link in &up {
+            prop_assert!(link.index() < topo.links().len());
+        }
+        use hivemind_net::topology::LinkClass;
+        prop_assert_eq!(topo.links()[up[0].index()].class, LinkClass::WirelessMedium);
+        prop_assert_eq!(
+            topo.links()[up.last().unwrap().index()].class,
+            LinkClass::ServerNic
+        );
+        let down = topo.path(Node::Server(s), Node::Device(d));
+        prop_assert_eq!(up.len(), down.len());
+    }
+}

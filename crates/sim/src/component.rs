@@ -1,0 +1,133 @@
+//! Composable simulation components.
+//!
+//! HiveMind's simulation spans several independently developed substrates —
+//! the network fabric, the serverless cluster, the swarm itself. Rather
+//! than forcing them all into a single event enum, each substrate is a
+//! [`Component`]: a state machine that accepts *commands*, announces when it
+//! next needs the clock ([`Component::next_wakeup`]), and emits *outputs*
+//! when advanced to a given instant.
+//!
+//! The orchestrator (in `hivemind-core`) repeatedly picks the earliest
+//! wake-up across all components, advances that component, and routes its
+//! outputs as commands into the others. This keeps every substrate
+//! independently unit-testable while preserving exact event interleaving.
+
+use crate::time::SimTime;
+
+/// A time-driven state machine that can be composed with others.
+///
+/// # Contract
+///
+/// * `handle(now, cmd)` may update internal state and change the value
+///   returned by `next_wakeup`.
+/// * `next_wakeup()` returns the earliest instant at which the component has
+///   internal work to do, or `None` if it is quiescent until the next
+///   command.
+/// * `advance(now, out)` is called with `now >= next_wakeup()`; the
+///   component performs all work due at or before `now` and pushes any
+///   externally visible results into `out`.
+///
+/// Implementations must be monotone: neither `handle` nor `advance` is ever
+/// called with a `now` earlier than a previously observed one.
+pub trait Component {
+    /// Inputs routed into this component.
+    type Command;
+    /// Outputs produced by this component for the orchestrator to route.
+    type Output;
+
+    /// Applies an external command at virtual time `now`.
+    fn handle(&mut self, now: SimTime, cmd: Self::Command);
+
+    /// The earliest instant at which this component needs to run, if any.
+    fn next_wakeup(&self) -> Option<SimTime>;
+
+    /// Performs all internal work due at or before `now`, appending any
+    /// outputs to `out`.
+    fn advance(&mut self, now: SimTime, out: &mut Vec<Self::Output>);
+}
+
+/// Returns the earliest wake-up among a set of candidates.
+///
+/// `None` entries mean "quiescent" and are skipped.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::component::earliest;
+/// use hivemind_sim::time::SimTime;
+///
+/// let next = earliest([
+///     None,
+///     Some(SimTime::from_secs(5)),
+///     Some(SimTime::from_secs(2)),
+/// ]);
+/// assert_eq!(next, Some(SimTime::from_secs(2)));
+/// ```
+pub fn earliest<I>(candidates: I) -> Option<SimTime>
+where
+    I: IntoIterator<Item = Option<SimTime>>,
+{
+    candidates.into_iter().flatten().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A toy component: echoes each command back after a fixed delay.
+    struct DelayLine {
+        delay: SimDuration,
+        inflight: Vec<(SimTime, u32)>,
+    }
+
+    impl Component for DelayLine {
+        type Command = u32;
+        type Output = u32;
+
+        fn handle(&mut self, now: SimTime, cmd: u32) {
+            self.inflight.push((now + self.delay, cmd));
+        }
+
+        fn next_wakeup(&self) -> Option<SimTime> {
+            self.inflight.iter().map(|&(t, _)| t).min()
+        }
+
+        fn advance(&mut self, now: SimTime, out: &mut Vec<u32>) {
+            let mut due: Vec<_> = self
+                .inflight
+                .iter()
+                .filter(|&&(t, _)| t <= now)
+                .map(|&(t, v)| (t, v))
+                .collect();
+            due.sort();
+            self.inflight.retain(|&(t, _)| t > now);
+            out.extend(due.into_iter().map(|(_, v)| v));
+        }
+    }
+
+    #[test]
+    fn delay_line_roundtrip() {
+        let mut d = DelayLine {
+            delay: SimDuration::from_millis(10),
+            inflight: vec![],
+        };
+        assert_eq!(d.next_wakeup(), None);
+        d.handle(SimTime::ZERO, 7);
+        let wake = d.next_wakeup().unwrap();
+        assert_eq!(wake, SimTime::ZERO + SimDuration::from_millis(10));
+        let mut out = vec![];
+        d.advance(wake, &mut out);
+        assert_eq!(out, vec![7]);
+        assert_eq!(d.next_wakeup(), None);
+    }
+
+    #[test]
+    fn earliest_skips_quiescent() {
+        assert_eq!(earliest([None, None]), None);
+        assert_eq!(
+            earliest([Some(SimTime::from_secs(3)), None, Some(SimTime::from_secs(1))]),
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Service-time and workload distributions.
+//!
+//! The queueing models throughout the stack draw latencies, service times,
+//! and inter-arrival gaps from [`Dist`]. All variants are parameterized in
+//! *seconds* and sampled into [`SimDuration`]s; negative or non-finite
+//! samples clamp to zero (see [`SimDuration::from_secs_f64`]).
+
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// A distribution over non-negative durations.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::dist::Dist;
+/// use hivemind_sim::rng::RngForge;
+///
+/// let d = Dist::lognormal_median_sigma(0.250, 0.4); // median 250 ms
+/// let mut rng = RngForge::new(1).stream("svc");
+/// let sample = d.sample(&mut rng);
+/// assert!(sample.as_secs_f64() > 0.0);
+/// assert!((d.mean_secs() - 0.25 * (0.4f64 * 0.4 / 2.0).exp()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound (seconds).
+        lo: f64,
+        /// Exclusive upper bound (seconds).
+        hi: f64,
+    },
+    /// Exponential with the given mean (seconds).
+    Exponential {
+        /// Mean (seconds).
+        mean: f64,
+    },
+    /// Log-normal given the underlying normal's `mu`/`sigma`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha`; heavy-tailed service
+    /// times for straggler modeling.
+    BoundedPareto {
+        /// Inclusive lower bound (seconds).
+        lo: f64,
+        /// Inclusive upper bound (seconds).
+        hi: f64,
+        /// Tail index (> 0); smaller is heavier.
+        alpha: f64,
+    },
+    /// Samples uniformly from a fixed set of observed values.
+    Empirical(Vec<f64>),
+    /// A base distribution shifted right by a constant (seconds).
+    Shifted {
+        /// Constant offset added to every sample (seconds).
+        offset: f64,
+        /// The distribution being shifted.
+        base: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// A constant distribution, in seconds.
+    pub fn constant(secs: f64) -> Dist {
+        assert!(secs >= 0.0 && secs.is_finite(), "constant must be finite and >= 0");
+        Dist::Constant(secs)
+    }
+
+    /// A constant distribution, in milliseconds.
+    pub fn constant_ms(ms: f64) -> Dist {
+        Dist::constant(ms / 1e3)
+    }
+
+    /// Uniform on `[lo, hi)` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is negative/non-finite.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        assert!(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi);
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Exponential with mean `mean` seconds.
+    pub fn exponential(mean: f64) -> Dist {
+        assert!(mean > 0.0 && mean.is_finite());
+        Dist::Exponential { mean }
+    }
+
+    /// Log-normal parameterized by its *median* (seconds) and the shape
+    /// `sigma` — the natural parameterization for latency data, where the
+    /// median is what gets reported and `sigma` controls tail heaviness.
+    pub fn lognormal_median_sigma(median: f64, sigma: f64) -> Dist {
+        assert!(median > 0.0 && median.is_finite());
+        assert!(sigma >= 0.0 && sigma.is_finite());
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// Bounded Pareto on `[lo, hi]` seconds with tail index `alpha`.
+    pub fn bounded_pareto(lo: f64, hi: f64, alpha: f64) -> Dist {
+        assert!(0.0 < lo && lo < hi && hi.is_finite());
+        assert!(alpha > 0.0 && alpha.is_finite());
+        Dist::BoundedPareto { lo, hi, alpha }
+    }
+
+    /// Empirical distribution over observed samples (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn empirical(samples: Vec<f64>) -> Dist {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        assert!(samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+        Dist::Empirical(samples)
+    }
+
+    /// Shifts this distribution right by `offset` seconds.
+    pub fn shifted(self, offset: f64) -> Dist {
+        assert!(offset >= 0.0 && offset.is_finite());
+        Dist::Shifted {
+            offset,
+            base: Box::new(self),
+        }
+    }
+
+    /// Scales this distribution by a positive factor, preserving its shape.
+    ///
+    /// Used to derive edge-device service times from cloud service times
+    /// (the paper's drones are ~an order of magnitude slower than a server
+    /// core for heavy vision workloads).
+    pub fn scaled(&self, factor: f64) -> Dist {
+        assert!(factor > 0.0 && factor.is_finite());
+        match self {
+            Dist::Constant(c) => Dist::Constant(c * factor),
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::Exponential { mean } => Dist::Exponential {
+                mean: mean * factor,
+            },
+            Dist::LogNormal { mu, sigma } => Dist::LogNormal {
+                mu: mu + factor.ln(),
+                sigma: *sigma,
+            },
+            Dist::BoundedPareto { lo, hi, alpha } => Dist::BoundedPareto {
+                lo: lo * factor,
+                hi: hi * factor,
+                alpha: *alpha,
+            },
+            Dist::Empirical(samples) => {
+                Dist::Empirical(samples.iter().map(|s| s * factor).collect())
+            }
+            Dist::Shifted { offset, base } => Dist::Shifted {
+                offset: offset * factor,
+                base: Box::new(base.scaled(factor)),
+            },
+        }
+    }
+
+    /// Draws one sample in seconds.
+    pub fn sample_secs<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(c) => *c,
+            Dist::Uniform { lo, hi } => {
+                if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..*hi)
+                }
+            }
+            Dist::Exponential { mean } => {
+                // Inverse-CDF; guard against ln(0).
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            Dist::LogNormal { mu, sigma } => {
+                let z = standard_normal(rng);
+                (mu + sigma * z).exp()
+            }
+            Dist::BoundedPareto { lo, hi, alpha } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = lo.powf(*alpha);
+                let ha = hi.powf(*alpha);
+                // Inverse CDF of the bounded Pareto.
+                (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+            }
+            Dist::Empirical(samples) => samples[rng.gen_range(0..samples.len())],
+            Dist::Shifted { offset, base } => offset + base.sample_secs(rng),
+        }
+    }
+
+    /// Draws one sample as a [`SimDuration`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample_secs(rng))
+    }
+
+    /// The analytic mean of the distribution, in seconds.
+    ///
+    /// Used by the analytical queueing cross-model (Fig. 18 validation).
+    pub fn mean_secs(&self) -> f64 {
+        match self {
+            Dist::Constant(c) => *c,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::BoundedPareto { lo, hi, alpha } => {
+                if (alpha - 1.0).abs() < 1e-12 {
+                    let la = lo.powf(*alpha);
+                    let ha = hi.powf(*alpha);
+                    la / (1.0 - la / ha) * (hi / lo).ln()
+                } else {
+                    let la = lo.powf(*alpha);
+                    let ha = hi.powf(*alpha);
+                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                        * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
+                }
+            }
+            Dist::Empirical(samples) => {
+                samples.iter().sum::<f64>() / samples.len() as f64
+            }
+            Dist::Shifted { offset, base } => offset + base.mean_secs(),
+        }
+    }
+
+    /// The squared coefficient of variation (variance / mean²), where it has
+    /// a closed form; `None` otherwise. Feeds the analytical G/G/c model.
+    pub fn scv(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(_) => Some(0.0),
+            Dist::Uniform { lo, hi } => {
+                let mean = (lo + hi) / 2.0;
+                if mean == 0.0 {
+                    return Some(0.0);
+                }
+                let var = (hi - lo).powi(2) / 12.0;
+                Some(var / (mean * mean))
+            }
+            Dist::Exponential { .. } => Some(1.0),
+            Dist::LogNormal { sigma, .. } => Some((sigma * sigma).exp() - 1.0),
+            Dist::Empirical(samples) => {
+                let n = samples.len() as f64;
+                let mean = samples.iter().sum::<f64>() / n;
+                if mean == 0.0 {
+                    return Some(0.0);
+                }
+                let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+                Some(var / (mean * mean))
+            }
+            Dist::BoundedPareto { .. } | Dist::Shifted { .. } => None,
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngForge;
+
+    fn sample_mean(d: &Dist, n: usize) -> f64 {
+        let mut rng = RngForge::new(17).stream("dist-test");
+        (0..n).map(|_| d.sample_secs(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(0.5);
+        let mut rng = RngForge::new(1).stream("c");
+        for _ in 0..10 {
+            assert_eq!(d.sample_secs(&mut rng), 0.5);
+        }
+        assert_eq!(d.mean_secs(), 0.5);
+        assert_eq!(d.scv(), Some(0.0));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::uniform(1.0, 3.0);
+        let mut rng = RngForge::new(2).stream("u");
+        for _ in 0..1000 {
+            let s = d.sample_secs(&mut rng);
+            assert!((1.0..3.0).contains(&s));
+        }
+        assert!((sample_mean(&d, 20_000) - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::exponential(0.2);
+        assert!((sample_mean(&d, 50_000) - 0.2).abs() < 0.01);
+        assert_eq!(d.scv(), Some(1.0));
+    }
+
+    #[test]
+    fn lognormal_median_parameterization() {
+        let d = Dist::lognormal_median_sigma(0.1, 0.5);
+        let mut rng = RngForge::new(3).stream("l");
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample_secs(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 0.1).abs() < 0.01, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = Dist::bounded_pareto(0.01, 1.0, 1.5);
+        let mut rng = RngForge::new(4).stream("p");
+        for _ in 0..5000 {
+            let s = d.sample_secs(&mut rng);
+            assert!((0.01..=1.0).contains(&s), "sample {s}");
+        }
+        // Mean should sit well below the upper bound for alpha > 1.
+        let mean = d.mean_secs();
+        assert!(mean > 0.01 && mean < 0.2, "mean {mean}");
+        assert!((sample_mean(&d, 50_000) - mean).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_draws_only_observed() {
+        let d = Dist::empirical(vec![0.1, 0.2, 0.3]);
+        let mut rng = RngForge::new(5).stream("e");
+        for _ in 0..100 {
+            let s = d.sample_secs(&mut rng);
+            assert!([0.1, 0.2, 0.3].contains(&s));
+        }
+        assert!((d.mean_secs() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let d = Dist::constant(0.1).shifted(0.05);
+        let mut rng = RngForge::new(6).stream("s");
+        assert!((d.sample_secs(&mut rng) - 0.15).abs() < 1e-12);
+        assert!((d.mean_secs() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let d = Dist::lognormal_median_sigma(0.1, 0.4);
+        let scaled = d.scaled(10.0);
+        assert!((scaled.mean_secs() - d.mean_secs() * 10.0).abs() < 1e-9);
+        assert_eq!(scaled.scv(), d.scv());
+
+        let e = Dist::exponential(0.5).scaled(2.0);
+        assert!((e.mean_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_empirical_panics() {
+        let _ = Dist::empirical(vec![]);
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let dists = [
+            Dist::uniform(0.0, 1.0),
+            Dist::exponential(1.0),
+            Dist::lognormal_median_sigma(1.0, 2.0),
+            Dist::bounded_pareto(0.001, 10.0, 0.5),
+        ];
+        let mut rng = RngForge::new(7).stream("nn");
+        for d in &dists {
+            for _ in 0..2000 {
+                assert!(d.sample(&mut rng) >= SimDuration::ZERO);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Generic event queue and run loop.
+//!
+//! The [`Engine`] owns a model and a time-ordered queue of that model's
+//! events. Ties in event time are broken by insertion order (a monotone
+//! sequence number), so execution is fully deterministic regardless of the
+//! heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: some state plus a handler invoked for each event.
+///
+/// Implementors schedule follow-up events through the [`Context`] passed to
+/// [`Model::handle`].
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to `event` occurring at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scheduling interface handed to [`Model::handle`].
+///
+/// A `Context` exposes the current virtual time and lets the handler enqueue
+/// future events. Events scheduled "now" run after the current handler
+/// returns, in FIFO order with other same-instant events.
+#[derive(Debug)]
+pub struct Context<E> {
+    now: SimTime,
+    seq: u64,
+    pending: Vec<Scheduled<E>>,
+}
+
+impl<E> std::fmt::Debug for Scheduled<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Context<E> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a logic error in a DES.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule event in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after the relative delay `after`.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) {
+        let at = self.now.saturating_add(after);
+        self.schedule_at(at, event);
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::engine::{Engine, Model, Context};
+/// use hivemind_sim::time::{SimDuration, SimTime};
+///
+/// struct Echo { seen: Vec<u32> }
+/// impl Model for Echo {
+///     type Event = u32;
+///     fn handle(&mut self, _ctx: &mut Context<u32>, ev: u32) {
+///         self.seen.push(ev);
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Echo { seen: vec![] });
+/// engine.schedule_at(SimTime::from_secs(2), 2);
+/// engine.schedule_at(SimTime::from_secs(1), 1);
+/// engine.run_to_completion();
+/// assert_eq!(engine.model().seen, vec![1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: BinaryHeap<Scheduled<M::Event>>,
+    ctx: Context<M::Event>,
+    processed: u64,
+}
+
+/// Why a call to [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the deadline.
+    Drained,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The event budget was exhausted (runaway-model backstop).
+    BudgetExhausted,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at `SimTime::ZERO` wrapping `model`.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: BinaryHeap::new(),
+            ctx: Context {
+                now: SimTime::ZERO,
+                seq: 0,
+                pending: Vec::new(),
+            },
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time (time of the most recently fired event).
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Borrows the wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrows the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event from outside the model (e.g. initial stimuli).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        self.ctx.schedule_at(at, event);
+        self.drain_pending();
+    }
+
+    /// Schedules an event `after` the current time.
+    pub fn schedule_after(&mut self, after: SimDuration, event: M::Event) {
+        self.ctx.schedule_after(after, event);
+        self.drain_pending();
+    }
+
+    fn drain_pending(&mut self) {
+        self.queue.extend(self.ctx.pending.drain(..));
+    }
+
+    /// Fires the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(Scheduled { at, event, .. }) => {
+                debug_assert!(at >= self.ctx.now, "event queue went backwards");
+                self.ctx.now = at;
+                self.model.handle(&mut self.ctx, event);
+                self.processed += 1;
+                self.drain_pending();
+                true
+            }
+        }
+    }
+
+    /// Runs until the queue drains.
+    ///
+    /// Equivalent to `run_until(SimTime::MAX, u64::MAX)` but expresses
+    /// intent; most experiments have naturally terminating workloads.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX, u64::MAX)
+    }
+
+    /// Runs until the queue drains, the next event would be after
+    /// `deadline`, or `max_events` have fired.
+    ///
+    /// Events *at* the deadline still fire. When the deadline is hit, the
+    /// clock is advanced to `deadline` so metrics windows are exact.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let mut budget = max_events;
+        loop {
+            let Some(head) = self.queue.peek() else {
+                return RunOutcome::Drained;
+            };
+            if head.at > deadline {
+                self.ctx.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            if budget == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            budget -= 1;
+            self.step();
+        }
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        fired: Vec<(SimTime, u32)>,
+        respawn: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<u32>, ev: u32) {
+            self.fired.push((ctx.now(), ev));
+            if self.respawn && ev < 5 {
+                ctx.schedule_after(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    fn recorder(respawn: bool) -> Engine<Recorder> {
+        Engine::new(Recorder {
+            fired: vec![],
+            respawn,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = recorder(false);
+        e.schedule_at(SimTime::from_secs(3), 3);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        let order: Vec<u32> = e.model().fired.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = recorder(false);
+        for v in 0..100 {
+            e.schedule_at(SimTime::from_secs(1), v);
+        }
+        e.run_to_completion();
+        let order: Vec<u32> = e.model().fired.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = recorder(true);
+        e.schedule_at(SimTime::ZERO, 0);
+        e.run_to_completion();
+        assert_eq!(e.model().fired.len(), 6);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.events_processed(), 6);
+    }
+
+    #[test]
+    fn deadline_stops_and_pins_clock() {
+        let mut e = recorder(true);
+        e.schedule_at(SimTime::ZERO, 0);
+        let outcome = e.run_until(SimTime::from_secs(2) + SimDuration::from_millis(500), u64::MAX);
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(e.model().fired.len(), 3); // t=0,1,2
+        assert_eq!(e.now().as_secs_f64(), 2.5);
+        // Remaining events still fire afterwards.
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.model().fired.len(), 6);
+    }
+
+    #[test]
+    fn event_budget_is_a_backstop() {
+        let mut e = recorder(true);
+        e.schedule_at(SimTime::ZERO, 0);
+        assert_eq!(e.run_until(SimTime::MAX, 2), RunOutcome::BudgetExhausted);
+        assert_eq!(e.model().fired.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = recorder(false);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.step();
+        e.schedule_at(SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn queued_reports_pending() {
+        let mut e = recorder(false);
+        assert_eq!(e.queued(), 0);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(e.queued(), 2);
+        e.step();
+        assert_eq!(e.queued(), 1);
+    }
+}

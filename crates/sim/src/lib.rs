@@ -1,0 +1,70 @@
+//! # hivemind-sim
+//!
+//! Deterministic discrete-event simulation (DES) kernel underpinning the
+//! HiveMind reproduction.
+//!
+//! The paper validates its scalability results with "a validated,
+//! event-driven simulator … based on queueing network principles"
+//! (Sec. 5.6). This crate is that simulator's foundation:
+//!
+//! * [`time`] — nanosecond-resolution virtual time ([`SimTime`],
+//!   [`SimDuration`]) with no floating-point drift.
+//! * [`engine`] — a generic event queue and run loop ([`Engine`],
+//!   [`Model`]) with deterministic tie-breaking.
+//! * [`component`] — the [`Component`] state-machine
+//!   interface that lets independent substrates (network, FaaS cluster,
+//!   swarm) compose into one simulation without a workspace-wide event enum.
+//! * [`rng`] — a forkable, named random-stream hierarchy so adding draws in
+//!   one subsystem never perturbs another.
+//! * [`dist`] — service-time distributions (constant, uniform, exponential,
+//!   log-normal, bounded Pareto, empirical).
+//! * [`stats`] — streaming summaries, percentile estimation, histograms,
+//!   time series and bandwidth meters used by every experiment harness.
+//!
+//! Everything in this crate is pure computation: a run is a function of
+//! `(model, seed)` and nothing else, which is what makes the reproduction's
+//! figures replayable.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use hivemind_sim::engine::{Engine, Model, Context};
+//! use hivemind_sim::time::{SimDuration, SimTime};
+//!
+//! /// Counts ticks until told to stop.
+//! struct Ticker { ticks: u32 }
+//! enum Ev { Tick }
+//!
+//! impl Model for Ticker {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ctx: &mut Context<Ev>, _ev: Ev) {
+//!         self.ticks += 1;
+//!         if self.ticks < 10 {
+//!             ctx.schedule_after(SimDuration::from_millis(1), Ev::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Ticker { ticks: 0 });
+//! engine.schedule_at(SimTime::ZERO, Ev::Tick);
+//! engine.run_to_completion();
+//! assert_eq!(engine.model().ticks, 10);
+//! assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_millis(9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod dist;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use component::Component;
+pub use dist::Dist;
+pub use engine::{Context, Engine, Model};
+pub use rng::RngForge;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};

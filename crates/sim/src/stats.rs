@@ -1,0 +1,533 @@
+//! Measurement primitives for experiments.
+//!
+//! Every figure in the paper reduces to medians, tails (p99), means, and
+//! time series of counters. This module provides:
+//!
+//! * [`Summary`] — a sample reservoir with exact quantiles, used for
+//!   latency distributions (Figs. 4, 5a, 6, 11, 13, 16).
+//! * [`Histogram`] — fixed-bin counts for PDF-style violin data.
+//! * [`TimeSeries`] — `(t, value)` samples for load/active-task curves
+//!   (Figs. 5b, 5c).
+//! * [`Meter`] — windowed byte/event accounting for bandwidth figures
+//!   (Figs. 3b, 14b, 17).
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A collection of scalar samples with exact order statistics.
+///
+/// Samples are stored raw (an experiment produces at most a few hundred
+/// thousand), so quantiles are exact rather than sketched.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in 1..=100 {
+///     s.record(v as f64);
+/// }
+/// assert_eq!(s.len(), 100);
+/// assert!((s.quantile(0.5) - 50.0).abs() <= 1.0);
+/// assert!((s.mean() - 50.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite — a NaN in a latency stream is
+    /// always an upstream bug and should fail loudly.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "summary sample must be finite");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Population standard deviation; `0.0` when empty.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Exact `q`-quantile (nearest-rank); `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile — the paper's tail-latency metric.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Smallest sample; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Largest sample; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// All samples, unsorted insertion order not guaranteed after a
+    /// quantile query.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Builds a [`Histogram`] of the samples with `bins` equal-width bins
+    /// spanning `[min, max]`.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_samples(&self.samples, bins)
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut copy = self.clone();
+        write!(
+            f,
+            "n={} mean={:.4} p50={:.4} p99={:.4}",
+            copy.len(),
+            copy.mean(),
+            copy.median(),
+            copy.p99()
+        )
+    }
+}
+
+/// Fixed-bin histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        if samples.is_empty() {
+            return Histogram {
+                min: 0.0,
+                max: 0.0,
+                counts: vec![0; bins],
+            };
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0u64; bins];
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        for &s in samples {
+            let idx = (((s - min) / width) * bins as f64) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        Histogram { min, max, counts }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `(low, high)` range covered.
+    pub fn range(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Total number of samples binned.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        self.min + width * (i as f64 + 0.5)
+    }
+}
+
+/// A time-stamped series of scalar observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous observation (series must be
+    /// chronological).
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be chronological");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last value at or before `t` (step interpolation), or `None`
+    /// if `t` precedes the first observation.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => None,
+            idx => Some(self.points[idx - 1].1),
+        }
+    }
+
+    /// Resamples the series at a fixed period over `[start, end]`,
+    /// carrying the last value forward (0.0 before the first point).
+    pub fn resample(&self, start: SimTime, end: SimTime, period: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(period > SimDuration::ZERO);
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            out.push((t, self.value_at(t).unwrap_or(0.0)));
+            t += period;
+        }
+        out
+    }
+
+    /// Maximum observed value; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+}
+
+/// Windowed throughput meter: counts quantities (bytes, requests) and
+/// reports per-window rates, e.g. network bandwidth in MB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Meter {
+    window: SimDuration,
+    /// Completed window totals.
+    windows: Vec<f64>,
+    current_window_start: SimTime,
+    current_total: f64,
+    grand_total: f64,
+}
+
+impl Meter {
+    /// Creates a meter with the given aggregation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "meter window must be positive");
+        Meter {
+            window,
+            windows: Vec::new(),
+            current_window_start: SimTime::ZERO,
+            current_total: 0.0,
+            grand_total: 0.0,
+        }
+    }
+
+    /// Adds `amount` at time `t`. Windows roll over automatically; skipped
+    /// windows count as zero.
+    pub fn add(&mut self, t: SimTime, amount: f64) {
+        self.roll_to(t);
+        self.current_total += amount;
+        self.grand_total += amount;
+    }
+
+    fn roll_to(&mut self, t: SimTime) {
+        while t >= self.current_window_start + self.window {
+            self.windows.push(self.current_total);
+            self.current_total = 0.0;
+            self.current_window_start += self.window;
+        }
+    }
+
+    /// Closes the meter at `end`, flushing any in-progress partial window.
+    ///
+    /// A partial window is reported at full-window granularity; callers
+    /// that need exact tail accounting should align `end` to the window.
+    pub fn finish(&mut self, end: SimTime) {
+        self.roll_to(end);
+        if end > self.current_window_start {
+            self.windows.push(self.current_total);
+            self.current_total = 0.0;
+            self.current_window_start = end;
+        }
+    }
+
+    /// Total amount across all time.
+    pub fn total(&self) -> f64 {
+        self.grand_total
+    }
+
+    /// Per-second rates of each completed window.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.windows.iter().map(|w| w / secs).collect()
+    }
+
+    /// Mean per-second rate across completed windows; `0.0` if none.
+    pub fn mean_rate(&self) -> f64 {
+        let rates = self.rates_per_sec();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+
+    /// 99th-percentile per-second window rate.
+    pub fn p99_rate(&self) -> f64 {
+        let mut s: Summary = self.rates_per_sec().into_iter().collect();
+        s.p99()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_quantiles_exact() {
+        let mut s: Summary = (1..=1000).map(|v| v as f64).collect();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        assert_eq!(s.median(), 500.0);
+        assert_eq!(s.p99(), 990.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 1000.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn summary_merge_combines() {
+        let mut a: Summary = vec![1.0, 2.0].into_iter().collect();
+        let b: Summary = vec![3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn summary_rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn summary_std_dev() {
+        let s: Summary = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_cover_samples() {
+        let samples: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let h = Histogram::from_samples(&samples, 10);
+        assert_eq!(h.total(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+        assert_eq!(h.range(), (0.0, 99.0));
+        let c0 = h.bin_center(0);
+        assert!(c0 > 0.0 && c0 < 99.0 / 10.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_single() {
+        let h = Histogram::from_samples(&[], 4);
+        assert_eq!(h.total(), 0);
+        let h = Histogram::from_samples(&[5.0, 5.0], 4);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn time_series_step_interpolation() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 10.0);
+        ts.record(SimTime::from_secs(3), 30.0);
+        assert_eq!(ts.value_at(SimTime::ZERO), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(2)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(30.0));
+        assert_eq!(ts.max(), 30.0);
+    }
+
+    #[test]
+    fn time_series_resample() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 1.0);
+        ts.record(SimTime::from_secs(2), 2.0);
+        let r = ts.resample(SimTime::ZERO, SimTime::from_secs(3), SimDuration::from_secs(1));
+        let vals: Vec<f64> = r.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn meter_windows_and_rates() {
+        let mut m = Meter::new(SimDuration::from_secs(1));
+        m.add(SimTime::from_secs(0), 100.0);
+        m.add(SimTime::from_secs(0) + SimDuration::from_millis(500), 100.0);
+        m.add(SimTime::from_secs(2) + SimDuration::from_millis(100), 50.0);
+        m.finish(SimTime::from_secs(3));
+        // Windows: [0,1)=200, [1,2)=0, [2,3)=50.
+        assert_eq!(m.rates_per_sec(), vec![200.0, 0.0, 50.0]);
+        assert!((m.mean_rate() - 250.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.total(), 250.0);
+        assert_eq!(m.p99_rate(), 200.0);
+    }
+}

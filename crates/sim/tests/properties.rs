@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation kernel.
+
+use hivemind_sim::dist::Dist;
+use hivemind_sim::engine::{Context, Engine, Model};
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::stats::{Histogram, Meter, Summary};
+use hivemind_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Records the firing order of opaque event ids.
+struct Recorder {
+    fired: Vec<(SimTime, u64)>,
+}
+impl Model for Recorder {
+    type Event = u64;
+    fn handle(&mut self, ctx: &mut Context<u64>, ev: u64) {
+        self.fired.push((ctx.now(), ev));
+    }
+}
+
+proptest! {
+    /// Events always fire in nondecreasing time order, and same-time
+    /// events fire in insertion order, for any schedule.
+    #[test]
+    fn engine_fires_in_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut engine = Engine::new(Recorder { fired: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), i as u64);
+        }
+        engine.run_to_completion();
+        let fired = &engine.model().fired;
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO among ties");
+            }
+        }
+        // Every event fires exactly at its scheduled time.
+        for &(at, id) in fired {
+            prop_assert_eq!(at.as_nanos(), times[id as usize]);
+        }
+    }
+
+    /// A deadline-split run fires exactly the same events as a single run.
+    #[test]
+    fn run_until_is_composable(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        split in 0u64..1_000_000,
+    ) {
+        let run_split = {
+            let mut engine = Engine::new(Recorder { fired: vec![] });
+            for (i, &t) in times.iter().enumerate() {
+                engine.schedule_at(SimTime::from_nanos(t), i as u64);
+            }
+            engine.run_until(SimTime::from_nanos(split), u64::MAX);
+            engine.run_to_completion();
+            engine.into_model().fired
+        };
+        let run_whole = {
+            let mut engine = Engine::new(Recorder { fired: vec![] });
+            for (i, &t) in times.iter().enumerate() {
+                engine.schedule_at(SimTime::from_nanos(t), i as u64);
+            }
+            engine.run_to_completion();
+            engine.into_model().fired
+        };
+        prop_assert_eq!(run_split, run_whole);
+    }
+
+    /// Meter totals equal the sum of window rates × window length,
+    /// regardless of how adds are spread.
+    #[test]
+    fn meter_conserves_mass(adds in prop::collection::vec((0u64..120, 0.0f64..1e6), 1..100)) {
+        let mut adds = adds;
+        adds.sort_by_key(|&(t, _)| t);
+        let mut meter = Meter::new(SimDuration::from_secs(1));
+        let mut expected = 0.0;
+        for &(t, amount) in &adds {
+            meter.add(SimTime::from_secs(t), amount);
+            expected += amount;
+        }
+        meter.finish(SimTime::from_secs(121));
+        let windowed: f64 = meter.rates_per_sec().iter().sum();
+        prop_assert!((windowed - expected).abs() < 1e-6 * expected.max(1.0));
+        prop_assert!((meter.total() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// Histograms bin every sample exactly once.
+    #[test]
+    fn histogram_conserves_samples(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..300),
+        bins in 1usize..40,
+    ) {
+        let h = Histogram::from_samples(&samples, bins);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().len(), bins);
+    }
+
+    /// Merging summaries equals recording everything into one.
+    #[test]
+    fn summary_merge_is_concat(
+        a in prop::collection::vec(0.0f64..1e6, 0..100),
+        b in prop::collection::vec(0.0f64..1e6, 1..100),
+    ) {
+        let mut merged: Summary = a.iter().copied().collect();
+        let other: Summary = b.iter().copied().collect();
+        merged.merge(&other);
+        let mut direct: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.len(), direct.len());
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9 * direct.mean().max(1.0));
+        prop_assert_eq!(merged.median(), direct.median());
+        prop_assert_eq!(merged.p99(), direct.p99());
+    }
+
+    /// Scaling a distribution scales its mean linearly and never breaks
+    /// sampling.
+    #[test]
+    fn dist_scaling_is_linear(
+        median in 1e-6f64..100.0,
+        sigma in 0.0f64..1.5,
+        factor in 0.01f64..100.0,
+    ) {
+        let d = Dist::lognormal_median_sigma(median, sigma);
+        let scaled = d.scaled(factor);
+        prop_assert!((scaled.mean_secs() - d.mean_secs() * factor).abs()
+            < 1e-9 * (d.mean_secs() * factor).max(1e-12));
+        let mut rng = RngForge::new(1).stream("prop");
+        for _ in 0..20 {
+            prop_assert!(scaled.sample(&mut rng) >= SimDuration::ZERO);
+        }
+    }
+
+    /// Named streams are reproducible and index-decorrelated.
+    #[test]
+    fn rng_streams_reproducible(seed in 0u64..u64::MAX, idx in 0u64..10_000) {
+        use rand::Rng;
+        let forge = RngForge::new(seed);
+        let a: u64 = forge.indexed_stream("x", idx).gen();
+        let b: u64 = forge.indexed_stream("x", idx).gen();
+        prop_assert_eq!(a, b);
+        let c: u64 = forge.indexed_stream("x", idx.wrapping_add(1)).gen();
+        prop_assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,224 @@
+//! Failure detection and load repartitioning.
+//!
+//! Every device heartbeats the controller once per second; missing
+//! heartbeats for more than 3 s marks it failed (Sec. 4.6). The failed
+//! device's remaining area is then "repartitioned equally among its
+//! neighboring drones assuming they have sufficient battery" (Fig. 10).
+
+use hivemind_sim::time::{SimDuration, SimTime};
+
+use crate::geometry::Rect;
+
+/// Heartbeat bookkeeping for a set of devices.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_swarm::failover::HeartbeatTracker;
+/// use hivemind_sim::time::SimTime;
+///
+/// let mut hb = HeartbeatTracker::new(3);
+/// hb.beat(0, SimTime::from_secs(1));
+/// hb.beat(1, SimTime::from_secs(1));
+/// // Device 2 never beat: by t = 4 s it has been silent > 3 s, while
+/// // devices 0/1 (last beat t = 1 s) are exactly at the 3 s boundary.
+/// assert_eq!(hb.failed_at(SimTime::from_secs(4)), vec![2]);
+/// // Everyone who stays silent long enough is eventually declared failed.
+/// assert_eq!(hb.failed_at(SimTime::from_secs(10)), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatTracker {
+    last_beat: Vec<Option<SimTime>>,
+    start: SimTime,
+    timeout: SimDuration,
+    /// Devices already declared failed (latched).
+    declared: Vec<bool>,
+}
+
+impl HeartbeatTracker {
+    /// Tracks `n` devices with the paper's 3 s timeout.
+    pub fn new(n: u32) -> HeartbeatTracker {
+        HeartbeatTracker::with_timeout(n, SimDuration::from_secs(3))
+    }
+
+    /// Tracks `n` devices with a custom timeout.
+    pub fn with_timeout(n: u32, timeout: SimDuration) -> HeartbeatTracker {
+        HeartbeatTracker {
+            last_beat: vec![None; n as usize],
+            start: SimTime::ZERO,
+            timeout,
+            declared: vec![false; n as usize],
+        }
+    }
+
+    /// The heartbeat send period devices should use (paper: 1 s).
+    pub fn beat_period() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    /// Records a heartbeat from `device` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is out of range.
+    pub fn beat(&mut self, device: u32, now: SimTime) {
+        let slot = self
+            .last_beat
+            .get_mut(device as usize)
+            .expect("device id out of range");
+        *slot = Some(now);
+    }
+
+    /// Devices considered failed at `now` (silent longer than the
+    /// timeout). Once declared, a device stays failed.
+    pub fn failed_at(&mut self, now: SimTime) -> Vec<u32> {
+        for (i, last) in self.last_beat.iter().enumerate() {
+            let reference = last.unwrap_or(self.start);
+            if now.saturating_since(reference) > self.timeout {
+                self.declared[i] = true;
+            }
+        }
+        self.declared
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Whether `device` has been declared failed.
+    pub fn is_failed(&self, device: u32) -> bool {
+        self.declared
+            .get(device as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Repartitions a failed device's region among its live neighbours.
+///
+/// Neighbours are regions sharing an edge with the failed region (the
+/// geometric reading of Fig. 10); the failed rect is cut into equal
+/// vertical strips, one per neighbour, assigned left-to-right in neighbour
+/// order. If no live neighbour exists (pathological), the area goes to the
+/// nearest live region by center distance.
+///
+/// Returns the extra sub-regions as `(device, rect)` pairs; `regions` is
+/// not modified (callers usually track "extra assignments" separately from
+/// the initial partition).
+///
+/// # Panics
+///
+/// Panics if `failed` is out of range or every device is failed.
+pub fn repartition(
+    regions: &[Rect],
+    alive: &[bool],
+    failed: usize,
+) -> Vec<(usize, Rect)> {
+    assert!(failed < regions.len(), "failed index out of range");
+    assert_eq!(regions.len(), alive.len(), "regions/alive length mismatch");
+    let lost = regions[failed];
+    let mut neighbors: Vec<usize> = regions
+        .iter()
+        .enumerate()
+        .filter(|&(i, r)| i != failed && alive[i] && r.adjacent(&lost))
+        .map(|(i, _)| i)
+        .collect();
+    if neighbors.is_empty() {
+        // Fall back to the nearest live region.
+        let nearest = regions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != failed && alive[i])
+            .min_by(|(_, a), (_, b)| {
+                a.center()
+                    .distance(lost.center())
+                    .total_cmp(&b.center().distance(lost.center()))
+            })
+            .map(|(i, _)| i)
+            .expect("at least one device must be alive");
+        neighbors.push(nearest);
+    }
+    let strips = lost.split_vertical(neighbors.len() as u32);
+    neighbors.into_iter().zip(strips).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::partition_field;
+
+    #[test]
+    fn heartbeat_timeout_is_three_seconds() {
+        let mut hb = HeartbeatTracker::new(1);
+        hb.beat(0, SimTime::from_secs(10));
+        assert!(hb.failed_at(SimTime::from_secs(13)).is_empty());
+        assert_eq!(hb.failed_at(SimTime::from_secs(13) + SimDuration::from_millis(1)), vec![0]);
+    }
+
+    #[test]
+    fn failure_is_latched() {
+        let mut hb = HeartbeatTracker::new(1);
+        hb.beat(0, SimTime::ZERO);
+        let _ = hb.failed_at(SimTime::from_secs(10));
+        assert!(hb.is_failed(0));
+        // A zombie heartbeat does not resurrect it.
+        hb.beat(0, SimTime::from_secs(10));
+        assert_eq!(hb.failed_at(SimTime::from_secs(10)), vec![0]);
+    }
+
+    #[test]
+    fn repartition_splits_among_neighbors() {
+        let field = Rect::new(0.0, 0.0, 120.0, 80.0);
+        let regions = partition_field(&field, 16);
+        let alive = vec![true; 16];
+        // Fail an interior region; the strips must cover its area exactly.
+        let failed = 5;
+        let extra = repartition(&regions, &alive, failed);
+        assert!(extra.len() >= 2, "interior regions have several neighbours");
+        let total: f64 = extra.iter().map(|(_, r)| r.area()).sum();
+        assert!((total - regions[failed].area()).abs() < 1e-6);
+        for (dev, _) in &extra {
+            assert_ne!(*dev, failed);
+            assert!(regions[*dev].adjacent(&regions[failed]));
+        }
+    }
+
+    #[test]
+    fn repartition_skips_dead_neighbors() {
+        let field = Rect::new(0.0, 0.0, 120.0, 80.0);
+        let regions = partition_field(&field, 4);
+        let mut alive = vec![true; 4];
+        alive[1] = false;
+        let extra = repartition(&regions, &alive, 0);
+        assert!(extra.iter().all(|(d, _)| alive[*d]));
+    }
+
+    #[test]
+    fn repartition_falls_back_to_nearest() {
+        // Two regions far apart (non-adjacent).
+        let regions = vec![
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            Rect::new(50.0, 0.0, 60.0, 10.0),
+        ];
+        let alive = vec![true, true];
+        let extra = repartition(&regions, &alive, 0);
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alive")]
+    fn repartition_with_no_survivors_panics() {
+        let regions = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(1.0, 0.0, 2.0, 1.0)];
+        let _ = repartition(&regions, &[true, false], 0);
+    }
+
+    #[test]
+    fn never_beaten_device_fails_from_start_reference() {
+        let mut hb = HeartbeatTracker::new(2);
+        hb.beat(0, SimTime::from_secs(5));
+        let failed = hb.failed_at(SimTime::from_secs(5));
+        assert_eq!(failed, vec![1], "device 1 was silent since t=0");
+    }
+}

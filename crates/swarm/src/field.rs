@@ -1,0 +1,289 @@
+//! Mission worlds: fields with static items and moving people.
+//!
+//! Scenario A places 15 tennis balls in a baseball field; Scenario B has
+//! 25 people who move freely, so the same person can be photographed by
+//! several drones and must be disambiguated (Sec. 2.1). People move by
+//! random waypoint: pick a target in the field, walk there at walking
+//! speed, pick another.
+
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::geometry::{Point, Rect};
+
+/// A static item to locate (a tennis ball).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Stable identity.
+    pub id: u32,
+    /// Location.
+    pub pos: Point,
+}
+
+/// A moving person following random waypoints.
+///
+/// Each person owns an independent random stream, so advancing the world
+/// in many small steps or one large step yields identical trajectories.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Stable identity (ground truth for deduplication accuracy).
+    pub id: u32,
+    /// Position at the last update.
+    pub pos: Point,
+    target: Point,
+    speed: f64,
+    rng: SmallRng,
+}
+
+/// The mission world.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_swarm::field::{Field, FieldParams};
+/// use hivemind_sim::rng::RngForge;
+///
+/// let field = Field::generate(FieldParams::scenario_a(), RngForge::new(1));
+/// assert_eq!(field.items().len(), 15);
+/// assert!(field.people().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Field {
+    bounds: Rect,
+    items: Vec<Item>,
+    people: Vec<Person>,
+    last_update: SimTime,
+}
+
+/// World-generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldParams {
+    /// Field bounds (defaults: a ~120 m × 80 m sports field).
+    pub bounds: Rect,
+    /// Number of static items to scatter.
+    pub items: u32,
+    /// Number of moving people.
+    pub people: u32,
+    /// Walking speed, m/s.
+    pub walk_speed: f64,
+}
+
+impl FieldParams {
+    /// Scenario A: 15 tennis balls, nobody moving.
+    pub fn scenario_a() -> FieldParams {
+        FieldParams {
+            bounds: Rect::new(0.0, 0.0, 120.0, 80.0),
+            items: 15,
+            people: 0,
+            walk_speed: 1.4,
+        }
+    }
+
+    /// Scenario B: 25 moving people, no items.
+    pub fn scenario_b() -> FieldParams {
+        FieldParams {
+            bounds: Rect::new(0.0, 0.0, 120.0, 80.0),
+            items: 0,
+            people: 25,
+            walk_speed: 1.4,
+        }
+    }
+}
+
+impl Field {
+    /// Generates a world deterministically from `forge`.
+    pub fn generate(params: FieldParams, forge: RngForge) -> Field {
+        let mut rng = forge.stream("field");
+        let b = params.bounds;
+        let rand_point = |rng: &mut SmallRng| {
+            Point::new(rng.gen_range(b.x0..b.x1), rng.gen_range(b.y0..b.y1))
+        };
+        let items = (0..params.items)
+            .map(|id| Item {
+                id,
+                pos: rand_point(&mut rng),
+            })
+            .collect();
+        let people = (0..params.people)
+            .map(|id| {
+                let mut prng = forge.indexed_stream("person", id as u64);
+                let pos = rand_point(&mut prng);
+                let target = rand_point(&mut prng);
+                Person {
+                    id,
+                    pos,
+                    target,
+                    speed: params.walk_speed,
+                    rng: prng,
+                }
+            })
+            .collect();
+        Field {
+            bounds: b,
+            items,
+            people,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Field bounds.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The static items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The people (positions as of the last [`Field::advance_people`]).
+    pub fn people(&self) -> &[Person] {
+        &self.people
+    }
+
+    /// Moves every person forward to time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn advance_people(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "world time went backwards");
+        let dt = (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt == 0.0 {
+            return;
+        }
+        let b = self.bounds;
+        for p in &mut self.people {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let dist = p.pos.distance(p.target);
+                let step = p.speed * remaining;
+                if step >= dist {
+                    // Reached the waypoint: consume time, pick a new one.
+                    p.pos = p.target;
+                    remaining -= if p.speed > 0.0 { dist / p.speed } else { remaining };
+                    p.target = Point::new(
+                        p.rng.gen_range(b.x0..b.x1),
+                        p.rng.gen_range(b.y0..b.y1),
+                    );
+                    if dist == 0.0 {
+                        break;
+                    }
+                } else {
+                    let f = step / dist;
+                    p.pos = Point::new(
+                        p.pos.x + (p.target.x - p.pos.x) * f,
+                        p.pos.y + (p.target.y - p.pos.y) * f,
+                    );
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Items inside `region`.
+    pub fn items_in(&self, region: &Rect) -> Vec<Item> {
+        self.items
+            .iter()
+            .copied()
+            .filter(|i| region.contains(i.pos))
+            .collect()
+    }
+
+    /// Ids of people currently inside `region`.
+    pub fn people_in(&self, region: &Rect) -> Vec<u32> {
+        self.people
+            .iter()
+            .filter(|p| region.contains(p.pos))
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hivemind_sim::time::SimDuration;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Field::generate(FieldParams::scenario_a(), RngForge::new(3));
+        let b = Field::generate(FieldParams::scenario_a(), RngForge::new(3));
+        assert_eq!(a.items(), b.items());
+        let c = Field::generate(FieldParams::scenario_a(), RngForge::new(4));
+        assert_ne!(a.items(), c.items());
+    }
+
+    #[test]
+    fn items_stay_in_bounds() {
+        let f = Field::generate(FieldParams::scenario_a(), RngForge::new(5));
+        for item in f.items() {
+            assert!(f.bounds().contains(item.pos));
+        }
+    }
+
+    #[test]
+    fn people_move_and_stay_in_bounds() {
+        let mut f = Field::generate(FieldParams::scenario_b(), RngForge::new(6));
+        let before: Vec<Point> = f.people().iter().map(|p| p.pos).collect();
+        f.advance_people(SimTime::from_secs(30));
+        let moved = f
+            .people()
+            .iter()
+            .zip(&before)
+            .filter(|(p, &b)| p.pos.distance(b) > 1.0)
+            .count();
+        assert!(moved > 20, "most people should have moved, moved = {moved}");
+        for p in f.people() {
+            assert!(f.bounds().contains(p.pos) || p.pos.x == f.bounds().x1 || p.pos.y == f.bounds().y1);
+        }
+    }
+
+    #[test]
+    fn people_speed_is_respected() {
+        let mut f = Field::generate(FieldParams::scenario_b(), RngForge::new(7));
+        let before: Vec<Point> = f.people().iter().map(|p| p.pos).collect();
+        f.advance_people(SimTime::from_secs(10));
+        for (p, &b) in f.people().iter().zip(&before) {
+            // ≤ walk_speed × t (waypoint turns only shorten displacement).
+            assert!(p.pos.distance(b) <= 1.4 * 10.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn region_queries() {
+        let f = Field::generate(FieldParams::scenario_a(), RngForge::new(8));
+        let whole = f.bounds();
+        assert_eq!(f.items_in(&whole).len(), 15);
+        let west = Rect::new(0.0, 0.0, 60.0, 80.0);
+        let east = Rect::new(60.0, 0.0, 120.0, 80.0);
+        let w = f.items_in(&west).len();
+        let e = f.items_in(&east).len();
+        assert_eq!(w + e, 15, "halves partition the items");
+    }
+
+    #[test]
+    fn advance_in_steps_matches_total_time() {
+        let mut a = Field::generate(FieldParams::scenario_b(), RngForge::new(9));
+        a.advance_people(SimTime::from_secs(5));
+        a.advance_people(SimTime::from_secs(10));
+        // Same seed advanced in one jump: waypoint draws happen at the
+        // same walk distances, so positions must agree.
+        let mut b = Field::generate(FieldParams::scenario_b(), RngForge::new(9));
+        b.advance_people(SimTime::from_secs(10));
+        for (pa, pb) in a.people().iter().zip(b.people()) {
+            assert!(pa.pos.distance(pb.pos) < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_reverse() {
+        let mut f = Field::generate(FieldParams::scenario_b(), RngForge::new(10));
+        f.advance_people(SimTime::from_secs(10));
+        f.advance_people(SimTime::from_secs(5) + SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the swarm substrate.
+
+use hivemind_sim::rng::RngForge;
+use hivemind_sim::time::SimDuration;
+use hivemind_swarm::battery::{Battery, BatteryParams};
+use hivemind_swarm::failover::repartition;
+use hivemind_swarm::field::{Field, FieldParams};
+use hivemind_swarm::geometry::{partition_field, Point, Rect};
+use hivemind_swarm::route::{coverage_lanes, path_length, visit_order};
+use proptest::prelude::*;
+
+proptest! {
+    /// Coverage lanes always span the region's full height per lane, and
+    /// lane spacing never exceeds the footprint width.
+    #[test]
+    fn coverage_lanes_cover_the_region(
+        w in 1.0f64..500.0,
+        h in 1.0f64..500.0,
+        footprint in 0.5f64..20.0,
+    ) {
+        let region = Rect::new(0.0, 0.0, w, h);
+        let lanes = coverage_lanes(&region, footprint);
+        prop_assert!(lanes.len() >= 2);
+        prop_assert_eq!(lanes.len() % 2, 0);
+        let n_lanes = lanes.len() / 2;
+        let spacing = w / n_lanes as f64;
+        prop_assert!(spacing <= footprint + 1e-9, "spacing {spacing} > footprint");
+        for pair in lanes.chunks(2) {
+            prop_assert!((pair[0].x - pair[1].x).abs() < 1e-9, "lanes are vertical");
+            prop_assert!(((pair[0].y - pair[1].y).abs() - h).abs() < 1e-9);
+        }
+        prop_assert!(path_length(&lanes) >= h * n_lanes as f64);
+    }
+
+    /// 2-opt visit orders are permutations and locally optimal (no
+    /// single segment reversal can shorten them).
+    #[test]
+    fn visit_order_is_a_short_permutation(
+        targets in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..12),
+    ) {
+        let pts: Vec<Point> = targets.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let start = Point::new(0.0, 0.0);
+        let order = visit_order(start, &pts);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+        let tour = |ord: &[usize]| -> f64 {
+            let mut len = start.distance(pts[ord[0]]);
+            len += ord.windows(2).map(|w| pts[w[0]].distance(pts[w[1]])).sum::<f64>();
+            len
+        };
+        // 2-opt local optimality: no single segment reversal improves the
+        // returned tour.
+        let base = tour(&order);
+        for i in 0..order.len() {
+            for j in i + 1..order.len() {
+                let mut candidate = order.clone();
+                candidate[i..=j].reverse();
+                prop_assert!(tour(&candidate) + 1e-9 >= base);
+            }
+        }
+    }
+
+    /// Repartitioning a failed device conserves its area exactly and only
+    /// assigns to live devices, for any field and failure choice.
+    #[test]
+    fn repartition_conserves_area(
+        n in 2u32..64,
+        failed in 0u32..64,
+        also_dead in 0u32..64,
+    ) {
+        prop_assume!(failed < n);
+        let field = Rect::new(0.0, 0.0, 300.0, 200.0);
+        let regions = partition_field(&field, n);
+        let mut alive = vec![true; n as usize];
+        if also_dead < n && also_dead != failed && n > 2 {
+            alive[also_dead as usize] = false;
+        }
+        alive[failed as usize] = false;
+        let assignments = repartition(&regions, &alive, failed as usize);
+        prop_assert!(!assignments.is_empty());
+        let total: f64 = assignments.iter().map(|(_, r)| r.area()).sum();
+        prop_assert!((total - regions[failed as usize].area()).abs() < 1e-6);
+        for (heir, _) in &assignments {
+            prop_assert!(alive[*heir], "strips only go to live devices");
+            prop_assert_ne!(*heir, failed as usize);
+        }
+    }
+
+    /// Battery accounting is additive and monotone under any activity mix.
+    #[test]
+    fn battery_is_additive(
+        activities in prop::collection::vec((0u8..4, 0u64..10_000), 1..50),
+    ) {
+        let mut b = Battery::new(BatteryParams::drone());
+        let mut last = 0.0;
+        for &(kind, amount) in &activities {
+            match kind {
+                0 => b.draw_motion(SimDuration::from_millis(amount)),
+                1 => b.draw_idle(SimDuration::from_millis(amount)),
+                2 => b.draw_compute(SimDuration::from_millis(amount)),
+                _ => b.draw_radio(amount * 1000),
+            }
+            prop_assert!(b.consumed_j() >= last);
+            last = b.consumed_j();
+        }
+        let (m, c, r, i) = b.energy_split();
+        prop_assert!((m + c + r + i - b.consumed_j()).abs() < 1e-6);
+        prop_assert!(b.consumed_percent() <= 100.0);
+    }
+
+    /// People never leave the field, whatever the advance pattern.
+    #[test]
+    fn people_stay_in_bounds(
+        steps in prop::collection::vec(1u64..120, 1..12),
+        seed in 0u64..200,
+    ) {
+        let mut field = Field::generate(FieldParams::scenario_b(), RngForge::new(seed));
+        let mut t = 0;
+        for &dt in &steps {
+            t += dt;
+            field.advance_people(hivemind_sim::time::SimTime::from_secs(t));
+            let b = field.bounds();
+            for p in field.people() {
+                prop_assert!(
+                    p.pos.x >= b.x0 - 1e-9
+                        && p.pos.x <= b.x1 + 1e-9
+                        && p.pos.y >= b.y0 - 1e-9
+                        && p.pos.y <= b.y1 + 1e-9,
+                    "person at {:?} outside {:?}",
+                    p.pos,
+                    b
+                );
+            }
+        }
+    }
+}

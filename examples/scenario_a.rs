@@ -1,0 +1,38 @@
+//! Scenario A — "Stationary Items": 16 drones locate 15 tennis balls in a
+//! field, on all four coordination platforms (the paper's Fig. 1 setup).
+//!
+//! ```text
+//! cargo run --release --example scenario_a
+//! ```
+
+use hivemind::apps::scenario::Scenario;
+use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::platform::Platform;
+
+fn main() {
+    println!("Scenario A: locating 15 tennis balls with a 16-drone swarm\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>10}",
+        "platform", "time (s)", "battery %", "found", "completed"
+    );
+    for platform in Platform::MAIN {
+        let outcome = Experiment::new(
+            ExperimentConfig::scenario(Scenario::StationaryItems)
+                .platform(platform)
+                .drones(16)
+                .seed(7),
+        )
+        .run();
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>5}/15 {:>10}",
+            platform.label(),
+            outcome.mission.duration_secs,
+            outcome.battery.mean_pct,
+            outcome.mission.targets_found,
+            outcome.mission.completed,
+        );
+    }
+    println!("\nCentralized platforms pay for shipping the full camera stream over the");
+    println!("two 867 Mb/s routers; the distributed swarm grinds through recognition on");
+    println!("1 GHz Cortex-A8s; HiveMind splits the work and finishes with the flight.");
+}

@@ -1,0 +1,47 @@
+//! Swarm-size scalability (Sec. 5.6 / Fig. 17b): the same mission run on
+//! progressively larger simulated swarms, with network links scaled
+//! proportionally, comparing HiveMind to the centralized baseline.
+//!
+//! ```text
+//! cargo run --release --example swarm_scaling
+//! ```
+
+use hivemind::apps::scenario::Scenario;
+use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::platform::Platform;
+
+fn main() {
+    println!("Scenario A at increasing swarm sizes (simulated; links scale with swarm)\n");
+    println!(
+        "{:>7} {:>22} {:>26}",
+        "drones", "HiveMind time/battery", "Centralized time/battery"
+    );
+    for devices in [16u32, 64, 256, 1024] {
+        let hm = Experiment::new(
+            ExperimentConfig::scenario(Scenario::StationaryItems)
+                .platform(Platform::HiveMind)
+                .drones(devices)
+                .seed(1),
+        )
+        .run();
+        let cen = Experiment::new(
+            ExperimentConfig::scenario(Scenario::StationaryItems)
+                .platform(Platform::CentralizedFaaS)
+                .drones(devices)
+                .seed(1),
+        )
+        .run();
+        println!(
+            "{:>7} {:>12.0}s / {:>5.1}% {:>16.0}s / {:>5.1}%{}",
+            devices,
+            hm.mission.duration_secs,
+            hm.battery.mean_pct,
+            cen.mission.duration_secs,
+            cen.battery.mean_pct,
+            if cen.mission.completed { "" } else { "  (INCOMPLETE)" },
+        );
+    }
+    println!("\nThe centralized controller serializes scheduling decisions and its data");
+    println!("plane funnels every frame through CouchDB — both walls arrive well before");
+    println!("1024 drones. HiveMind shards its scheduler and keeps most bytes local.");
+}

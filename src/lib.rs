@@ -1,0 +1,38 @@
+//! # HiveMind
+//!
+//! A full-stack reproduction of *"HiveMind: A Hardware-Software System Stack
+//! for Serverless Edge Swarms"* (ISCA 2022) in Rust.
+//!
+//! This facade crate re-exports every layer of the stack so applications can
+//! depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel
+//! * [`net`] — network substrate (wireless medium, switches, links, RPC costs)
+//! * [`accel`] — FPGA acceleration fabric models (remote memory + RPC offload)
+//! * [`faas`] — serverless substrate (containers, invokers, schedulers, data plane)
+//! * [`swarm`] — edge devices and the physical world (drones, cars, fields, mazes)
+//! * [`apps`] — the S1–S10 benchmark suite and multi-phase mission scenarios
+//! * [`core`] — the HiveMind contribution: DSL, placement synthesis, controller
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use hivemind::core::experiment::{Experiment, ExperimentConfig};
+//! use hivemind::core::platform::Platform;
+//! use hivemind::apps::scenario::Scenario;
+//!
+//! let config = ExperimentConfig::scenario(Scenario::StationaryItems)
+//!     .platform(Platform::HiveMind)
+//!     .drones(16)
+//!     .seed(7);
+//! let outcome = Experiment::new(config).run();
+//! assert!(outcome.mission.completed);
+//! ```
+
+pub use hivemind_accel as accel;
+pub use hivemind_apps as apps;
+pub use hivemind_core as core;
+pub use hivemind_faas as faas;
+pub use hivemind_net as net;
+pub use hivemind_sim as sim;
+pub use hivemind_swarm as swarm;

@@ -1,0 +1,166 @@
+//! DSL → synthesis → execution pipeline: the user-facing programming
+//! model drives placement decisions consistent with what the engine does.
+
+use std::collections::HashMap;
+
+use hivemind::apps::suite::App;
+use hivemind::core::dsl::{
+    Constraint, Directive, GraphError, PlacementSite, TaskDef, TaskGraphBuilder,
+};
+use hivemind::core::engine::{Engine, EngineConfig};
+use hivemind::core::platform::Platform;
+use hivemind::core::synthesis::{
+    bindings, enumerate_placements, explore, single_app_placement, Binding, Objective, TaskCost,
+};
+
+fn scenario_b_graph() -> hivemind::core::dsl::TaskGraph {
+    TaskGraphBuilder::new()
+        .constraint(Constraint::ExecTime { secs: 300.0 })
+        .task(TaskDef::new("createRoute").code("t/route"))
+        .task(TaskDef::new("collectImage").code("t/collect").parent("createRoute"))
+        .task(
+            TaskDef::new("obstacleAvoidance")
+                .code("t/oa")
+                .parent("collectImage"),
+        )
+        .task(
+            TaskDef::new("faceRecognition")
+                .code("t/face")
+                .parent("collectImage"),
+        )
+        .task(
+            TaskDef::new("deduplication")
+                .code("t/dedup")
+                .parent("faceRecognition"),
+        )
+        .parallel("obstacleAvoidance", "faceRecognition")
+        .serial("faceRecognition", "deduplication")
+        .directive(Directive::Place {
+            task: "obstacleAvoidance".into(),
+            site: PlacementSite::Edge,
+        })
+        .build()
+        .expect("Listing 3 is valid")
+}
+
+fn scenario_b_costs() -> HashMap<String, TaskCost> {
+    let mut costs = HashMap::new();
+    costs.insert("createRoute".into(), TaskCost::from_app(App::Maze));
+    costs.insert(
+        "collectImage".into(),
+        TaskCost {
+            cloud_exec: 0.001,
+            edge_slowdown: 1.0,
+            boundary_bytes: 16_000_000,
+        },
+    );
+    costs.insert(
+        "obstacleAvoidance".into(),
+        TaskCost::from_app(App::ObstacleAvoidance),
+    );
+    costs.insert(
+        "faceRecognition".into(),
+        TaskCost::from_app(App::FaceRecognition),
+    );
+    costs.insert("deduplication".into(), TaskCost::from_app(App::PeopleDedup));
+    costs
+}
+
+#[test]
+fn exploration_prunes_to_meaningful_models() {
+    let graph = scenario_b_graph();
+    // 5 tasks; collectImage auto-pinned (sensor), obstacleAvoidance pinned
+    // by directive → 2^3 = 8 meaningful models.
+    let placements = enumerate_placements(&graph);
+    assert_eq!(placements.len(), 8);
+    for p in &placements {
+        assert_eq!(p["collectImage"], PlacementSite::Edge);
+        assert_eq!(p["obstacleAvoidance"], PlacementSite::Edge);
+    }
+}
+
+#[test]
+fn performance_objective_offloads_heavy_recognition() {
+    let graph = scenario_b_graph();
+    let ranked = explore(
+        &graph,
+        &scenario_b_costs(),
+        Platform::HiveMind,
+        Objective::Performance,
+    );
+    let best = &ranked[0].placement;
+    assert_eq!(
+        best["faceRecognition"],
+        PlacementSite::Cloud,
+        "a 10x edge slowdown on FaceNet must push it to the cloud"
+    );
+    // The winner is consistent with the engine's per-app decision.
+    assert_eq!(
+        single_app_placement(App::FaceRecognition, Platform::HiveMind),
+        PlacementSite::Cloud
+    );
+    // And exploration is exhaustive: the winner's latency is minimal.
+    for candidate in &ranked[1..] {
+        assert!(candidate.profile.latency >= ranked[0].profile.latency - 1e-12);
+    }
+}
+
+#[test]
+fn bindings_match_fig8_arrows() {
+    let graph = scenario_b_graph();
+    let ranked = explore(
+        &graph,
+        &scenario_b_costs(),
+        Platform::HiveMind,
+        Objective::Performance,
+    );
+    let b = bindings(&graph, &ranked[0].placement);
+    let find = |child: &str| {
+        b.iter()
+            .find(|(_, c, _)| c == child)
+            .map(|&(_, _, binding)| binding)
+            .expect("edge exists")
+    };
+    // Edge → cloud crossing uses the synthesized RPC API; cloud-internal
+    // edges use the serverless data plane; on-device edges share memory.
+    assert_eq!(find("faceRecognition"), Binding::CrossTierRpc);
+    assert_eq!(find("deduplication"), Binding::ServerlessDataPlane);
+    assert_eq!(find("obstacleAvoidance"), Binding::OnDevice);
+}
+
+#[test]
+fn engine_placements_agree_with_synthesis() {
+    let engine = Engine::new(EngineConfig::testbed(Platform::HiveMind));
+    for app in App::ALL {
+        assert_eq!(
+            engine.placement_of(app),
+            single_app_placement(app, Platform::HiveMind),
+            "{app}"
+        );
+    }
+}
+
+#[test]
+fn invalid_graphs_are_rejected_before_synthesis() {
+    let err = TaskGraphBuilder::new()
+        .task(TaskDef::new("a").parent("b"))
+        .task(TaskDef::new("b").parent("a"))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, GraphError::Cycle(_)));
+}
+
+#[test]
+fn power_objective_changes_the_winner() {
+    let graph = scenario_b_graph();
+    let costs = scenario_b_costs();
+    let perf = explore(&graph, &costs, Platform::HiveMind, Objective::Performance);
+    let power = explore(&graph, &costs, Platform::HiveMind, Objective::Power);
+    // Minimizing device energy pushes every free task to the cloud.
+    for (task, site) in &power[0].placement {
+        if task != "collectImage" && task != "obstacleAvoidance" {
+            assert_eq!(*site, PlacementSite::Cloud, "{task}");
+        }
+    }
+    assert!(power[0].profile.edge_energy <= perf[0].profile.edge_energy);
+}

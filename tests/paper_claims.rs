@@ -1,0 +1,196 @@
+//! The paper's headline quantitative claims, asserted as tests.
+//!
+//! Absolute numbers are not expected to match a real testbed; these encode
+//! the *shapes* the reproduction must preserve: who wins, in which
+//! direction, and (loosely) by what kind of factor.
+
+use hivemind::accel::rpc_accel::{accelerated_rpc_profile, ACCEL_MRPS_PER_CORE, ACCEL_RTT_SECS};
+use hivemind::apps::learning::{run_campaign, RetrainMode};
+use hivemind::apps::scenario::Scenario;
+use hivemind::apps::suite::App;
+use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::platform::Platform;
+use hivemind::faas::dataplane::{DataPlane, ExchangeProtocol};
+use hivemind::net::rpc::RpcProfile;
+use hivemind::sim::rng::RngForge;
+use hivemind::sim::time::{SimDuration, SimTime};
+
+fn single(app: App, platform: Platform, seed: u64) -> hivemind::core::metrics::Outcome {
+    Experiment::new(
+        ExperimentConfig::single_app(app)
+            .platform(platform)
+            .duration_secs(30.0)
+            .seed(seed),
+    )
+    .run()
+}
+
+/// Sec. 2.2 / Fig. 3a: networking is a first-order latency component of
+/// centralized execution, and HiveMind slashes it (Fig. 12: 33% → 9.3%).
+/// Measured at mission-rate load, where the centralized uplinks run near
+/// saturation — the regime the paper's end-to-end numbers come from.
+#[test]
+fn network_share_drops_under_hivemind() {
+    let at_stream_rate = |platform: Platform| {
+        Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .platform(platform)
+                .duration_secs(30.0)
+                .input_scale(2.0)
+                .rate_scale(4.0)
+                .seed(1),
+        )
+        .run()
+    };
+    let cen = at_stream_rate(Platform::CentralizedFaaS).tasks.network_fraction();
+    let hm = at_stream_rate(Platform::HiveMind).tasks.network_fraction();
+    assert!(
+        hm < cen * 0.6,
+        "network share must drop by a large factor: {cen:.3} -> {hm:.3}"
+    );
+}
+
+/// Fig. 11 / Sec. 5.1: HiveMind beats centralized end to end.
+#[test]
+fn hivemind_beats_centralized_on_every_heavy_app() {
+    for app in [App::TextRecognition, App::Slam, App::FaceRecognition] {
+        let mut cen = single(app, Platform::CentralizedFaaS, 2);
+        let mut hm = single(app, Platform::HiveMind, 2);
+        assert!(
+            hm.median_task_ms() < cen.median_task_ms(),
+            "{app}: {0} vs {1}",
+            hm.median_task_ms(),
+            cen.median_task_ms()
+        );
+    }
+}
+
+/// Sec. 2.3's three exceptions: S3/S7 comparable across cloud and edge,
+/// S4 better at the edge.
+#[test]
+fn light_apps_match_paper_exceptions() {
+    for app in [App::DroneDetection, App::WeatherAnalytics] {
+        let mut cen = single(app, Platform::CentralizedFaaS, 3);
+        let mut edge = single(app, Platform::DistributedEdge, 3);
+        let ratio = edge.median_task_ms() / cen.median_task_ms();
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "{app} should be comparable, ratio {ratio}"
+        );
+    }
+    let mut cen = single(App::ObstacleAvoidance, Platform::CentralizedFaaS, 3);
+    let mut edge = single(App::ObstacleAvoidance, Platform::DistributedEdge, 3);
+    assert!(edge.median_task_ms() < cen.median_task_ms(), "S4 wins at the edge");
+}
+
+/// Sec. 2.3: on-board execution leaves Scenario B incomplete (battery).
+#[test]
+fn distributed_scenario_b_runs_out_of_battery() {
+    let o = Experiment::new(
+        ExperimentConfig::scenario(Scenario::MovingPeople)
+            .platform(Platform::DistributedEdge)
+            .seed(11),
+    )
+    .run();
+    assert!(!o.mission.completed);
+    assert!(o.battery.depleted > 0);
+
+    let hm = Experiment::new(
+        ExperimentConfig::scenario(Scenario::MovingPeople)
+            .platform(Platform::HiveMind)
+            .seed(11),
+    )
+    .run();
+    assert!(hm.mission.completed);
+    assert_eq!(hm.battery.depleted, 0);
+}
+
+/// Fig. 5a: serverless is far faster than an equal-cost fixed allocation.
+#[test]
+fn serverless_beats_fixed_allocation_by_a_wide_margin() {
+    let mut fixed = single(App::FaceRecognition, Platform::CentralizedIaaS, 4);
+    let mut faas = single(App::FaceRecognition, Platform::CentralizedFaaS, 4);
+    assert!(
+        fixed.p99_task_ms() > 3.0 * faas.p99_task_ms(),
+        "fixed p99 {} vs serverless p99 {}",
+        fixed.p99_task_ms(),
+        faas.p99_task_ms()
+    );
+}
+
+/// Fig. 6c: CouchDB ≫ direct RPC ≫ in-memory; remote memory ≈ in-memory
+/// class.
+#[test]
+fn data_plane_protocol_ordering() {
+    let mut plane = DataPlane::new();
+    let mut rng = RngForge::new(5).stream("claims");
+    let mut mean = |proto: ExchangeProtocol| {
+        let mut total = 0.0;
+        for i in 0..200u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(i);
+            total += plane.exchange(t, proto, 200_000, &mut rng).as_secs_f64();
+        }
+        total / 200.0
+    };
+    let db = mean(ExchangeProtocol::CouchDb);
+    let rpc = mean(ExchangeProtocol::DirectRpc);
+    let memory = mean(ExchangeProtocol::InMemory);
+    let rdma = mean(ExchangeProtocol::RemoteMemory);
+    assert!(db > 3.0 * rpc, "CouchDB {db} vs RPC {rpc}");
+    assert!(rpc > memory, "RPC {rpc} vs in-memory {memory}");
+    assert!(rdma < rpc, "remote memory {rdma} vs RPC {rpc}");
+}
+
+/// Sec. 4.5: the accelerated RPC stack's calibration constants.
+#[test]
+fn accelerated_rpc_matches_paper_constants() {
+    assert!((ACCEL_RTT_SECS - 2.1e-6).abs() < 1e-12);
+    assert!((ACCEL_MRPS_PER_CORE - 12.4e6).abs() < 1.0);
+    let fast = accelerated_rpc_profile();
+    let slow = RpcProfile::software();
+    assert!(slow.mean_one_way_secs(64) / fast.mean_one_way_secs(64) > 10.0);
+}
+
+/// Fig. 15: retraining policies order None < Self < Swarm.
+#[test]
+fn continuous_learning_ordering() {
+    let none = run_campaign(RetrainMode::None, 16, 120, 6, 7);
+    let per = run_campaign(RetrainMode::PerDevice, 16, 120, 6, 7);
+    let swarm = run_campaign(RetrainMode::SwarmWide, 16, 120, 6, 7);
+    assert!(per.correct_pct > none.correct_pct);
+    assert!(swarm.correct_pct > per.correct_pct);
+}
+
+/// Fig. 14: HiveMind's bandwidth sits between distributed and centralized.
+#[test]
+fn bandwidth_ordering_across_platforms() {
+    let cen = single(App::FaceRecognition, Platform::CentralizedFaaS, 6).bandwidth;
+    let hm = single(App::FaceRecognition, Platform::HiveMind, 6).bandwidth;
+    let dist = single(App::FaceRecognition, Platform::DistributedEdge, 6).bandwidth;
+    assert!(dist.total_mb < hm.total_mb, "distributed ships only results");
+    assert!(hm.total_mb < cen.total_mb, "HiveMind filters the stream");
+}
+
+/// Sec. 5.6 / Fig. 18: the fast model tracks the detailed DES closely at
+/// the benchmark operating point.
+#[test]
+fn analytic_model_tracks_des_for_representative_apps() {
+    use hivemind::core::analytic::QuickModel;
+    for app in [App::FaceRecognition, App::SoilAnalytics] {
+        let mut des = Experiment::new(
+            ExperimentConfig::single_app(app)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(60.0)
+                .seed(8),
+        )
+        .run();
+        let mut model = QuickModel::testbed(Platform::CentralizedFaaS, app).predict(8000, 8);
+        let ratio = model.median() / des.tasks.total.median();
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "{app}: model median {} vs DES {}",
+            model.median(),
+            des.tasks.total.median()
+        );
+    }
+}

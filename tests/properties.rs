@@ -1,0 +1,182 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use hivemind::apps::kernels::dedup::{deduplicate, Observation, UnionFind};
+use hivemind::apps::kernels::embedding::observe;
+use hivemind::apps::kernels::ocr::{recognize, SignImage};
+use hivemind::net::fabric::{Fabric, Transfer};
+use hivemind::net::topology::{Node, Topology, TopologyParams};
+use hivemind::sim::rng::RngForge;
+use hivemind::sim::stats::Summary;
+use hivemind::sim::time::{SimDuration, SimTime};
+use hivemind::swarm::geometry::{partition_field, Rect};
+use hivemind::swarm::maze::{wall_follower, Maze};
+use hivemind::swarm::route::{astar, Cell, GridMap};
+use proptest::prelude::*;
+
+proptest! {
+    /// Partitioning any field among any swarm conserves area exactly and
+    /// produces one region per device.
+    #[test]
+    fn partition_conserves_area(
+        w in 10.0f64..2000.0,
+        h in 10.0f64..2000.0,
+        n in 1u32..300,
+    ) {
+        let field = Rect::new(0.0, 0.0, w, h);
+        let regions = partition_field(&field, n);
+        prop_assert_eq!(regions.len(), n as usize);
+        let total: f64 = regions.iter().map(|r| r.area()).sum();
+        prop_assert!((total - field.area()).abs() < 1e-6 * field.area().max(1.0));
+        for r in &regions {
+            prop_assert!(field.contains(r.center()));
+        }
+    }
+
+    /// Every transfer injected into the fabric is delivered exactly once,
+    /// never before its send time, and deliveries are chronological.
+    #[test]
+    fn fabric_conserves_transfers(
+        sends in prop::collection::vec(
+            (0u64..5_000_000_000, 0u32..16, 0u32..12, 1u64..5_000_000),
+            1..60,
+        ),
+    ) {
+        let mut fabric = Fabric::new(Topology::new(TopologyParams::default()));
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, ..)| t);
+        for &(t, dev, srv, bytes) in &sends {
+            fabric.send(
+                SimTime::from_nanos(t),
+                Transfer {
+                    src: Node::Device(dev),
+                    dst: Node::Server(srv),
+                    bytes,
+                    tag: t,
+                },
+            );
+        }
+        let mut deliveries = Vec::new();
+        while let Some(wake) = fabric.next_wakeup() {
+            deliveries.extend(fabric.advance_to(wake));
+        }
+        prop_assert_eq!(deliveries.len(), sends.len());
+        for d in &deliveries {
+            prop_assert!(d.delivered_at > d.sent_at);
+        }
+        for pair in deliveries.windows(2) {
+            prop_assert!(pair[0].delivered_at <= pair[1].delivered_at);
+        }
+        // Ids unique.
+        let mut ids: Vec<_> = deliveries.iter().map(|d| d.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), deliveries.len());
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn summary_quantiles_monotone(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut s: Summary = samples.iter().copied().collect();
+        let q25 = s.quantile(0.25);
+        let q50 = s.quantile(0.5);
+        let q99 = s.quantile(0.99);
+        prop_assert!(q25 <= q50 && q50 <= q99);
+        prop_assert!(s.min() <= q25 && q99 <= s.max());
+    }
+
+    /// Every generated maze is perfect (n−1 passages) and solvable by the
+    /// wall follower.
+    #[test]
+    fn mazes_are_perfect_and_solvable(w in 2u32..20, h in 2u32..20, seed in 0u64..500) {
+        let maze = Maze::generate(w, h, RngForge::new(seed));
+        prop_assert_eq!(maze.passage_count(), (w * h - 1) as usize);
+        let t = wall_follower(&maze);
+        prop_assert!(t.reached);
+    }
+
+    /// A* paths, when they exist, are connected, obstacle-free, and no
+    /// longer than the naive perimeter route.
+    #[test]
+    fn astar_paths_are_valid(
+        blocks in prop::collection::vec((0u32..20, 0u32..20), 0..60),
+        seed in 0u64..100,
+    ) {
+        let mut map = GridMap::new(20, 20);
+        for &(x, y) in &blocks {
+            if (x, y) != (0, 0) && (x, y) != (19, 19) {
+                map.block(Cell { x, y });
+            }
+        }
+        let _ = seed;
+        if let Some(path) = astar(&map, Cell { x: 0, y: 0 }, Cell { x: 19, y: 19 }) {
+            prop_assert_eq!(path[0], Cell { x: 0, y: 0 });
+            prop_assert_eq!(*path.last().unwrap(), Cell { x: 19, y: 19 });
+            for pair in path.windows(2) {
+                let dx = pair[0].x.abs_diff(pair[1].x);
+                let dy = pair[0].y.abs_diff(pair[1].y);
+                prop_assert_eq!(dx + dy, 1);
+                prop_assert!(map.is_free(pair[1]));
+            }
+            prop_assert!(path.len() <= 400);
+        }
+    }
+
+    /// Union-find set counts never increase, and dedup's unique count is
+    /// bounded by the observation count.
+    #[test]
+    fn union_find_monotone(ops in prop::collection::vec((0usize..30, 0usize..30), 0..100)) {
+        let mut uf = UnionFind::new(30);
+        let mut last = uf.set_count();
+        for &(a, b) in &ops {
+            uf.union(a, b);
+            let now = uf.set_count();
+            prop_assert!(now <= last);
+            prop_assert!(now >= 1);
+            last = now;
+        }
+    }
+
+    /// Deduplication with a sane threshold never invents more people than
+    /// observations and never returns zero for non-empty input.
+    #[test]
+    fn dedup_count_bounds(people in 1u32..12, reps in 1u32..4, seed in 0u64..50) {
+        let mut rng = RngForge::new(seed).stream("prop");
+        let obs: Vec<Observation> = (0..people)
+            .flat_map(|p| {
+                (0..reps).map(move |r| (p, r))
+            })
+            .map(|(p, r)| Observation {
+                device: r,
+                embedding: observe(p, 0.03, &mut rng),
+                truth: p,
+            })
+            .collect();
+        let result = deduplicate(&obs, 0.8);
+        prop_assert!(result.unique_count >= 1);
+        prop_assert!(result.unique_count <= obs.len());
+        // At tight noise the count is exact.
+        prop_assert_eq!(result.unique_count, people as usize);
+    }
+
+    /// OCR round-trips any string over its alphabet when noise-free.
+    #[test]
+    fn ocr_roundtrips_clean_text(chars in prop::collection::vec(0usize..15, 1..8)) {
+        use hivemind::apps::kernels::ocr::ALPHABET;
+        let text: String = chars.iter().map(|&i| ALPHABET[i]).collect();
+        let img = SignImage::render(&text);
+        prop_assert_eq!(recognize(&img), text);
+    }
+
+    /// Durations never go negative through the sampling pipeline.
+    #[test]
+    fn distributions_sample_non_negative(median in 1e-6f64..10.0, sigma in 0.0f64..2.0, seed in 0u64..100) {
+        use hivemind::sim::dist::Dist;
+        let d = Dist::lognormal_median_sigma(median, sigma);
+        let mut rng = RngForge::new(seed).stream("prop");
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) >= SimDuration::ZERO);
+        }
+        prop_assert!(d.mean_secs() >= median * 0.99);
+    }
+}
