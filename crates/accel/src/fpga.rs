@@ -219,7 +219,10 @@ impl FpgaFabric {
     ///
     /// Panics if `regs` provisions zero queues or zero flows.
     pub fn configure(&mut self, regs: SoftRegisters) -> SimDuration {
-        assert!(regs.queue_pairs > 0 && regs.queue_depth > 0, "queues must be provisioned");
+        assert!(
+            regs.queue_pairs > 0 && regs.queue_depth > 0,
+            "queues must be provisioned"
+        );
         assert!(regs.active_flows > 0, "need at least one RPC flow");
         assert!(regs.ccip_batch > 0, "CCI-P batch must be at least 1");
         self.registers = regs;

@@ -117,8 +117,7 @@ impl RemoteMemoryFabric {
     /// Mean access latency for an object of `bytes`, for the analytical
     /// model (ignores queueing).
     pub fn mean_access_secs(&self, bytes: u64) -> f64 {
-        let wire = (bytes as f64 / self.params.bytes_per_sec)
-            .max(self.params.floor.as_secs_f64());
+        let wire = (bytes as f64 / self.params.bytes_per_sec).max(self.params.floor.as_secs_f64());
         self.params.setup.mean_secs() + wire
     }
 
@@ -152,7 +151,10 @@ mod tests {
         let mut rng = RngForge::new(3).stream("rm");
         let lat = f.access(SimTime::ZERO, 80_000_000, &mut rng); // 80 MB
         let secs = lat.as_secs_f64();
-        assert!((secs - 0.01).abs() < 0.002, "80 MB at 8 GB/s ≈ 10 ms, got {secs}");
+        assert!(
+            (secs - 0.01).abs() < 0.002,
+            "80 MB at 8 GB/s ≈ 10 ms, got {secs}"
+        );
     }
 
     #[test]

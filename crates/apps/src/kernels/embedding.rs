@@ -36,9 +36,7 @@ pub fn identity_anchor(id: u32) -> Embedding {
     // Deterministic pseudo-random direction from a per-identity stream.
     let forge = hivemind_sim::rng::RngForge::new(0x00FACE);
     let mut rng = forge.indexed_stream("identity", id as u64);
-    let mut v: Vec<f64> = (0..EMBEDDING_DIMS)
-        .map(|_| gaussian(&mut rng))
-        .collect();
+    let mut v: Vec<f64> = (0..EMBEDDING_DIMS).map(|_| gaussian(&mut rng)).collect();
     normalize(&mut v);
     v
 }
@@ -189,7 +187,10 @@ mod tests {
                 }
             }
         }
-        assert!(correct < 40, "extreme noise must cause misses, got {correct}/50");
+        assert!(
+            correct < 40,
+            "extreme noise must cause misses, got {correct}/50"
+        );
     }
 
     #[test]

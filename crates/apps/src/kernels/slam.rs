@@ -289,12 +289,7 @@ pub fn odometry_frame(scan: &Scan, true_pose: (u32, u32), guess: (u32, u32)) -> 
 
 /// Scan-matching localization over a small search window (see the module
 /// docs and the example above).
-pub fn localize(
-    map: &OccupancyGrid,
-    guess: (u32, u32),
-    scan: &Scan,
-    search: i64,
-) -> (u32, u32) {
+pub fn localize(map: &OccupancyGrid, guess: (u32, u32), scan: &Scan, search: i64) -> (u32, u32) {
     let mut best = guess;
     let mut best_score = f64::NEG_INFINITY;
     for dx in -search..=search {
@@ -378,7 +373,14 @@ mod tests {
         let world = walled_world();
         let mut map = OccupancyGrid::new(40, 40);
         // Build a decent map first.
-        for &pose in &[(5u32, 5u32), (10, 10), (30, 10), (10, 30), (30, 30), (20, 10)] {
+        for &pose in &[
+            (5u32, 5u32),
+            (10, 10),
+            (30, 10),
+            (10, 30),
+            (30, 30),
+            (20, 10),
+        ] {
             for _ in 0..2 {
                 map.integrate(pose, &world.scan_from(pose, 40));
             }

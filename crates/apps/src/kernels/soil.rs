@@ -24,7 +24,11 @@ impl Patch {
     /// Panics if `pixels.len() != width * height` or the patch is empty.
     pub fn new(width: u32, height: u32, pixels: Vec<[u8; 3]>) -> Patch {
         assert!(width > 0 && height > 0, "patch must be non-empty");
-        assert_eq!(pixels.len(), (width * height) as usize, "pixel count mismatch");
+        assert_eq!(
+            pixels.len(),
+            (width * height) as usize,
+            "pixel count mismatch"
+        );
         Patch {
             width,
             height,
@@ -157,7 +161,10 @@ mod tests {
         let dry = Patch::synthesize_soil(0.05, &mut rng);
         let wet = Patch::synthesize_soil(0.95, &mut rng);
         assert_eq!(classify(estimate_hydration(&dry, 20.0)), SoilState::Dry);
-        assert_eq!(classify(estimate_hydration(&wet, 85.0)), SoilState::Saturated);
+        assert_eq!(
+            classify(estimate_hydration(&wet, 85.0)),
+            SoilState::Saturated
+        );
     }
 
     #[test]

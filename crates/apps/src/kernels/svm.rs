@@ -90,10 +90,7 @@ impl LinearSvm {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, y)| self.predict(x) == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| self.predict(x) == *y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -111,9 +108,7 @@ pub fn tag_dataset<R: Rng + ?Sized>(
         .map(|i| {
             let label = i % 2 == 0;
             let center = if label { mu } else { -mu };
-            let x = (0..dims)
-                .map(|_| center + gaussian(rng))
-                .collect();
+            let x = (0..dims).map(|_| center + gaussian(rng)).collect();
             (x, label)
         })
         .collect()

@@ -186,8 +186,7 @@ pub fn run_campaign(
         (0..devices).map(|_| OnlineDetector::new(0.05)).collect();
 
     // Factory pre-training, identical for every model.
-    let pretrain_set: Vec<(Vec<f64>, bool)> =
-        (0..pretraining).map(|_| gen.sample()).collect();
+    let pretrain_set: Vec<(Vec<f64>, bool)> = (0..pretraining).map(|_| gen.sample()).collect();
     for (x, y) in &pretrain_set {
         shared.train(x, *y);
         for d in &mut per_device {

@@ -92,7 +92,12 @@ impl App {
 
     /// The FaaS registry id (stable: S1 → 0 … S10 → 9).
     pub fn app_id(self) -> AppId {
-        AppId(App::ALL.iter().position(|&a| a == self).expect("member of ALL") as u16)
+        AppId(
+            App::ALL
+                .iter()
+                .position(|&a| a == self)
+                .expect("member of ALL") as u16,
+        )
     }
 
     /// Recovers an app from its [`AppId`], if in range.

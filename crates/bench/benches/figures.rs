@@ -64,7 +64,14 @@ fn fig13_ablations(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(platform.label()),
             &platform,
-            |b, &p| b.iter(|| Experiment::new(small_app(App::TextRecognition, p)).run().tasks.len()),
+            |b, &p| {
+                b.iter(|| {
+                    Experiment::new(small_app(App::TextRecognition, p))
+                        .run()
+                        .tasks
+                        .len()
+                })
+            },
         );
     }
     g.finish();

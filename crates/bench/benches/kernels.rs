@@ -19,12 +19,7 @@ fn bench_astar(c: &mut Criterion) {
     }
     c.bench_function("astar_64x64_with_wall", |b| {
         b.iter(|| {
-            astar(
-                black_box(&map),
-                Cell { x: 0, y: 0 },
-                Cell { x: 63, y: 0 },
-            )
-            .expect("reachable")
+            astar(black_box(&map), Cell { x: 0, y: 0 }, Cell { x: 63, y: 0 }).expect("reachable")
         })
     });
 }

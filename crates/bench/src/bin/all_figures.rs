@@ -11,8 +11,8 @@ use std::process::Command;
 
 fn main() {
     let figures = [
-        "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "fig17", "fig18",
+        "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -4,8 +4,8 @@
 //! Centralized IaaS, Centralized FaaS, Distributed Edge, and HiveMind.
 
 use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, Table};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, repeats, run_replicated, Table};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -21,34 +21,27 @@ fn main() {
             "completed",
         ]);
         for platform in Platform::MAIN {
-            let mut durations = Vec::new();
-            let mut batt_mean = 0.0;
-            let mut batt_max: f64 = 0.0;
-            let mut found = 0;
-            let mut completed = true;
             let n = if devices > 100 { 1 } else { repeats() };
-            for seed in 0..n {
-                let o = Experiment::new(
-                    ExperimentConfig::scenario(Scenario::StationaryItems)
-                        .platform(platform)
-                        .drones(devices)
-                        .seed(seed + 1),
-                )
-                .run();
-                durations.push(o.mission.duration_secs);
-                batt_mean += o.battery.mean_pct / n as f64;
-                batt_max = batt_max.max(o.battery.max_pct);
-                found = o.mission.targets_found;
-                completed &= o.mission.completed;
-            }
-            let mean_dur = durations.iter().sum::<f64>() / durations.len() as f64;
+            let set = run_replicated(
+                &ExperimentConfig::scenario(Scenario::StationaryItems)
+                    .platform(platform)
+                    .drones(devices)
+                    .seed(1),
+                n,
+            );
+            let found = set
+                .outcomes()
+                .last()
+                .expect("replicates")
+                .mission
+                .targets_found;
             table.row([
                 platform.label().to_string(),
-                format!("{mean_dur:.1}"),
-                format!("{batt_mean:.1}"),
-                format!("{batt_max:.1}"),
+                format!("{:.1}", set.mission_durations().mean()),
+                format!("{:.1}", set.mean_battery_pct()),
+                format!("{:.1}", set.max_battery_pct()),
                 format!("{found}/15"),
-                completed.to_string(),
+                set.all_completed().to_string(),
             ]);
         }
         table.print();

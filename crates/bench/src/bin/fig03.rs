@@ -4,8 +4,8 @@
 //! for face recognition as drones and frame resolution increase.
 
 use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, pct, single_app_duration_secs, Table, Workload};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, ms, pct, runner, single_app_duration_secs, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -18,21 +18,21 @@ fn main() {
         "median (ms)",
         "p99 (ms)",
     ]);
-    for w in Workload::evaluation_set() {
-        let mut o = match w {
-            // The breakdown study ships the benchmark's sensor stream at
-            // a 4 MB/s operating point (unsaturated but network-visible,
-            // matching the paper's >=22% network shares).
-            Workload::App(app) => Experiment::new(
-                ExperimentConfig::single_app(app)
-                    .platform(Platform::CentralizedFaaS)
-                    .duration_secs(single_app_duration_secs())
-                    .input_scale(2.0)
-                    .seed(1),
-            )
-            .run(),
-            Workload::Scenario(_) => w.run(Platform::CentralizedFaaS, 1),
-        };
+    let workloads = Workload::evaluation_set();
+    let configs: Vec<ExperimentConfig> = workloads
+        .iter()
+        .map(|w| {
+            let cfg = w.config(Platform::CentralizedFaaS, 1);
+            match w {
+                // The breakdown study ships the benchmark's sensor stream
+                // at a 4 MB/s operating point (unsaturated but
+                // network-visible, matching the paper's >=22% shares).
+                Workload::App(_) => cfg.input_scale(2.0),
+                Workload::Scenario(_) => cfg,
+            }
+        })
+        .collect();
+    for (w, mut o) in workloads.iter().zip(runner().run_configs(&configs)) {
         let net = o.tasks.network_fraction();
         let mgmt = o.tasks.management_fraction();
         let exec = (1.0 - net - mgmt).max(0.0);
@@ -49,14 +49,10 @@ fn main() {
     println!("(paper: networking >= 22% of median latency everywhere, 33% on average)");
 
     banner("Figure 3b: bandwidth + tail latency vs #drones, S1 at 8 fps per resolution");
-    let mut table = Table::new([
-        "frame",
-        "drones",
-        "bandwidth (MB/s)",
-        "tail latency (ms)",
-    ]);
+    let mut table = Table::new(["frame", "drones", "bandwidth (MB/s)", "tail latency (ms)"]);
     // input_scale 1.0 = the default 2 MB batch; sweep 512 KB → 8 MB at
     // the full 8 fps offered load the paper uses for this experiment.
+    let mut cells = Vec::new();
     for (label, scale) in [
         ("512KB", 0.25),
         ("1MB", 0.5),
@@ -65,24 +61,31 @@ fn main() {
         ("8MB", 4.0),
     ] {
         for drones in [2u32, 4, 8, 12, 16] {
-            let mut o = Experiment::new(
-                ExperimentConfig::single_app(App::FaceRecognition)
-                    .platform(Platform::CentralizedFaaS)
-                    .duration_secs(single_app_duration_secs().min(40.0))
-                    .drones(drones)
-                    .input_scale(scale)
-                    .rate_scale(8.0)
-                    .seed(1),
-            )
-            .run();
-            table.row([
-                label.to_string(),
-                drones.to_string(),
-                format!("{:.1}", o.bandwidth.mean_mbps),
-                ms(o.tasks.total.p99()),
-            ]);
+            cells.push((label, scale, drones));
         }
     }
+    let sweep: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(_, scale, drones)| {
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(single_app_duration_secs().min(40.0))
+                .drones(drones)
+                .input_scale(scale)
+                .rate_scale(8.0)
+                .seed(1)
+        })
+        .collect();
+    for (&(label, _, drones), mut o) in cells.iter().zip(runner().run_configs(&sweep)) {
+        table.row([
+            label.to_string(),
+            drones.to_string(),
+            format!("{:.1}", o.bandwidth.mean_mbps),
+            ms(o.tasks.total.p99()),
+        ]);
+    }
     table.print();
-    println!("(paper: latency low below ~4 drones even at max resolution, then the network saturates)");
+    println!(
+        "(paper: latency low below ~4 drones even at max resolution, then the network saturates)"
+    );
 }

@@ -3,10 +3,9 @@
 //! cloud vs distributed edge execution.
 
 use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, ms, repeats, Table, Workload};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, ms, repeats, run_replicated, runner, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
-use hivemind_sim::stats::Summary;
 
 fn main() {
     banner("Figure 4a: task latency (ms), centralized cloud vs distributed edge");
@@ -19,9 +18,19 @@ fn main() {
         "edge p50",
         "edge p99",
     ]);
-    for w in Workload::evaluation_set().into_iter().take(10) {
-        let mut cloud = w.run(Platform::CentralizedFaaS, 1);
-        let mut edge = w.run(Platform::DistributedEdge, 1);
+    let apps: Vec<Workload> = Workload::evaluation_set().into_iter().take(10).collect();
+    let configs: Vec<ExperimentConfig> = apps
+        .iter()
+        .flat_map(|w| {
+            [
+                w.config(Platform::CentralizedFaaS, 1),
+                w.config(Platform::DistributedEdge, 1),
+            ]
+        })
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, pair) in apps.iter().zip(outcomes.chunks_exact(2)) {
+        let (mut cloud, mut edge) = (pair[0].clone(), pair[1].clone());
         table.row([
             w.label().to_string(),
             ms(cloud.tasks.total.quantile(0.25)),
@@ -39,24 +48,19 @@ fn main() {
     let mut table = Table::new(["scenario", "platform", "median (s)", "max (s)", "completed"]);
     for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
         for platform in [Platform::CentralizedFaaS, Platform::DistributedEdge] {
-            let mut s = Summary::new();
-            let mut completed = true;
-            for seed in 0..repeats() {
-                let o = Experiment::new(
-                    ExperimentConfig::scenario(scenario)
-                        .platform(platform)
-                        .seed(seed + 1),
-                )
-                .run();
-                s.record(o.mission.duration_secs);
-                completed &= o.mission.completed;
-            }
+            let set = run_replicated(
+                &ExperimentConfig::scenario(scenario)
+                    .platform(platform)
+                    .seed(1),
+                repeats(),
+            );
+            let mut s = set.mission_durations();
             table.row([
                 scenario.label().to_string(),
                 platform.label().to_string(),
                 format!("{:.1}", s.median()),
                 format!("{:.1}", s.max()),
-                completed.to_string(),
+                set.all_completed().to_string(),
             ]);
         }
     }

@@ -5,30 +5,45 @@
 //! tasks over time when a fraction of functions fail.
 
 use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, single_app_duration_secs, Table, Workload};
+use hivemind_bench::{banner, ms, runner, single_app_duration_secs, Table, Workload};
 use hivemind_core::experiment::{Experiment, ExperimentConfig};
 use hivemind_core::platform::Platform;
 use hivemind_sim::time::{SimDuration, SimTime};
 
 fn main() {
     banner("Figure 5a: fixed vs serverless vs serverless + intra-task (median ms)");
-    let mut table = Table::new(["app", "fixed", "serverless", "serverless (intra)", "speedup"]);
-    for w in Workload::evaluation_set().into_iter().take(10) {
-        let Workload::App(app) = w else { unreachable!() };
-        let run = |platform: Platform, intra: bool| -> f64 {
-            let mut o = Experiment::new(
-                ExperimentConfig::single_app(app)
+    let mut table = Table::new([
+        "app",
+        "fixed",
+        "serverless",
+        "serverless (intra)",
+        "speedup",
+    ]);
+    let apps: Vec<Workload> = Workload::evaluation_set().into_iter().take(10).collect();
+    let configs: Vec<ExperimentConfig> = apps
+        .iter()
+        .flat_map(|w| {
+            let Workload::App(app) = w else {
+                unreachable!()
+            };
+            [
+                (Platform::CentralizedIaaS, false),
+                (Platform::CentralizedFaaS, false),
+                (Platform::CentralizedFaaS, true),
+            ]
+            .map(|(platform, intra)| {
+                ExperimentConfig::single_app(*app)
                     .platform(platform)
                     .duration_secs(single_app_duration_secs())
                     .intra_task(intra)
-                    .seed(2),
-            )
-            .run();
-            o.tasks.total.median()
-        };
-        let fixed = run(Platform::CentralizedIaaS, false);
-        let faas = run(Platform::CentralizedFaaS, false);
-        let intra = run(Platform::CentralizedFaaS, true);
+                    .seed(2)
+            })
+        })
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, trio) in apps.iter().zip(outcomes.chunks_exact(3)) {
+        let median = |o: &hivemind_core::metrics::Outcome| o.tasks.clone().total.median();
+        let (fixed, faas, intra) = (median(&trio[0]), median(&trio[1]), median(&trio[2]));
         table.row([
             w.label().to_string(),
             ms(fixed),
@@ -65,10 +80,18 @@ fn main() {
         Experiment::new(cfg).run()
     };
     // Average load ≈ 6.3 drones × 2 tasks/s × 0.27 s ≈ 4 busy cores;
-    // worst case ≈ 9.
-    let serverless = run(Platform::CentralizedFaaS, None);
-    let avg = run(Platform::CentralizedIaaS, Some(4));
-    let max = run(Platform::CentralizedIaaS, Some(16));
+    // worst case ≈ 9. The three deployments are independent, so fan them
+    // out instead of chaining the 180 s simulations.
+    let deployments = runner().map(
+        &[
+            (Platform::CentralizedFaaS, None),
+            (Platform::CentralizedIaaS, Some(4)),
+            (Platform::CentralizedIaaS, Some(16)),
+        ],
+        |_, &(platform, workers)| run(platform, workers),
+    );
+    let mut it = deployments.into_iter();
+    let (serverless, avg, max) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
     let mut table2 = Table::new(["deployment", "median (ms)", "p99 (ms)", "tasks"]);
     for (label, mut o) in [
         ("serverless", serverless),
@@ -87,21 +110,18 @@ fn main() {
 
     banner("Figure 5c: active tasks over time with injected function failures");
     let mut table = Table::new(["t (s)", "no faults", "5%", "10%", "20%"]);
-    let runs: Vec<_> = [0.0, 0.05, 0.10, 0.20]
-        .iter()
-        .map(|&fr| {
-            Experiment::new(
-                ExperimentConfig::single_app(App::FaceRecognition)
-                    .platform(Platform::CentralizedFaaS)
-                    .duration_secs(total)
-                    .load_profile(profile.clone())
-                    .rate_scale(2.0)
-                    .fault_rate(fr)
-                    .seed(4),
-            )
-            .run()
-        })
-        .collect();
+    let runs = runner().map(&[0.0, 0.05, 0.10, 0.20], |_, &fr| {
+        Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(total)
+                .load_profile(profile.clone())
+                .rate_scale(2.0)
+                .fault_rate(fr)
+                .seed(4),
+        )
+        .run()
+    });
     let mut t = 0.0;
     while t <= total {
         let mut cells = vec![format!("{t:.0}")];

@@ -4,8 +4,8 @@
 //! (c) the impact of the data-sharing protocol (CouchDB / direct RPC /
 //! in-memory / HiveMind's remote memory).
 
-use hivemind_bench::{banner, ms, pct, single_app_duration_secs, Table, Workload};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, ms, pct, runner, single_app_duration_secs, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 use hivemind_faas::dataplane::{DataPlane, ExchangeProtocol};
 use hivemind_sim::rng::RngForge;
@@ -15,24 +15,42 @@ use hivemind_sim::time::{SimDuration, SimTime};
 fn main() {
     banner("Figure 6a: latency variability, reserved vs serverless (ms)");
     let mut table = Table::new([
-        "app", "res p50", "res p99", "res p99/p50", "faas p50", "faas p99", "faas p99/p50",
+        "app",
+        "res p50",
+        "res p99",
+        "res p99/p50",
+        "faas p50",
+        "faas p99",
+        "faas p99/p50",
     ]);
-    for w in Workload::evaluation_set().into_iter().take(10) {
-        let hivemind_bench::Workload::App(app) = w else { unreachable!() };
-        // "Reserved" = a fixed pool generously provisioned so only inherent
-        // exec-time variability remains; serverless adds instantiation and
-        // data-plane variability on top.
-        let mut reserved = Experiment::new(
-            ExperimentConfig::single_app(app)
-                .platform(Platform::CentralizedIaaS)
-                .duration_secs(single_app_duration_secs())
-                .iaas_workers(64)
-                .seed(5),
-        )
-        .run();
-        let mut faas = w.run(Platform::CentralizedFaaS, 5);
+    let apps: Vec<Workload> = Workload::evaluation_set().into_iter().take(10).collect();
+    // "Reserved" = a fixed pool generously provisioned so only inherent
+    // exec-time variability remains; serverless adds instantiation and
+    // data-plane variability on top.
+    let configs: Vec<ExperimentConfig> = apps
+        .iter()
+        .flat_map(|w| {
+            let hivemind_bench::Workload::App(app) = w else {
+                unreachable!()
+            };
+            [
+                ExperimentConfig::single_app(*app)
+                    .platform(Platform::CentralizedIaaS)
+                    .duration_secs(single_app_duration_secs())
+                    .iaas_workers(64)
+                    .seed(5),
+                w.config(Platform::CentralizedFaaS, 5),
+            ]
+        })
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, pair) in apps.iter().zip(outcomes.chunks_exact(2)) {
+        let (mut reserved, mut faas) = (pair[0].clone(), pair[1].clone());
         let ratio = |s: &mut Summary| s.p99() / s.median().max(1e-9);
-        let (r_ratio, f_ratio) = (ratio(&mut reserved.tasks.total), ratio(&mut faas.tasks.total));
+        let (r_ratio, f_ratio) = (
+            ratio(&mut reserved.tasks.total),
+            ratio(&mut faas.tasks.total),
+        );
         table.row([
             w.label().to_string(),
             ms(reserved.tasks.total.median()),
@@ -47,9 +65,18 @@ fn main() {
     println!("(paper: variability is consistently higher with serverless)");
 
     banner("Figure 6b: serverless latency breakdown — instantiation / data I/O / execution");
-    let mut table = Table::new(["app", "instantiation", "data I/O", "execution", "cold starts"]);
-    for w in Workload::evaluation_set().into_iter().take(10) {
-        let o = w.run(Platform::CentralizedFaaS, 6);
+    let mut table = Table::new([
+        "app",
+        "instantiation",
+        "data I/O",
+        "execution",
+        "cold starts",
+    ]);
+    let configs: Vec<ExperimentConfig> = apps
+        .iter()
+        .map(|w| w.config(Platform::CentralizedFaaS, 6))
+        .collect();
+    for (w, o) in apps.iter().zip(runner().run_configs(&configs)) {
         let total = o.tasks.total.mean().max(1e-12);
         let inst = o.tasks.instantiation.mean() / total;
         let io = o.tasks.data_io.mean() / total;
@@ -64,7 +91,9 @@ fn main() {
         ]);
     }
     table.print();
-    println!("(paper: instantiation ~22% of median latency on average; >40% for weather, <20% for maze)");
+    println!(
+        "(paper: instantiation ~22% of median latency on average; >40% for weather, <20% for maze)"
+    );
 
     banner("Figure 6c: data-sharing protocol latency for a 200 KB exchange at 16 exchanges/s (ms)");
     let mut table = Table::new(["protocol", "median", "p99"]);
@@ -72,7 +101,10 @@ fn main() {
         ("CouchDB (OpenWhisk default)", ExchangeProtocol::CouchDb),
         ("Direct RPC", ExchangeProtocol::DirectRpc),
         ("In-memory (colocated)", ExchangeProtocol::InMemory),
-        ("Remote memory (HiveMind FPGA)", ExchangeProtocol::RemoteMemory),
+        (
+            "Remote memory (HiveMind FPGA)",
+            ExchangeProtocol::RemoteMemory,
+        ),
     ] {
         let mut plane = DataPlane::new();
         let mut rng = RngForge::new(7).stream("fig6c");

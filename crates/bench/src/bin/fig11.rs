@@ -2,7 +2,8 @@
 //! for the multi-tier scenarios, with centralized cloud, distributed
 //! edge, and HiveMind.
 
-use hivemind_bench::{banner, ms, Table, Workload};
+use hivemind_bench::{banner, ms, runner, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -16,14 +17,21 @@ fn main() {
         "hivemind p50",
         "hivemind p99",
     ]);
-    for w in Workload::evaluation_set() {
+    let platforms = [
+        Platform::CentralizedFaaS,
+        Platform::DistributedEdge,
+        Platform::HiveMind,
+    ];
+    let workloads = Workload::evaluation_set();
+    let configs: Vec<ExperimentConfig> = workloads
+        .iter()
+        .flat_map(|w| platforms.map(|p| w.config(p, 1)))
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, per_platform) in workloads.iter().zip(outcomes.chunks_exact(platforms.len())) {
         let mut row = vec![w.label().to_string()];
-        for platform in [
-            Platform::CentralizedFaaS,
-            Platform::DistributedEdge,
-            Platform::HiveMind,
-        ] {
-            let mut o = w.run(platform, 1);
+        for o in per_platform {
+            let mut o = o.clone();
             match w {
                 Workload::App(_) => {
                     row.push(ms(o.tasks.total.median()));
@@ -31,7 +39,14 @@ fn main() {
                 }
                 Workload::Scenario(_) => {
                     row.push(format!("{:.1}s", o.mission.duration_secs));
-                    row.push((if o.mission.completed { "done" } else { "INCOMPLETE" }).to_string());
+                    row.push(
+                        (if o.mission.completed {
+                            "done"
+                        } else {
+                            "INCOMPLETE"
+                        })
+                        .to_string(),
+                    );
                 }
             }
         }

@@ -2,7 +2,8 @@
 //! execution) comparing fully centralized execution against HiveMind, to
 //! attribute where HiveMind's gains come from.
 
-use hivemind_bench::{banner, ms, pct, Table, Workload};
+use hivemind_bench::{banner, ms, pct, runner, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -21,41 +22,48 @@ fn main() {
     let mut cen_total = 0.0;
     let mut hm_total = 0.0;
     let mut n = 0.0;
-    for w in Workload::evaluation_set() {
-        for platform in [Platform::CentralizedFaaS, Platform::HiveMind] {
-            let o = match w {
-                Workload::App(app) => hivemind_core::experiment::Experiment::new(
-                    hivemind_core::experiment::ExperimentConfig::single_app(app)
-                        .platform(platform)
-                        .input_scale(2.0)
-                        .seed(2),
-                )
-                .run(),
-                Workload::Scenario(_) => w.run(platform, 2),
-            };
-            let total = o.tasks.total.mean().max(1e-12);
-            let net = o.tasks.network.mean() / total;
-            let mgmt = o.tasks.management.mean() / total;
-            let io = o.tasks.data_io.mean() / total;
-            let exec = o.tasks.exec.mean() / total;
-            if platform == Platform::CentralizedFaaS {
-                cen_net_frac += net;
-                cen_total += total;
-                n += 1.0;
-            } else {
-                hm_net_frac += net;
-                hm_total += total;
-            }
-            table.row([
-                w.label().to_string(),
-                platform.label().to_string(),
-                pct(net),
-                pct(mgmt),
-                pct(io),
-                pct(exec),
-                ms(total),
-            ]);
+    let platforms = [Platform::CentralizedFaaS, Platform::HiveMind];
+    let workloads = Workload::evaluation_set();
+    let configs: Vec<ExperimentConfig> = workloads
+        .iter()
+        .flat_map(|w| {
+            platforms.map(|platform| match w {
+                Workload::App(app) => ExperimentConfig::single_app(*app)
+                    .platform(platform)
+                    .input_scale(2.0)
+                    .seed(2),
+                Workload::Scenario(_) => w.config(platform, 2),
+            })
+        })
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for ((w, platform), o) in workloads
+        .iter()
+        .flat_map(|w| platforms.map(|p| (w, p)))
+        .zip(&outcomes)
+    {
+        let total = o.tasks.total.mean().max(1e-12);
+        let net = o.tasks.network.mean() / total;
+        let mgmt = o.tasks.management.mean() / total;
+        let io = o.tasks.data_io.mean() / total;
+        let exec = o.tasks.exec.mean() / total;
+        if platform == Platform::CentralizedFaaS {
+            cen_net_frac += net;
+            cen_total += total;
+            n += 1.0;
+        } else {
+            hm_net_frac += net;
+            hm_total += total;
         }
+        table.row([
+            w.label().to_string(),
+            platform.label().to_string(),
+            pct(net),
+            pct(mgmt),
+            pct(io),
+            pct(exec),
+            ms(total),
+        ]);
     }
     table.print();
     println!();

@@ -3,7 +3,8 @@
 //! systems with and without network acceleration, and HiveMind without
 //! hardware acceleration.
 
-use hivemind_bench::{banner, ms, Table, Workload};
+use hivemind_bench::{banner, ms, runner, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -14,10 +15,19 @@ fn main() {
         headers.push(format!("{} p99", p.label()));
     }
     let mut table = Table::new(headers);
-    for w in Workload::evaluation_set() {
+    let workloads = Workload::evaluation_set();
+    let configs: Vec<ExperimentConfig> = workloads
+        .iter()
+        .flat_map(|w| Platform::ABLATIONS.map(|p| w.config(p, 3)))
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, per_platform) in workloads
+        .iter()
+        .zip(outcomes.chunks_exact(Platform::ABLATIONS.len()))
+    {
         let mut row = vec![w.label().to_string()];
-        for platform in Platform::ABLATIONS {
-            let mut o = w.run(platform, 3);
+        for o in per_platform {
+            let mut o = o.clone();
             match w {
                 Workload::App(_) => {
                     row.push(ms(o.tasks.total.median()));
@@ -34,5 +44,7 @@ fn main() {
     table.print();
     println!("(paper: no single technique suffices — centralized+accel still trails HiveMind,");
     println!(" the distributed system barely benefits from acceleration, and HiveMind-No Accel");
-    println!(" keeps the hybrid-placement benefit but pays software networking/data-exchange costs)");
+    println!(
+        " keeps the hybrid-placement benefit but pays software networking/data-exchange costs)"
+    );
 }

@@ -1,7 +1,8 @@
 //! Fig. 14 — consumed battery and network bandwidth across the three
 //! platforms for all workloads.
 
-use hivemind_bench::{banner, Table, Workload};
+use hivemind_bench::{banner, runner, Table, Workload};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -21,11 +22,16 @@ fn main() {
         Platform::HiveMind,
     ];
     let mut bandwidth_rows = Vec::new();
-    for w in Workload::evaluation_set() {
+    let workloads = Workload::evaluation_set();
+    let configs: Vec<ExperimentConfig> = workloads
+        .iter()
+        .flat_map(|w| platforms.map(|p| w.config(p, 4)))
+        .collect();
+    let outcomes = runner().run_configs(&configs);
+    for (w, per_platform) in workloads.iter().zip(outcomes.chunks_exact(platforms.len())) {
         let mut row = vec![w.label().to_string()];
         let mut bw_row = vec![w.label().to_string()];
-        for platform in platforms {
-            let o = w.run(platform, 4);
+        for o in per_platform {
             row.push(format!("{:.1}", o.battery.mean_pct));
             row.push(format!("{:.1}", o.battery.max_pct));
             bw_row.push(format!("{:.1}", o.bandwidth.mean_mbps));
@@ -51,6 +57,8 @@ fn main() {
         table.row(row);
     }
     table.print();
-    println!("(paper: HiveMind uses more bandwidth than distributed but far less than centralized,");
+    println!(
+        "(paper: HiveMind uses more bandwidth than distributed but far less than centralized,"
+    );
     println!(" with a smaller mean-to-tail gap — the source of its predictability)");
 }

@@ -11,15 +11,17 @@
 
 use hivemind_apps::learning::{run_campaign, RetrainMode};
 use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, Table};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, repeats, run_replicated, runner, Table};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
     banner("Figure 15 (learning dynamics): online detector accuracy per retraining policy");
     let mut table = Table::new(["policy", "correct %", "false neg %", "false pos %"]);
-    for mode in RetrainMode::ALL {
-        let q = run_campaign(mode, 16, 150, 6, 42);
+    let campaigns = runner().map(&RetrainMode::ALL, |_, &mode| {
+        run_campaign(mode, 16, 150, 6, 42)
+    });
+    for (mode, q) in RetrainMode::ALL.iter().zip(campaigns) {
         table.row([
             mode.label().to_string(),
             format!("{:.1}", q.correct_pct),
@@ -40,18 +42,22 @@ fn main() {
     ]);
     for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
         for mode in RetrainMode::ALL {
+            let n = repeats();
+            let set = run_replicated(
+                &ExperimentConfig::scenario(scenario)
+                    .platform(Platform::HiveMind)
+                    .retrain(mode)
+                    .seed(1),
+                n,
+            );
             let (mut c, mut fneg, mut fpos) = (0.0, 0.0, 0.0);
             let mut found = 0;
-            let n = repeats();
-            for seed in 0..n {
-                let o = Experiment::new(
-                    ExperimentConfig::scenario(scenario)
-                        .platform(Platform::HiveMind)
-                        .retrain(mode)
-                        .seed(seed + 1),
-                )
-                .run();
-                let q = o.mission.detection.expect("scenarios score detection");
+            for o in set.outcomes() {
+                let q = o
+                    .mission
+                    .detection
+                    .as_ref()
+                    .expect("scenarios score detection");
                 c += q.correct_pct / n as f64;
                 fneg += q.false_negative_pct / n as f64;
                 fpos += q.false_positive_pct / n as f64;

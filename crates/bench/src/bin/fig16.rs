@@ -2,10 +2,9 @@
 //! battery consumption for the Treasure Hunt and Maze scenarios.
 
 use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, Table};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, repeats, run_replicated, Table};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
-use hivemind_sim::stats::Summary;
 
 fn main() {
     banner("Figure 16: robotic cars — job latency (s) and battery (%)");
@@ -24,30 +23,26 @@ fn main() {
             Platform::DistributedEdge,
             Platform::HiveMind,
         ] {
-            let mut lat = Summary::new();
-            let mut batt_mean = 0.0;
-            let mut batt_max: f64 = 0.0;
-            let mut goals = 0;
-            let n = repeats();
-            for seed in 0..n {
-                let o = Experiment::new(
-                    ExperimentConfig::scenario(scenario)
-                        .platform(platform)
-                        .seed(seed + 1),
-                )
-                .run();
-                lat.record(o.mission.duration_secs);
-                batt_mean += o.battery.mean_pct / n as f64;
-                batt_max = batt_max.max(o.battery.max_pct);
-                goals = o.mission.targets_found;
-            }
+            let set = run_replicated(
+                &ExperimentConfig::scenario(scenario)
+                    .platform(platform)
+                    .seed(1),
+                repeats(),
+            );
+            let mut lat = set.mission_durations();
+            let goals = set
+                .outcomes()
+                .last()
+                .expect("replicates")
+                .mission
+                .targets_found;
             table.row([
                 scenario.label().to_string(),
                 platform.label().to_string(),
                 format!("{:.1}", lat.median()),
                 format!("{:.1}", lat.max()),
-                format!("{batt_mean:.1}"),
-                format!("{batt_max:.1}"),
+                format!("{:.1}", set.mean_battery_pct()),
+                format!("{:.1}", set.max_battery_pct()),
                 format!("{goals}/14"),
             ]);
         }

@@ -6,8 +6,8 @@
 //! (several minutes); the default sweep stops at 2048.
 
 use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, full_fidelity, Table};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_bench::{banner, full_fidelity, runner, Table};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -19,37 +19,45 @@ fn main() {
         "bandwidth p99 (MB/s)",
         "job latency (s)",
     ]);
-    for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
-        for (label, scale, rate) in [
-            ("0.5MB", 0.25, 1.0),
-            ("1MB", 0.5, 1.0),
-            ("2MB", 1.0, 1.0),
-            ("4MB", 2.0, 1.0),
-            ("8MB", 4.0, 1.0),
-            ("8MB 16fps", 4.0, 2.0),
-            ("8MB 32fps", 4.0, 4.0),
-        ] {
-            let o = Experiment::new(
-                ExperimentConfig::scenario(scenario)
-                    .platform(Platform::HiveMind)
-                    .input_scale(scale)
-                    .rate_scale(rate)
-                    .seed(1),
-            )
-            .run();
-            table.row([
-                scenario.label().to_string(),
-                label.to_string(),
-                format!("{:.1}", o.bandwidth.mean_mbps),
-                format!("{:.1}", o.bandwidth.p99_mbps),
-                format!("{:.1}", o.mission.duration_secs),
-            ]);
-        }
+    let points = [
+        ("0.5MB", 0.25, 1.0),
+        ("1MB", 0.5, 1.0),
+        ("2MB", 1.0, 1.0),
+        ("4MB", 2.0, 1.0),
+        ("8MB", 4.0, 1.0),
+        ("8MB 16fps", 4.0, 2.0),
+        ("8MB 32fps", 4.0, 4.0),
+    ];
+    let cells: Vec<(Scenario, &str, f64, f64)> =
+        [Scenario::StationaryItems, Scenario::MovingPeople]
+            .into_iter()
+            .flat_map(|s| points.map(|(label, scale, rate)| (s, label, scale, rate)))
+            .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(scenario, _, scale, rate)| {
+            ExperimentConfig::scenario(scenario)
+                .platform(Platform::HiveMind)
+                .input_scale(scale)
+                .rate_scale(rate)
+                .seed(1)
+        })
+        .collect();
+    for (&(scenario, label, _, _), o) in cells.iter().zip(runner().run_configs(&configs)) {
+        table.row([
+            scenario.label().to_string(),
+            label.to_string(),
+            format!("{:.1}", o.bandwidth.mean_mbps),
+            format!("{:.1}", o.bandwidth.p99_mbps),
+            format!("{:.1}", o.mission.duration_secs),
+        ]);
     }
     table.print();
     println!("(paper: even at max resolution and 32 fps HiveMind keeps the links unsaturated)");
 
-    banner("Figure 17b: bandwidth + tail latency vs swarm size (simulated; links scale with swarm)");
+    banner(
+        "Figure 17b: bandwidth + tail latency vs swarm size (simulated; links scale with swarm)",
+    );
     let mut sizes = vec![16u32, 32, 64, 128, 256, 512, 1024, 2048];
     if full_fidelity() {
         sizes.push(4096);
@@ -64,37 +72,40 @@ fn main() {
         "centralized job (s)",
         "centralized done",
     ]);
-    for &devices in &sizes {
-        // Keep per-device cloud capacity at the testbed's ratio (12
-        // servers per 16 drones), as the paper scales its links.
-        let servers = (devices * 3 / 4).max(12);
-        let hm = Experiment::new(
-            ExperimentConfig::scenario(Scenario::StationaryItems)
-                .platform(Platform::HiveMind)
-                .drones(devices)
-                .servers(servers)
-                .seed(1),
-        )
-        .run();
-        // The centralized baseline hits its scheduler/network wall well
-        // before the largest sizes; cap its sweep so the harness stays
-        // fast (the divergence is already unambiguous).
-        let cen = if devices <= 1024 {
-            let o = Experiment::new(
-                ExperimentConfig::scenario(Scenario::StationaryItems)
-                    .platform(Platform::CentralizedFaaS)
-                    .drones(devices)
-                    .servers(servers)
-                    .seed(1),
-            )
-            .run();
-            (
-                format!("{:.1}", o.bandwidth.mean_mbps),
-                format!("{:.1}", o.mission.duration_secs),
-                o.mission.completed.to_string(),
-            )
-        } else {
-            ("-".into(), "-".into(), "-".into())
+    // Keep per-device cloud capacity at the testbed's ratio (12 servers
+    // per 16 drones), as the paper scales its links. The centralized
+    // baseline hits its scheduler/network wall well before the largest
+    // sizes; cap its sweep so the harness stays fast (the divergence is
+    // already unambiguous).
+    let scaled = |platform: Platform, devices: u32| {
+        ExperimentConfig::scenario(Scenario::StationaryItems)
+            .platform(platform)
+            .drones(devices)
+            .servers((devices * 3 / 4).max(12))
+            .seed(1)
+    };
+    let hm_configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .map(|&d| scaled(Platform::HiveMind, d))
+        .collect();
+    let cen_sizes: Vec<u32> = sizes.iter().copied().filter(|&d| d <= 1024).collect();
+    let cen_configs: Vec<ExperimentConfig> = cen_sizes
+        .iter()
+        .map(|&d| scaled(Platform::CentralizedFaaS, d))
+        .collect();
+    let hm_outcomes = runner().run_configs(&hm_configs);
+    let cen_outcomes = runner().run_configs(&cen_configs);
+    for (&devices, hm) in sizes.iter().zip(&hm_outcomes) {
+        let cen = match cen_sizes.iter().position(|&d| d == devices) {
+            Some(i) => {
+                let o = &cen_outcomes[i];
+                (
+                    format!("{:.1}", o.bandwidth.mean_mbps),
+                    format!("{:.1}", o.mission.duration_secs),
+                    o.mission.completed.to_string(),
+                )
+            }
+            None => ("-".into(), "-".into(), "-".into()),
         };
         table.row([
             devices.to_string(),

@@ -4,9 +4,9 @@
 //! all workloads across the three platforms.
 
 use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, single_app_duration_secs, Table};
+use hivemind_bench::{banner, ms, runner, single_app_duration_secs, Table};
 use hivemind_core::analytic::{deviation_pct, QuickModel};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::experiment::ExperimentConfig;
 use hivemind_core::platform::Platform;
 
 fn main() {
@@ -23,19 +23,27 @@ fn main() {
     let mut worst: f64 = 0.0;
     let mut mean_abs = 0.0;
     let mut n = 0.0;
-    for app in App::ALL {
-        for platform in [
-            Platform::CentralizedFaaS,
-            Platform::DistributedEdge,
-            Platform::HiveMind,
-        ] {
-            let mut des = Experiment::new(
-                ExperimentConfig::single_app(app)
-                    .platform(platform)
-                    .duration_secs(single_app_duration_secs())
-                    .seed(8),
-            )
-            .run();
+    let platforms = [
+        Platform::CentralizedFaaS,
+        Platform::DistributedEdge,
+        Platform::HiveMind,
+    ];
+    let cells: Vec<(App, Platform)> = App::ALL
+        .into_iter()
+        .flat_map(|app| platforms.map(|p| (app, p)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(app, platform)| {
+            ExperimentConfig::single_app(app)
+                .platform(platform)
+                .duration_secs(single_app_duration_secs())
+                .seed(8)
+        })
+        .collect();
+    let des_outcomes = runner().run_configs(&configs);
+    for (&(app, platform), mut des) in cells.iter().zip(des_outcomes) {
+        {
             let mut qm = QuickModel::testbed(platform, app);
             qm.duration_secs = single_app_duration_secs();
             let mut model = qm.predict(8000, 8);

@@ -31,6 +31,7 @@ use hivemind_apps::suite::App;
 use hivemind_core::experiment::{Experiment, ExperimentConfig};
 use hivemind_core::metrics::Outcome;
 use hivemind_core::platform::Platform;
+use hivemind_core::runner::{RunSet, Runner};
 
 /// The twelve evaluation workloads: S1–S10 plus the two drone scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,15 +59,39 @@ impl Workload {
         }
     }
 
-    /// Runs this workload on `platform` with `seed`.
-    pub fn run(&self, platform: Platform, seed: u64) -> Outcome {
+    /// The experiment configuration this workload runs under.
+    pub fn config(&self, platform: Platform, seed: u64) -> ExperimentConfig {
         let config = match self {
-            Workload::App(app) => ExperimentConfig::single_app(*app)
-                .duration_secs(single_app_duration_secs()),
+            Workload::App(app) => {
+                ExperimentConfig::single_app(*app).duration_secs(single_app_duration_secs())
+            }
             Workload::Scenario(s) => ExperimentConfig::scenario(*s),
         };
-        Experiment::new(config.platform(platform).seed(seed)).run()
+        config.platform(platform).seed(seed)
     }
+
+    /// Runs this workload on `platform` with `seed`.
+    pub fn run(&self, platform: Platform, seed: u64) -> Outcome {
+        Experiment::new(self.config(platform, seed)).run()
+    }
+
+    /// Runs `replicates` seeds of this workload in parallel (replicate
+    /// seeds derived from `root_seed`; workers from `HIVEMIND_THREADS`).
+    pub fn run_replicated(&self, platform: Platform, root_seed: u64, replicates: u64) -> RunSet {
+        runner().run_replicates(&self.config(platform, root_seed), replicates)
+    }
+}
+
+/// The harness-wide parallel runner (thread count from
+/// `HIVEMIND_THREADS`, default = available parallelism).
+pub fn runner() -> Runner {
+    Runner::from_env()
+}
+
+/// Runs `replicates` derived-seed copies of `config` on the harness
+/// runner.
+pub fn run_replicated(config: &ExperimentConfig, replicates: u64) -> RunSet {
+    runner().run_replicates(config, replicates)
 }
 
 /// Single-app workload duration. The paper runs each job for 120 s; set
@@ -81,7 +106,9 @@ pub fn single_app_duration_secs() -> f64 {
 
 /// Whether full-fidelity mode is requested (`HIVEMIND_FULL=1`).
 pub fn full_fidelity() -> bool {
-    std::env::var("HIVEMIND_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HIVEMIND_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Number of repetitions for distribution-style figures.

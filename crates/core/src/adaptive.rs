@@ -69,7 +69,10 @@ pub fn run_adaptive_from(
     probe_secs: f64,
     steady_secs: f64,
 ) -> AdaptiveOutcome {
-    assert!(probe_secs > 0.0 && steady_secs > 0.0, "windows must be positive");
+    assert!(
+        probe_secs > 0.0 && steady_secs > 0.0,
+        "windows must be positive"
+    );
     let mut engine = Engine::new(cfg.engine_config());
     if let Some(site) = initial_hint {
         if site == PlacementSite::Edge || engine.has_cloud_backend() {

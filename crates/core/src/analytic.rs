@@ -254,8 +254,8 @@ mod tests {
 
     #[test]
     fn hivemind_predicted_faster_than_centralized() {
-        let cen = QuickModel::testbed(Platform::CentralizedFaaS, App::TextRecognition)
-            .predict(4000, 1);
+        let cen =
+            QuickModel::testbed(Platform::CentralizedFaaS, App::TextRecognition).predict(4000, 1);
         let hm = QuickModel::testbed(Platform::HiveMind, App::TextRecognition).predict(4000, 1);
         let mut cen = cen;
         let mut hm = hm;

@@ -649,7 +649,10 @@ mod tests {
 
     #[test]
     fn empty_graph_rejected() {
-        assert_eq!(TaskGraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+        assert_eq!(
+            TaskGraphBuilder::new().build().unwrap_err(),
+            GraphError::Empty
+        );
     }
 
     #[test]

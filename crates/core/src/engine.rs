@@ -285,7 +285,11 @@ impl Engine {
                 let _ = board.configure(SoftRegisters {
                     // Deeper queues for chatty small-payload apps, fewer
                     // larger buffers for bulk-frame apps.
-                    queue_depth: if profile.input_bytes > 1_000_000 { 64 } else { 512 },
+                    queue_depth: if profile.input_bytes > 1_000_000 {
+                        64
+                    } else {
+                        512
+                    },
                     ..SoftRegisters::default()
                 });
             }
@@ -300,8 +304,7 @@ impl Engine {
             servers: cfg.servers,
             ..Default::default()
         };
-        let devices_per_router =
-            cfg.devices.div_ceil(topo_params.effective_routers()).max(1);
+        let devices_per_router = cfg.devices.div_ceil(topo_params.effective_routers()).max(1);
         let uplink_budget_bytes =
             0.7 * (topo_params.wireless_bps / 8.0) / devices_per_router as f64;
         Engine {
@@ -604,8 +607,8 @@ impl Engine {
                 self.edge_submit(t, device, job, service);
             }
             PlacementSite::Cloud => {
-                let mut upload_bytes = (scaled_input(app, &self.cfg) as f64)
-                    * self.cfg.platform.upload_fraction();
+                let mut upload_bytes =
+                    (scaled_input(app, &self.cfg) as f64) * self.cfg.platform.upload_fraction();
                 if self.cfg.platform.is_hybrid() {
                     // The synthesized collect tier is rate-adaptive: it
                     // never offers more than ~70% of the device's fair
@@ -751,7 +754,13 @@ impl Engine {
         };
         let send = self.cloud_rpc.send_cost(&mut self.rng, output_bytes);
         self.tasks[task as usize].network += send;
-        self.push_action(sub_done + send, Action::Response { task, from_server: server });
+        self.push_action(
+            sub_done + send,
+            Action::Response {
+                task,
+                from_server: server,
+            },
+        );
     }
 
     fn finish_task(&mut self, t: SimTime, task: u32) {
@@ -832,9 +841,8 @@ fn scaled_input(app: App, cfg: &EngineConfig) -> u64 {
 fn scaled_profile(app: App, cfg: &EngineConfig) -> AppProfile {
     let base = app.cloud_profile();
     AppProfile {
-        input_bytes: ((base.input_bytes as f64)
-            * cfg.input_scale
-            * cfg.platform.upload_fraction()) as u64,
+        input_bytes: ((base.input_bytes as f64) * cfg.input_scale * cfg.platform.upload_fraction())
+            as u64,
         ..base
     }
 }
@@ -894,10 +902,22 @@ mod tests {
     #[test]
     fn hivemind_places_light_apps_at_edge_heavy_in_cloud() {
         let engine = Engine::new(EngineConfig::testbed(Platform::HiveMind));
-        assert_eq!(engine.placement_of(App::WeatherAnalytics), PlacementSite::Edge);
-        assert_eq!(engine.placement_of(App::DroneDetection), PlacementSite::Edge);
-        assert_eq!(engine.placement_of(App::ObstacleAvoidance), PlacementSite::Edge);
-        assert_eq!(engine.placement_of(App::FaceRecognition), PlacementSite::Cloud);
+        assert_eq!(
+            engine.placement_of(App::WeatherAnalytics),
+            PlacementSite::Edge
+        );
+        assert_eq!(
+            engine.placement_of(App::DroneDetection),
+            PlacementSite::Edge
+        );
+        assert_eq!(
+            engine.placement_of(App::ObstacleAvoidance),
+            PlacementSite::Edge
+        );
+        assert_eq!(
+            engine.placement_of(App::FaceRecognition),
+            PlacementSite::Cloud
+        );
         assert_eq!(engine.placement_of(App::Slam), PlacementSite::Cloud);
     }
 
@@ -908,12 +928,7 @@ mod tests {
             let mut engine = Engine::new(EngineConfig::testbed(platform));
             for i in 0..60u64 {
                 for dev in 0..16 {
-                    engine.submit_task(
-                        SimTime::from_secs(i),
-                        dev,
-                        App::TextRecognition,
-                        0,
-                    );
+                    engine.submit_task(SimTime::from_secs(i), dev, App::TextRecognition, 0);
                 }
             }
             let records = engine.run_to_completion();

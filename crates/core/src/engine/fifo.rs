@@ -174,11 +174,7 @@ mod tests {
         // 2.5 s tasks arriving every second: the distributed-edge death
         // spiral of Fig. 4.
         for i in 0..20u64 {
-            q.submit(
-                SimTime::from_secs(i),
-                i,
-                SimDuration::from_millis(2500),
-            );
+            q.submit(SimTime::from_secs(i), i, SimDuration::from_millis(2500));
         }
         let done = q.advance_to(SimTime::MAX);
         assert_eq!(done.len(), 20);

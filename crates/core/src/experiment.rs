@@ -299,12 +299,7 @@ impl Experiment {
             let mut t = offset;
             while t < duration_secs {
                 if dev < self.active_devices_at(t) {
-                    engine.submit_task(
-                        SimTime::ZERO + SimDuration::from_secs_f64(t),
-                        dev,
-                        app,
-                        0,
-                    );
+                    engine.submit_task(SimTime::ZERO + SimDuration::from_secs_f64(t), dev, app, 0);
                     n_tasks += 1;
                 }
                 t += period;

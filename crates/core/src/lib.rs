@@ -20,6 +20,10 @@
 //!   serverless cluster into one deterministic simulation.
 //! * [`experiment`] — the experiment harness every figure is generated
 //!   from: single-app benchmarks (S1–S10) and end-to-end missions.
+//! * [`runner`] — deterministic parallel replicate execution: fan a
+//!   replicated experiment (or a config sweep) across threads with
+//!   per-replicate seeds derived from the root seed, collecting outcomes
+//!   in replicate order regardless of scheduling.
 //! * [`adaptive`] — runtime task re-mapping when user goals are not met
 //!   (Sec. 4.2).
 //! * [`analytic`] — the fast queueing cross-model used to validate the
@@ -40,7 +44,9 @@ pub mod metrics;
 pub mod mission;
 pub mod platform;
 pub mod programs;
+pub mod runner;
 pub mod synthesis;
 
 pub use experiment::{Experiment, ExperimentConfig};
 pub use platform::Platform;
+pub use runner::{RunSet, Runner};

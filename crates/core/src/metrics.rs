@@ -40,6 +40,20 @@ impl BreakdownSummary {
         self.exec.record_duration(r.exec);
     }
 
+    /// Merges another breakdown into this one, category by category.
+    ///
+    /// Merging is order-independent up to sample order, so the quantile,
+    /// mean, and extrema statistics of the result do not depend on the
+    /// order replicates are merged in.
+    pub fn merge(&mut self, other: &BreakdownSummary) {
+        self.total.merge(&other.total);
+        self.network.merge(&other.network);
+        self.management.merge(&other.management);
+        self.instantiation.merge(&other.instantiation);
+        self.data_io.merge(&other.data_io);
+        self.exec.merge(&other.exec);
+    }
+
     /// Number of tasks recorded.
     pub fn len(&self) -> usize {
         self.total.len()
@@ -162,6 +176,88 @@ impl Outcome {
     /// p99 task latency in milliseconds.
     pub fn p99_task_ms(&mut self) -> f64 {
         self.tasks.total.p99() * 1e3
+    }
+
+    /// Serializes the outcome to a deterministic JSON string.
+    ///
+    /// The environment has no serde, so this is hand-rolled: fixed key
+    /// order, floats printed with their shortest round-trip
+    /// representation (`{:?}`). Two outcomes serialize byte-identically
+    /// iff their observable metrics are identical — the property the
+    /// cross-thread-count determinism tests assert on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"tasks\":");
+        breakdown_json(&mut out, &self.tasks);
+        out.push_str(",\"mission\":");
+        mission_json(&mut out, &self.mission);
+        out.push_str(&format!(
+            ",\"bandwidth\":{{\"mean_mbps\":{:?},\"p99_mbps\":{:?},\"total_mb\":{:?}}}",
+            self.bandwidth.mean_mbps, self.bandwidth.p99_mbps, self.bandwidth.total_mb
+        ));
+        out.push_str(&format!(
+            ",\"battery\":{{\"mean_pct\":{:?},\"max_pct\":{:?},\"depleted\":{}}}",
+            self.battery.mean_pct, self.battery.max_pct, self.battery.depleted
+        ));
+        out.push_str(&format!(
+            ",\"container_stats\":[{},{}],\"stragglers_mitigated\":{},\"faults_recovered\":{}}}",
+            self.container_stats.0,
+            self.container_stats.1,
+            self.stragglers_mitigated,
+            self.faults_recovered
+        ));
+        out
+    }
+}
+
+/// Serializes a [`Summary`] as its order statistics (deterministic
+/// regardless of sample insertion order).
+pub(crate) fn summary_json(out: &mut String, s: &Summary) {
+    let mut s = s.clone();
+    out.push_str(&format!(
+        "{{\"len\":{},\"mean\":{:?},\"median\":{:?},\"p99\":{:?},\"min\":{:?},\"max\":{:?}}}",
+        s.len(),
+        s.mean(),
+        s.median(),
+        s.p99(),
+        s.min(),
+        s.max()
+    ));
+}
+
+fn breakdown_json(out: &mut String, b: &BreakdownSummary) {
+    out.push('{');
+    for (i, (key, s)) in [
+        ("total", &b.total),
+        ("network", &b.network),
+        ("management", &b.management),
+        ("instantiation", &b.instantiation),
+        ("data_io", &b.data_io),
+        ("exec", &b.exec),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":"));
+        summary_json(out, s);
+    }
+    out.push('}');
+}
+
+fn mission_json(out: &mut String, m: &MissionOutcome) {
+    out.push_str(&format!(
+        "{{\"completed\":{},\"duration_secs\":{:?},\"targets_found\":{},\"targets_total\":{}",
+        m.completed, m.duration_secs, m.targets_found, m.targets_total
+    ));
+    match &m.detection {
+        None => out.push_str(",\"detection\":null}"),
+        Some(q) => out.push_str(&format!(
+            ",\"detection\":{{\"correct_pct\":{:?},\"false_negative_pct\":{:?},\"false_positive_pct\":{:?}}}}}",
+            q.correct_pct, q.false_negative_pct, q.false_positive_pct
+        )),
     }
 }
 

@@ -31,7 +31,7 @@ use rand::Rng;
 use crate::controller::SwarmController;
 use crate::dsl::PlacementSite;
 use crate::engine::{Engine, TaskRecord};
-use crate::experiment::{ExperimentConfig, Experiment, MotionPolicy};
+use crate::experiment::{Experiment, ExperimentConfig, MotionPolicy};
 use crate::metrics::{MissionOutcome, Outcome};
 
 /// Seconds per coverage lane turn (deceleration, 180° yaw, realign).
@@ -212,8 +212,7 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
     let mut failures = cfg.device_failures.clone();
     failures.sort_by(|a, b| a.0.total_cmp(&b.0));
     for (at, dev) in failures {
-        if dev < cfg.devices && fail_secs[dev as usize].is_none() && controller.alive_count() > 1
-        {
+        if dev < cfg.devices && fail_secs[dev as usize].is_none() && controller.alive_count() > 1 {
             let detect = at.max(0.0)
                 + hivemind_swarm::failover::HeartbeatTracker::beat_period().as_secs_f64() * 3.0;
             fail_secs[dev as usize] = Some(at.max(0.0));
@@ -249,7 +248,9 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
             .last()
             .map(|s| s.start_secs + s.len_secs)
             .unwrap_or(TAKEOFF_SECS);
-        let end = fail_secs[dev as usize].unwrap_or(planned_end).min(planned_end);
+        let end = fail_secs[dev as usize]
+            .unwrap_or(planned_end)
+            .min(planned_end);
         flight_ends.push(SimTime::ZERO + SimDuration::from_secs_f64(end));
         plans.push(segments);
     }
@@ -311,11 +312,9 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
                                 .find(|(_, strip)| strip.contains(item.pos))
                             {
                                 if let Some(extra) = plans[heir as usize].last() {
-                                    if let Some(task) = draw_in(
-                                        &mut rng,
-                                        &batch_lists[heir as usize],
-                                        extra,
-                                    ) {
+                                    if let Some(task) =
+                                        draw_in(&mut rng, &batch_lists[heir as usize], extra)
+                                    {
                                         item_sightings.push((task, item.id));
                                     }
                                 }
@@ -335,8 +334,7 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
                 for (i, seg) in plans[dev as usize].iter().enumerate() {
                     let mid = seg.start_secs + seg.len_secs / 2.0;
                     if mid < cutoff {
-                        samplings
-                            .push((SimTime::ZERO + SimDuration::from_secs_f64(mid), dev, i));
+                        samplings.push((SimTime::ZERO + SimDuration::from_secs_f64(mid), dev, i));
                     }
                 }
             }
@@ -405,8 +403,7 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
                 })
                 .collect();
             let barrier = mission_end;
-            let dedup_task =
-                engine.submit_task(barrier, 0, App::PeopleDedup, 3);
+            let dedup_task = engine.submit_task(barrier, 0, App::PeopleDedup, 3);
             let dedup_records = engine.run_to_completion();
             if let Some(r) = dedup_records.iter().find(|r| r.task == dedup_task) {
                 mission_end = mission_end.max(r.done);
@@ -562,8 +559,7 @@ fn treasure_hunt(cfg: &ExperimentConfig) -> Outcome {
                         car.panel += 1;
                         car.travel_time += travel;
                         let t = now + travel;
-                        let task =
-                            engine.submit_task(t, car_id, App::TextRecognition, 0);
+                        let task = engine.submit_task(t, car_id, App::TextRecognition, 0);
                         task_car.insert(task, car_id);
                     }
                 }
@@ -578,12 +574,7 @@ fn treasure_hunt(cfg: &ExperimentConfig) -> Outcome {
                         continue;
                     }
                     car.travel_time += travel;
-                    let task = engine.submit_task(
-                        now + travel,
-                        car_id,
-                        App::TextRecognition,
-                        0,
-                    );
+                    let task = engine.submit_task(now + travel, car_id, App::TextRecognition, 0);
                     task_car.insert(task, car_id);
                 } else {
                     // Re-photograph after a short repositioning.

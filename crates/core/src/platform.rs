@@ -72,7 +72,10 @@ impl Platform {
 
     /// Whether per-frame tasks run on the devices by default.
     pub fn is_distributed(self) -> bool {
-        matches!(self, Platform::DistributedEdge | Platform::DistributedNetAccel)
+        matches!(
+            self,
+            Platform::DistributedEdge | Platform::DistributedNetAccel
+        )
     }
 
     /// Whether placement is hybrid (HiveMind's synthesis decides per app).
@@ -112,7 +115,12 @@ impl Platform {
 
     /// FaaS cluster parameters, or `None` when the platform does not run
     /// a serverless cluster (fixed pool / pure distributed upload sink).
-    pub fn cluster_params(self, servers: u32, cores_per_server: u32, fault_rate: f64) -> Option<ClusterParams> {
+    pub fn cluster_params(
+        self,
+        servers: u32,
+        cores_per_server: u32,
+        fault_rate: f64,
+    ) -> Option<ClusterParams> {
         let exchange = if self.remote_memory() {
             ExchangeProtocol::RemoteMemory
         } else {
@@ -127,7 +135,9 @@ impl Platform {
             ..ClusterParams::default()
         };
         match self {
-            Platform::CentralizedIaaS | Platform::DistributedEdge | Platform::DistributedNetAccel => None,
+            Platform::CentralizedIaaS
+            | Platform::DistributedEdge
+            | Platform::DistributedNetAccel => None,
             Platform::CentralizedFaaS
             | Platform::CentralizedNetAccel
             | Platform::CentralizedNetRemoteMem => Some(base),
@@ -199,10 +209,7 @@ mod tests {
         assert!(p.remote_memory());
         let params = p.cluster_params(12, 40, 0.0).unwrap();
         assert!(params.straggler_mitigation);
-        assert_eq!(
-            params.exchange_in,
-            ExchangeProtocol::RemoteMemory
-        );
+        assert_eq!(params.exchange_in, ExchangeProtocol::RemoteMemory);
     }
 
     #[test]
@@ -217,9 +224,15 @@ mod tests {
 
     #[test]
     fn distributed_platforms_have_no_cluster() {
-        assert!(Platform::DistributedEdge.cluster_params(12, 40, 0.0).is_none());
-        assert!(Platform::DistributedNetAccel.cluster_params(12, 40, 0.0).is_none());
-        assert!(Platform::CentralizedIaaS.cluster_params(12, 40, 0.0).is_none());
+        assert!(Platform::DistributedEdge
+            .cluster_params(12, 40, 0.0)
+            .is_none());
+        assert!(Platform::DistributedNetAccel
+            .cluster_params(12, 40, 0.0)
+            .is_none());
+        assert!(Platform::CentralizedIaaS
+            .cluster_params(12, 40, 0.0)
+            .is_none());
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub fn scenario_graph(scenario: Scenario) -> TaskGraph {
             });
         }
     }
-    builder.build().expect("scenario graphs are valid by construction")
+    builder
+        .build()
+        .expect("scenario graphs are valid by construction")
 }
 
 /// Cost hints for a scenario's tasks, from the benchmark suite.
@@ -135,10 +137,7 @@ pub fn scenario_costs(scenario: Scenario) -> HashMap<String, TaskCost> {
 /// Non-hybrid platforms do not consult the synthesizer: centralized
 /// platforms force the cloud, distributed platforms force the edge (the
 /// exploration is HiveMind's contribution).
-pub fn synthesized_placements(
-    scenario: Scenario,
-    platform: Platform,
-) -> Vec<(App, PlacementSite)> {
+pub fn synthesized_placements(scenario: Scenario, platform: Platform) -> Vec<(App, PlacementSite)> {
     let graph = scenario_graph(scenario);
     let phases = scenario.phases();
     if !platform.is_hybrid() {
@@ -191,7 +190,10 @@ mod tests {
         assert_eq!(g.len(), 5);
         assert!(g.may_run_parallel("obstacleAvoidance", "faceRecognition"));
         assert_eq!(g.children("faceRecognition"), vec!["deduplication"]);
-        assert_eq!(g.pinned_site("obstacleAvoidance"), Some(PlacementSite::Edge));
+        assert_eq!(
+            g.pinned_site("obstacleAvoidance"),
+            Some(PlacementSite::Edge)
+        );
         assert!(g.is_persisted("deduplication"));
         assert_eq!(
             g.learn_scope("faceRecognition"),

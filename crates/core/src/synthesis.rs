@@ -212,7 +212,11 @@ pub fn estimate(
                 edge_energy += bytes * platform.upload_fraction() * RADIO_J_PER_BYTE;
             }
             Binding::ServerlessDataPlane => {
-                latency += if platform.remote_memory() { 0.0002 } else { 0.008 };
+                latency += if platform.remote_memory() {
+                    0.0002
+                } else {
+                    0.008
+                };
             }
             Binding::OnDevice => latency += 0.0001,
         }
@@ -235,18 +239,25 @@ pub struct Explored {
 
 /// Runs the full exploration and returns candidates sorted best-first
 /// under `objective`.
+///
+/// Candidate profiling fans out across the [`crate::runner::Runner`]
+/// thread pool (the candidate set grows as 2^free-tasks); profiles come
+/// back in enumeration order and ties sort stably, so the ranking is
+/// identical at any thread count.
 pub fn explore(
     graph: &TaskGraph,
     costs: &HashMap<String, TaskCost>,
     platform: Platform,
     objective: Objective,
 ) -> Vec<Explored> {
-    let mut out: Vec<Explored> = enumerate_placements(graph)
+    let placements = enumerate_placements(graph);
+    let profiles = crate::runner::Runner::from_env().map(&placements, |_, placement| {
+        estimate(graph, placement, costs, platform)
+    });
+    let mut out: Vec<Explored> = placements
         .into_iter()
-        .map(|placement| {
-            let profile = estimate(graph, &placement, costs, platform);
-            Explored { placement, profile }
-        })
+        .zip(profiles)
+        .map(|(placement, profile)| Explored { placement, profile })
         .collect();
     let key = |p: &CandidateProfile| match objective {
         Objective::Performance => p.latency,
@@ -280,8 +291,7 @@ pub fn single_app_placement(app: App, platform: Platform) -> PlacementSite {
     // synthesis pass would for a one-task graph.
     let cost = TaskCost::from_app(app);
     let edge_latency = cost.cloud_exec * cost.edge_slowdown;
-    let wire =
-        cost.boundary_bytes as f64 * platform.upload_fraction() / (867e6 / 8.0);
+    let wire = cost.boundary_bytes as f64 * platform.upload_fraction() / (867e6 / 8.0);
     let cloud_latency = cost.cloud_exec + 0.030 + wire + 120e-6;
     if edge_latency <= cloud_latency {
         PlacementSite::Edge

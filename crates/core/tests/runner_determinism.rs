@@ -1,0 +1,82 @@
+//! Regression tests for the determinism contract of the replicate
+//! runner: the same root seed must produce byte-identical serialized
+//! outcomes at *any* worker count. Worker count only changes wall-clock
+//! time, never results — replicate seeds are derived from the root
+//! before fan-out, and outcomes are reassembled in replicate order.
+
+use hivemind_apps::scenario::Scenario;
+use hivemind_apps::suite::App;
+use hivemind_core::experiment::ExperimentConfig;
+use hivemind_core::runner::Runner;
+use hivemind_core::Platform;
+
+/// App benchmark: one root seed, six replicates, sequential vs eight
+/// workers, byte-for-byte identical JSON.
+#[test]
+fn app_outcomes_identical_across_thread_counts() {
+    let base = ExperimentConfig::single_app(App::FaceRecognition)
+        .platform(Platform::HiveMind)
+        .duration_secs(10.0)
+        .seed(42);
+    let sequential = Runner::with_threads(1).run_replicates(&base, 6);
+    let parallel = Runner::with_threads(8).run_replicates(&base, 6);
+
+    assert_eq!(sequential.seeds(), parallel.seeds());
+    for (i, (a, b)) in sequential
+        .outcomes()
+        .iter()
+        .zip(parallel.outcomes())
+        .enumerate()
+    {
+        assert_eq!(a.to_json(), b.to_json(), "replicate {i} diverged");
+    }
+    assert_eq!(sequential.to_json(), parallel.to_json());
+}
+
+/// Mission scenario: the fuller code path (mission logic, batteries,
+/// detection scoring) stays deterministic under parallel fan-out too.
+#[test]
+fn mission_outcomes_identical_across_thread_counts() {
+    let base = ExperimentConfig::scenario(Scenario::StationaryItems)
+        .platform(Platform::HiveMind)
+        .seed(7);
+    let sequential = Runner::with_threads(1).run_replicates(&base, 4);
+    let parallel = Runner::with_threads(8).run_replicates(&base, 4);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+}
+
+/// Config sweeps (the fig binaries' shape) come back in sweep order
+/// regardless of which worker finished first.
+#[test]
+fn config_sweep_order_is_input_order() {
+    let configs: Vec<ExperimentConfig> = [
+        Platform::CentralizedFaaS,
+        Platform::DistributedEdge,
+        Platform::HiveMind,
+    ]
+    .map(|p| {
+        ExperimentConfig::single_app(App::ObstacleAvoidance)
+            .platform(p)
+            .duration_secs(10.0)
+            .seed(3)
+    })
+    .to_vec();
+    let sequential = Runner::with_threads(1).run_configs(&configs);
+    let parallel = Runner::with_threads(8).run_configs(&configs);
+    assert_eq!(sequential.len(), parallel.len());
+    for (a, b) in sequential.iter().zip(&parallel) {
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}
+
+/// `HIVEMIND_THREADS` is honored end to end (isolated in its own test
+/// binary section; no other test here reads the environment).
+#[test]
+fn env_var_controls_worker_count() {
+    std::env::set_var("HIVEMIND_THREADS", "8");
+    assert_eq!(Runner::from_env().threads(), 8);
+    std::env::set_var("HIVEMIND_THREADS", "1");
+    assert_eq!(Runner::from_env().threads(), 1);
+    std::env::remove_var("HIVEMIND_THREADS");
+    assert!(Runner::from_env().threads() >= 1);
+}

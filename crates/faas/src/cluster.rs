@@ -21,9 +21,9 @@ use rand::Rng;
 
 use crate::container::{ContainerParams, WarmPool};
 use crate::dataplane::{DataPlane, ExchangeProtocol};
-use hivemind_net::rpc::RateGate;
 use crate::scheduler::{SchedulerPolicy, ServerView};
 use crate::types::{AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome};
+use hivemind_net::rpc::RateGate;
 
 /// Cluster sizing and policy knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,8 +253,7 @@ impl Cluster {
         // The control plane serializes scheduling decisions: wait for a
         // scheduler slot, then pay the per-decision management cost.
         let control_wait = self.controller_gate.admit(now);
-        let management = control_wait
-            + self.params.policy.management_cost().sample(&mut self.rng);
+        let management = control_wait + self.params.policy.management_cost().sample(&mut self.rng);
         let idx = self.invs.len() as u32;
         self.invs.push(InvState {
             inv,
@@ -512,11 +511,7 @@ impl Cluster {
     /// Advances to `now`, returning completions that finished at or before
     /// `now` (chronological).
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Completion> {
-        while self
-            .heap
-            .peek()
-            .is_some_and(|Reverse((t, _, _))| *t <= now)
-        {
+        while self.heap.peek().is_some_and(|Reverse((t, _, _))| *t <= now) {
             let Reverse((t, _, ev)) = self.heap.pop().expect("peeked event vanished");
             debug_assert!(t >= self.last_event_time);
             self.last_event_time = t;
@@ -718,7 +713,11 @@ mod tests {
         }
         let done = run_all(&mut c);
         assert_eq!(done.len(), 40, "every faulted task must still complete");
-        assert!(c.faults_recovered() > 5, "recovered {}", c.faults_recovered());
+        assert!(
+            c.faults_recovered() > 5,
+            "recovered {}",
+            c.faults_recovered()
+        );
         let recovered = done
             .iter()
             .find(|d| matches!(d.outcome, Outcome::RecoveredFromFaults { .. }))

@@ -181,7 +181,10 @@ mod tests {
     fn containers_are_per_server_and_app() {
         let mut p = WarmPool::new(ContainerParams::hivemind());
         p.park(SimTime::ZERO, 0, AppId(0));
-        assert!(!p.try_take(SimTime::from_secs(1), 1, AppId(0)), "wrong server");
+        assert!(
+            !p.try_take(SimTime::from_secs(1), 1, AppId(0)),
+            "wrong server"
+        );
         assert!(!p.try_take(SimTime::from_secs(1), 0, AppId(1)), "wrong app");
         assert!(p.try_take(SimTime::from_secs(1), 0, AppId(0)));
     }

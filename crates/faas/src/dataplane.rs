@@ -61,7 +61,12 @@ impl Default for CouchDbModel {
 impl CouchDbModel {
     /// Performs one store-or-fetch of `bytes` at `now`, returning its
     /// latency including queueing behind other operations.
-    pub fn operate<R: Rng + ?Sized>(&mut self, now: SimTime, bytes: u64, rng: &mut R) -> SimDuration {
+    pub fn operate<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rng: &mut R,
+    ) -> SimDuration {
         let service = self.op_overhead.sample(rng)
             + SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
         let start = self.busy_until.max(now);

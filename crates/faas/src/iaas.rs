@@ -116,11 +116,7 @@ impl FixedPool {
     }
 
     fn retire(&mut self, now: SimTime) {
-        while self
-            .busy
-            .peek()
-            .is_some_and(|Reverse((t, _))| *t <= now)
-        {
+        while self.busy.peek().is_some_and(|Reverse((t, _))| *t <= now) {
             self.busy.pop();
         }
     }
@@ -128,8 +124,12 @@ impl FixedPool {
     fn start(&mut self, now: SimTime, arrived: SimTime, inv: Invocation) {
         let profile = self.apps[&inv.app].clone();
         let data_in = if profile.input_bytes > 0 {
-            self.dataplane
-                .exchange(now, self.params.exchange, profile.input_bytes, &mut self.rng)
+            self.dataplane.exchange(
+                now,
+                self.params.exchange,
+                profile.input_bytes,
+                &mut self.rng,
+            )
         } else {
             SimDuration::ZERO
         };
@@ -322,7 +322,10 @@ mod tests {
         p.submit(SimTime::ZERO, Invocation::root(AppId(0), 1));
         let done = drain(&mut p);
         let gap = (done[1].finished - done[0].finished).as_millis_f64();
-        assert!((gap - 100.0).abs() < 2.0, "back-to-back execution, gap {gap}");
+        assert!(
+            (gap - 100.0).abs() < 2.0,
+            "back-to-back execution, gap {gap}"
+        );
     }
 
     #[test]

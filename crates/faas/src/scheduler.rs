@@ -82,19 +82,14 @@ impl SchedulerPolicy {
 
                 // 1. Parent colocation (enables in-memory exchange).
                 if let Some(parent) = inv.parent_server {
-                    if let Some(s) = servers
-                        .iter()
-                        .find(|s| s.id == parent && healthy_free(s))
-                    {
+                    if let Some(s) = servers.iter().find(|s| s.id == parent && healthy_free(s)) {
                         return Some(s.id);
                     }
                 }
                 // 2. Steer toward a warm container for this app.
                 if !inv.isolate {
                     if let Some(ws) = warm.warm_server(now, inv.app) {
-                        if let Some(s) =
-                            servers.iter().find(|s| s.id == ws && healthy_free(s))
-                        {
+                        if let Some(s) = servers.iter().find(|s| s.id == ws && healthy_free(s)) {
                             return Some(s.id);
                         }
                     }
@@ -186,7 +181,10 @@ mod tests {
         let mut warm = pool();
         warm.park(SimTime::ZERO, 1, AppId(7));
         let inv = Invocation::root(AppId(7), 0);
-        assert_eq!(policy.choose(SimTime::from_secs(1), &inv, &s, &warm), Some(1));
+        assert_eq!(
+            policy.choose(SimTime::from_secs(1), &inv, &s, &warm),
+            Some(1)
+        );
     }
 
     #[test]
@@ -199,7 +197,10 @@ mod tests {
         warm.park(SimTime::ZERO, 1, AppId(7));
         let mut inv = Invocation::root(AppId(7), 0);
         inv.isolate = true;
-        assert_eq!(policy.choose(SimTime::from_secs(1), &inv, &s, &warm), Some(0));
+        assert_eq!(
+            policy.choose(SimTime::from_secs(1), &inv, &s, &warm),
+            Some(0)
+        );
     }
 
     #[test]
@@ -230,7 +231,9 @@ mod tests {
         }
         assert!(
             SchedulerPolicy::HiveMind.management_cost().mean_secs()
-                > SchedulerPolicy::OpenWhiskDefault.management_cost().mean_secs(),
+                > SchedulerPolicy::OpenWhiskDefault
+                    .management_cost()
+                    .mean_secs(),
             "HiveMind's scheduler costs slightly more per decision"
         );
     }

@@ -7,8 +7,8 @@
 //! This is the minimal model that still produces the queueing collapse of
 //! Fig. 3b when offered load exceeds capacity.
 
-use std::collections::BinaryHeap;
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use hivemind_sim::time::{SimDuration, SimTime};
 
@@ -161,11 +161,7 @@ impl<T: Eq> Link<T> {
     /// Pops the next item whose delivery time is `<= now`, returning
     /// `(delivery_time, payload)`.
     pub fn pop_ready(&mut self, now: SimTime) -> Option<(SimTime, T)> {
-        if self
-            .in_flight
-            .peek()
-            .is_some_and(|f| f.deliver_at <= now)
-        {
+        if self.in_flight.peek().is_some_and(|f| f.deliver_at <= now) {
             let f = self.in_flight.pop().expect("peeked item vanished");
             Some((f.deliver_at, f.payload))
         } else {

@@ -247,12 +247,22 @@ impl Topology {
             (Node::Device(d), Node::Server(s)) => {
                 self.check(src, dst);
                 let r = self.router_of(d);
-                vec![self.wifi(r), self.trunk_up(r), self.switch(), self.nic_rx(s)]
+                vec![
+                    self.wifi(r),
+                    self.trunk_up(r),
+                    self.switch(),
+                    self.nic_rx(s),
+                ]
             }
             (Node::Server(s), Node::Device(d)) => {
                 self.check(src, dst);
                 let r = self.router_of(d);
-                vec![self.nic_tx(s), self.switch(), self.trunk_down(r), self.wifi(r)]
+                vec![
+                    self.nic_tx(s),
+                    self.switch(),
+                    self.trunk_down(r),
+                    self.wifi(r),
+                ]
             }
             (Node::Server(a), Node::Server(b)) => {
                 self.check(src, dst);

@@ -126,7 +126,11 @@ mod tests {
     fn earliest_skips_quiescent() {
         assert_eq!(earliest([None, None]), None);
         assert_eq!(
-            earliest([Some(SimTime::from_secs(3)), None, Some(SimTime::from_secs(1))]),
+            earliest([
+                Some(SimTime::from_secs(3)),
+                None,
+                Some(SimTime::from_secs(1))
+            ]),
             Some(SimTime::from_secs(1))
         );
     }

@@ -70,7 +70,10 @@ pub enum Dist {
 impl Dist {
     /// A constant distribution, in seconds.
     pub fn constant(secs: f64) -> Dist {
-        assert!(secs >= 0.0 && secs.is_finite(), "constant must be finite and >= 0");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "constant must be finite and >= 0"
+        );
         Dist::Constant(secs)
     }
 
@@ -223,13 +226,12 @@ impl Dist {
                 } else {
                     let la = lo.powf(*alpha);
                     let ha = hi.powf(*alpha);
-                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                    (la / (1.0 - la / ha))
+                        * (alpha / (alpha - 1.0))
                         * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
                 }
             }
-            Dist::Empirical(samples) => {
-                samples.iter().sum::<f64>() / samples.len() as f64
-            }
+            Dist::Empirical(samples) => samples.iter().sum::<f64>() / samples.len() as f64,
             Dist::Shifted { offset, base } => offset + base.mean_secs(),
         }
     }

@@ -312,7 +312,10 @@ mod tests {
     fn deadline_stops_and_pins_clock() {
         let mut e = recorder(true);
         e.schedule_at(SimTime::ZERO, 0);
-        let outcome = e.run_until(SimTime::from_secs(2) + SimDuration::from_millis(500), u64::MAX);
+        let outcome = e.run_until(
+            SimTime::from_secs(2) + SimDuration::from_millis(500),
+            u64::MAX,
+        );
         assert_eq!(outcome, RunOutcome::DeadlineReached);
         assert_eq!(e.model().fired.len(), 3); // t=0,1,2
         assert_eq!(e.now().as_secs_f64(), 2.5);

@@ -87,11 +87,7 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|s| (s - mean).powi(2))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }
@@ -127,7 +123,11 @@ impl Summary {
 
     /// Smallest sample; `0.0` when empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
             .pipe_finite()
     }
 
@@ -316,7 +316,12 @@ impl TimeSeries {
 
     /// Resamples the series at a fixed period over `[start, end]`,
     /// carrying the last value forward (0.0 before the first point).
-    pub fn resample(&self, start: SimTime, end: SimTime, period: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn resample(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(period > SimDuration::ZERO);
         let mut out = Vec::new();
         let mut t = start;
@@ -464,7 +469,9 @@ mod tests {
 
     #[test]
     fn summary_std_dev() {
-        let s: Summary = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
     }
 
@@ -504,7 +511,11 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.record(SimTime::from_secs(1), 1.0);
         ts.record(SimTime::from_secs(2), 2.0);
-        let r = ts.resample(SimTime::ZERO, SimTime::from_secs(3), SimDuration::from_secs(1));
+        let r = ts.resample(
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            SimDuration::from_secs(1),
+        );
         let vals: Vec<f64> = r.iter().map(|&(_, v)| v).collect();
         assert_eq!(vals, vec![0.0, 1.0, 2.0, 2.0]);
     }

@@ -142,4 +142,54 @@ proptest! {
         let c: u64 = forge.indexed_stream("x", idx.wrapping_add(1)).gen();
         prop_assert_ne!(a, c);
     }
+
+    /// Merging per-replicate summaries in any order yields identical
+    /// order statistics — the runner may hand back replicate summaries
+    /// in replicate order, but nothing downstream may depend on it.
+    #[test]
+    fn summary_merge_is_permutation_invariant(
+        chunks in prop::collection::vec(
+            prop::collection::vec(0.0f64..1e6, 1..40), 2..8),
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::Rng;
+        let summaries: Vec<Summary> =
+            chunks.iter().map(|c| c.iter().copied().collect()).collect();
+
+        let merge_all = |order: &[usize]| {
+            let mut out = Summary::new();
+            for &i in order {
+                out.merge(&summaries[i]);
+            }
+            out
+        };
+        let natural: Vec<usize> = (0..summaries.len()).collect();
+        let mut shuffled = natural.clone();
+        let mut rng = RngForge::new(seed).stream("perm");
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+
+        let mut a = merge_all(&natural);
+        let mut b = merge_all(&shuffled);
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9 * a.mean().max(1.0));
+        prop_assert_eq!(a.median(), b.median());
+        prop_assert_eq!(a.p99(), b.p99());
+        prop_assert_eq!(a.min(), b.min());
+        prop_assert_eq!(a.max(), b.max());
+    }
+
+    /// Derived replicate seeds never collide with each other (or the
+    /// root) for any realistic replicate count.
+    #[test]
+    fn replicate_seeds_unique_up_to_8192(root in 0u64..u64::MAX) {
+        use hivemind_sim::rng::replicate_seed;
+        let mut seen = std::collections::HashSet::with_capacity(8192);
+        for index in 0..8192u64 {
+            let seed = replicate_seed(root, index);
+            prop_assert!(seen.insert(seed), "collision at replicate {}", index);
+            prop_assert_ne!(seed, root, "replicate {} reuses the root seed", index);
+        }
+    }
 }

@@ -88,10 +88,7 @@ impl HeartbeatTracker {
 
     /// Whether `device` has been declared failed.
     pub fn is_failed(&self, device: u32) -> bool {
-        self.declared
-            .get(device as usize)
-            .copied()
-            .unwrap_or(false)
+        self.declared.get(device as usize).copied().unwrap_or(false)
     }
 }
 
@@ -110,11 +107,7 @@ impl HeartbeatTracker {
 /// # Panics
 ///
 /// Panics if `failed` is out of range or every device is failed.
-pub fn repartition(
-    regions: &[Rect],
-    alive: &[bool],
-    failed: usize,
-) -> Vec<(usize, Rect)> {
+pub fn repartition(regions: &[Rect], alive: &[bool], failed: usize) -> Vec<(usize, Rect)> {
     assert!(failed < regions.len(), "failed index out of range");
     assert_eq!(regions.len(), alive.len(), "regions/alive length mismatch");
     let lost = regions[failed];
@@ -153,7 +146,10 @@ mod tests {
         let mut hb = HeartbeatTracker::new(1);
         hb.beat(0, SimTime::from_secs(10));
         assert!(hb.failed_at(SimTime::from_secs(13)).is_empty());
-        assert_eq!(hb.failed_at(SimTime::from_secs(13) + SimDuration::from_millis(1)), vec![0]);
+        assert_eq!(
+            hb.failed_at(SimTime::from_secs(13) + SimDuration::from_millis(1)),
+            vec![0]
+        );
     }
 
     #[test]

@@ -97,9 +97,8 @@ impl Field {
     pub fn generate(params: FieldParams, forge: RngForge) -> Field {
         let mut rng = forge.stream("field");
         let b = params.bounds;
-        let rand_point = |rng: &mut SmallRng| {
-            Point::new(rng.gen_range(b.x0..b.x1), rng.gen_range(b.y0..b.y1))
-        };
+        let rand_point =
+            |rng: &mut SmallRng| Point::new(rng.gen_range(b.x0..b.x1), rng.gen_range(b.y0..b.y1));
         let items = (0..params.items)
             .map(|id| Item {
                 id,
@@ -164,11 +163,12 @@ impl Field {
                 if step >= dist {
                     // Reached the waypoint: consume time, pick a new one.
                     p.pos = p.target;
-                    remaining -= if p.speed > 0.0 { dist / p.speed } else { remaining };
-                    p.target = Point::new(
-                        p.rng.gen_range(b.x0..b.x1),
-                        p.rng.gen_range(b.y0..b.y1),
-                    );
+                    remaining -= if p.speed > 0.0 {
+                        dist / p.speed
+                    } else {
+                        remaining
+                    };
+                    p.target = Point::new(p.rng.gen_range(b.x0..b.x1), p.rng.gen_range(b.y0..b.y1));
                     if dist == 0.0 {
                         break;
                     }
@@ -238,7 +238,9 @@ mod tests {
             .count();
         assert!(moved > 20, "most people should have moved, moved = {moved}");
         for p in f.people() {
-            assert!(f.bounds().contains(p.pos) || p.pos.x == f.bounds().x1 || p.pos.y == f.bounds().y1);
+            assert!(
+                f.bounds().contains(p.pos) || p.pos.x == f.bounds().x1 || p.pos.y == f.bounds().y1
+            );
         }
     }
 

@@ -98,7 +98,14 @@ impl Rect {
         assert!(n > 0, "cannot split into zero strips");
         let w = self.width() / n as f64;
         (0..n)
-            .map(|i| Rect::new(self.x0 + w * i as f64, self.y0, self.x0 + w * (i + 1) as f64, self.y1))
+            .map(|i| {
+                Rect::new(
+                    self.x0 + w * i as f64,
+                    self.y0,
+                    self.x0 + w * (i + 1) as f64,
+                    self.y1,
+                )
+            })
             .collect()
     }
 

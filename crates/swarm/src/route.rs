@@ -208,7 +208,8 @@ pub fn visit_order(start: Point, targets: &[Point]) -> Vec<usize> {
             .iter()
             .enumerate()
             .min_by(|(_, &a), (_, &b)| {
-                cur.distance(targets[a]).total_cmp(&cur.distance(targets[b]))
+                cur.distance(targets[a])
+                    .total_cmp(&cur.distance(targets[b]))
             })
             .expect("remaining is non-empty");
         let next = remaining.swap_remove(pos);
@@ -337,7 +338,11 @@ mod tests {
 
     #[test]
     fn path_length_sums_segments() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 8.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 8.0),
+        ];
         assert!((path_length(&pts) - 9.0).abs() < 1e-12);
     }
 }

@@ -35,7 +35,11 @@ fn main() {
         "probe window : placement {:?}, median {:.2} s  {}",
         out.initial_placement,
         out.probe_median_secs,
-        if out.probe_median_secs > 2.0 { "(GOAL VIOLATED)" } else { "" }
+        if out.probe_median_secs > 2.0 {
+            "(GOAL VIOLATED)"
+        } else {
+            ""
+        }
     );
     if out.remapped {
         println!(
@@ -48,7 +52,14 @@ fn main() {
         "steady window: placement {:?}, median {:.2} s  {}",
         out.final_placement,
         out.steady_median_secs,
-        if out.steady_median_secs <= 2.0 { "(goal met)" } else { "" }
+        if out.steady_median_secs <= 2.0 {
+            "(goal met)"
+        } else {
+            ""
+        }
     );
-    println!("\n{} tasks processed across both windows.", out.records.len());
+    println!(
+        "\n{} tasks processed across both windows.",
+        out.records.len()
+    );
 }

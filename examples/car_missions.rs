@@ -7,28 +7,30 @@
 //! ```
 
 use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::experiment::ExperimentConfig;
 use hivemind::core::platform::Platform;
+use hivemind::core::runner::Runner;
 
 fn main() {
     println!("Robotic-car missions (14 rovers, Raspberry Pi class)\n");
+    let platforms = [
+        Platform::CentralizedFaaS,
+        Platform::DistributedEdge,
+        Platform::HiveMind,
+    ];
     for scenario in [Scenario::TreasureHunt, Scenario::CarMaze] {
         println!("{}:", scenario.name());
         println!(
             "  {:<18} {:>10} {:>11} {:>8}",
             "platform", "time (s)", "battery %", "goals"
         );
-        for platform in [
-            Platform::CentralizedFaaS,
-            Platform::DistributedEdge,
-            Platform::HiveMind,
-        ] {
-            let outcome = Experiment::new(
-                ExperimentConfig::scenario(scenario)
-                    .platform(platform)
-                    .seed(5),
-            )
-            .run();
+        let configs = platforms.map(|platform| {
+            ExperimentConfig::scenario(scenario)
+                .platform(platform)
+                .seed(5)
+        });
+        let outcomes = Runner::from_env().run_configs(&configs);
+        for (platform, outcome) in platforms.into_iter().zip(outcomes) {
             println!(
                 "  {:<18} {:>10.1} {:>11.1} {:>5}/14",
                 platform.label(),

@@ -33,12 +33,16 @@ fn main() {
     );
     println!(
         "{:<26} {:>9.1} {:>6}/15 {:>10.1}%",
-        "healthy swarm", healthy.mission.duration_secs, healthy.mission.targets_found,
+        "healthy swarm",
+        healthy.mission.duration_secs,
+        healthy.mission.targets_found,
         healthy.battery.max_pct
     );
     println!(
         "{:<26} {:>9.1} {:>6}/15 {:>10.1}%",
-        "drone 5 lost at t=20s", failed.mission.duration_secs, failed.mission.targets_found,
+        "drone 5 lost at t=20s",
+        failed.mission.duration_secs,
+        failed.mission.targets_found,
         failed.battery.max_pct
     );
     println!("\nThe neighbours inherit strips of drone 5's area and fly an extra sweep,");
@@ -49,15 +53,16 @@ fn main() {
         "{:<12} {:>8} {:>11} {:>12}",
         "fault rate", "tasks", "recovered", "p99 (ms)"
     );
-    for fault_rate in [0.0, 0.05, 0.10, 0.20] {
-        let mut o = Experiment::new(
-            ExperimentConfig::single_app(App::FaceRecognition)
-                .platform(Platform::CentralizedFaaS)
-                .duration_secs(60.0)
-                .fault_rate(fault_rate)
-                .seed(4),
-        )
-        .run();
+    let rates = [0.0, 0.05, 0.10, 0.20];
+    let configs = rates.map(|fault_rate| {
+        ExperimentConfig::single_app(App::FaceRecognition)
+            .platform(Platform::CentralizedFaaS)
+            .duration_secs(60.0)
+            .fault_rate(fault_rate)
+            .seed(4)
+    });
+    let outcomes = hivemind::core::runner::Runner::from_env().run_configs(&configs);
+    for (fault_rate, mut o) in rates.into_iter().zip(outcomes) {
         let p99 = o.p99_task_ms();
         println!(
             "{:<12} {:>8} {:>11} {:>12.1}",

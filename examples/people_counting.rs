@@ -11,6 +11,7 @@ use hivemind::apps::learning::RetrainMode;
 use hivemind::apps::scenario::Scenario;
 use hivemind::core::experiment::{Experiment, ExperimentConfig};
 use hivemind::core::platform::Platform;
+use hivemind::core::runner::Runner;
 
 fn main() {
     println!("Scenario B: counting 25 moving people (ground truth hidden from the swarm)\n");
@@ -18,15 +19,18 @@ fn main() {
         "{:<10} {:>9} {:>10} {:>10} {:>10} {:>10}",
         "retrain", "counted", "correct %", "missed %", "phantom %", "time (s)"
     );
-    for mode in RetrainMode::ALL {
-        let outcome = Experiment::new(
-            ExperimentConfig::scenario(Scenario::MovingPeople)
-                .platform(Platform::HiveMind)
-                .retrain(mode)
-                .seed(3),
-        )
-        .run();
-        let q = outcome.mission.detection.expect("scenario B scores detection");
+    let configs = RetrainMode::ALL.map(|mode| {
+        ExperimentConfig::scenario(Scenario::MovingPeople)
+            .platform(Platform::HiveMind)
+            .retrain(mode)
+            .seed(3)
+    });
+    let outcomes = Runner::from_env().run_configs(&configs);
+    for (mode, outcome) in RetrainMode::ALL.into_iter().zip(outcomes) {
+        let q = outcome
+            .mission
+            .detection
+            .expect("scenario B scores detection");
         println!(
             "{:<10} {:>6}/25 {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
             mode.label(),

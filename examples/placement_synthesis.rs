@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 
 use hivemind::apps::suite::App;
-use hivemind::core::dsl::{
-    Directive, LearnScope, PlacementSite, TaskDef, TaskGraphBuilder,
-};
+use hivemind::core::dsl::{Directive, LearnScope, PlacementSite, TaskDef, TaskGraphBuilder};
 use hivemind::core::platform::Platform;
 use hivemind::core::synthesis::{explore, Objective, TaskCost};
 

@@ -5,23 +5,27 @@
 //! ```
 
 use hivemind::apps::suite::App;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::experiment::ExperimentConfig;
 use hivemind::core::platform::Platform;
+use hivemind::core::runner::Runner;
 
 fn main() {
     println!("HiveMind quickstart: S9 (text recognition), 16 drones, 60 s of load\n");
-    for platform in [
+    let platforms = [
         Platform::CentralizedFaaS,
         Platform::DistributedEdge,
         Platform::HiveMind,
-    ] {
-        let mut outcome = Experiment::new(
-            ExperimentConfig::single_app(App::TextRecognition)
-                .platform(platform)
-                .duration_secs(60.0)
-                .seed(7),
-        )
-        .run();
+    ];
+    // The three runs are independent; fan them across threads
+    // (HIVEMIND_THREADS picks the worker count).
+    let configs = platforms.map(|platform| {
+        ExperimentConfig::single_app(App::TextRecognition)
+            .platform(platform)
+            .duration_secs(60.0)
+            .seed(7)
+    });
+    let outcomes = Runner::from_env().run_configs(&configs);
+    for (platform, mut outcome) in platforms.into_iter().zip(outcomes) {
         println!(
             "{:<18}  median {:>8.1} ms   p99 {:>8.1} ms   battery {:>4.1}%   uplink {:>6.1} MB/s",
             platform.label(),

@@ -6,8 +6,9 @@
 //! ```
 
 use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::experiment::ExperimentConfig;
 use hivemind::core::platform::Platform;
+use hivemind::core::runner::Runner;
 
 fn main() {
     println!("Scenario A: locating 15 tennis balls with a 16-drone swarm\n");
@@ -15,14 +16,14 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>8} {:>10}",
         "platform", "time (s)", "battery %", "found", "completed"
     );
-    for platform in Platform::MAIN {
-        let outcome = Experiment::new(
-            ExperimentConfig::scenario(Scenario::StationaryItems)
-                .platform(platform)
-                .drones(16)
-                .seed(7),
-        )
-        .run();
+    let configs = Platform::MAIN.map(|platform| {
+        ExperimentConfig::scenario(Scenario::StationaryItems)
+            .platform(platform)
+            .drones(16)
+            .seed(7)
+    });
+    let outcomes = Runner::from_env().run_configs(&configs);
+    for (platform, outcome) in Platform::MAIN.into_iter().zip(outcomes) {
         println!(
             "{:<18} {:>10.1} {:>10.1} {:>5}/15 {:>10}",
             platform.label(),

@@ -7,8 +7,9 @@
 //! ```
 
 use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
+use hivemind::core::experiment::ExperimentConfig;
 use hivemind::core::platform::Platform;
+use hivemind::core::runner::Runner;
 
 fn main() {
     println!("Scenario A at increasing swarm sizes (simulated; links scale with swarm)\n");
@@ -16,21 +17,23 @@ fn main() {
         "{:>7} {:>22} {:>26}",
         "drones", "HiveMind time/battery", "Centralized time/battery"
     );
-    for devices in [16u32, 64, 256, 1024] {
-        let hm = Experiment::new(
-            ExperimentConfig::scenario(Scenario::StationaryItems)
-                .platform(Platform::HiveMind)
-                .drones(devices)
-                .seed(1),
-        )
-        .run();
-        let cen = Experiment::new(
-            ExperimentConfig::scenario(Scenario::StationaryItems)
-                .platform(Platform::CentralizedFaaS)
-                .drones(devices)
-                .seed(1),
-        )
-        .run();
+    let sizes = [16u32, 64, 256, 1024];
+    // One config per (size, platform) cell; the runner fans the whole
+    // sweep across threads and hands outcomes back in sweep order.
+    let configs: Vec<_> = sizes
+        .iter()
+        .flat_map(|&devices| {
+            [Platform::HiveMind, Platform::CentralizedFaaS].map(|platform| {
+                ExperimentConfig::scenario(Scenario::StationaryItems)
+                    .platform(platform)
+                    .drones(devices)
+                    .seed(1)
+            })
+        })
+        .collect();
+    let outcomes = Runner::from_env().run_configs(&configs);
+    for (&devices, pair) in sizes.iter().zip(outcomes.chunks_exact(2)) {
+        let (hm, cen) = (&pair[0], &pair[1]);
         println!(
             "{:>7} {:>12.0}s / {:>5.1}% {:>16.0}s / {:>5.1}%{}",
             devices,
@@ -38,7 +41,11 @@ fn main() {
             hm.battery.mean_pct,
             cen.mission.duration_secs,
             cen.battery.mean_pct,
-            if cen.mission.completed { "" } else { "  (INCOMPLETE)" },
+            if cen.mission.completed {
+                ""
+            } else {
+                "  (INCOMPLETE)"
+            },
         );
     }
     println!("\nThe centralized controller serializes scheduling decisions and its data");

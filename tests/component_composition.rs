@@ -52,7 +52,11 @@ fn fabric_and_cluster_compose_through_the_trait() {
         for d in delivered {
             deliveries += 1;
             // Route: network arrival -> function invocation.
-            Component::handle(&mut cluster, d.delivered_at, Invocation::root(AppId(0), d.tag));
+            Component::handle(
+                &mut cluster,
+                d.delivered_at,
+                Invocation::root(AppId(0), d.tag),
+            );
         }
         let mut done: Vec<Completion> = Vec::new();
         Component::advance(&mut cluster, t, &mut done);

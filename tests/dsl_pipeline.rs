@@ -17,7 +17,11 @@ fn scenario_b_graph() -> hivemind::core::dsl::TaskGraph {
     TaskGraphBuilder::new()
         .constraint(Constraint::ExecTime { secs: 300.0 })
         .task(TaskDef::new("createRoute").code("t/route"))
-        .task(TaskDef::new("collectImage").code("t/collect").parent("createRoute"))
+        .task(
+            TaskDef::new("collectImage")
+                .code("t/collect")
+                .parent("createRoute"),
+        )
         .task(
             TaskDef::new("obstacleAvoidance")
                 .code("t/oa")

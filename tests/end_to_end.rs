@@ -20,7 +20,11 @@ fn every_platform_completes_scenario_a() {
             o.mission.completed,
             "{platform}: scenario A should finish at testbed scale"
         );
-        assert!(o.mission.targets_found >= 11, "{platform}: found {}", o.mission.targets_found);
+        assert!(
+            o.mission.targets_found >= 11,
+            "{platform}: found {}",
+            o.mission.targets_found
+        );
         assert!(o.mission.duration_secs > 30.0);
         assert!(!o.tasks.is_empty());
     }
@@ -148,8 +152,14 @@ fn active_task_series_tracks_load_profile() {
     )
     .run();
     use hivemind::sim::time::SimTime;
-    let low = o.active_tasks.value_at(SimTime::from_secs(25)).unwrap_or(0.0);
-    let high = o.active_tasks.value_at(SimTime::from_secs(55)).unwrap_or(0.0);
+    let low = o
+        .active_tasks
+        .value_at(SimTime::from_secs(25))
+        .unwrap_or(0.0);
+    let high = o
+        .active_tasks
+        .value_at(SimTime::from_secs(55))
+        .unwrap_or(0.0);
     assert!(
         high > low,
         "active functions must track the ramp: {low} -> {high}"

@@ -42,7 +42,9 @@ fn network_share_drops_under_hivemind() {
         )
         .run()
     };
-    let cen = at_stream_rate(Platform::CentralizedFaaS).tasks.network_fraction();
+    let cen = at_stream_rate(Platform::CentralizedFaaS)
+        .tasks
+        .network_fraction();
     let hm = at_stream_rate(Platform::HiveMind).tasks.network_fraction();
     assert!(
         hm < cen * 0.6,
@@ -51,11 +53,23 @@ fn network_share_drops_under_hivemind() {
 }
 
 /// Fig. 11 / Sec. 5.1: HiveMind beats centralized end to end.
+///
+/// Compared on latency samples pooled across replicates (seeds derived
+/// from one root) rather than a single seed: the claim is about the
+/// distributions, and single-seed medians sit close enough to flip on
+/// borderline apps like S10.
 #[test]
 fn hivemind_beats_centralized_on_every_heavy_app() {
+    let runner = hivemind::core::runner::Runner::from_env();
     for app in [App::TextRecognition, App::Slam, App::FaceRecognition] {
-        let mut cen = single(app, Platform::CentralizedFaaS, 2);
-        let mut hm = single(app, Platform::HiveMind, 2);
+        let config = |platform: Platform| {
+            ExperimentConfig::single_app(app)
+                .platform(platform)
+                .duration_secs(30.0)
+                .seed(2)
+        };
+        let cen = runner.run_replicates(&config(Platform::CentralizedFaaS), 5);
+        let hm = runner.run_replicates(&config(Platform::HiveMind), 5);
         assert!(
             hm.median_task_ms() < cen.median_task_ms(),
             "{app}: {0} vs {1}",
@@ -80,7 +94,10 @@ fn light_apps_match_paper_exceptions() {
     }
     let mut cen = single(App::ObstacleAvoidance, Platform::CentralizedFaaS, 3);
     let mut edge = single(App::ObstacleAvoidance, Platform::DistributedEdge, 3);
-    assert!(edge.median_task_ms() < cen.median_task_ms(), "S4 wins at the edge");
+    assert!(
+        edge.median_task_ms() < cen.median_task_ms(),
+        "S4 wins at the edge"
+    );
 }
 
 /// Sec. 2.3: on-board execution leaves Scenario B incomplete (battery).
@@ -167,7 +184,10 @@ fn bandwidth_ordering_across_platforms() {
     let cen = single(App::FaceRecognition, Platform::CentralizedFaaS, 6).bandwidth;
     let hm = single(App::FaceRecognition, Platform::HiveMind, 6).bandwidth;
     let dist = single(App::FaceRecognition, Platform::DistributedEdge, 6).bandwidth;
-    assert!(dist.total_mb < hm.total_mb, "distributed ships only results");
+    assert!(
+        dist.total_mb < hm.total_mb,
+        "distributed ships only results"
+    );
     assert!(hm.total_mb < cen.total_mb, "HiveMind filters the stream");
 }
 
