@@ -5,11 +5,29 @@
 //! ```
 //!
 //! Set `HIVEMIND_FULL=1` for paper-length runs (120 s jobs, 10 repeats,
-//! swarm sweep to 8192 devices).
+//! swarm sweep to 8192 devices). Pass `--trace <path>` to collect event
+//! traces from every figure; each figure gets its own trace family
+//! (`<stem>.fig01.<ext>`, `<stem>.fig03.<ext>`, ...) so the figures never
+//! overwrite each other's files.
 
+use std::path::PathBuf;
 use std::process::Command;
 
+use hivemind_bench::report::keyed_path;
+
 fn main() {
+    let trace_base: Option<PathBuf> = {
+        let mut base = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--trace" {
+                base = args.next().map(PathBuf::from);
+            } else if let Some(path) = arg.strip_prefix("--trace=") {
+                base = Some(PathBuf::from(path));
+            }
+        }
+        base
+    };
     let figures = [
         "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14", "fig15",
         "fig16", "fig17", "fig18",
@@ -17,7 +35,11 @@ fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     for fig in figures {
-        let status = Command::new(dir.join(fig))
+        let mut cmd = Command::new(dir.join(fig));
+        if let Some(base) = &trace_base {
+            cmd.arg("--trace").arg(keyed_path(base, fig));
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
         assert!(status.success(), "{fig} exited with {status}");

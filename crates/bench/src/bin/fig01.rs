@@ -3,12 +3,12 @@
 //! 16-drone swarm (top) and a simulated 1000-drone swarm (bottom), across
 //! Centralized IaaS, Centralized FaaS, Distributed Edge, and HiveMind.
 
-use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, run_replicated, Table};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, repeats, Table};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 1: treasure-hunt scenario, execution time + consumed battery");
     for devices in [16u32, 1000] {
         println!("--- {devices}-drone swarm ---");
@@ -22,10 +22,10 @@ fn main() {
         ]);
         for platform in Platform::MAIN {
             let n = if devices > 100 { 1 } else { repeats() };
-            let set = run_replicated(
+            let set = report.run_replicated(
                 &ExperimentConfig::scenario(Scenario::StationaryItems)
                     .platform(platform)
-                    .drones(devices)
+                    .devices(devices)
                     .seed(1),
                 n,
             );

@@ -3,12 +3,12 @@
 //! for S1–S10 + the two scenarios; (b) network bandwidth and tail latency
 //! for face recognition as drones and frame resolution increase.
 
-use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, pct, runner, single_app_duration_secs, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, ms, pct, single_app_duration_secs, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 3a: latency breakdown under all-cloud (Centralized FaaS) execution");
     let mut table = Table::new([
         "workload",
@@ -32,7 +32,7 @@ fn main() {
             }
         })
         .collect();
-    for (w, mut o) in workloads.iter().zip(runner().run_configs(&configs)) {
+    for (w, mut o) in workloads.iter().zip(report.run_configs(&configs)) {
         let net = o.tasks.network_fraction();
         let mgmt = o.tasks.management_fraction();
         let exec = (1.0 - net - mgmt).max(0.0);
@@ -70,13 +70,13 @@ fn main() {
             ExperimentConfig::single_app(App::FaceRecognition)
                 .platform(Platform::CentralizedFaaS)
                 .duration_secs(single_app_duration_secs().min(40.0))
-                .drones(drones)
+                .devices(drones)
                 .input_scale(scale)
                 .rate_scale(8.0)
                 .seed(1)
         })
         .collect();
-    for (&(label, _, drones), mut o) in cells.iter().zip(runner().run_configs(&sweep)) {
+    for (&(label, _, drones), mut o) in cells.iter().zip(report.run_configs(&sweep)) {
         table.row([
             label.to_string(),
             drones.to_string(),

@@ -2,12 +2,12 @@
 //! and job latencies for the two end-to-end scenarios (b), centralized
 //! cloud vs distributed edge execution.
 
-use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, ms, repeats, run_replicated, runner, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::{task_quantile_secs, Report};
+use hivemind_bench::{banner, ms, repeats, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 4a: task latency (ms), centralized cloud vs distributed edge");
     let mut table = Table::new([
         "app",
@@ -28,17 +28,17 @@ fn main() {
             ]
         })
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, pair) in apps.iter().zip(outcomes.chunks_exact(2)) {
-        let (mut cloud, mut edge) = (pair[0].clone(), pair[1].clone());
+        let (cloud, edge) = (&pair[0], &pair[1]);
         table.row([
             w.label().to_string(),
-            ms(cloud.tasks.total.quantile(0.25)),
-            ms(cloud.tasks.total.median()),
-            ms(cloud.tasks.total.p99()),
-            ms(edge.tasks.total.quantile(0.25)),
-            ms(edge.tasks.total.median()),
-            ms(edge.tasks.total.p99()),
+            ms(task_quantile_secs(cloud, 0.25)),
+            ms(task_quantile_secs(cloud, 0.5)),
+            ms(task_quantile_secs(cloud, 0.99)),
+            ms(task_quantile_secs(edge, 0.25)),
+            ms(task_quantile_secs(edge, 0.5)),
+            ms(task_quantile_secs(edge, 0.99)),
         ]);
     }
     table.print();
@@ -48,7 +48,7 @@ fn main() {
     let mut table = Table::new(["scenario", "platform", "median (s)", "max (s)", "completed"]);
     for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
         for platform in [Platform::CentralizedFaaS, Platform::DistributedEdge] {
-            let set = run_replicated(
+            let set = report.run_replicated(
                 &ExperimentConfig::scenario(scenario)
                     .platform(platform)
                     .seed(1),

@@ -4,13 +4,12 @@
 //! against average- and max-provisioned fixed deployments, and (c) active
 //! tasks over time when a fraction of functions fail.
 
-use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, runner, single_app_duration_secs, Table, Workload};
-use hivemind_core::experiment::{Experiment, ExperimentConfig};
-use hivemind_core::platform::Platform;
-use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, ms, single_app_duration_secs, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 5a: fixed vs serverless vs serverless + intra-task (median ms)");
     let mut table = Table::new([
         "app",
@@ -40,7 +39,7 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, trio) in apps.iter().zip(outcomes.chunks_exact(3)) {
         let median = |o: &hivemind_core::metrics::Outcome| o.tasks.clone().total.median();
         let (fixed, faas, intra) = (median(&trio[0]), median(&trio[1]), median(&trio[2]));
@@ -67,7 +66,7 @@ fn main() {
         (150.0, 1),
     ];
     let total = 180.0;
-    let run = |platform: Platform, workers: Option<u32>| {
+    let deployment = |platform: Platform, workers: Option<u32>| {
         let mut cfg = ExperimentConfig::single_app(App::FaceRecognition)
             .platform(platform)
             .duration_secs(total)
@@ -77,19 +76,16 @@ fn main() {
         if let Some(w) = workers {
             cfg = cfg.iaas_workers(w);
         }
-        Experiment::new(cfg).run()
+        cfg
     };
     // Average load ≈ 6.3 drones × 2 tasks/s × 0.27 s ≈ 4 busy cores;
     // worst case ≈ 9. The three deployments are independent, so fan them
     // out instead of chaining the 180 s simulations.
-    let deployments = runner().map(
-        &[
-            (Platform::CentralizedFaaS, None),
-            (Platform::CentralizedIaaS, Some(4)),
-            (Platform::CentralizedIaaS, Some(16)),
-        ],
-        |_, &(platform, workers)| run(platform, workers),
-    );
+    let deployments = report.run_configs(&[
+        deployment(Platform::CentralizedFaaS, None),
+        deployment(Platform::CentralizedIaaS, Some(4)),
+        deployment(Platform::CentralizedIaaS, Some(16)),
+    ]);
     let mut it = deployments.into_iter();
     let (serverless, avg, max) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
     let mut table2 = Table::new(["deployment", "median (ms)", "p99 (ms)", "tasks"]);
@@ -110,18 +106,19 @@ fn main() {
 
     banner("Figure 5c: active tasks over time with injected function failures");
     let mut table = Table::new(["t (s)", "no faults", "5%", "10%", "20%"]);
-    let runs = runner().map(&[0.0, 0.05, 0.10, 0.20], |_, &fr| {
-        Experiment::new(
+    let fault_configs: Vec<ExperimentConfig> = [0.0, 0.05, 0.10, 0.20]
+        .iter()
+        .map(|&fr| {
             ExperimentConfig::single_app(App::FaceRecognition)
                 .platform(Platform::CentralizedFaaS)
                 .duration_secs(total)
                 .load_profile(profile.clone())
                 .rate_scale(2.0)
                 .fault_rate(fr)
-                .seed(4),
-        )
-        .run()
-    });
+                .seed(4)
+        })
+        .collect();
+    let runs = report.run_configs(&fault_configs);
     let mut t = 0.0;
     while t <= total {
         let mut cells = vec![format!("{t:.0}")];

@@ -4,15 +4,15 @@
 //! (c) the impact of the data-sharing protocol (CouchDB / direct RPC /
 //! in-memory / HiveMind's remote memory).
 
-use hivemind_bench::{banner, ms, pct, runner, single_app_duration_secs, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::{task_quantile_secs, Report};
+use hivemind_bench::{banner, ms, pct, single_app_duration_secs, Table, Workload};
+use hivemind_core::prelude::*;
 use hivemind_faas::dataplane::{DataPlane, ExchangeProtocol};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::Summary;
-use hivemind_sim::time::{SimDuration, SimTime};
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 6a: latency variability, reserved vs serverless (ms)");
     let mut table = Table::new([
         "app",
@@ -43,21 +43,19 @@ fn main() {
             ]
         })
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, pair) in apps.iter().zip(outcomes.chunks_exact(2)) {
-        let (mut reserved, mut faas) = (pair[0].clone(), pair[1].clone());
-        let ratio = |s: &mut Summary| s.p99() / s.median().max(1e-9);
-        let (r_ratio, f_ratio) = (
-            ratio(&mut reserved.tasks.total),
-            ratio(&mut faas.tasks.total),
-        );
+        let (reserved, faas) = (&pair[0], &pair[1]);
+        let quantiles = |o: &Outcome| (task_quantile_secs(o, 0.5), task_quantile_secs(o, 0.99));
+        let ((r_p50, r_p99), (f_p50, f_p99)) = (quantiles(reserved), quantiles(faas));
+        let (r_ratio, f_ratio) = (r_p99 / r_p50.max(1e-9), f_p99 / f_p50.max(1e-9));
         table.row([
             w.label().to_string(),
-            ms(reserved.tasks.total.median()),
-            ms(reserved.tasks.total.p99()),
+            ms(r_p50),
+            ms(r_p99),
             format!("{r_ratio:.2}"),
-            ms(faas.tasks.total.median()),
-            ms(faas.tasks.total.p99()),
+            ms(f_p50),
+            ms(f_p99),
             format!("{f_ratio:.2}"),
         ]);
     }
@@ -76,7 +74,7 @@ fn main() {
         .iter()
         .map(|w| w.config(Platform::CentralizedFaaS, 6))
         .collect();
-    for (w, o) in apps.iter().zip(runner().run_configs(&configs)) {
+    for (w, o) in apps.iter().zip(report.run_configs(&configs)) {
         let total = o.tasks.total.mean().max(1e-12);
         let inst = o.tasks.instantiation.mean() / total;
         let io = o.tasks.data_io.mean() / total;

@@ -2,11 +2,12 @@
 //! for the multi-tier scenarios, with centralized cloud, distributed
 //! edge, and HiveMind.
 
-use hivemind_bench::{banner, ms, runner, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::{workload_cells, Report};
+use hivemind_bench::{banner, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 11: latency per platform (task ms for S1-S10; job s for scenarios)");
     let mut table = Table::new([
         "workload",
@@ -27,28 +28,11 @@ fn main() {
         .iter()
         .flat_map(|w| platforms.map(|p| w.config(p, 1)))
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, per_platform) in workloads.iter().zip(outcomes.chunks_exact(platforms.len())) {
         let mut row = vec![w.label().to_string()];
         for o in per_platform {
-            let mut o = o.clone();
-            match w {
-                Workload::App(_) => {
-                    row.push(ms(o.tasks.total.median()));
-                    row.push(ms(o.tasks.total.p99()));
-                }
-                Workload::Scenario(_) => {
-                    row.push(format!("{:.1}s", o.mission.duration_secs));
-                    row.push(
-                        (if o.mission.completed {
-                            "done"
-                        } else {
-                            "INCOMPLETE"
-                        })
-                        .to_string(),
-                    );
-                }
-            }
+            row.extend(workload_cells(w, o));
         }
         table.row(row);
     }

@@ -2,11 +2,12 @@
 //! execution) comparing fully centralized execution against HiveMind, to
 //! attribute where HiveMind's gains come from.
 
-use hivemind_bench::{banner, ms, pct, runner, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, ms, pct, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 12: latency breakdown, Centralized Cloud vs HiveMind");
     let mut table = Table::new([
         "workload",
@@ -36,7 +37,7 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for ((w, platform), o) in workloads
         .iter()
         .flat_map(|w| platforms.map(|p| (w, p)))

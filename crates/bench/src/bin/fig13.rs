@@ -3,11 +3,12 @@
 //! systems with and without network acceleration, and HiveMind without
 //! hardware acceleration.
 
-use hivemind_bench::{banner, ms, runner, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::{workload_cells, Report};
+use hivemind_bench::{banner, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 13: ablating HiveMind's techniques (median / p99 task ms; job s for scenarios)");
     let mut headers = vec!["workload".to_string()];
     for p in Platform::ABLATIONS {
@@ -20,24 +21,14 @@ fn main() {
         .iter()
         .flat_map(|w| Platform::ABLATIONS.map(|p| w.config(p, 3)))
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, per_platform) in workloads
         .iter()
         .zip(outcomes.chunks_exact(Platform::ABLATIONS.len()))
     {
         let mut row = vec![w.label().to_string()];
         for o in per_platform {
-            let mut o = o.clone();
-            match w {
-                Workload::App(_) => {
-                    row.push(ms(o.tasks.total.median()));
-                    row.push(ms(o.tasks.total.p99()));
-                }
-                Workload::Scenario(_) => {
-                    row.push(format!("{:.0}s", o.mission.duration_secs));
-                    row.push(if o.mission.completed { "done" } else { "DNF" }.to_string());
-                }
-            }
+            row.extend(workload_cells(w, o));
         }
         table.row(row);
     }

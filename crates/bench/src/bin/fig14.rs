@@ -1,11 +1,12 @@
 //! Fig. 14 — consumed battery and network bandwidth across the three
 //! platforms for all workloads.
 
-use hivemind_bench::{banner, runner, Table, Workload};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, Table, Workload};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 14a: consumed battery (%) per platform");
     let mut table = Table::new([
         "workload",
@@ -27,7 +28,7 @@ fn main() {
         .iter()
         .flat_map(|w| platforms.map(|p| w.config(p, 4)))
         .collect();
-    let outcomes = runner().run_configs(&configs);
+    let outcomes = report.run_configs(&configs);
     for (w, per_platform) in workloads.iter().zip(outcomes.chunks_exact(platforms.len())) {
         let mut row = vec![w.label().to_string()];
         let mut bw_row = vec![w.label().to_string()];

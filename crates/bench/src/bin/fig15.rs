@@ -9,13 +9,13 @@
 //!    (item-detection probability, embedding tightness for dedup) follows
 //!    the retraining mode.
 
-use hivemind_apps::learning::{run_campaign, RetrainMode};
-use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, run_replicated, runner, Table};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_apps::learning::run_campaign;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, repeats, runner, Table};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 15 (learning dynamics): online detector accuracy per retraining policy");
     let mut table = Table::new(["policy", "correct %", "false neg %", "false pos %"]);
     let campaigns = runner().map(&RetrainMode::ALL, |_, &mode| {
@@ -43,7 +43,7 @@ fn main() {
     for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
         for mode in RetrainMode::ALL {
             let n = repeats();
-            let set = run_replicated(
+            let set = report.run_replicated(
                 &ExperimentConfig::scenario(scenario)
                     .platform(Platform::HiveMind)
                     .retrain(mode)

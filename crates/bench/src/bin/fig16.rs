@@ -1,12 +1,12 @@
 //! Fig. 16 — porting HiveMind to the 14-car rover swarm: job latency and
 //! battery consumption for the Treasure Hunt and Maze scenarios.
 
-use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, repeats, run_replicated, Table};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, repeats, Table};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 16: robotic cars — job latency (s) and battery (%)");
     let mut table = Table::new([
         "scenario",
@@ -23,7 +23,7 @@ fn main() {
             Platform::DistributedEdge,
             Platform::HiveMind,
         ] {
-            let set = run_replicated(
+            let set = report.run_replicated(
                 &ExperimentConfig::scenario(scenario)
                     .platform(platform)
                     .seed(1),

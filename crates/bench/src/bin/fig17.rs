@@ -5,12 +5,12 @@
 //! Set `HIVEMIND_FULL=1` to extend the swarm sweep to 8192 devices
 //! (several minutes); the default sweep stops at 2048.
 
-use hivemind_apps::scenario::Scenario;
-use hivemind_bench::{banner, full_fidelity, runner, Table};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, full_fidelity, Table};
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 17a: HiveMind bandwidth + mission tail vs resolution / frame rate");
     let mut table = Table::new([
         "scenario",
@@ -43,7 +43,7 @@ fn main() {
                 .seed(1)
         })
         .collect();
-    for (&(scenario, label, _, _), o) in cells.iter().zip(runner().run_configs(&configs)) {
+    for (&(scenario, label, _, _), o) in cells.iter().zip(report.run_configs(&configs)) {
         table.row([
             scenario.label().to_string(),
             label.to_string(),
@@ -80,7 +80,7 @@ fn main() {
     let scaled = |platform: Platform, devices: u32| {
         ExperimentConfig::scenario(Scenario::StationaryItems)
             .platform(platform)
-            .drones(devices)
+            .devices(devices)
             .servers((devices * 3 / 4).max(12))
             .seed(1)
     };
@@ -93,8 +93,8 @@ fn main() {
         .iter()
         .map(|&d| scaled(Platform::CentralizedFaaS, d))
         .collect();
-    let hm_outcomes = runner().run_configs(&hm_configs);
-    let cen_outcomes = runner().run_configs(&cen_configs);
+    let hm_outcomes = report.run_configs(&hm_configs);
+    let cen_outcomes = report.run_configs(&cen_configs);
     for (&devices, hm) in sizes.iter().zip(&hm_outcomes) {
         let cen = match cen_sizes.iter().position(|&d| d == devices) {
             Some(i) => {

@@ -3,13 +3,13 @@
 //! the fast queueing-network model (playing the paper's simulator), for
 //! all workloads across the three platforms.
 
-use hivemind_apps::suite::App;
-use hivemind_bench::{banner, ms, runner, single_app_duration_secs, Table};
+use hivemind_bench::report::Report;
+use hivemind_bench::{banner, ms, single_app_duration_secs, Table};
 use hivemind_core::analytic::{deviation_pct, QuickModel};
-use hivemind_core::experiment::ExperimentConfig;
-use hivemind_core::platform::Platform;
+use hivemind_core::prelude::*;
 
 fn main() {
+    let report = Report::from_env();
     banner("Figure 18: DES vs analytic queueing model, tail (p99) latency deviation");
     let mut table = Table::new([
         "app",
@@ -41,7 +41,7 @@ fn main() {
                 .seed(8)
         })
         .collect();
-    let des_outcomes = runner().run_configs(&configs);
+    let des_outcomes = report.run_configs(&configs);
     for (&(app, platform), mut des) in cells.iter().zip(des_outcomes) {
         {
             let mut qm = QuickModel::testbed(platform, app);

@@ -22,9 +22,15 @@
 //!
 //! `all_figures` runs the lot; `cargo bench` runs the criterion
 //! micro/scenario benchmarks under `benches/`.
+//!
+//! Every figure binary accepts `--trace <path>` to export structured
+//! event traces (Chrome `trace_event` JSON + JSONL) for the runs behind
+//! its tables — see [`report`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use hivemind_apps::scenario::Scenario;
 use hivemind_apps::suite::App;

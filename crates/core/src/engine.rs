@@ -40,6 +40,7 @@ use hivemind_net::rpc::RpcProfile;
 use hivemind_net::topology::{Node, Topology, TopologyParams};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_sim::trace::{ArgValue, Trace, TraceHandle};
 use rand::rngs::SmallRng;
 
 use crate::dsl::PlacementSite;
@@ -76,6 +77,11 @@ pub struct EngineConfig {
     /// Overrides the IaaS fixed-pool size (Fig. 5b provisions for average
     /// vs worst-case load); `None` = the platform's equal-cost default.
     pub iaas_workers: Option<u32>,
+    /// Collect a structured event trace of the run (task lifecycle spans,
+    /// scheduler decisions, container starts, queue-depth timelines).
+    /// Off by default: tracing draws no randomness and perturbs nothing,
+    /// but buffering events costs memory on long runs.
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -92,6 +98,7 @@ impl EngineConfig {
             device_profile: DeviceProfile::drone(),
             input_scale: 1.0,
             iaas_workers: None,
+            trace: false,
         }
     }
 }
@@ -207,6 +214,7 @@ pub struct Engine {
     /// model charges their reconfiguration costs at registration time and
     /// exposes the device for area/reconfiguration accounting.
     fpga: Option<FpgaFabric>,
+    tracer: TraceHandle,
 }
 
 impl Engine {
@@ -221,12 +229,18 @@ impl Engine {
         assert!(cfg.devices > 0 && cfg.servers > 0);
         assert!(cfg.input_scale > 0.0);
         let forge = RngForge::new(cfg.seed);
+        let tracer = if cfg.trace {
+            TraceHandle::enabled()
+        } else {
+            TraceHandle::disabled()
+        };
         let topology = Topology::new(TopologyParams {
             devices: cfg.devices,
             servers: cfg.servers,
             ..TopologyParams::default()
         });
-        let fabric = Fabric::new(topology);
+        let mut fabric = Fabric::new(topology);
+        fabric.set_tracer(tracer.clone());
 
         let mut cluster = cfg
             .platform
@@ -241,7 +255,9 @@ impl Engine {
                 // The per-user function-concurrency limit is raised for
                 // large simulated swarms (providers allow this on request).
                 p.max_concurrent = p.max_concurrent.max(cfg.devices * 2);
-                Cluster::new(p, forge.child("cluster"))
+                let mut c = Cluster::new(p, forge.child("cluster"));
+                c.set_tracer(tracer.clone());
+                c
             });
         let mut pool = if cfg.platform.uses_fixed_pool() {
             let mut params = cfg
@@ -250,7 +266,9 @@ impl Engine {
             if let Some(workers) = cfg.iaas_workers {
                 params.workers = workers;
             }
-            Some(FixedPool::new(params, forge.child("pool")))
+            let mut p = FixedPool::new(params, forge.child("pool"));
+            p.set_tracer(tracer.clone());
+            Some(p)
         } else {
             None
         };
@@ -332,8 +350,20 @@ impl Engine {
             edge_rpc: RpcProfile::edge_software(),
             cloud_rpc: cfg.platform.cloud_rpc_profile(),
             fpga,
+            tracer,
             cfg,
         }
+    }
+
+    /// The engine's tracing handle (disabled unless
+    /// [`EngineConfig::trace`] was set).
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
+    /// Drains the collected trace, or `None` when tracing is disabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.finish()
     }
 
     /// The acceleration fabric, when this platform carries one.
@@ -393,6 +423,19 @@ impl Engine {
             upload_bytes: 0,
             done: false,
         });
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                "task",
+                "submit",
+                device,
+                at,
+                vec![
+                    ("task", ArgValue::U64(id as u64)),
+                    ("app", ArgValue::Str(format!("{app:?}"))),
+                    ("device", ArgValue::U64(device as u64)),
+                ],
+            );
+        }
         self.push_action(at, Action::Capture { task: id });
         id
     }
@@ -430,6 +473,15 @@ impl Engine {
             if let Some(t) = new {
                 self.edge_wake.push(Reverse((t, device)));
             }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.counter(
+                "edge",
+                "queue",
+                device,
+                now,
+                self.edge[device as usize].load() as f64,
+            );
         }
     }
 
@@ -520,6 +572,15 @@ impl Engine {
                     let done = self.edge[dev as usize].advance_to(actual);
                     if let Some(next) = self.edge[dev as usize].next_wakeup() {
                         self.edge_wake.push(Reverse((next, dev)));
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.counter(
+                            "edge",
+                            "queue",
+                            dev,
+                            actual,
+                            self.edge[dev as usize].load() as f64,
+                        );
                     }
                     for (finish, job, queued) in done {
                         self.handle_edge_completion(finish, job, queued);
@@ -767,7 +828,7 @@ impl Engine {
         let st = &mut self.tasks[task as usize];
         debug_assert!(!st.done, "double finish for task {task}");
         st.done = true;
-        self.records.push(TaskRecord {
+        let record = TaskRecord {
             task,
             app: st.app,
             device: st.device,
@@ -781,7 +842,52 @@ impl Engine {
             data_io: st.data_io,
             exec: st.exec,
             cold_start: st.cold,
-        });
+        };
+        self.trace_task(&record);
+        self.records.push(record);
+    }
+
+    /// Emits the task's overall span plus its Fig. 13 breakdown phases
+    /// laid end to end from capture time, so per-phase durations in the
+    /// trace sum exactly to the [`TaskRecord`] components (no-op when
+    /// tracing is disabled).
+    fn trace_task(&self, r: &TaskRecord) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.span(
+            "task",
+            "task",
+            r.device,
+            r.capture,
+            r.done - r.capture,
+            vec![
+                ("task", ArgValue::U64(r.task as u64)),
+                ("app", ArgValue::Str(format!("{:?}", r.app))),
+                ("placement", ArgValue::Str(format!("{:?}", r.placement))),
+                ("cold", ArgValue::Bool(r.cold_start)),
+            ],
+        );
+        let mut at = r.capture;
+        for (name, dur) in [
+            ("network", r.network),
+            ("management", r.management),
+            ("instantiation", r.instantiation),
+            ("data_io", r.data_io),
+            ("exec", r.exec),
+        ] {
+            if dur > SimDuration::ZERO {
+                self.tracer.span(
+                    "task",
+                    name,
+                    r.device,
+                    at,
+                    dur,
+                    vec![("task", ArgValue::U64(r.task as u64))],
+                );
+            }
+            at = at.saturating_add(dur);
+        }
     }
 
     /// Battery state of a device.

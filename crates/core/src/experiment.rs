@@ -86,6 +86,9 @@ pub struct ExperimentConfig {
     /// controller detects each via missed heartbeats and repartitions the
     /// failed device's remaining area among its live neighbours (Fig. 10).
     pub device_failures: Vec<(f64, u32)>,
+    /// Collect a structured event trace; the result lands in
+    /// [`Outcome::trace`].
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -110,6 +113,7 @@ impl ExperimentConfig {
             retrain: RetrainMode::SwarmWide,
             iaas_workers: None,
             device_failures: Vec::new(),
+            trace: false,
         }
     }
 
@@ -128,10 +132,18 @@ impl ExperimentConfig {
         self
     }
 
-    /// Sets the device count.
-    pub fn drones(mut self, n: u32) -> Self {
+    /// Sets the edge device count (drones, cars, sensors…).
+    pub fn devices(mut self, n: u32) -> Self {
         self.devices = n;
         self
+    }
+
+    /// Sets the device count.
+    ///
+    /// Deprecated spelling of [`ExperimentConfig::devices`] (kept for
+    /// existing callers; not every fleet is a drone swarm).
+    pub fn drones(self, n: u32) -> Self {
+        self.devices(n)
     }
 
     /// Sets the backend server count.
@@ -157,6 +169,17 @@ impl ExperimentConfig {
             Workload::Mission(_) => panic!("missions run to completion, not a duration"),
         }
         self
+    }
+
+    /// Sets the single-app workload duration from a [`SimDuration`].
+    ///
+    /// Typed alternative to [`ExperimentConfig::duration_secs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is a mission.
+    pub fn duration(self, d: SimDuration) -> Self {
+        self.duration_secs(d.as_secs_f64())
     }
 
     /// Sets the payload scale.
@@ -207,6 +230,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables (or disables) structured event tracing for the run; the
+    /// collected [`hivemind_sim::trace::Trace`] lands in
+    /// [`Outcome::trace`]. Tracing draws no randomness, so enabling it
+    /// never changes any metric.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// The device profile implied by the workload's fleet.
     pub fn device_profile(&self) -> DeviceProfile {
         match self.workload {
@@ -227,6 +259,7 @@ impl ExperimentConfig {
             device_profile: self.device_profile(),
             input_scale: self.input_scale,
             iaas_workers: self.iaas_workers,
+            trace: self.trace,
         }
     }
 }
@@ -387,6 +420,7 @@ impl Experiment {
             mission.duration_secs = end.as_secs_f64();
         }
         outcome.mission = mission;
+        outcome.trace = engine.take_trace();
         outcome
     }
 }

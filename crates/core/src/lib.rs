@@ -30,6 +30,9 @@
 //!   simulator (Fig. 18).
 //! * [`metrics`] — outcome records: latency summaries and breakdowns,
 //!   bandwidth, battery, detection quality.
+//! * [`prelude`] — one-stop imports for experiment code: `use
+//!   hivemind_core::prelude::*;` brings in the experiment, platform,
+//!   outcome, runner, app, and time types without deep module paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod mission;
 pub mod platform;
+pub mod prelude;
 pub mod programs;
 pub mod runner;
 pub mod synthesis;

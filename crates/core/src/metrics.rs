@@ -8,6 +8,7 @@
 use hivemind_apps::learning::DetectionQuality;
 use hivemind_sim::stats::{Summary, TimeSeries};
 use hivemind_sim::time::SimDuration;
+use hivemind_sim::trace::Trace;
 
 use crate::engine::TaskRecord;
 
@@ -165,6 +166,11 @@ pub struct Outcome {
     pub stragglers_mitigated: u64,
     /// Functions that recovered from injected faults.
     pub faults_recovered: u64,
+    /// Structured event trace, present when the experiment ran with
+    /// [`crate::experiment::ExperimentConfig::trace`] enabled. Excluded
+    /// from [`Outcome::to_json`] — export it via
+    /// [`Trace::to_jsonl`] / [`Trace::to_chrome_trace`].
+    pub trace: Option<Trace>,
 }
 
 impl Outcome {

@@ -1,0 +1,33 @@
+//! One-stop imports for experiment code.
+//!
+//! Everything a figure binary, example, or integration test typically
+//! needs, re-exported from one place so callers don't spell out deep
+//! module paths:
+//!
+//! ```rust
+//! use hivemind_core::prelude::*;
+//!
+//! let mut outcome = Experiment::new(
+//!     ExperimentConfig::single_app(App::WeatherAnalytics)
+//!         .platform(Platform::CentralizedFaaS)
+//!         .duration(SimDuration::from_secs(10))
+//!         .seed(1),
+//! )
+//! .run();
+//! assert!(outcome.median_task_ms() > 0.0);
+//! ```
+//!
+//! The experiment-level `Workload` enum is deliberately *not* exported:
+//! the bench crate has its own `Workload` type and a glob import of both
+//! would collide. Reach it as `hivemind_core::experiment::Workload`.
+
+pub use crate::experiment::{Experiment, ExperimentConfig};
+pub use crate::metrics::{BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome};
+pub use crate::platform::Platform;
+pub use crate::runner::{RunSet, Runner};
+
+pub use hivemind_apps::learning::RetrainMode;
+pub use hivemind_apps::scenario::Scenario;
+pub use hivemind_apps::suite::App;
+pub use hivemind_sim::time::{SimDuration, SimTime};
+pub use hivemind_sim::trace::Trace;

@@ -225,6 +225,16 @@ impl RunSet {
             .mean()
     }
 
+    /// Per-replicate traces paired with their derived seeds, for runs
+    /// whose base configuration enabled tracing. Replicates without a
+    /// trace (tracing disabled) are skipped.
+    pub fn traces(&self) -> impl Iterator<Item = (u64, &hivemind_sim::trace::Trace)> {
+        self.seeds
+            .iter()
+            .zip(&self.outcomes)
+            .filter_map(|(&seed, o)| o.trace.as_ref().map(|t| (seed, t)))
+    }
+
     /// Worst consumed battery percentage across all replicates.
     pub fn max_battery_pct(&self) -> f64 {
         self.outcomes

@@ -16,6 +16,7 @@ use hivemind_sim::component::Component;
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::{Summary, TimeSeries};
 use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_sim::trace::{ArgValue, TraceHandle};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -190,6 +191,7 @@ pub struct Cluster {
     faults_recovered: u64,
     last_event_time: SimTime,
     controller_gate: RateGate,
+    tracer: TraceHandle,
 }
 
 impl Cluster {
@@ -225,7 +227,26 @@ impl Cluster {
             stragglers_mitigated: 0,
             faults_recovered: 0,
             last_event_time: SimTime::ZERO,
+            tracer: TraceHandle::disabled(),
             params,
+        }
+    }
+
+    /// Installs a tracing handle. The cluster then emits `sched/placement`
+    /// instants per admission, `container/cold_start` / `container/warm_start`
+    /// instants, and `faas/running`, `faas/queued`, and per-server
+    /// `faas/server.busy` counter samples at every occupancy change.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    /// Emits the cluster-wide occupancy counters (no-op when disabled).
+    fn sample_occupancy(&self, now: SimTime) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .counter("faas", "running", 0, now, self.running as f64);
+            self.tracer
+                .counter("faas", "queued", 0, now, self.wait_queue.len() as f64);
         }
     }
 
@@ -301,6 +322,7 @@ impl Cluster {
     fn admit(&mut self, now: SimTime, idx: u32) {
         if self.running >= self.params.max_concurrent {
             self.wait_queue.push_back(idx);
+            self.sample_occupancy(now);
             return;
         }
         let views = self.server_views(now);
@@ -310,6 +332,7 @@ impl Cluster {
         };
         let Some(server) = choice else {
             self.wait_queue.push_back(idx);
+            self.sample_occupancy(now);
             return;
         };
 
@@ -348,6 +371,42 @@ impl Cluster {
             st.breakdown.queueing = now - st.ready;
             st.breakdown.management = st.management;
             st.breakdown.instantiation = instantiation;
+        }
+        if self.tracer.is_enabled() {
+            let st = &self.invs[idx as usize];
+            self.tracer.instant(
+                "sched",
+                "placement",
+                server,
+                now,
+                vec![
+                    ("app", ArgValue::U64(st.inv.app.0 as u64)),
+                    ("tag", ArgValue::U64(st.inv.tag)),
+                    ("server", ArgValue::U64(server as u64)),
+                    ("queued_ns", ArgValue::U64(st.breakdown.queueing.as_nanos())),
+                    ("cold", ArgValue::Bool(!warm_hit)),
+                    ("colocated", ArgValue::Bool(colocated)),
+                ],
+            );
+            self.tracer.instant(
+                "container",
+                if warm_hit { "warm_start" } else { "cold_start" },
+                server,
+                now,
+                vec![
+                    ("app", ArgValue::U64(st.inv.app.0 as u64)),
+                    ("tag", ArgValue::U64(st.inv.tag)),
+                    ("instantiation_ns", ArgValue::U64(instantiation.as_nanos())),
+                ],
+            );
+            self.tracer.counter(
+                "faas",
+                "server.busy",
+                server,
+                now,
+                self.busy[server as usize] as f64,
+            );
+            self.sample_occupancy(now);
         }
         self.push_event(now + instantiation, Ev::DataIn(idx));
     }
@@ -472,6 +531,16 @@ impl Cluster {
         self.running -= 1;
         self.active_series.record(now, self.running as f64);
         self.warm.park(now, server, app);
+        if self.tracer.is_enabled() {
+            self.tracer.counter(
+                "faas",
+                "server.busy",
+                server,
+                now,
+                self.busy[server as usize] as f64,
+            );
+            self.sample_occupancy(now);
+        }
 
         let st = &self.invs[idx as usize];
         self.completions.push(Completion {

@@ -17,6 +17,7 @@ use hivemind_sim::component::Component;
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::TimeSeries;
 use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_sim::trace::TraceHandle;
 use rand::rngs::SmallRng;
 
 use crate::dataplane::{DataPlane, ExchangeProtocol};
@@ -82,6 +83,7 @@ pub struct FixedPool {
     wait_queue: VecDeque<(SimTime, Invocation)>,
     pending: Vec<Completion>,
     active_series: TimeSeries,
+    tracer: TraceHandle,
 }
 
 impl FixedPool {
@@ -102,6 +104,22 @@ impl FixedPool {
             wait_queue: VecDeque::new(),
             pending: Vec::new(),
             active_series: TimeSeries::new(),
+            tracer: TraceHandle::disabled(),
+        }
+    }
+
+    /// Installs a tracing handle; the pool then samples `iaas/active` and
+    /// `iaas/queued` counters at every occupancy change.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn sample_occupancy(&self, now: SimTime) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .counter("iaas", "active", 0, now, self.busy.len() as f64);
+            self.tracer
+                .counter("iaas", "queued", 0, now, self.wait_queue.len() as f64);
         }
     }
 
@@ -186,6 +204,7 @@ impl FixedPool {
         } else {
             self.wait_queue.push_back((now, inv));
         }
+        self.sample_occupancy(now);
     }
 
     /// The earliest instant at which a worker frees or a result is due.
@@ -209,6 +228,7 @@ impl FixedPool {
             if let Some((arrived, inv)) = self.wait_queue.pop_front() {
                 self.start(t, arrived, inv);
             }
+            self.sample_occupancy(t);
         }
         let mut done: Vec<Completion> = Vec::new();
         self.pending.retain(|c| {

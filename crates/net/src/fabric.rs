@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 use hivemind_sim::component::{earliest, Component};
 use hivemind_sim::stats::Meter;
 use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_sim::trace::{ArgValue, TraceHandle};
 
 use crate::link::Link;
 use crate::topology::{LinkClass, LinkRef, Node, Topology};
@@ -107,6 +108,7 @@ pub struct Fabric {
     /// `next_wakeup`/`advance_to` away from O(links) scans so
     /// thousand-device topologies stay fast.
     wake: BinaryHeap<Reverse<(SimTime, u32)>>,
+    tracer: TraceHandle,
 }
 
 impl Fabric {
@@ -126,7 +128,15 @@ impl Fabric {
             edge_meter: Meter::new(SimDuration::from_secs(1)),
             total_meter: Meter::new(SimDuration::from_secs(1)),
             wake: BinaryHeap::new(),
+            tracer: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a tracing handle; the fabric then emits a `net/link.load`
+    /// counter sample (track = link index) whenever a link's occupancy
+    /// changes, plus a `net/send` instant per injected transfer.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// The underlying topology.
@@ -145,6 +155,21 @@ impl Fabric {
             .any(|l| self.topology.links()[l.index()].class == LinkClass::WirelessMedium)
         {
             self.edge_meter.add(now, transfer.bytes as f64);
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                "net",
+                "send",
+                0,
+                now,
+                vec![
+                    ("id", ArgValue::U64(id.0)),
+                    ("src", ArgValue::Str(format!("{:?}", transfer.src))),
+                    ("dst", ArgValue::Str(format!("{:?}", transfer.dst))),
+                    ("bytes", ArgValue::U64(transfer.bytes)),
+                    ("hops", ArgValue::U64(path.len() as u64)),
+                ],
+            );
         }
         let state = HopState {
             id,
@@ -192,6 +217,21 @@ impl Fabric {
                 self.wake.push(Reverse((t, idx as u32)));
             }
         }
+        self.sample_link(now, idx);
+    }
+
+    /// Emits a queue-depth counter sample for link `idx` (no-op when
+    /// tracing is disabled).
+    fn sample_link(&self, now: SimTime, idx: usize) {
+        if self.tracer.is_enabled() {
+            self.tracer.counter(
+                "net",
+                "link.load",
+                idx as u32,
+                now,
+                self.links[idx].load() as f64,
+            );
+        }
     }
 
     /// The earliest instant at which the fabric has a delivery to report or
@@ -229,6 +269,7 @@ impl Fabric {
                     if let Some(next) = self.links[idx].next_delivery() {
                         self.wake.push(Reverse((next, idx as u32)));
                     }
+                    self.sample_link(at, idx);
                     self.route(at, state);
                 }
                 Some(actual) => {

@@ -174,6 +174,16 @@ impl<T: Eq> Link<T> {
         self.waiting.len() + self.in_flight.len()
     }
 
+    /// Items waiting to start transmission.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Items transmitted but not yet delivered.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// Instant at which the link next becomes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until

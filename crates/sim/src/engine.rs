@@ -9,6 +9,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceHandle;
 
 /// A simulation model: some state plus a handler invoked for each event.
 ///
@@ -59,6 +60,7 @@ pub struct Context<E> {
     now: SimTime,
     seq: u64,
     pending: Vec<Scheduled<E>>,
+    tracer: TraceHandle,
 }
 
 impl<E> std::fmt::Debug for Scheduled<E> {
@@ -93,6 +95,14 @@ impl<E> Context<E> {
     pub fn schedule_after(&mut self, after: SimDuration, event: E) {
         let at = self.now.saturating_add(after);
         self.schedule_at(at, event);
+    }
+
+    /// The tracing handle for this simulation (disabled by default).
+    ///
+    /// Handlers emit spans/instants/counters through this; when tracing
+    /// is off each emission costs a single branch.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
     }
 }
 
@@ -147,9 +157,21 @@ impl<M: Model> Engine<M> {
                 now: SimTime::ZERO,
                 seq: 0,
                 pending: Vec::new(),
+                tracer: TraceHandle::disabled(),
             },
             processed: 0,
         }
+    }
+
+    /// Installs a tracing handle; handlers observe it via
+    /// [`Context::tracer`].
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.ctx.tracer = tracer;
+    }
+
+    /// The engine's tracing handle.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.ctx.tracer
     }
 
     /// The current virtual time (time of the most recently fired event).
@@ -339,6 +361,24 @@ mod tests {
         e.schedule_at(SimTime::from_secs(1), 1);
         e.step();
         e.schedule_at(SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn tracer_reaches_handlers_through_context() {
+        struct Traced;
+        impl Model for Traced {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<()>, _ev: ()) {
+                ctx.tracer().instant("test", "fired", 0, ctx.now(), vec![]);
+            }
+        }
+        let mut e = Engine::new(Traced);
+        assert!(!e.tracer().is_enabled());
+        e.set_tracer(crate::trace::TraceHandle::enabled());
+        e.schedule_at(SimTime::from_secs(1), ());
+        e.run_to_completion();
+        let trace = e.tracer().finish().unwrap();
+        assert_eq!(trace.count("test", "fired"), 1);
     }
 
     #[test]

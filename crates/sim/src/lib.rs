@@ -20,6 +20,9 @@
 //!   log-normal, bounded Pareto, empirical).
 //! * [`stats`] — streaming summaries, percentile estimation, histograms,
 //!   time series and bandwidth meters used by every experiment harness.
+//! * [`trace`] — zero-cost-when-disabled structured tracing ([`Tracer`],
+//!   [`TraceHandle`]) with JSONL and Chrome `trace_event` exporters, so a
+//!   run can be replayed event by event in Perfetto.
 //!
 //! Everything in this crate is pure computation: a run is a function of
 //! `(model, seed)` and nothing else, which is what makes the reproduction's
@@ -61,6 +64,7 @@ pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use component::Component;
 pub use dist::Dist;
@@ -68,3 +72,4 @@ pub use engine::{Context, Engine, Model};
 pub use rng::RngForge;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceHandle, Tracer};

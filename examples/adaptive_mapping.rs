@@ -10,11 +10,9 @@
 //! cargo run --release --example adaptive_mapping
 //! ```
 
-use hivemind::apps::suite::App;
 use hivemind::core::adaptive::run_adaptive_from;
 use hivemind::core::dsl::PlacementSite;
-use hivemind::core::experiment::ExperimentConfig;
-use hivemind::core::platform::Platform;
+use hivemind::core::prelude::*;
 
 fn main() {
     let cfg = ExperimentConfig::single_app(App::TextRecognition)

@@ -6,10 +6,7 @@
 //! cargo run --release --example car_missions
 //! ```
 
-use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::ExperimentConfig;
-use hivemind::core::platform::Platform;
-use hivemind::core::runner::Runner;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("Robotic-car missions (14 rovers, Raspberry Pi class)\n");

@@ -7,10 +7,7 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use hivemind::apps::scenario::Scenario;
-use hivemind::apps::suite::App;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
-use hivemind::core::platform::Platform;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("Part 1 — device failure during Scenario A (Fig. 10)\n");

@@ -7,11 +7,7 @@
 //! cargo run --release --example people_counting
 //! ```
 
-use hivemind::apps::learning::RetrainMode;
-use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::{Experiment, ExperimentConfig};
-use hivemind::core::platform::Platform;
-use hivemind::core::runner::Runner;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("Scenario B: counting 25 moving people (ground truth hidden from the swarm)\n");

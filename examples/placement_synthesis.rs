@@ -8,9 +8,8 @@
 
 use std::collections::HashMap;
 
-use hivemind::apps::suite::App;
 use hivemind::core::dsl::{Directive, LearnScope, PlacementSite, TaskDef, TaskGraphBuilder};
-use hivemind::core::platform::Platform;
+use hivemind::core::prelude::*;
 use hivemind::core::synthesis::{explore, Objective, TaskCost};
 
 fn main() {

@@ -4,10 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hivemind::apps::suite::App;
-use hivemind::core::experiment::ExperimentConfig;
-use hivemind::core::platform::Platform;
-use hivemind::core::runner::Runner;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("HiveMind quickstart: S9 (text recognition), 16 drones, 60 s of load\n");
@@ -21,7 +18,7 @@ fn main() {
     let configs = platforms.map(|platform| {
         ExperimentConfig::single_app(App::TextRecognition)
             .platform(platform)
-            .duration_secs(60.0)
+            .duration(SimDuration::from_secs(60))
             .seed(7)
     });
     let outcomes = Runner::from_env().run_configs(&configs);

@@ -5,10 +5,7 @@
 //! cargo run --release --example scenario_a
 //! ```
 
-use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::ExperimentConfig;
-use hivemind::core::platform::Platform;
-use hivemind::core::runner::Runner;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("Scenario A: locating 15 tennis balls with a 16-drone swarm\n");
@@ -19,7 +16,7 @@ fn main() {
     let configs = Platform::MAIN.map(|platform| {
         ExperimentConfig::scenario(Scenario::StationaryItems)
             .platform(platform)
-            .drones(16)
+            .devices(16)
             .seed(7)
     });
     let outcomes = Runner::from_env().run_configs(&configs);

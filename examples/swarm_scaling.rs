@@ -6,10 +6,7 @@
 //! cargo run --release --example swarm_scaling
 //! ```
 
-use hivemind::apps::scenario::Scenario;
-use hivemind::core::experiment::ExperimentConfig;
-use hivemind::core::platform::Platform;
-use hivemind::core::runner::Runner;
+use hivemind::core::prelude::*;
 
 fn main() {
     println!("Scenario A at increasing swarm sizes (simulated; links scale with swarm)\n");
@@ -26,7 +23,7 @@ fn main() {
             [Platform::HiveMind, Platform::CentralizedFaaS].map(|platform| {
                 ExperimentConfig::scenario(Scenario::StationaryItems)
                     .platform(platform)
-                    .drones(devices)
+                    .devices(devices)
                     .seed(1)
             })
         })
