@@ -23,6 +23,12 @@
 //! `all_figures` runs the lot; `cargo bench` runs the criterion
 //! micro/scenario benchmarks under `benches/`.
 //!
+//! `chaos_sweep` is the odd one out: instead of reproducing a figure it
+//! sweeps the unified fault plane (function-fault rate × packet loss,
+//! controller failover, device MTBF) and asserts graceful degradation;
+//! `chaos_sweep --smoke` prints a small deterministic slice that CI
+//! byte-diffs across `HIVEMIND_THREADS` values.
+//!
 //! Every figure binary accepts `--trace <path>` to export structured
 //! event traces (Chrome `trace_event` JSON + JSONL) for the runs behind
 //! its tables — see [`report`].

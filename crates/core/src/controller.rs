@@ -8,9 +8,25 @@
 //! (Fig. 10), and the shared-state scheduler sharding that keeps the
 //! centralized design scalable (Sec. 4.3's multi-scheduler escape hatch).
 
-use hivemind_sim::time::SimTime;
-use hivemind_swarm::failover::{repartition, HeartbeatTracker};
+use hivemind_sim::faults;
+use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_swarm::failover::{try_repartition, FailoverError, HeartbeatTracker};
 use hivemind_swarm::geometry::{partition_field, Rect};
+
+/// Timeline of one primary-controller failover (Sec. 4.6: the controller
+/// itself heartbeats a warm standby; on 3 s of silence the backup takes
+/// over with the replicated swarm state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerFailover {
+    /// When the primary died.
+    pub failed_at: SimTime,
+    /// When the backup declared it dead (after the 3 s detection window).
+    pub detected_at: SimTime,
+    /// When the backup finished taking over and service resumed.
+    pub resumed_at: SimTime,
+    /// Index of the controller instance now acting as primary.
+    pub new_primary: u32,
+}
 
 /// Controller-side view of the swarm's work assignment.
 #[derive(Debug, Clone)]
@@ -23,6 +39,11 @@ pub struct SwarmController {
     heartbeats: HeartbeatTracker,
     /// Scheduler shards (1 = single centralized scheduler).
     shards: u32,
+    /// Which controller instance is currently primary (0 at start; each
+    /// failover promotes the next warm standby).
+    primary: u32,
+    /// Completed failovers, oldest first.
+    failovers: Vec<ControllerFailover>,
 }
 
 impl SwarmController {
@@ -40,6 +61,8 @@ impl SwarmController {
             heartbeats: HeartbeatTracker::new(devices),
             field,
             shards: 1,
+            primary: 0,
+            failovers: Vec::new(),
         }
     }
 
@@ -96,7 +119,10 @@ impl SwarmController {
                 out.push((dev, Vec::new()));
                 continue;
             }
-            let extra = repartition(&self.regions, &self.alive, dev as usize);
+            // A fault storm can leave no survivor to absorb the area; the
+            // mission simply loses it (graceful degradation, not a panic).
+            let extra =
+                try_repartition(&self.regions, &self.alive, dev as usize).unwrap_or_default();
             for &(heir, rect) in &extra {
                 self.extra[heir].push(rect);
             }
@@ -113,19 +139,68 @@ impl SwarmController {
     ///
     /// # Panics
     ///
-    /// Panics if `device` is out of range or it is the last live device.
+    /// Panics if `device` is out of range or it is the last live device;
+    /// use [`SwarmController::try_force_fail`] when fault injection may
+    /// produce either.
     pub fn force_fail(&mut self, device: u32) -> Vec<(u32, Rect)> {
         assert!((device as usize) < self.alive.len(), "device out of range");
+        assert!(
+            !self.alive[device as usize] || self.alive_count() > 1,
+            "cannot fail the last device"
+        );
+        self.try_force_fail(device).expect("validated above")
+    }
+
+    /// Fallible [`SwarmController::force_fail`]: rejects unknown ids and
+    /// killing the last survivor instead of panicking, so injected fault
+    /// storms degrade gracefully.
+    pub fn try_force_fail(&mut self, device: u32) -> Result<Vec<(u32, Rect)>, FailoverError> {
+        if (device as usize) >= self.alive.len() {
+            return Err(FailoverError::DeviceOutOfRange {
+                device,
+                fleet: self.alive.len() as u32,
+            });
+        }
         if !self.alive[device as usize] {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if self.alive_count() == 1 {
+            return Err(FailoverError::NoSurvivors);
         }
         self.alive[device as usize] = false;
-        assert!(self.alive_count() > 0, "cannot fail the last device");
-        let extra = repartition(&self.regions, &self.alive, device as usize);
+        let extra = try_repartition(&self.regions, &self.alive, device as usize)?;
         for &(heir, rect) in &extra {
             self.extra[heir].push(rect);
         }
-        extra.into_iter().map(|(d, r)| (d as u32, r)).collect()
+        Ok(extra.into_iter().map(|(d, r)| (d as u32, r)).collect())
+    }
+
+    /// The controller instance currently acting as primary.
+    pub fn primary(&self) -> u32 {
+        self.primary
+    }
+
+    /// Completed primary failovers, oldest first.
+    pub fn failovers(&self) -> &[ControllerFailover] {
+        &self.failovers
+    }
+
+    /// Kills the primary controller at `at`. The warm standby detects the
+    /// silence after the paper's 3 s heartbeat window
+    /// ([`faults::DETECTION_WINDOW`]) and resumes service `takeover`
+    /// later (state re-sync + scheduler restart). Returns the failover
+    /// timeline; swarm state survives because the standby replicates it.
+    pub fn fail_primary(&mut self, at: SimTime, takeover: SimDuration) -> ControllerFailover {
+        let detected_at = at + faults::DETECTION_WINDOW;
+        let fo = ControllerFailover {
+            failed_at: at,
+            detected_at,
+            resumed_at: detected_at + takeover,
+            new_primary: self.primary + 1,
+        };
+        self.primary += 1;
+        self.failovers.push(fo);
+        fo
     }
 
     /// Configures scheduler sharding: with `n` shards each scheduler owns
@@ -235,6 +310,41 @@ mod tests {
         assert!((inherited - c.region_of(5).area()).abs() < 1e-6);
         // Idempotent.
         assert!(c.force_fail(5).is_empty());
+    }
+
+    #[test]
+    fn try_force_fail_degrades_gracefully() {
+        let mut c = SwarmController::new(Rect::new(0.0, 0.0, 10.0, 10.0), 2);
+        assert!(matches!(
+            c.try_force_fail(9),
+            Err(FailoverError::DeviceOutOfRange {
+                device: 9,
+                fleet: 2
+            })
+        ));
+        assert!(c.try_force_fail(0).is_ok());
+        // Killing the last survivor is refused, not a panic.
+        assert_eq!(c.try_force_fail(1), Err(FailoverError::NoSurvivors));
+        assert!(c.is_alive(1));
+        // Already-dead devices stay a graceful no-op.
+        assert_eq!(c.try_force_fail(0), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn primary_failover_follows_detection_window() {
+        let mut c = controller();
+        assert_eq!(c.primary(), 0);
+        let fo = c.fail_primary(SimTime::from_secs(20), SimDuration::from_millis(500));
+        assert_eq!(fo.detected_at, SimTime::from_secs(23));
+        assert_eq!(
+            fo.resumed_at,
+            SimTime::from_secs(23) + SimDuration::from_millis(500)
+        );
+        assert_eq!(fo.new_primary, 1);
+        assert_eq!(c.primary(), 1);
+        assert_eq!(c.failovers().len(), 1);
+        // Swarm state survives the failover (warm standby replication).
+        assert_eq!(c.alive_count(), 16);
     }
 
     #[test]

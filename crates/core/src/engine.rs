@@ -38,6 +38,7 @@ use hivemind_faas::types::{AppId, AppProfile, Invocation};
 use hivemind_net::fabric::{Fabric, Transfer};
 use hivemind_net::rpc::RpcProfile;
 use hivemind_net::topology::{Node, Topology, TopologyParams};
+use hivemind_sim::faults::{self, FaultPlan};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, Trace, TraceHandle};
@@ -82,6 +83,11 @@ pub struct EngineConfig {
     /// Off by default: tracing draws no randomness and perturbs nothing,
     /// but buffering events costs memory on long runs.
     pub trace: bool,
+    /// The fault-injection plan. The inert default perturbs nothing; an
+    /// active plan arms the network fault pass, schedules server crashes,
+    /// overrides the function failure process/retry policy, and stalls
+    /// cluster admission across a controller failover window.
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -99,8 +105,29 @@ impl EngineConfig {
             input_scale: 1.0,
             iaas_workers: None,
             trace: false,
+            faults: FaultPlan::default(),
         }
     }
+}
+
+/// Engine-level fault bookkeeping that no lower layer can see on its own:
+/// whole tasks lost to give-up retry policies, device failures noted by
+/// the mission layer, and controller failovers, plus the detection/recovery
+/// latencies behind the paper's 3 s heartbeat window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultLedger {
+    /// Tasks whose cloud invocation exhausted a give-up retry policy.
+    pub tasks_lost: u64,
+    /// Device failures applied (scripted or MTBF-drawn).
+    pub device_failures: u32,
+    /// Primary-controller failovers.
+    pub controller_failovers: u32,
+    /// Sum of fault-detection latencies, seconds.
+    pub detection_secs_sum: f64,
+    /// Sum of fault-recovery times (failure to restored service), seconds.
+    pub recovery_secs_sum: f64,
+    /// Number of detection/recovery samples in the sums.
+    pub recovery_events: u32,
 }
 
 /// Completed-task record with the paper's latency decomposition.
@@ -182,6 +209,9 @@ struct TaskState {
     sub_done: SimTime,
     upload_bytes: u64,
     done: bool,
+    /// A sub-invocation exhausted its retry budget; the task is lost and
+    /// produces no [`TaskRecord`].
+    failed: bool,
 }
 
 /// The simulation engine.
@@ -215,6 +245,7 @@ pub struct Engine {
     /// exposes the device for area/reconfiguration accounting.
     fpga: Option<FpgaFabric>,
     tracer: TraceHandle,
+    ledger: FaultLedger,
 }
 
 impl Engine {
@@ -228,19 +259,36 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         assert!(cfg.devices > 0 && cfg.servers > 0);
         assert!(cfg.input_scale > 0.0);
+        if let Err(e) = cfg.faults.validate(cfg.devices, cfg.servers) {
+            panic!("invalid fault plan: {e}");
+        }
         let forge = RngForge::new(cfg.seed);
         let tracer = if cfg.trace {
             TraceHandle::enabled()
         } else {
             TraceHandle::disabled()
         };
-        let topology = Topology::new(TopologyParams {
+        let mut topo_params = TopologyParams {
             devices: cfg.devices,
             servers: cfg.servers,
             ..TopologyParams::default()
-        });
+        };
+        // Bandwidth degradation is applied once at topology build time so
+        // every wireless transfer slows uniformly; the hybrid uplink
+        // budget below stays at the nominal rate (rate adaptation is
+        // provisioned at design time — degradation is a fault the
+        // application stack does not know about).
+        if cfg.faults.net.bandwidth_factor != 1.0 {
+            topo_params.wireless_bps *= cfg.faults.net.bandwidth_factor;
+        }
+        let topology = Topology::new(topo_params);
         let mut fabric = Fabric::new(topology);
         fabric.set_tracer(tracer.clone());
+        if cfg.faults.net.per_transfer() {
+            // The fault RNG lives on its own lane of the seed chain so
+            // arming it never reshuffles the workload's randomness.
+            fabric.set_faults(cfg.faults.net.clone(), forge.child("faults").stream("net"));
+        }
 
         let mut cluster = cfg
             .platform
@@ -255,8 +303,29 @@ impl Engine {
                 // The per-user function-concurrency limit is raised for
                 // large simulated swarms (providers allow this on request).
                 p.max_concurrent = p.max_concurrent.max(cfg.devices * 2);
+                if let Some(rate) = cfg.faults.functions.fault_rate {
+                    p.fault_rate = rate;
+                }
+                p.retry = cfg.faults.functions.retry.clone();
                 let mut c = Cluster::new(p, forge.child("cluster"));
                 c.set_tracer(tracer.clone());
+                for crash in &cfg.faults.servers {
+                    c.schedule_server_crash(
+                        SimTime::ZERO + SimDuration::from_secs_f64(crash.at_secs),
+                        crash.server,
+                        SimDuration::from_secs_f64(crash.down_secs),
+                    );
+                }
+                if let Some(at) = cfg.faults.devices.controller_failover_at_secs {
+                    // The serverless control plane goes dark from the
+                    // primary's death until the backup finishes taking
+                    // over (3 s heartbeat detection + state re-sync).
+                    let from = SimTime::ZERO + SimDuration::from_secs_f64(at);
+                    let until = from
+                        + faults::DETECTION_WINDOW
+                        + SimDuration::from_secs_f64(cfg.faults.devices.controller_takeover_secs);
+                    c.add_controller_outage(from, until);
+                }
                 c
             });
         let mut pool = if cfg.platform.uses_fixed_pool() {
@@ -316,6 +385,34 @@ impl Engine {
             None
         };
 
+        // The controller-failover window is known up front (the trace is
+        // sorted at finish time, so future-timestamped instants are fine).
+        let mut ledger = FaultLedger::default();
+        if let Some(at) = cfg.faults.devices.controller_failover_at_secs {
+            let detection = faults::DETECTION_WINDOW.as_secs_f64();
+            let takeover = cfg.faults.devices.controller_takeover_secs;
+            ledger.controller_failovers = 1;
+            ledger.detection_secs_sum += detection;
+            ledger.recovery_secs_sum += detection + takeover;
+            ledger.recovery_events += 1;
+            if tracer.is_enabled() {
+                let kind = ("kind", ArgValue::Str("controller_failover".into()));
+                for (name, offset) in [
+                    (faults::EV_INJECTED, 0.0),
+                    (faults::EV_DETECTED, detection),
+                    (faults::EV_RECOVERED, detection + takeover),
+                ] {
+                    tracer.instant(
+                        faults::TRACE_CAT,
+                        name,
+                        0,
+                        SimTime::ZERO + SimDuration::from_secs_f64(at + offset),
+                        vec![kind.clone()],
+                    );
+                }
+            }
+        }
+
         let devices = cfg.devices as usize;
         let topo_params = hivemind_net::topology::TopologyParams {
             devices: cfg.devices,
@@ -351,6 +448,7 @@ impl Engine {
             cloud_rpc: cfg.platform.cloud_rpc_profile(),
             fpga,
             tracer,
+            ledger,
             cfg,
         }
     }
@@ -422,6 +520,7 @@ impl Engine {
             sub_done: at,
             upload_bytes: 0,
             done: false,
+            failed: false,
         });
         if self.tracer.is_enabled() {
             self.tracer.instant(
@@ -546,6 +645,7 @@ impl Engine {
                     c.server,
                     c.breakdown,
                     c.cold_start,
+                    c.outcome,
                 );
             }
         }
@@ -557,6 +657,7 @@ impl Engine {
                     c.server,
                     c.breakdown,
                     c.cold_start,
+                    c.outcome,
                 );
             }
         }
@@ -794,9 +895,10 @@ impl Engine {
         server: u32,
         breakdown: hivemind_faas::types::LatencyBreakdown,
         cold: bool,
+        outcome: hivemind_faas::types::Outcome,
     ) {
         let task = (tag / 16) as u32;
-        let (output_bytes, sub_done) = {
+        let (output_bytes, sub_done, device, lost) = {
             let st = &mut self.tasks[task as usize];
             // Aggregate sub-invocation contributions; the slowest defines
             // the completion time, the cost components take the max (they
@@ -807,12 +909,38 @@ impl Engine {
             st.exec = st.exec.max(breakdown.exec);
             st.cold |= cold;
             st.sub_done = st.sub_done.max(finished);
+            if matches!(outcome, hivemind_faas::types::Outcome::Failed { .. }) {
+                st.failed = true;
+            }
             st.remaining -= 1;
             if st.remaining != 0 {
                 return;
             }
-            (st.app.cloud_profile().output_bytes, st.sub_done)
+            if st.failed {
+                // The retry policy gave up on (at least) one sub-invocation:
+                // the task is lost — no response, no record.
+                st.done = true;
+            }
+            (
+                st.app.cloud_profile().output_bytes,
+                st.sub_done,
+                st.device,
+                st.failed,
+            )
         };
+        if lost {
+            self.ledger.tasks_lost += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    "task",
+                    "lost",
+                    device,
+                    sub_done,
+                    vec![("task", ArgValue::U64(task as u64))],
+                );
+            }
+            return;
+        }
         let send = self.cloud_rpc.send_cost(&mut self.rng, output_bytes);
         self.tasks[task as usize].network += send;
         self.push_action(
@@ -888,6 +1016,23 @@ impl Engine {
             }
             at = at.saturating_add(dur);
         }
+    }
+
+    /// Engine-level fault bookkeeping (lost tasks, device failures,
+    /// controller failovers, detection/recovery latency sums).
+    pub fn fault_ledger(&self) -> FaultLedger {
+        self.ledger
+    }
+
+    /// Records a device failure applied by the mission layer: `detection`
+    /// is the heartbeat-silence window before the controller declared it
+    /// dead, `recovery` the span from failure to the moment its area is
+    /// fully re-covered by the heirs.
+    pub fn note_device_failure(&mut self, detection: SimDuration, recovery: SimDuration) {
+        self.ledger.device_failures += 1;
+        self.ledger.detection_secs_sum += detection.as_secs_f64();
+        self.ledger.recovery_secs_sum += recovery.as_secs_f64();
+        self.ledger.recovery_events += 1;
     }
 
     /// Battery state of a device.

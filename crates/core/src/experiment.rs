@@ -26,15 +26,18 @@
 //! assert!(outcome.median_task_ms() > 1.0);
 //! ```
 
+use std::fmt;
+
 use hivemind_apps::learning::RetrainMode;
 use hivemind_apps::scenario::{Fleet, Scenario};
 use hivemind_apps::suite::App;
+use hivemind_sim::faults::FaultPlan;
 use hivemind_sim::stats::Summary;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_swarm::device::DeviceProfile;
 
 use crate::engine::{Engine, EngineConfig, TaskRecord};
-use crate::metrics::{BandwidthStats, BatteryStats, MissionOutcome, Outcome};
+use crate::metrics::{BandwidthStats, BatteryStats, MissionOutcome, Outcome, RecoveryStats};
 use crate::mission;
 use crate::platform::Platform;
 
@@ -89,7 +92,62 @@ pub struct ExperimentConfig {
     /// Collect a structured event trace; the result lands in
     /// [`Outcome::trace`].
     pub trace: bool,
+    /// The fault-injection plan (network loss/outages, server crashes,
+    /// function failure process + retry policy, device MTBF, controller
+    /// failover). The inert default leaves every metric byte-identical.
+    pub faults: FaultPlan,
 }
+
+/// Why an [`ExperimentConfig`] cannot be run.
+///
+/// Produced by [`ExperimentConfig::validate`] /
+/// [`Experiment::try_new`]; [`Experiment::new`] panics with the same
+/// message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A `fail_device` entry targets a device outside the fleet.
+    FailedDeviceOutOfRange {
+        /// The offending device id.
+        device: u32,
+        /// Configured fleet size.
+        fleet: u32,
+    },
+    /// A `fail_device` entry fires outside the mission (or workload)
+    /// duration, so it could never take effect.
+    FailureOutsideMission {
+        /// The configured failure instant, seconds.
+        at_secs: f64,
+        /// The workload's time horizon, seconds.
+        horizon_secs: f64,
+    },
+    /// The fault plan itself is inconsistent (bad probability, empty
+    /// window, out-of-range target…); the string is the plan's own
+    /// description of the first problem.
+    InvalidFaultPlan(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::FailedDeviceOutOfRange { device, fleet } => {
+                write!(
+                    f,
+                    "fail_device targets device {device} but the fleet has {fleet} devices"
+                )
+            }
+            ConfigError::FailureOutsideMission {
+                at_secs,
+                horizon_secs,
+            } => write!(
+                f,
+                "fail_device at {at_secs} s is outside the workload horizon of {horizon_secs} s"
+            ),
+            ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl ExperimentConfig {
     /// A single-app benchmark with the paper's defaults (120 s, 16
@@ -114,6 +172,7 @@ impl ExperimentConfig {
             iaas_workers: None,
             device_failures: Vec::new(),
             trace: false,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -230,6 +289,44 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches a fault-injection plan. All stochastic fault draws come
+    /// from a dedicated lane of the seed chain, so the same seed compares
+    /// the same workload under different disturbance levels; the inert
+    /// [`FaultPlan::default`] leaves every metric byte-identical to a run
+    /// without a plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Checks the configuration for inconsistencies that would make the
+    /// run meaningless: `fail_device` entries must target a device inside
+    /// the fleet and fire within the workload's time horizon, and the
+    /// fault plan must be self-consistent.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let horizon = match self.workload {
+            Workload::SingleApp { duration_secs, .. } => duration_secs,
+            Workload::Mission(s) => s.mission_timeout().as_secs_f64(),
+        };
+        for &(at_secs, device) in &self.device_failures {
+            if device >= self.devices {
+                return Err(ConfigError::FailedDeviceOutOfRange {
+                    device,
+                    fleet: self.devices,
+                });
+            }
+            if !(at_secs.is_finite() && at_secs >= 0.0) || at_secs > horizon {
+                return Err(ConfigError::FailureOutsideMission {
+                    at_secs,
+                    horizon_secs: horizon,
+                });
+            }
+        }
+        self.faults
+            .validate(self.devices, self.servers)
+            .map_err(ConfigError::InvalidFaultPlan)
+    }
+
     /// Enables (or disables) structured event tracing for the run; the
     /// collected [`hivemind_sim::trace::Trace`] lands in
     /// [`Outcome::trace`]. Tracing draws no randomness, so enabling it
@@ -260,6 +357,7 @@ impl ExperimentConfig {
             input_scale: self.input_scale,
             iaas_workers: self.iaas_workers,
             trace: self.trace,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -285,8 +383,25 @@ pub struct Experiment {
 
 impl Experiment {
     /// Wraps a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ExperimentConfig::validate`]); use [`Experiment::try_new`] to
+    /// handle the error instead.
     pub fn new(config: ExperimentConfig) -> Experiment {
-        Experiment { config }
+        match Experiment::try_new(config) {
+            Ok(e) => e,
+            Err(e) => panic!("invalid experiment config: {e}"),
+        }
+    }
+
+    /// Validates and wraps a configuration, surfacing inconsistencies
+    /// (out-of-range `fail_device` targets, failure times beyond the
+    /// workload horizon, malformed fault plans) as a [`ConfigError`].
+    pub fn try_new(config: ExperimentConfig) -> Result<Experiment, ConfigError> {
+        config.validate()?;
+        Ok(Experiment { config })
     }
 
     /// The configuration.
@@ -365,8 +480,14 @@ impl Experiment {
             MotionPolicy::PreCharged => 0.0,
         };
         let mut last_done = vec![floor; cfg.devices as usize];
+        let mut slo_violations = 0u64;
         for r in &records {
             outcome.tasks.record(r);
+            if let Some(slo) = cfg.faults.slo {
+                if r.latency() > slo {
+                    slo_violations += 1;
+                }
+            }
             let d = &mut last_done[r.device as usize];
             *d = d.max(r.done.as_secs_f64());
         }
@@ -415,6 +536,39 @@ impl Experiment {
             outcome.container_stats = cluster.container_stats();
             outcome.stragglers_mitigated = cluster.stragglers_mitigated();
             outcome.faults_recovered = cluster.faults_recovered();
+        }
+        // Recovery metrics exist only for runs with an active fault plan,
+        // so inert configurations serialize byte-identically to pre-fault
+        // outputs.
+        if cfg.faults.is_active() {
+            let net = engine.fabric().fault_stats();
+            let ledger = engine.fault_ledger();
+            let mut recovery = RecoveryStats {
+                packets_lost: net.packets_lost,
+                transfers_held: net.transfers_held,
+                tasks_retried: outcome.faults_recovered,
+                tasks_lost: ledger.tasks_lost,
+                device_failures: ledger.device_failures,
+                controller_failovers: ledger.controller_failovers,
+                slo_violations,
+                ..RecoveryStats::default()
+            };
+            if ledger.recovery_events > 0 {
+                let n = ledger.recovery_events as f64;
+                recovery.mean_detection_secs = ledger.detection_secs_sum / n;
+                recovery.mean_recovery_secs = ledger.recovery_secs_sum / n;
+            }
+            if let Some(cluster) = engine.cluster() {
+                let crashes = cluster.crash_stats();
+                recovery.server_crashes = crashes.server_crashes;
+                recovery.invocations_lost = crashes.invocations_lost;
+                recovery.invocations_rescheduled = crashes.invocations_rescheduled;
+            }
+            if cfg.faults.slo.is_some() {
+                recovery.slo_violation_fraction =
+                    slo_violations as f64 / (records.len().max(1)) as f64;
+            }
+            outcome.recovery = Some(recovery);
         }
         if mission.duration_secs == 0.0 {
             mission.duration_secs = end.as_secs_f64();

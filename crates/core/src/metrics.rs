@@ -118,6 +118,43 @@ pub struct BatteryStats {
     pub depleted: u32,
 }
 
+/// Fault-recovery metrics, populated only when the experiment ran with an
+/// active [`FaultPlan`] (so fault-free outcomes serialize byte-identically
+/// to pre-fault-plane builds).
+///
+/// [`FaultPlan`]: hivemind_sim::faults::FaultPlan
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Wireless retransmission rounds forced by packet loss.
+    pub packets_lost: u64,
+    /// Transfers held back by a disconnect window or partition.
+    pub transfers_held: u64,
+    /// Cloud servers that crashed.
+    pub server_crashes: u32,
+    /// In-flight invocations lost to server crashes.
+    pub invocations_lost: u64,
+    /// Lost invocations rescheduled onto surviving servers.
+    pub invocations_rescheduled: u64,
+    /// Tasks that completed only after one or more fault respawns.
+    pub tasks_retried: u64,
+    /// Tasks abandoned (give-up retry policy exhausted, or no path to
+    /// completion remained).
+    pub tasks_lost: u64,
+    /// Devices that failed (scripted + stochastic MTBF).
+    pub device_failures: u32,
+    /// Primary-controller failovers.
+    pub controller_failovers: u32,
+    /// Mean time from fault injection to detection, seconds (heartbeat
+    /// window for devices/controller, immediate for server crashes).
+    pub mean_detection_secs: f64,
+    /// Mean time from fault injection to restored service, seconds.
+    pub mean_recovery_secs: f64,
+    /// Completed tasks whose end-to-end latency exceeded the plan's SLO.
+    pub slo_violations: u64,
+    /// `slo_violations` over completed tasks (0 when no SLO was set).
+    pub slo_violation_fraction: f64,
+}
+
 /// Mission-level outcome (end-to-end scenarios).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MissionOutcome {
@@ -166,6 +203,8 @@ pub struct Outcome {
     pub stragglers_mitigated: u64,
     /// Functions that recovered from injected faults.
     pub faults_recovered: u64,
+    /// Recovery metrics; `None` unless the run had an active fault plan.
+    pub recovery: Option<RecoveryStats>,
     /// Structured event trace, present when the experiment ran with
     /// [`crate::experiment::ExperimentConfig::trace`] enabled. Excluded
     /// from [`Outcome::to_json`] — export it via
@@ -206,12 +245,37 @@ impl Outcome {
             self.battery.mean_pct, self.battery.max_pct, self.battery.depleted
         ));
         out.push_str(&format!(
-            ",\"container_stats\":[{},{}],\"stragglers_mitigated\":{},\"faults_recovered\":{}}}",
+            ",\"container_stats\":[{},{}],\"stragglers_mitigated\":{},\"faults_recovered\":{}",
             self.container_stats.0,
             self.container_stats.1,
             self.stragglers_mitigated,
             self.faults_recovered
         ));
+        // Emitted only for fault-plan runs, so fault-free output stays
+        // byte-identical to pre-fault-plane builds.
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                ",\"recovery\":{{\"packets_lost\":{},\"transfers_held\":{},\"server_crashes\":{},\
+                 \"invocations_lost\":{},\"invocations_rescheduled\":{},\"tasks_retried\":{},\
+                 \"tasks_lost\":{},\"device_failures\":{},\"controller_failovers\":{},\
+                 \"mean_detection_secs\":{:?},\"mean_recovery_secs\":{:?},\
+                 \"slo_violations\":{},\"slo_violation_fraction\":{:?}}}",
+                r.packets_lost,
+                r.transfers_held,
+                r.server_crashes,
+                r.invocations_lost,
+                r.invocations_rescheduled,
+                r.tasks_retried,
+                r.tasks_lost,
+                r.device_failures,
+                r.controller_failovers,
+                r.mean_detection_secs,
+                r.mean_recovery_secs,
+                r.slo_violations,
+                r.slo_violation_fraction
+            ));
+        }
+        out.push('}');
         out
     }
 }

@@ -22,6 +22,7 @@ use hivemind_apps::scenario::Scenario;
 use hivemind_apps::suite::App;
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::time::{SimDuration, SimTime};
+use hivemind_sim::trace::ArgValue;
 use hivemind_swarm::field::{Field, FieldParams};
 use hivemind_swarm::geometry::Rect;
 use hivemind_swarm::maze::{wall_follower, Maze};
@@ -210,14 +211,37 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
     let mut fail_secs: Vec<Option<f64>> = vec![None; cfg.devices as usize];
     let mut heir_strips: Vec<(u32, Rect)> = Vec::new();
     let mut failures = cfg.device_failures.clone();
-    failures.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Stochastic MTBF failures ride alongside the scripted ones. The
+    // draws come from the dedicated fault lane of the seed chain (one
+    // indexed stream per device), so enabling them never reshuffles the
+    // mission's sighting/world randomness.
+    if let Some(mtbf) = cfg.faults.devices.mtbf_secs {
+        let fault_forge = RngForge::new(cfg.seed).child("faults");
+        let horizon = scenario.mission_timeout().as_secs_f64();
+        for dev in 0..cfg.devices {
+            let mut frng = fault_forge.indexed_stream("device-mtbf", dev as u64);
+            let u: f64 = frng.gen();
+            let fail_at = -mtbf * (1.0 - u).ln();
+            if fail_at < horizon {
+                failures.push((fail_at, dev));
+            }
+        }
+    }
+    failures.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    // (failed device, failure instant, heirs inheriting its area).
+    let mut fail_records: Vec<(u32, f64, Vec<u32>)> = Vec::new();
     for (at, dev) in failures {
         if dev < cfg.devices && fail_secs[dev as usize].is_none() && controller.alive_count() > 1 {
-            let detect = at.max(0.0)
-                + hivemind_swarm::failover::HeartbeatTracker::beat_period().as_secs_f64() * 3.0;
+            let before = heir_strips.len();
+            // A fault storm can leave no survivors mid-loop; degrade
+            // gracefully instead of aborting the run.
+            let Ok(extra) = controller.try_force_fail(dev) else {
+                continue;
+            };
             fail_secs[dev as usize] = Some(at.max(0.0));
-            heir_strips.extend(controller.force_fail(dev));
-            let _ = detect;
+            heir_strips.extend(extra);
+            let heirs = heir_strips[before..].iter().map(|&(h, _)| h).collect();
+            fail_records.push((dev, at.max(0.0), heirs));
         }
     }
 
@@ -253,6 +277,46 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
             .min(planned_end);
         flight_ends.push(SimTime::ZERO + SimDuration::from_secs_f64(end));
         plans.push(segments);
+    }
+
+    // Recovery bookkeeping: each failure is detected after the 3 s
+    // heartbeat window and counts as recovered once every heir finishes
+    // the extra sweep that re-covers the dead device's area.
+    let detection = hivemind_sim::faults::DETECTION_WINDOW;
+    for (dev, at, heirs) in &fail_records {
+        let recovered_secs = heirs
+            .iter()
+            .filter_map(|&h| plans[h as usize].last().map(|s| s.start_secs + s.len_secs))
+            .fold(at + detection.as_secs_f64(), f64::max);
+        engine.note_device_failure(detection, SimDuration::from_secs_f64(recovered_secs - at));
+        if engine.tracer().is_enabled() {
+            let kind = ("kind", ArgValue::Str("device_failed".into()));
+            for (name, t) in [
+                (hivemind_sim::faults::EV_INJECTED, *at),
+                (
+                    hivemind_sim::faults::EV_DETECTED,
+                    at + detection.as_secs_f64(),
+                ),
+                (hivemind_sim::faults::EV_RECOVERED, recovered_secs),
+            ] {
+                engine.tracer().instant(
+                    hivemind_sim::faults::TRACE_CAT,
+                    name,
+                    *dev,
+                    SimTime::ZERO + SimDuration::from_secs_f64(t),
+                    vec![kind.clone()],
+                );
+            }
+        }
+    }
+    // Controller failover: the swarm controller's backup takes over after
+    // the detection window (the cluster-side admission stall and ledger
+    // entry are wired by the engine from the same plan).
+    if let Some(at) = cfg.faults.devices.controller_failover_at_secs {
+        let _ = controller.fail_primary(
+            SimTime::ZERO + SimDuration::from_secs_f64(at),
+            SimDuration::from_secs_f64(cfg.faults.devices.controller_takeover_secs),
+        );
     }
 
     // One frame batch per second of flight; a failed device stops

@@ -21,13 +21,16 @@
 //! the bench crate has its own `Workload` type and a glob import of both
 //! would collide. Reach it as `hivemind_core::experiment::Workload`.
 
-pub use crate::experiment::{Experiment, ExperimentConfig};
-pub use crate::metrics::{BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome};
+pub use crate::experiment::{ConfigError, Experiment, ExperimentConfig};
+pub use crate::metrics::{
+    BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome, RecoveryStats,
+};
 pub use crate::platform::Platform;
 pub use crate::runner::{RunSet, Runner};
 
 pub use hivemind_apps::learning::RetrainMode;
 pub use hivemind_apps::scenario::Scenario;
 pub use hivemind_apps::suite::App;
+pub use hivemind_sim::faults::{FaultPlan, RetryPolicy};
 pub use hivemind_sim::time::{SimDuration, SimTime};
 pub use hivemind_sim::trace::Trace;

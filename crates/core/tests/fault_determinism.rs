@@ -1,0 +1,157 @@
+//! Fault-plane guarantees:
+//!
+//! 1. an all-defaults [`FaultPlan`] is inert — byte-identical metrics to
+//!    a config that never mentions faults at all;
+//! 2. fault and recovery trace events are byte-deterministic for a fixed
+//!    seed regardless of runner thread count;
+//! 3. the retry policy masks moderate chaos (>= 95% completion at 10%
+//!    function faults + 5% packet loss under a bounded give-up policy);
+//! 4. invalid configurations surface as [`ConfigError`]s from
+//!    `Experiment::try_new` instead of panics deep inside the run;
+//! 5. a mid-mission controller failover still finds every target.
+
+use hivemind_core::prelude::*;
+use hivemind_sim::faults as fl;
+
+fn faulty() -> ExperimentConfig {
+    ExperimentConfig::single_app(App::FaceRecognition)
+        .platform(Platform::CentralizedFaaS)
+        .duration(SimDuration::from_secs(15))
+        .seed(11)
+        .faults(
+            FaultPlan::default()
+                .packet_loss(0.05)
+                .function_fault_rate(0.10)
+                .server_crash(1, 5.0, 5.0)
+                .slo(SimDuration::from_secs(5)),
+        )
+        .trace(true)
+}
+
+#[test]
+fn default_plan_is_inert() {
+    let cfg = ExperimentConfig::single_app(App::FaceRecognition)
+        .platform(Platform::CentralizedFaaS)
+        .duration(SimDuration::from_secs(10))
+        .seed(3);
+    let plain = Experiment::new(cfg.clone()).run();
+    let planned = Experiment::new(cfg.faults(FaultPlan::default())).run();
+    assert!(planned.recovery.is_none(), "inert plan reports no recovery");
+    assert_eq!(plain.to_json(), planned.to_json());
+}
+
+#[test]
+fn fault_traces_identical_across_thread_counts() {
+    let seq = Runner::with_threads(1).run_replicates(&faulty(), 3);
+    let par = Runner::with_threads(4).run_replicates(&faulty(), 3);
+    let dump = |set: &RunSet| -> Vec<(u64, String, String)> {
+        set.traces()
+            .map(|(s, t)| (s, t.to_jsonl(), t.to_chrome_trace()))
+            .collect()
+    };
+    assert_eq!(
+        dump(&seq),
+        dump(&par),
+        "fault events must not depend on threads"
+    );
+    let outcomes: Vec<String> = seq.outcomes().iter().map(|o| o.to_json()).collect();
+    let par_outcomes: Vec<String> = par.outcomes().iter().map(|o| o.to_json()).collect();
+    assert_eq!(
+        outcomes, par_outcomes,
+        "recovery metrics must not depend on threads"
+    );
+}
+
+#[test]
+fn fault_events_appear_in_the_trace() {
+    let outcome = Experiment::new(faulty()).run();
+    let trace = outcome.trace.as_ref().expect("tracing enabled");
+    let injected = trace.count(fl::TRACE_CAT, fl::EV_INJECTED);
+    let recovered = trace.count(fl::TRACE_CAT, fl::EV_RECOVERED);
+    assert!(injected > 0, "faults were injected");
+    assert!(recovered > 0, "faults were recovered from");
+    let r = outcome.recovery.expect("active plan yields recovery stats");
+    assert_eq!(r.server_crashes, 1);
+    assert!(r.tasks_retried > 0, "the fault rate forced retries");
+}
+
+#[test]
+fn bounded_retry_masks_moderate_chaos() {
+    let outcome = Experiment::new(
+        ExperimentConfig::single_app(App::FaceRecognition)
+            .platform(Platform::CentralizedFaaS)
+            .duration(SimDuration::from_secs(30))
+            .seed(7)
+            .faults(
+                FaultPlan::default()
+                    .function_fault_rate(0.10)
+                    .packet_loss(0.05)
+                    .retry(RetryPolicy::bounded(4, SimDuration::from_millis(50))),
+            ),
+    )
+    .run();
+    let r = outcome.recovery.expect("active plan yields recovery stats");
+    let completed = outcome.tasks.len() as u64;
+    let issued = completed + r.tasks_lost;
+    assert!(
+        completed as f64 >= 0.95 * issued as f64,
+        "retry must carry >= 95% of tasks: {completed}/{issued}"
+    );
+    assert!(r.tasks_retried > 0, "completion was achieved via retries");
+}
+
+#[test]
+fn controller_failover_still_finds_every_target() {
+    let base = ExperimentConfig::scenario(Scenario::StationaryItems)
+        .platform(Platform::HiveMind)
+        .seed(11);
+    let healthy = Experiment::new(base.clone()).run();
+    let failover =
+        Experiment::new(base.faults(FaultPlan::default().controller_failover(60.0))).run();
+    assert!(failover.mission.completed);
+    assert_eq!(
+        failover.mission.targets_found,
+        healthy.mission.targets_found
+    );
+    let r = failover
+        .recovery
+        .expect("active plan yields recovery stats");
+    assert_eq!(r.controller_failovers, 1);
+    assert!(
+        r.mean_detection_secs >= fl::DETECTION_WINDOW.as_secs_f64(),
+        "failover cannot be detected faster than the heartbeat window"
+    );
+}
+
+#[test]
+fn bad_device_failure_configs_are_rejected() {
+    // Device id beyond the fleet.
+    let err = Experiment::try_new(
+        ExperimentConfig::scenario(Scenario::StationaryItems)
+            .platform(Platform::HiveMind)
+            .fail_device(10.0, 99),
+    )
+    .expect_err("device 99 of 16 must be rejected");
+    assert!(matches!(
+        err,
+        ConfigError::FailedDeviceOutOfRange { device: 99, .. }
+    ));
+
+    // Failure scheduled past the mission horizon.
+    let err = Experiment::try_new(
+        ExperimentConfig::scenario(Scenario::StationaryItems)
+            .platform(Platform::HiveMind)
+            .fail_device(1.0e9, 0),
+    )
+    .expect_err("failure beyond the mission timeout must be rejected");
+    assert!(matches!(err, ConfigError::FailureOutsideMission { .. }));
+
+    // Malformed fault plans are caught at the same gate.
+    let err = Experiment::try_new(
+        ExperimentConfig::single_app(App::FaceRecognition)
+            .platform(Platform::CentralizedFaaS)
+            .faults(FaultPlan::default().packet_loss(1.5)),
+    )
+    .expect_err("loss probability over 1 must be rejected");
+    assert!(matches!(err, ConfigError::InvalidFaultPlan(_)));
+}

@@ -13,6 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hivemind_sim::component::Component;
+use hivemind_sim::faults::{self, RetryPolicy};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::{Summary, TimeSeries};
 use hivemind_sim::time::{SimDuration, SimTime};
@@ -66,6 +67,10 @@ pub struct ClusterParams {
     /// Number of scheduler shards (Sec. 4.3: HiveMind falls back to
     /// multiple schedulers with shared state when one saturates).
     pub scheduler_shards: u32,
+    /// Retry/timeout/backoff policy for faulted function attempts. The
+    /// default reproduces the historical behaviour (up to 5 respawns,
+    /// final attempt always succeeds) with a bit-identical RNG sequence.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterParams {
@@ -87,6 +92,7 @@ impl Default for ClusterParams {
             max_concurrent: 1000,
             controller_rps: 500.0,
             scheduler_shards: 1,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -129,6 +135,12 @@ enum Ev {
     /// Execution finished; store the output through the data plane.
     DataOut(u32),
     Complete(u32),
+    // Fault-plan events. New variants go at the end: `Ev` derives `Ord`
+    // and the event heap's tie-break must not change for existing runs.
+    /// Server drops out, losing its in-flight invocations.
+    Crash(u32),
+    /// Server rejoins the cluster.
+    Recover(u32),
 }
 
 #[derive(Debug)]
@@ -145,6 +157,11 @@ struct InvState {
     done: bool,
     /// Whether the child was colocated with its parent's container.
     colocated: bool,
+    /// Whether a core has been occupied for it (post-`admit`).
+    placed: bool,
+    /// Lost to a server crash; its pending events are dead letters and a
+    /// clone has been resubmitted under a fresh index.
+    aborted: bool,
 }
 
 /// The serverless cluster.
@@ -192,6 +209,28 @@ pub struct Cluster {
     last_event_time: SimTime,
     controller_gate: RateGate,
     tracer: TraceHandle,
+    /// Per-server crash windows: a server with `down_until > now` is
+    /// invisible to the scheduler.
+    down_until: Vec<SimTime>,
+    /// Recovery instants for scheduled crashes, FIFO per server.
+    pending_recover: Vec<(u32, SimTime)>,
+    /// Controller-outage windows `[from, until)` (sorted); submissions
+    /// landing inside one stall until the backup controller takes over.
+    outages: Vec<(SimTime, SimTime)>,
+    crash_stats: CrashStats,
+}
+
+/// Counters describing server-crash and give-up damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashStats {
+    /// Scheduled server crashes that fired.
+    pub server_crashes: u32,
+    /// In-flight invocations lost to a crash (each was rescheduled).
+    pub invocations_lost: u64,
+    /// Lost invocations resubmitted to another server.
+    pub invocations_rescheduled: u64,
+    /// Invocations whose retry policy gave up (`Outcome::Failed`).
+    pub invocations_failed: u64,
 }
 
 impl Cluster {
@@ -228,8 +267,39 @@ impl Cluster {
             faults_recovered: 0,
             last_event_time: SimTime::ZERO,
             tracer: TraceHandle::disabled(),
+            down_until: vec![SimTime::ZERO; servers],
+            pending_recover: Vec::new(),
+            outages: Vec::new(),
+            crash_stats: CrashStats::default(),
             params,
         }
+    }
+
+    /// Schedules a server crash at `at`: every in-flight invocation on
+    /// `server` is lost and resubmitted, and the server stays invisible
+    /// to the scheduler until `at + down`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn schedule_server_crash(&mut self, at: SimTime, server: u32, down: SimDuration) {
+        assert!(server < self.params.servers, "server out of range");
+        self.pending_recover.push((server, at + down));
+        self.push_event(at, Ev::Crash(server));
+        self.push_event(at + down, Ev::Recover(server));
+    }
+
+    /// Registers a controller-outage window `[from, until)`. Submissions
+    /// arriving inside it wait for the backup controller before their
+    /// scheduling decision; the stall shows up as management latency.
+    pub fn add_controller_outage(&mut self, from: SimTime, until: SimTime) {
+        self.outages.push((from, until));
+        self.outages.sort_unstable();
+    }
+
+    /// Crash and give-up damage counters.
+    pub fn crash_stats(&self) -> CrashStats {
+        self.crash_stats
     }
 
     /// Installs a tracing handle. The cluster then emits `sched/placement`
@@ -271,9 +341,18 @@ impl Cluster {
             "app {:?} not registered",
             inv.app
         );
+        // A controller outage stalls the decision until the backup takes
+        // over; the stall is charged to management like any control-plane
+        // queueing. Windows are sorted, so one pass handles chains.
+        let mut decision_at = now;
+        for &(from, until) in &self.outages {
+            if decision_at >= from && decision_at < until {
+                decision_at = until;
+            }
+        }
         // The control plane serializes scheduling decisions: wait for a
         // scheduler slot, then pay the per-decision management cost.
-        let control_wait = self.controller_gate.admit(now);
+        let control_wait = (decision_at - now) + self.controller_gate.admit(decision_at);
         let management = control_wait + self.params.policy.management_cost().sample(&mut self.rng);
         let idx = self.invs.len() as u32;
         self.invs.push(InvState {
@@ -288,6 +367,8 @@ impl Cluster {
             outcome: Outcome::Ok,
             done: false,
             colocated: false,
+            placed: false,
+            aborted: false,
         });
         self.push_event(now + management, Ev::Admit(idx));
     }
@@ -303,7 +384,14 @@ impl Cluster {
             .map(|s| ServerView {
                 id: s,
                 total_cores: self.params.cores_per_server,
-                busy_cores: self.busy[s as usize],
+                // A crashed server reports every core busy, which keeps
+                // both placement policies away from it without any
+                // scheduler-side special casing.
+                busy_cores: if self.down_until[s as usize] > now {
+                    self.params.cores_per_server
+                } else {
+                    self.busy[s as usize]
+                },
                 on_probation: self.probation_until[s as usize] > now,
             })
             .collect()
@@ -368,6 +456,7 @@ impl Cluster {
             st.cold = !warm_hit;
             st.in_memory = colocated;
             st.colocated = colocated;
+            st.placed = true;
             st.breakdown.queueing = now - st.ready;
             st.breakdown.management = st.management;
             st.breakdown.instantiation = instantiation;
@@ -433,20 +522,85 @@ impl Cluster {
             SimDuration::ZERO
         };
 
-        // --- Execution with fault injection. ---
+        // --- Execution with fault injection, governed by the retry
+        // policy. The default policy draws the exact legacy sequence
+        // (sample, coin, wasted fraction, respawn cost; up to 5 respawns,
+        // final attempt forced to succeed) so fault-free and
+        // default-policy runs are bit-identical to pre-policy builds.
+        let rp = self.params.retry.clone();
         let mut wasted = SimDuration::ZERO;
         let mut respawns = 0u32;
+        let mut gave_up = false;
         let final_exec = loop {
             let draw = profile.exec.sample(&mut self.rng);
-            if respawns < 5 && self.rng.gen::<f64>() < self.params.fault_rate {
+            if let Some(to) = rp.timeout {
+                // Attempts over budget are killed and retried without an
+                // extra RNG draw (the kill is deterministic given the
+                // sample), so enabling a timeout only reshapes `wasted`.
+                if draw > to {
+                    if respawns + 1 < rp.max_attempts {
+                        wasted += to;
+                        wasted += self.warm.instantiation_cost(true, &mut self.rng);
+                        wasted += rp.backoff(respawns);
+                        respawns += 1;
+                        continue;
+                    }
+                    if rp.give_up {
+                        wasted += to;
+                        gave_up = true;
+                        break SimDuration::ZERO;
+                    }
+                    // Out of attempts but forced to succeed: let it run.
+                }
+            }
+            if respawns + 1 < rp.max_attempts && self.rng.gen::<f64>() < self.params.fault_rate {
                 // Fails a uniform way through; OpenWhisk respawns it.
                 wasted += draw.mul_f64(self.rng.gen::<f64>());
                 wasted += self.warm.instantiation_cost(true, &mut self.rng);
+                wasted += rp.backoff(respawns);
                 respawns += 1;
                 continue;
             }
+            if rp.give_up
+                && respawns + 1 >= rp.max_attempts
+                && self.params.fault_rate > 0.0
+                && self.rng.gen::<f64>() < self.params.fault_rate
+            {
+                // The final attempt also faulted and the policy allows
+                // giving up: report the invocation as failed.
+                wasted += draw.mul_f64(self.rng.gen::<f64>());
+                gave_up = true;
+                break SimDuration::ZERO;
+            }
             break draw;
         };
+        if gave_up {
+            let attempts = respawns + 1;
+            self.crash_stats.invocations_failed += 1;
+            {
+                let st = &mut self.invs[idx as usize];
+                st.outcome = Outcome::Failed { attempts };
+                st.breakdown.data_io += data_in;
+                st.breakdown.exec = wasted;
+            }
+            if self.tracer.is_enabled() {
+                let tag = self.invs[idx as usize].inv.tag;
+                self.tracer.instant(
+                    faults::TRACE_CAT,
+                    faults::EV_INJECTED,
+                    server,
+                    now,
+                    vec![
+                        ("kind", ArgValue::Str("function_failed".into())),
+                        ("tag", ArgValue::U64(tag)),
+                        ("attempts", ArgValue::U64(attempts as u64)),
+                    ],
+                );
+            }
+            // No output to store; the container died with the attempt.
+            self.push_event(now + data_in + wasted, Ev::Complete(idx));
+            return;
+        }
 
         // --- Straggler mitigation. ---
         let threshold = if self.params.straggler_mitigation {
@@ -499,6 +653,20 @@ impl Cluster {
             st.breakdown.data_io += data_in;
             st.breakdown.exec = exec_total;
         }
+        if respawns > 0 && self.tracer.is_enabled() {
+            let tag = self.invs[idx as usize].inv.tag;
+            self.tracer.instant(
+                faults::TRACE_CAT,
+                faults::EV_RECOVERED,
+                server,
+                now,
+                vec![
+                    ("kind", ArgValue::Str("function_respawn".into())),
+                    ("tag", ArgValue::U64(tag)),
+                    ("respawns", ArgValue::U64(respawns as u64)),
+                ],
+            );
+        }
         self.push_event(now + data_in + exec_total, Ev::DataOut(idx));
     }
 
@@ -530,7 +698,11 @@ impl Cluster {
         self.busy[server as usize] -= 1;
         self.running -= 1;
         self.active_series.record(now, self.running as f64);
-        self.warm.park(now, server, app);
+        if !matches!(self.invs[idx as usize].outcome, Outcome::Failed { .. }) {
+            // A failed invocation's container died with it — nothing to
+            // keep warm.
+            self.warm.park(now, server, app);
+        }
         if self.tracer.is_enabled() {
             self.tracer.counter(
                 "faas",
@@ -555,7 +727,11 @@ impl Cluster {
             outcome: st.outcome,
         });
 
-        // Admit as many queued invocations as now fit.
+        self.drain_wait_queue(now);
+    }
+
+    /// Admits as many queued invocations as now fit.
+    fn drain_wait_queue(&mut self, now: SimTime) {
         while let Some(&head) = self.wait_queue.front() {
             let views = self.server_views(now);
             let can_place = self.running < self.params.max_concurrent
@@ -572,6 +748,82 @@ impl Cluster {
         }
     }
 
+    /// A scheduled crash fires: the server loses every in-flight
+    /// invocation (each is resubmitted and rescheduled elsewhere) and its
+    /// warm containers, and goes invisible to the scheduler until its
+    /// recovery instant.
+    fn crash_server(&mut self, now: SimTime, server: u32) {
+        let pos = self
+            .pending_recover
+            .iter()
+            .position(|&(s, _)| s == server)
+            .expect("crash without a scheduled recovery");
+        let (_, recover_at) = self.pending_recover.remove(pos);
+        self.down_until[server as usize] = recover_at;
+        self.crash_stats.server_crashes += 1;
+
+        let mut resubmit = Vec::new();
+        for st in self.invs.iter_mut() {
+            if st.placed && !st.done && !st.aborted && st.server == server {
+                st.aborted = true;
+                resubmit.push(st.inv.clone());
+            }
+        }
+        let lost = resubmit.len() as u32;
+        debug_assert_eq!(lost, self.busy[server as usize], "core accounting");
+        self.busy[server as usize] = 0;
+        self.running -= lost;
+        self.active_series.record(now, self.running as f64);
+        self.warm.flush_server(server);
+        self.crash_stats.invocations_lost += lost as u64;
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                faults::TRACE_CAT,
+                faults::EV_INJECTED,
+                server,
+                now,
+                vec![
+                    ("kind", ArgValue::Str("server_crash".into())),
+                    ("server", ArgValue::U64(server as u64)),
+                    ("lost", ArgValue::U64(lost as u64)),
+                ],
+            );
+            // The control plane notices immediately: its data-plane
+            // connections to the server reset at the crash instant.
+            self.tracer.instant(
+                faults::TRACE_CAT,
+                faults::EV_DETECTED,
+                server,
+                now,
+                vec![("kind", ArgValue::Str("server_crash".into()))],
+            );
+            self.tracer.counter("faas", "server.busy", server, now, 0.0);
+            self.sample_occupancy(now);
+        }
+        for inv in resubmit {
+            self.crash_stats.invocations_rescheduled += 1;
+            self.submit(now, inv);
+        }
+    }
+
+    /// A crashed server rejoins: it becomes schedulable again and the
+    /// wait queue gets a chance to drain onto it.
+    fn recover_server(&mut self, now: SimTime, server: u32) {
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                faults::TRACE_CAT,
+                faults::EV_RECOVERED,
+                server,
+                now,
+                vec![
+                    ("kind", ArgValue::Str("server_crash".into())),
+                    ("server", ArgValue::U64(server as u64)),
+                ],
+            );
+        }
+        self.drain_wait_queue(now);
+    }
+
     /// The earliest internal event, if any.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
@@ -585,10 +837,16 @@ impl Cluster {
             debug_assert!(t >= self.last_event_time);
             self.last_event_time = t;
             match ev {
+                // Events of a crash-aborted invocation are dead letters:
+                // the clone resubmitted at crash time carries on instead.
+                Ev::Admit(idx) | Ev::DataIn(idx) | Ev::DataOut(idx) | Ev::Complete(idx)
+                    if self.invs[idx as usize].aborted => {}
                 Ev::Admit(idx) => self.admit(t, idx),
                 Ev::DataIn(idx) => self.data_in_stage(t, idx),
                 Ev::DataOut(idx) => self.data_out_stage(t, idx),
                 Ev::Complete(idx) => self.complete(t, idx),
+                Ev::Crash(server) => self.crash_server(t, server),
+                Ev::Recover(server) => self.recover_server(t, server),
             }
         }
         std::mem::take(&mut self.completions)

@@ -129,6 +129,12 @@ impl WarmPool {
         false
     }
 
+    /// Drops every idle container on `server` (the server crashed; its
+    /// containers died with it).
+    pub fn flush_server(&mut self, server: u32) {
+        self.idle.retain(|&(s, _), _| s != server);
+    }
+
     /// Any server holding a warm container for `app` at `now`, if one
     /// exists (used by schedulers to steer invocations toward warm nodes).
     pub fn warm_server(&self, now: SimTime, app: AppId) -> Option<u32> {

@@ -14,6 +14,11 @@ use hivemind_sim::dist::Dist;
 use hivemind_sim::time::{SimDuration, SimTime};
 use rand::Rng;
 
+// The retry/timeout/backoff policy governing failed data-plane attempts
+// is part of the fault-injection vocabulary; re-exported here because the
+// data plane (input fetch / execution / output store) is where it applies.
+pub use hivemind_sim::faults::RetryPolicy;
+
 /// The protocol used for one exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExchangeProtocol {

@@ -132,6 +132,14 @@ pub enum Outcome {
     },
     /// The straggler monitor respawned it and the duplicate won.
     MitigatedStraggler,
+    /// Every attempt allowed by the retry policy faulted; the invocation
+    /// was abandoned (only possible with a give-up [`RetryPolicy`]).
+    ///
+    /// [`RetryPolicy`]: hivemind_sim::faults::RetryPolicy
+    Failed {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 /// Record of one finished invocation.

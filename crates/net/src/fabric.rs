@@ -9,9 +9,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use hivemind_sim::component::{earliest, Component};
+use hivemind_sim::faults::{self, NetFaults};
 use hivemind_sim::stats::Meter;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, TraceHandle};
+use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::link::Link;
 use crate::topology::{LinkClass, LinkRef, Node, Topology};
@@ -57,6 +60,26 @@ impl Delivery {
     pub fn latency(&self) -> SimDuration {
         self.delivered_at - self.sent_at
     }
+}
+
+/// Counters describing what the fault plane did to this fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetFaultStats {
+    /// Retransmission rounds forced by packet loss.
+    pub packets_lost: u64,
+    /// Transfers held back by a disconnect window or partition.
+    pub transfers_held: u64,
+}
+
+/// Per-transfer fault state: the plan's network knobs plus a private RNG
+/// drawn from the dedicated fault lane of the seed chain. Absent (`None`
+/// on the fabric) unless the experiment's `FaultPlan` asks for loss or
+/// outages, so fault-free runs make zero extra draws.
+#[derive(Debug)]
+struct FabricFaults {
+    cfg: NetFaults,
+    rng: SmallRng,
+    stats: NetFaultStats,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -109,6 +132,12 @@ pub struct Fabric {
     /// thousand-device topologies stay fast.
     wake: BinaryHeap<Reverse<(SimTime, u32)>>,
     tracer: TraceHandle,
+    /// Fault-plan state; `None` unless the experiment injects network
+    /// faults (the inert path makes no extra RNG draws).
+    faults: Option<FabricFaults>,
+    /// Transfers held back by an outage/partition, keyed by release time.
+    /// Released in `(time, id)` order interleaved with hop completions.
+    delayed: Vec<(SimTime, HopState)>,
 }
 
 impl Fabric {
@@ -129,7 +158,28 @@ impl Fabric {
             total_meter: Meter::new(SimDuration::from_secs(1)),
             wake: BinaryHeap::new(),
             tracer: TraceHandle::disabled(),
+            faults: None,
+            delayed: Vec::new(),
         }
+    }
+
+    /// Arms the per-transfer fault pass (packet loss, disconnect windows,
+    /// partitions). `rng` must come from the dedicated `"faults"` lane of
+    /// the replicate's seed chain so arming it never perturbs the
+    /// fault-free streams.
+    pub fn set_faults(&mut self, cfg: NetFaults, rng: SmallRng) {
+        if cfg.per_transfer() {
+            self.faults = Some(FabricFaults {
+                cfg,
+                rng,
+                stats: NetFaultStats::default(),
+            });
+        }
+    }
+
+    /// What the fault plane did so far (zeros when no faults are armed).
+    pub fn fault_stats(&self) -> NetFaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Installs a tracing handle; the fabric then emits a `net/link.load`
@@ -150,10 +200,10 @@ impl Fabric {
         self.next_id += 1;
         let path = self.topology.path(transfer.src, transfer.dst);
         self.total_meter.add(now, transfer.bytes as f64);
-        if path
+        let wireless = path
             .iter()
-            .any(|l| self.topology.links()[l.index()].class == LinkClass::WirelessMedium)
-        {
+            .any(|l| self.topology.links()[l.index()].class == LinkClass::WirelessMedium);
+        if wireless {
             self.edge_meter.add(now, transfer.bytes as f64);
         }
         if self.tracer.is_enabled() {
@@ -181,8 +231,102 @@ impl Fabric {
             path,
             next_hop: 0,
         };
-        self.route(now, state);
+        let start = if wireless {
+            self.apply_faults(now, &state)
+        } else {
+            now
+        };
+        if start > now {
+            self.delayed.push((start, state));
+        } else {
+            self.route(now, state);
+        }
         id
+    }
+
+    /// Applies the armed fault plan to a wireless-crossing transfer and
+    /// returns the instant it may actually enter the fabric. No-op (and
+    /// zero RNG draws) when no faults are armed.
+    fn apply_faults(&mut self, now: SimTime, state: &HopState) -> SimTime {
+        let Some(f) = self.faults.as_mut() else {
+            return now;
+        };
+        let mut start = now;
+        // Hold the transfer while any partition, or a disconnect window of
+        // an endpoint device, covers its start instant. Windows may chain
+        // (release into a later window), hence the loop.
+        loop {
+            let t = start.as_secs_f64();
+            let mut release: Option<f64> = None;
+            for p in &f.cfg.partitions {
+                if t >= p.from_secs && t < p.until_secs {
+                    release = Some(release.map_or(p.until_secs, |r: f64| r.max(p.until_secs)));
+                }
+            }
+            for o in &f.cfg.disconnects {
+                let hit =
+                    state.src == Node::Device(o.device) || state.dst == Node::Device(o.device);
+                if hit && t >= o.from_secs && t < o.until_secs {
+                    release = Some(release.map_or(o.until_secs, |r: f64| r.max(o.until_secs)));
+                }
+            }
+            match release {
+                Some(r) => start = SimTime::ZERO + SimDuration::from_secs_f64(r),
+                None => break,
+            }
+        }
+        if start > now {
+            f.stats.transfers_held += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    faults::TRACE_CAT,
+                    faults::EV_INJECTED,
+                    0,
+                    now,
+                    vec![
+                        ("kind", ArgValue::Str("link_outage".into())),
+                        ("transfer", ArgValue::U64(state.id.0)),
+                    ],
+                );
+                self.tracer.instant(
+                    faults::TRACE_CAT,
+                    faults::EV_RECOVERED,
+                    0,
+                    start,
+                    vec![
+                        ("kind", ArgValue::Str("link_outage".into())),
+                        ("transfer", ArgValue::U64(state.id.0)),
+                    ],
+                );
+            }
+        }
+        // Packet loss: each lost round costs one retransmission delay.
+        // Capped so a pathological loss rate of 1.0 still terminates
+        // (models the transport giving up on backoff and pushing through).
+        if f.cfg.packet_loss > 0.0 {
+            let mut rounds: u64 = 0;
+            while rounds < 50 && f.rng.gen::<f64>() < f.cfg.packet_loss {
+                rounds += 1;
+            }
+            if rounds > 0 {
+                f.stats.packets_lost += rounds;
+                start += f.cfg.retransmit * rounds;
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        faults::TRACE_CAT,
+                        faults::EV_INJECTED,
+                        0,
+                        now,
+                        vec![
+                            ("kind", ArgValue::Str("packet_loss".into())),
+                            ("transfer", ArgValue::U64(state.id.0)),
+                            ("retransmits", ArgValue::U64(rounds)),
+                        ],
+                    );
+                }
+            }
+        }
+        start
     }
 
     fn route(&mut self, now: SimTime, mut state: HopState) {
@@ -243,7 +387,8 @@ impl Fabric {
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let link_next = self.wake.peek().map(|Reverse((t, _))| *t);
         let local_next = self.local.iter().map(|d| d.delivered_at).min();
-        earliest([link_next, local_next])
+        let delayed_next = self.delayed.iter().map(|(t, _)| *t).min();
+        earliest([link_next, local_next, delayed_next])
     }
 
     /// Advances the fabric to `now`, returning all deliveries that completed
@@ -252,7 +397,26 @@ impl Fabric {
         // Process hop completions in global time order (the wake index is
         // conservative: every pending delivery has an entry at or before
         // its true time) so FIFO queues see arrivals chronologically.
-        while let Some(&Reverse((t, idx))) = self.wake.peek() {
+        // Fault-delayed transfers are released interleaved at their exact
+        // instants so link FIFOs still see arrivals in time order.
+        loop {
+            let release = self
+                .delayed
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (t, s))| (*t, s.id))
+                .map(|(i, (t, _))| (*t, i));
+            let wake_head = self.wake.peek().map(|Reverse((t, _))| *t);
+            if let Some((rt, ri)) = release {
+                if rt <= now && wake_head.is_none_or(|wt| rt <= wt) {
+                    let (_, state) = self.delayed.remove(ri);
+                    self.route(rt, state);
+                    continue;
+                }
+            }
+            let Some(&Reverse((t, idx))) = self.wake.peek() else {
+                break;
+            };
             if t > now {
                 break;
             }

@@ -1,0 +1,549 @@
+//! Unified, deterministic fault-injection plane.
+//!
+//! The paper's fault-tolerance story (Sec. 4.6, Fig. 5c, Fig. 10) spans
+//! every layer of the stack: failed functions respawn, crashed servers
+//! lose their in-flight invocations, silent drones are detected by missed
+//! heartbeats and their area is repartitioned, and a backup controller
+//! takes over when the primary dies. A [`FaultPlan`] describes all of
+//! those disturbances — scheduled ones (a server crash at t=30 s) and
+//! stochastic ones (5 % packet loss, exponential device MTBF) — in one
+//! declarative value that experiments attach via
+//! `ExperimentConfig::faults`.
+//!
+//! ## Determinism contract
+//!
+//! Every stochastic draw a fault makes comes from a *dedicated lane* of
+//! the replicate's seed chain (`RngForge::child("faults")`), never from
+//! the streams the fault-free simulation uses. Two consequences:
+//!
+//! 1. a run with an inert plan ([`FaultPlan::default`]) is **bit-for-bit
+//!    identical** to a run with no plan at all — no fault RNG is even
+//!    created, so no stream is perturbed;
+//! 2. changing a fault knob (say the packet-loss rate) never reshuffles
+//!    the workload's own randomness, so degradation curves compare the
+//!    *same* task sample under different disturbance levels.
+//!
+//! The consumers live in their own crates — `net::fabric` applies
+//! [`NetFaults`], `faas::cluster` applies [`ServerCrash`] schedules and
+//! the [`RetryPolicy`], and `core::mission`/`core::controller` apply
+//! [`DeviceFaults`] — but the vocabulary is defined here so a plan can be
+//! validated and threaded as one value.
+
+use crate::time::SimDuration;
+
+/// Trace category used by every fault-plane event
+/// (`fault/injected`, `fault/detected`, `fault/recovered`).
+pub const TRACE_CAT: &str = "fault";
+/// Trace event name emitted at the instant a fault strikes.
+pub const EV_INJECTED: &str = "injected";
+/// Trace event name emitted when the system *notices* the fault.
+pub const EV_DETECTED: &str = "detected";
+/// Trace event name emitted when service is restored.
+pub const EV_RECOVERED: &str = "recovered";
+
+/// The paper's heartbeat-based failure-detection window: a device (or the
+/// primary controller) is declared dead after 3 s of missed heartbeats
+/// (Sec. 4.6).
+pub const DETECTION_WINDOW: SimDuration = SimDuration::from_secs(3);
+
+/// A declarative description of every disturbance injected into one run.
+///
+/// The default plan is **inert**: [`FaultPlan::is_active`] returns
+/// `false` and every consumer skips its fault path entirely, leaving the
+/// simulation byte-identical to one that never heard of faults.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::faults::FaultPlan;
+///
+/// let plan = FaultPlan::default()
+///     .packet_loss(0.05)
+///     .server_crash(2, 30.0, 15.0)
+///     .function_fault_rate(0.10)
+///     .device_mtbf(600.0);
+/// assert!(plan.is_active());
+/// assert!(plan.validate(16, 4).is_ok());
+/// assert!(!FaultPlan::default().is_active());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Network-layer disturbances (loss, degradation, outages, partitions).
+    pub net: NetFaults,
+    /// Scheduled cloud-server crash/recover windows.
+    pub servers: Vec<ServerCrash>,
+    /// Function-level failure process and the retry policy that masks it.
+    pub functions: FunctionFaults,
+    /// Device-fleet and controller failures.
+    pub devices: DeviceFaults,
+    /// Optional end-to-end latency SLO; when set, the recovery metrics
+    /// report the fraction of completed tasks that violated it.
+    pub slo: Option<SimDuration>,
+}
+
+impl FaultPlan {
+    /// `true` if any knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.net.is_active()
+            || !self.servers.is_empty()
+            || self.functions.is_active()
+            || self.devices.is_active()
+            || self.slo.is_some()
+    }
+
+    /// Sets the per-transfer wireless packet-loss probability.
+    pub fn packet_loss(mut self, p: f64) -> Self {
+        self.net.packet_loss = p;
+        self
+    }
+
+    /// Scales wireless bandwidth by `factor` (e.g. `0.5` halves it).
+    pub fn bandwidth_factor(mut self, factor: f64) -> Self {
+        self.net.bandwidth_factor = factor;
+        self
+    }
+
+    /// Takes one device's WiFi link down over `[from_secs, until_secs)`.
+    pub fn link_outage(mut self, device: u32, from_secs: f64, until_secs: f64) -> Self {
+        self.net.disconnects.push(LinkOutage {
+            device,
+            from_secs,
+            until_secs,
+        });
+        self
+    }
+
+    /// Partitions the whole wireless segment over `[from_secs, until_secs)`.
+    pub fn partition(mut self, from_secs: f64, until_secs: f64) -> Self {
+        self.net.partitions.push(Partition {
+            from_secs,
+            until_secs,
+        });
+        self
+    }
+
+    /// Crashes cloud server `server` at `at_secs` for `down_secs` seconds.
+    pub fn server_crash(mut self, server: u32, at_secs: f64, down_secs: f64) -> Self {
+        self.servers.push(ServerCrash {
+            server,
+            at_secs,
+            down_secs,
+        });
+        self
+    }
+
+    /// Sets the per-attempt function failure probability (overrides the
+    /// platform's calibrated `fault_rate`).
+    pub fn function_fault_rate(mut self, rate: f64) -> Self {
+        self.functions.fault_rate = Some(rate);
+        self
+    }
+
+    /// Replaces the function retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.functions.retry = policy;
+        self
+    }
+
+    /// Enables stochastic device failures with the given mean time
+    /// between failures (exponential, per device).
+    pub fn device_mtbf(mut self, mtbf_secs: f64) -> Self {
+        self.devices.mtbf_secs = Some(mtbf_secs);
+        self
+    }
+
+    /// Kills the primary controller at `at_secs`; the backup takes over
+    /// after the 3 s detection window plus the configured takeover time.
+    pub fn controller_failover(mut self, at_secs: f64) -> Self {
+        self.devices.controller_failover_at_secs = Some(at_secs);
+        self
+    }
+
+    /// Sets the end-to-end latency SLO used for the violation fraction.
+    pub fn slo(mut self, slo: SimDuration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Checks every knob against the fleet shape (`devices` drones,
+    /// `servers` cloud servers). Returns a human-readable description of
+    /// the first problem found.
+    pub fn validate(&self, devices: u32, servers: u32) -> Result<(), String> {
+        let prob = |name: &str, p: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+            Ok(())
+        };
+        let window = |name: &str, from: f64, until: f64| -> Result<(), String> {
+            if !(from.is_finite() && until.is_finite()) || from < 0.0 || until <= from {
+                return Err(format!(
+                    "{name} window must satisfy 0 <= from < until, got [{from}, {until})"
+                ));
+            }
+            Ok(())
+        };
+        prob("net.packet_loss", self.net.packet_loss)?;
+        if !(self.net.bandwidth_factor > 0.0 && self.net.bandwidth_factor <= 1.0) {
+            return Err(format!(
+                "net.bandwidth_factor must be in (0, 1], got {}",
+                self.net.bandwidth_factor
+            ));
+        }
+        for o in &self.net.disconnects {
+            if o.device >= devices {
+                return Err(format!(
+                    "link outage targets device {} but the fleet has {devices}",
+                    o.device
+                ));
+            }
+            window("link outage", o.from_secs, o.until_secs)?;
+        }
+        for p in &self.net.partitions {
+            window("partition", p.from_secs, p.until_secs)?;
+        }
+        for c in &self.servers {
+            if c.server >= servers {
+                return Err(format!(
+                    "server crash targets server {} but the cluster has {servers}",
+                    c.server
+                ));
+            }
+            let at_ok = c.at_secs.is_finite() && c.at_secs >= 0.0;
+            let down_ok = c.down_secs.is_finite() && c.down_secs > 0.0;
+            if !at_ok || !down_ok {
+                return Err(format!(
+                    "server crash needs at_secs >= 0 and down_secs > 0, got at {} down {}",
+                    c.at_secs, c.down_secs
+                ));
+            }
+        }
+        if let Some(r) = self.functions.fault_rate {
+            prob("functions.fault_rate", r)?;
+        }
+        let rp = &self.functions.retry;
+        if rp.max_attempts == 0 {
+            return Err("retry.max_attempts must be at least 1".into());
+        }
+        if rp.backoff_factor < 1.0 {
+            return Err(format!(
+                "retry.backoff_factor must be >= 1, got {}",
+                rp.backoff_factor
+            ));
+        }
+        if let Some(mtbf) = self.devices.mtbf_secs {
+            // NaN-safe: a NaN MTBF must be rejected too.
+            let ok = mtbf.is_finite() && mtbf > 0.0;
+            if !ok {
+                return Err(format!("devices.mtbf_secs must be positive, got {mtbf}"));
+            }
+        }
+        if let Some(at) = self.devices.controller_failover_at_secs {
+            if !(at.is_finite() && at >= 0.0) {
+                return Err(format!(
+                    "devices.controller_failover_at_secs must be >= 0, got {at}"
+                ));
+            }
+        }
+        let takeover = self.devices.controller_takeover_secs;
+        let takeover_ok = takeover.is_finite() && takeover >= 0.0;
+        if !takeover_ok {
+            return Err(format!(
+                "devices.controller_takeover_secs must be >= 0, got {}",
+                self.devices.controller_takeover_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Network-layer disturbances applied by `net::fabric` to transfers that
+/// cross the wireless segment (wired cloud links are assumed reliable,
+/// matching the paper's testbed where only the WiFi uplink is lossy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaults {
+    /// Per-transfer probability that a wireless transfer needs a
+    /// retransmission round before it gets through.
+    pub packet_loss: f64,
+    /// Delay added per retransmission round (default 200 ms ≈ WiFi
+    /// retransmit + backoff at the transport layer).
+    pub retransmit: SimDuration,
+    /// Multiplier on wireless bandwidth (1.0 = nominal). Applied when the
+    /// topology is built, so it degrades every transfer uniformly.
+    pub bandwidth_factor: f64,
+    /// Per-device WiFi disconnect windows; transfers touching the device
+    /// are held until the window closes (then retried).
+    pub disconnects: Vec<LinkOutage>,
+    /// Whole-segment partitions; every wireless transfer is held until
+    /// the partition heals.
+    pub partitions: Vec<Partition>,
+}
+
+impl Default for NetFaults {
+    fn default() -> Self {
+        NetFaults {
+            packet_loss: 0.0,
+            retransmit: SimDuration::from_millis(200),
+            bandwidth_factor: 1.0,
+            disconnects: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl NetFaults {
+    /// `true` if any network knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.packet_loss > 0.0
+            || self.bandwidth_factor != 1.0
+            || !self.disconnects.is_empty()
+            || !self.partitions.is_empty()
+    }
+
+    /// `true` if the fabric needs a per-transfer fault pass (loss or
+    /// hold-back windows; pure bandwidth degradation is applied once at
+    /// topology build time and needs no per-transfer work).
+    pub fn per_transfer(&self) -> bool {
+        self.packet_loss > 0.0 || !self.disconnects.is_empty() || !self.partitions.is_empty()
+    }
+}
+
+/// One device's WiFi link down over `[from_secs, until_secs)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkOutage {
+    /// Device whose uplink disconnects.
+    pub device: u32,
+    /// Window start, seconds from run start.
+    pub from_secs: f64,
+    /// Window end (reconnect), seconds from run start.
+    pub until_secs: f64,
+}
+
+/// A whole-segment wireless partition over `[from_secs, until_secs)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partition {
+    /// Window start, seconds from run start.
+    pub from_secs: f64,
+    /// Window end (heal), seconds from run start.
+    pub until_secs: f64,
+}
+
+/// A scheduled cloud-server crash: the server drops out at `at_secs`,
+/// loses every in-flight invocation (they are rescheduled), and rejoins
+/// the cluster `down_secs` later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCrash {
+    /// Index of the server to crash.
+    pub server: u32,
+    /// Crash instant, seconds from run start.
+    pub at_secs: f64,
+    /// How long the server stays down.
+    pub down_secs: f64,
+}
+
+/// Function-level failure process plus the policy that masks it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FunctionFaults {
+    /// Per-attempt failure probability. `None` keeps the platform's
+    /// calibrated fault rate; `Some(r)` overrides it.
+    pub fault_rate: Option<f64>,
+    /// Retry/timeout/backoff policy applied to every invocation.
+    pub retry: RetryPolicy,
+}
+
+impl FunctionFaults {
+    /// `true` if any function knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.fault_rate.is_some() || self.retry != RetryPolicy::default()
+    }
+}
+
+/// Retry/timeout/exponential-backoff policy for failed function attempts.
+///
+/// The default reproduces the repo's historical behaviour exactly: up to
+/// 6 attempts (5 respawns), no timeout, no backoff pause, and the final
+/// attempt always succeeds ("OpenWhisk retries until the function
+/// completes"). Any run using the default policy draws the same RNG
+/// sequence as before this policy existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per invocation (first try + retries).
+    pub max_attempts: u32,
+    /// Kill an attempt whose execution would exceed this budget and
+    /// retry it (`None` = attempts run to completion).
+    pub timeout: Option<SimDuration>,
+    /// Pause before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the pause after every retry (>= 1).
+    pub backoff_factor: f64,
+    /// Upper bound on the backoff pause.
+    pub backoff_max: SimDuration,
+    /// If `true`, an invocation whose final attempt also faults is
+    /// reported as failed (`Outcome::Failed`) instead of being forced to
+    /// succeed; the task that spawned it counts as lost.
+    pub give_up: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            timeout: None,
+            backoff_base: SimDuration::ZERO,
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_secs(10),
+            give_up: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries at most `max_attempts` times and gives up
+    /// afterwards, with exponential backoff starting at `backoff_base`.
+    pub fn bounded(max_attempts: u32, backoff_base: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff_base,
+            give_up: true,
+            ..Self::default()
+        }
+    }
+
+    /// The pause to insert before retry number `retry` (0-based).
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let mut pause = self.backoff_base;
+        for _ in 0..retry {
+            pause = pause.mul_f64(self.backoff_factor).min(self.backoff_max);
+        }
+        pause
+    }
+}
+
+/// Device-fleet and controller failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFaults {
+    /// Mean time between failures per device (exponential). Failure
+    /// times are drawn once per device from the dedicated fault lane and
+    /// merged with the scripted `fail_device` schedule.
+    pub mtbf_secs: Option<f64>,
+    /// Kill the primary controller at this instant; the backup takes
+    /// over after [`DETECTION_WINDOW`] plus `controller_takeover_secs`.
+    pub controller_failover_at_secs: Option<f64>,
+    /// Warm-standby takeover time once the failure is detected (state
+    /// re-sync + scheduler restart).
+    pub controller_takeover_secs: f64,
+}
+
+impl Default for DeviceFaults {
+    fn default() -> Self {
+        DeviceFaults {
+            mtbf_secs: None,
+            controller_failover_at_secs: None,
+            controller_takeover_secs: 0.5,
+        }
+    }
+}
+
+impl DeviceFaults {
+    /// `true` if any device knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.mtbf_secs.is_some() || self.controller_failover_at_secs.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(!plan.net.is_active());
+        assert!(!plan.functions.is_active());
+        assert!(!plan.devices.is_active());
+        assert!(plan.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn builders_activate_their_layer() {
+        assert!(FaultPlan::default().packet_loss(0.01).net.is_active());
+        assert!(FaultPlan::default().bandwidth_factor(0.5).net.is_active());
+        assert!(FaultPlan::default()
+            .link_outage(0, 1.0, 2.0)
+            .net
+            .is_active());
+        assert!(FaultPlan::default().partition(1.0, 2.0).net.is_active());
+        assert!(FaultPlan::default()
+            .function_fault_rate(0.1)
+            .functions
+            .is_active());
+        assert!(FaultPlan::default()
+            .retry(RetryPolicy::bounded(3, SimDuration::ZERO))
+            .functions
+            .is_active());
+        assert!(FaultPlan::default().device_mtbf(100.0).devices.is_active());
+        assert!(FaultPlan::default()
+            .controller_failover(10.0)
+            .devices
+            .is_active());
+        assert!(FaultPlan::default().server_crash(0, 1.0, 1.0).is_active());
+        assert!(FaultPlan::default()
+            .slo(SimDuration::from_secs(1))
+            .is_active());
+    }
+
+    #[test]
+    fn pure_bandwidth_degradation_needs_no_per_transfer_pass() {
+        let plan = FaultPlan::default().bandwidth_factor(0.5);
+        assert!(plan.net.is_active());
+        assert!(!plan.net.per_transfer());
+        assert!(FaultPlan::default().packet_loss(0.01).net.per_transfer());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let fleet = |p: FaultPlan| p.validate(8, 4);
+        assert!(fleet(FaultPlan::default().packet_loss(1.5)).is_err());
+        assert!(fleet(FaultPlan::default().bandwidth_factor(0.0)).is_err());
+        assert!(fleet(FaultPlan::default().link_outage(8, 1.0, 2.0)).is_err());
+        assert!(fleet(FaultPlan::default().link_outage(0, 2.0, 1.0)).is_err());
+        assert!(fleet(FaultPlan::default().partition(-1.0, 2.0)).is_err());
+        assert!(fleet(FaultPlan::default().server_crash(4, 1.0, 1.0)).is_err());
+        assert!(fleet(FaultPlan::default().server_crash(0, 1.0, 0.0)).is_err());
+        assert!(fleet(FaultPlan::default().function_fault_rate(-0.1)).is_err());
+        assert!(fleet(FaultPlan::default().device_mtbf(0.0)).is_err());
+        assert!(fleet(FaultPlan::default().controller_failover(-1.0)).is_err());
+        let mut bad_retry = FaultPlan::default();
+        bad_retry.functions.retry.max_attempts = 0;
+        assert!(fleet(bad_retry).is_err());
+    }
+
+    #[test]
+    fn default_retry_matches_legacy_respawn_limit() {
+        let rp = RetryPolicy::default();
+        // Legacy loop allowed `respawns < 5`, i.e. 6 total attempts.
+        assert_eq!(rp.max_attempts, 6);
+        assert!(!rp.give_up);
+        assert_eq!(rp.timeout, None);
+        assert_eq!(rp.backoff(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let rp = RetryPolicy {
+            backoff_base: SimDuration::from_millis(100),
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_millis(500),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(rp.backoff(0), SimDuration::from_millis(100));
+        assert_eq!(rp.backoff(1), SimDuration::from_millis(200));
+        assert_eq!(rp.backoff(2), SimDuration::from_millis(400));
+        assert_eq!(rp.backoff(3), SimDuration::from_millis(500));
+        assert_eq!(rp.backoff(10), SimDuration::from_millis(500));
+    }
+}

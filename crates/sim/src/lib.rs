@@ -20,6 +20,9 @@
 //!   log-normal, bounded Pareto, empirical).
 //! * [`stats`] — streaming summaries, percentile estimation, histograms,
 //!   time series and bandwidth meters used by every experiment harness.
+//! * [`faults`] — the declarative fault-injection vocabulary
+//!   ([`FaultPlan`], [`RetryPolicy`]) whose draws come from a dedicated
+//!   seed-chain lane, so enabling faults never perturbs a fault-free run.
 //! * [`trace`] — zero-cost-when-disabled structured tracing ([`Tracer`],
 //!   [`TraceHandle`]) with JSONL and Chrome `trace_event` exporters, so a
 //!   run can be replayed event by event in Perfetto.
@@ -61,6 +64,7 @@
 pub mod component;
 pub mod dist;
 pub mod engine;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -69,6 +73,7 @@ pub mod trace;
 pub use component::Component;
 pub use dist::Dist;
 pub use engine::{Context, Engine, Model};
+pub use faults::{FaultPlan, RetryPolicy};
 pub use rng::RngForge;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};

@@ -5,9 +5,55 @@
 //! device's remaining area is then "repartitioned equally among its
 //! neighboring drones assuming they have sufficient battery" (Fig. 10).
 
+use std::fmt;
+
 use hivemind_sim::time::{SimDuration, SimTime};
 
 use crate::geometry::Rect;
+
+/// Why a failover operation could not proceed.
+///
+/// Injected fault storms can drive the tracker and repartitioner into
+/// states that used to abort the run (a heartbeat from an unknown id, a
+/// swarm with no survivors); the `try_*` variants surface those as values
+/// so the caller can degrade gracefully instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverError {
+    /// A device id outside the tracked fleet.
+    DeviceOutOfRange {
+        /// The offending id.
+        device: u32,
+        /// Fleet size.
+        fleet: u32,
+    },
+    /// `regions` and `alive` disagree on the fleet size.
+    LengthMismatch {
+        /// `regions.len()`.
+        regions: usize,
+        /// `alive.len()`.
+        alive: usize,
+    },
+    /// Every device is dead; there is nobody to absorb the area.
+    NoSurvivors,
+}
+
+impl fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailoverError::DeviceOutOfRange { device, fleet } => {
+                write!(f, "device id out of range: {device} >= fleet of {fleet}")
+            }
+            FailoverError::LengthMismatch { regions, alive } => {
+                write!(f, "regions/alive length mismatch: {regions} vs {alive}")
+            }
+            FailoverError::NoSurvivors => {
+                write!(f, "at least one device must be alive to absorb the area")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
 
 /// Heartbeat bookkeeping for a set of devices.
 ///
@@ -60,13 +106,25 @@ impl HeartbeatTracker {
     ///
     /// # Panics
     ///
-    /// Panics if the device id is out of range.
+    /// Panics if the device id is out of range; use
+    /// [`HeartbeatTracker::try_beat`] when ids come from untrusted or
+    /// fault-injected sources.
     pub fn beat(&mut self, device: u32, now: SimTime) {
+        if let Err(e) = self.try_beat(device, now) {
+            panic!("{e}");
+        }
+    }
+
+    /// Records a heartbeat from `device` at `now`, rejecting unknown ids
+    /// instead of panicking.
+    pub fn try_beat(&mut self, device: u32, now: SimTime) -> Result<(), FailoverError> {
+        let fleet = self.last_beat.len() as u32;
         let slot = self
             .last_beat
             .get_mut(device as usize)
-            .expect("device id out of range");
+            .ok_or(FailoverError::DeviceOutOfRange { device, fleet })?;
         *slot = Some(now);
+        Ok(())
     }
 
     /// Devices considered failed at `now` (silent longer than the
@@ -106,10 +164,35 @@ impl HeartbeatTracker {
 ///
 /// # Panics
 ///
-/// Panics if `failed` is out of range or every device is failed.
+/// Panics if `failed` is out of range or every device is failed; use
+/// [`try_repartition`] when either can occur legitimately (e.g. under an
+/// injected fault storm that kills the whole fleet).
 pub fn repartition(regions: &[Rect], alive: &[bool], failed: usize) -> Vec<(usize, Rect)> {
-    assert!(failed < regions.len(), "failed index out of range");
-    assert_eq!(regions.len(), alive.len(), "regions/alive length mismatch");
+    match try_repartition(regions, alive, failed) {
+        Ok(extra) => extra,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`repartition`]: returns an error instead of panicking when
+/// `failed` is out of range, the slices disagree, or no device survives.
+pub fn try_repartition(
+    regions: &[Rect],
+    alive: &[bool],
+    failed: usize,
+) -> Result<Vec<(usize, Rect)>, FailoverError> {
+    if failed >= regions.len() {
+        return Err(FailoverError::DeviceOutOfRange {
+            device: failed as u32,
+            fleet: regions.len() as u32,
+        });
+    }
+    if regions.len() != alive.len() {
+        return Err(FailoverError::LengthMismatch {
+            regions: regions.len(),
+            alive: alive.len(),
+        });
+    }
     let lost = regions[failed];
     let mut neighbors: Vec<usize> = regions
         .iter()
@@ -129,11 +212,11 @@ pub fn repartition(regions: &[Rect], alive: &[bool], failed: usize) -> Vec<(usiz
                     .total_cmp(&b.center().distance(lost.center()))
             })
             .map(|(i, _)| i)
-            .expect("at least one device must be alive");
+            .ok_or(FailoverError::NoSurvivors)?;
         neighbors.push(nearest);
     }
     let strips = lost.split_vertical(neighbors.len() as u32);
-    neighbors.into_iter().zip(strips).collect()
+    Ok(neighbors.into_iter().zip(strips).collect())
 }
 
 #[cfg(test)]

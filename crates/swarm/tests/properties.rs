@@ -1,9 +1,9 @@
 //! Property-based tests for the swarm substrate.
 
 use hivemind_sim::rng::RngForge;
-use hivemind_sim::time::SimDuration;
+use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_swarm::battery::{Battery, BatteryParams};
-use hivemind_swarm::failover::repartition;
+use hivemind_swarm::failover::{repartition, try_repartition, FailoverError, HeartbeatTracker};
 use hivemind_swarm::field::{Field, FieldParams};
 use hivemind_swarm::geometry::{partition_field, Point, Rect};
 use hivemind_swarm::route::{coverage_lanes, path_length, visit_order};
@@ -132,6 +132,58 @@ proptest! {
                     b
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    /// Repartitioning after a failure hands the failed device's area to
+    /// live heirs, conserved exactly — whatever subset of the fleet is
+    /// still alive.
+    #[test]
+    fn repartition_conserves_the_lost_area(
+        n in 2u32..40,
+        failed in 0u32..40,
+        dead_mask in prop::collection::vec(any::<bool>(), 40..41),
+    ) {
+        let failed = (failed % n) as usize;
+        let field = Rect::new(0.0, 0.0, 400.0, 300.0);
+        let regions = partition_field(&field, n);
+        let mut alive: Vec<bool> = (0..n as usize).map(|i| !dead_mask[i]).collect();
+        alive[failed] = false;
+        match try_repartition(&regions, &alive, failed) {
+            Ok(extra) => {
+                prop_assert!(!extra.is_empty());
+                let total: f64 = extra.iter().map(|(_, r)| r.area()).sum();
+                let lost = regions[failed].area();
+                prop_assert!((total - lost).abs() < 1e-6 * lost.max(1.0));
+                for &(heir, _) in &extra {
+                    prop_assert!(heir != failed, "the dead device inherits nothing");
+                    prop_assert!(alive[heir], "heirs must be alive");
+                }
+            }
+            Err(e) => {
+                // The only legitimate failure is a dead fleet.
+                prop_assert!(alive.iter().all(|&a| !a), "unexpected error: {e}");
+                prop_assert_eq!(e, FailoverError::NoSurvivors);
+            }
+        }
+    }
+
+    /// The fallible heartbeat API accepts exactly the ids the tracker was
+    /// sized for and rejects the rest without panicking.
+    #[test]
+    fn heartbeats_reject_out_of_range_ids(n in 1u32..50, device in 0u32..100) {
+        let mut hb = HeartbeatTracker::new(n);
+        let r = hb.try_beat(device, SimTime::from_secs(1));
+        if device < n {
+            prop_assert!(r.is_ok());
+            prop_assert!(!hb.is_failed(device));
+        } else {
+            prop_assert_eq!(
+                r,
+                Err(FailoverError::DeviceOutOfRange { device, fleet: n })
+            );
         }
     }
 }

@@ -180,3 +180,59 @@ proptest! {
         prop_assert!(d.mean_secs() >= median * 0.99);
     }
 }
+
+proptest! {
+    // Each case runs two full experiments; keep the fleet small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Task conservation under injected chaos: every task the app issues
+    /// either completes (possibly after retries) or is counted lost —
+    /// nothing silently vanishes. With the paper's retry-forever default
+    /// the lost count is exactly zero.
+    #[test]
+    fn tasks_are_conserved_under_faults(
+        fault_rate in 0.0f64..0.3,
+        loss in 0.0f64..0.15,
+        seed in 0u64..64,
+    ) {
+        use hivemind::core::prelude::*;
+
+        let plan = FaultPlan::default()
+            .function_fault_rate(fault_rate.max(1e-3))
+            .packet_loss(loss)
+            .retry(RetryPolicy::bounded(3, SimDuration::from_millis(20)));
+        let cfg = ExperimentConfig::single_app(
+            hivemind::apps::suite::App::FaceRecognition,
+        )
+        .platform(Platform::CentralizedFaaS)
+        .duration(SimDuration::from_secs(8))
+        .seed(seed)
+        .trace(true);
+
+        // Bounded give-up retry: issued = completed + lost.
+        let chaotic = Experiment::new(cfg.clone().faults(plan.clone())).run();
+        let issued = chaotic
+            .trace
+            .as_ref()
+            .expect("tracing enabled")
+            .count("task", "submit") as u64;
+        let completed = chaotic.tasks.len() as u64;
+        let lost = chaotic.recovery.map(|r| r.tasks_lost).unwrap_or(0);
+        prop_assert_eq!(issued, completed + lost,
+            "issued {} != completed {} + lost {}", issued, completed, lost);
+
+        // Retry-forever (the paper's respawn semantics): nothing is lost
+        // and every issued task completes.
+        let forever = Experiment::new(
+            cfg.faults(plan.retry(RetryPolicy::default())),
+        )
+        .run();
+        let issued = forever
+            .trace
+            .as_ref()
+            .expect("tracing enabled")
+            .count("task", "submit") as u64;
+        prop_assert_eq!(forever.recovery.map(|r| r.tasks_lost).unwrap_or(0), 0);
+        prop_assert_eq!(issued, forever.tasks.len() as u64);
+    }
+}
