@@ -112,6 +112,30 @@ fn fig16_cars(c: &mut Criterion) {
     g.finish();
 }
 
+fn fig17_swarm_cell(c: &mut Criterion) {
+    // One cell of the fig17b swarm sweep, end-to-end: servers scale with
+    // the device count at the testbed ratio, exactly as the harness does.
+    let mut g = c.benchmark_group("fig17_swarm_cell");
+    g.sample_size(10);
+    for devices in [64u32, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &d| {
+            b.iter(|| {
+                Experiment::new(
+                    ExperimentConfig::scenario(Scenario::StationaryItems)
+                        .platform(Platform::HiveMind)
+                        .devices(d)
+                        .servers((d * 3 / 4).max(12))
+                        .seed(1),
+                )
+                .run()
+                .bandwidth
+                .mean_mbps
+            })
+        });
+    }
+    g.finish();
+}
+
 fn fig18_analytic(c: &mut Criterion) {
     c.bench_function("fig18_quickmodel_4k_samples", |b| {
         let model = QuickModel::testbed(Platform::CentralizedFaaS, App::FaceRecognition);
@@ -129,6 +153,7 @@ criterion_group! {
         fig13_ablations,
         fig15_learning,
         fig16_cars,
+        fig17_swarm_cell,
         fig18_analytic
 }
 criterion_main!(figures);

@@ -5,8 +5,10 @@
 //! ```
 //!
 //! Set `HIVEMIND_FULL=1` for paper-length runs (120 s jobs, 10 repeats,
-//! swarm sweep to 8192 devices). Pass `--trace <path>` to collect event
-//! traces from every figure; each figure gets its own trace family
+//! swarm sweep to 8192 devices). Pass `--smoke` to forward smoke mode to
+//! every figure (the seconds-scale deterministic slice the golden tests
+//! and perf baseline use). Pass `--trace <path>` to collect event traces
+//! from every figure; each figure gets its own trace family
 //! (`<stem>.fig01.<ext>`, `<stem>.fig03.<ext>`, ...) so the figures never
 //! overwrite each other's files.
 
@@ -16,6 +18,7 @@ use std::process::Command;
 use hivemind_bench::report::keyed_path;
 
 fn main() {
+    let mut smoke = false;
     let trace_base: Option<PathBuf> = {
         let mut base = None;
         let mut args = std::env::args().skip(1);
@@ -24,6 +27,8 @@ fn main() {
                 base = args.next().map(PathBuf::from);
             } else if let Some(path) = arg.strip_prefix("--trace=") {
                 base = Some(PathBuf::from(path));
+            } else if arg == "--smoke" {
+                smoke = true;
             }
         }
         base
@@ -36,6 +41,9 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
     for fig in figures {
         let mut cmd = Command::new(dir.join(fig));
+        if smoke {
+            cmd.arg("--smoke");
+        }
         if let Some(base) = &trace_base {
             cmd.arg("--trace").arg(keyed_path(base, fig));
         }

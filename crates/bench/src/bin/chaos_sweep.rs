@@ -82,7 +82,7 @@ fn sweep() {
             .faults(FaultPlan::default().controller_failover(60.0)),
     )
     .run();
-    let mtbf = Experiment::new(base.clone().faults(FaultPlan::default().device_mtbf(900.0))).run();
+    let mtbf = Experiment::new(base.faults(FaultPlan::default().device_mtbf(900.0))).run();
     let mut table = Table::new(["mission", "time (s)", "found", "completed", "failures"]);
     for (label, o) in [
         ("healthy", &healthy),

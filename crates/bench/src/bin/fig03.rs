@@ -4,7 +4,7 @@
 //! for face recognition as drones and frame resolution increase.
 
 use hivemind_bench::report::Report;
-use hivemind_bench::{banner, ms, pct, single_app_duration_secs, Table, Workload};
+use hivemind_bench::{banner, ms, pct, single_app_duration_secs, smoke, Table, Workload};
 use hivemind_core::prelude::*;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
         "median (ms)",
         "p99 (ms)",
     ]);
-    let workloads = Workload::evaluation_set();
+    let workloads = Workload::active_set();
     let configs: Vec<ExperimentConfig> = workloads
         .iter()
         .map(|w| {
@@ -32,7 +32,7 @@ fn main() {
             }
         })
         .collect();
-    for (w, mut o) in workloads.iter().zip(report.run_configs(&configs)) {
+    for (w, o) in workloads.iter().zip(report.run_configs(&configs)) {
         let net = o.tasks.network_fraction();
         let mgmt = o.tasks.management_fraction();
         let exec = (1.0 - net - mgmt).max(0.0);
@@ -53,14 +53,24 @@ fn main() {
     // input_scale 1.0 = the default 2 MB batch; sweep 512 KB → 8 MB at
     // the full 8 fps offered load the paper uses for this experiment.
     let mut cells = Vec::new();
-    for (label, scale) in [
-        ("512KB", 0.25),
-        ("1MB", 0.5),
-        ("2MB", 1.0),
-        ("4MB", 2.0),
-        ("8MB", 4.0),
-    ] {
-        for drones in [2u32, 4, 8, 12, 16] {
+    let resolutions: &[(&str, f64)] = if smoke() {
+        &[("2MB", 1.0), ("8MB", 4.0)]
+    } else {
+        &[
+            ("512KB", 0.25),
+            ("1MB", 0.5),
+            ("2MB", 1.0),
+            ("4MB", 2.0),
+            ("8MB", 4.0),
+        ]
+    };
+    let drone_counts: &[u32] = if smoke() {
+        &[4, 16]
+    } else {
+        &[2, 4, 8, 12, 16]
+    };
+    for &(label, scale) in resolutions {
+        for &drones in drone_counts {
             cells.push((label, scale, drones));
         }
     }
@@ -76,7 +86,7 @@ fn main() {
                 .seed(1)
         })
         .collect();
-    for (&(label, _, drones), mut o) in cells.iter().zip(report.run_configs(&sweep)) {
+    for (&(label, _, drones), o) in cells.iter().zip(report.run_configs(&sweep)) {
         table.row([
             label.to_string(),
             drones.to_string(),

@@ -3,7 +3,7 @@
 //! cloud vs distributed edge execution.
 
 use hivemind_bench::report::{task_quantile_secs, Report};
-use hivemind_bench::{banner, ms, repeats, Table, Workload};
+use hivemind_bench::{banner, ms, repeats, smoke, Table, Workload};
 use hivemind_core::prelude::*;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
         "edge p50",
         "edge p99",
     ]);
-    let apps: Vec<Workload> = Workload::evaluation_set().into_iter().take(10).collect();
+    let apps: Vec<Workload> = Workload::active_set()
+        .into_iter()
+        .filter(|w| matches!(w, Workload::App(_)))
+        .collect();
     let configs: Vec<ExperimentConfig> = apps
         .iter()
         .flat_map(|w| {
@@ -46,7 +49,12 @@ fn main() {
 
     banner("Figure 4b: job latency (s) for the end-to-end scenarios");
     let mut table = Table::new(["scenario", "platform", "median (s)", "max (s)", "completed"]);
-    for scenario in [Scenario::StationaryItems, Scenario::MovingPeople] {
+    let scenarios: &[Scenario] = if smoke() {
+        &[Scenario::StationaryItems]
+    } else {
+        &[Scenario::StationaryItems, Scenario::MovingPeople]
+    };
+    for &scenario in scenarios {
         for platform in [Platform::CentralizedFaaS, Platform::DistributedEdge] {
             let set = report.run_replicated(
                 &ExperimentConfig::scenario(scenario)
@@ -54,7 +62,7 @@ fn main() {
                     .seed(1),
                 repeats(),
             );
-            let mut s = set.mission_durations();
+            let s = set.mission_durations();
             table.row([
                 scenario.label().to_string(),
                 platform.label().to_string(),

@@ -23,7 +23,10 @@ fn main() {
         "faas p99",
         "faas p99/p50",
     ]);
-    let apps: Vec<Workload> = Workload::evaluation_set().into_iter().take(10).collect();
+    let apps: Vec<Workload> = Workload::active_set()
+        .into_iter()
+        .filter(|w| matches!(w, Workload::App(_)))
+        .collect();
     // "Reserved" = a fixed pool generously provisioned so only inherent
     // exec-time variability remains; serverless adds instantiation and
     // data-plane variability on top.

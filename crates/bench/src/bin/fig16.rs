@@ -2,7 +2,7 @@
 //! battery consumption for the Treasure Hunt and Maze scenarios.
 
 use hivemind_bench::report::Report;
-use hivemind_bench::{banner, repeats, Table};
+use hivemind_bench::{banner, repeats, smoke, Table};
 use hivemind_core::prelude::*;
 
 fn main() {
@@ -17,7 +17,12 @@ fn main() {
         "battery max (%)",
         "goals",
     ]);
-    for scenario in [Scenario::TreasureHunt, Scenario::CarMaze] {
+    let scenarios: &[Scenario] = if smoke() {
+        &[Scenario::TreasureHunt]
+    } else {
+        &[Scenario::TreasureHunt, Scenario::CarMaze]
+    };
+    for &scenario in scenarios {
         for platform in [
             Platform::CentralizedFaaS,
             Platform::DistributedEdge,
@@ -29,7 +34,7 @@ fn main() {
                     .seed(1),
                 repeats(),
             );
-            let mut lat = set.mission_durations();
+            let lat = set.mission_durations();
             let goals = set
                 .outcomes()
                 .last()

@@ -3,10 +3,10 @@
 //! from 16 to 8192 drones (simulated, links scaled proportionally).
 //!
 //! Set `HIVEMIND_FULL=1` to extend the swarm sweep to 8192 devices
-//! (several minutes); the default sweep stops at 2048.
+//! (several minutes); the default sweep stops at 4096.
 
 use hivemind_bench::report::Report;
-use hivemind_bench::{banner, full_fidelity, Table};
+use hivemind_bench::{banner, full_fidelity, smoke, Table};
 use hivemind_core::prelude::*;
 
 fn main() {
@@ -19,19 +19,27 @@ fn main() {
         "bandwidth p99 (MB/s)",
         "job latency (s)",
     ]);
-    let points = [
-        ("0.5MB", 0.25, 1.0),
-        ("1MB", 0.5, 1.0),
-        ("2MB", 1.0, 1.0),
-        ("4MB", 2.0, 1.0),
-        ("8MB", 4.0, 1.0),
-        ("8MB 16fps", 4.0, 2.0),
-        ("8MB 32fps", 4.0, 4.0),
-    ];
+    let points: &[(&str, f64, f64)] = if smoke() {
+        &[("2MB", 1.0, 1.0), ("8MB 32fps", 4.0, 4.0)]
+    } else {
+        &[
+            ("0.5MB", 0.25, 1.0),
+            ("1MB", 0.5, 1.0),
+            ("2MB", 1.0, 1.0),
+            ("4MB", 2.0, 1.0),
+            ("8MB", 4.0, 1.0),
+            ("8MB 16fps", 4.0, 2.0),
+            ("8MB 32fps", 4.0, 4.0),
+        ]
+    };
     let cells: Vec<(Scenario, &str, f64, f64)> =
         [Scenario::StationaryItems, Scenario::MovingPeople]
             .into_iter()
-            .flat_map(|s| points.map(|(label, scale, rate)| (s, label, scale, rate)))
+            .flat_map(|s| {
+                points
+                    .iter()
+                    .map(move |&(label, scale, rate)| (s, label, scale, rate))
+            })
             .collect();
     let configs: Vec<ExperimentConfig> = cells
         .iter()
@@ -58,9 +66,12 @@ fn main() {
     banner(
         "Figure 17b: bandwidth + tail latency vs swarm size (simulated; links scale with swarm)",
     );
-    let mut sizes = vec![16u32, 32, 64, 128, 256, 512, 1024, 2048];
+    let mut sizes = if smoke() {
+        vec![16u32, 48]
+    } else {
+        vec![16u32, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    };
     if full_fidelity() {
-        sizes.push(4096);
         sizes.push(8192);
     }
     let mut table = Table::new([

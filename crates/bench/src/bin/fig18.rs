@@ -4,7 +4,7 @@
 //! all workloads across the three platforms.
 
 use hivemind_bench::report::Report;
-use hivemind_bench::{banner, ms, single_app_duration_secs, Table};
+use hivemind_bench::{banner, ms, single_app_duration_secs, smoke, Table};
 use hivemind_core::analytic::{deviation_pct, QuickModel};
 use hivemind_core::prelude::*;
 
@@ -28,9 +28,10 @@ fn main() {
         Platform::DistributedEdge,
         Platform::HiveMind,
     ];
-    let cells: Vec<(App, Platform)> = App::ALL
-        .into_iter()
-        .flat_map(|app| platforms.map(|p| (app, p)))
+    let apps: &[App] = if smoke() { &App::ALL[..2] } else { &App::ALL };
+    let cells: Vec<(App, Platform)> = apps
+        .iter()
+        .flat_map(|&app| platforms.map(|p| (app, p)))
         .collect();
     let configs: Vec<ExperimentConfig> = cells
         .iter()
@@ -42,11 +43,11 @@ fn main() {
         })
         .collect();
     let des_outcomes = report.run_configs(&configs);
-    for (&(app, platform), mut des) in cells.iter().zip(des_outcomes) {
+    for (&(app, platform), des) in cells.iter().zip(des_outcomes) {
         {
             let mut qm = QuickModel::testbed(platform, app);
             qm.duration_secs = single_app_duration_secs();
-            let mut model = qm.predict(8000, 8);
+            let model = qm.predict(8000, 8);
             let dev = deviation_pct(des.tasks.total.p99(), model.p99());
             worst = worst.max(dev.abs());
             mean_abs += dev.abs();

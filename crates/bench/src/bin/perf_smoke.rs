@@ -1,0 +1,243 @@
+//! Perf-smoke harness: measures simulator throughput and the wall-clock
+//! cost of every figure binary in `--smoke` mode, then writes
+//! `BENCH_core.json`.
+//!
+//! ```text
+//! cargo run --release -p hivemind-bench --bin perf_smoke -- [--check] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! With `--check`, the run first reads the committed baseline (default:
+//! the `--out` path before it is overwritten) and fails the process if
+//! any figure, the smoke total, or the DES kernel throughput regressed by
+//! more than 25% — with an absolute slack floor so sub-100 ms entries
+//! don't trip on scheduler noise. CI runs this after `cargo bench` in
+//! quick mode and uploads the refreshed JSON as an artifact.
+//!
+//! The JSON also carries the default-fidelity `all_figures` reference
+//! numbers from the optimization PR (measured on the single-core dev
+//! container): 67 s before, 25 s after — with the fig17 sweep's
+//! 4096-device point included only in the "after" run, since before the
+//! PR it was gated behind `HIVEMIND_FULL=1`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+use hivemind_sim::engine::{Context, Engine, Model};
+use hivemind_sim::time::{SimDuration, SimTime};
+
+const FIGURES: [&str; 14] = [
+    "fig01",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "chaos_sweep",
+];
+
+/// Pre-PR wall-clock of `all_figures` at default fidelity on the
+/// single-core dev container, and the same sweep after the hot-path
+/// optimization (which also folded the 4096-device fig17 point into the
+/// default sweep).
+const DEFAULT_SWEEP_PRE_PR_SECS: f64 = 67.0;
+const DEFAULT_SWEEP_POST_PR_SECS: f64 = 25.0;
+
+/// Allowed regression vs the committed baseline: 25% relative, plus an
+/// absolute floor so sub-100 ms smoke runs don't fail on timer noise.
+const REGRESSION_RATIO: f64 = 1.25;
+const SLACK_MS: f64 = 75.0;
+
+struct PingPong {
+    left: u64,
+}
+impl Model for PingPong {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Context<()>, _ev: ()) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_after(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+/// DES kernel throughput in events/sec: best of three 200k-event
+/// ping-pong runs (best-of smooths out single-core scheduler hiccups).
+fn measure_events_per_sec() -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut engine = Engine::new(PingPong { left: 200_000 });
+        engine.schedule_at(SimTime::ZERO, ());
+        let start = Instant::now();
+        engine.run_to_completion();
+        let rate = engine.events_processed() as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Wall-clock of one `fig --smoke` subprocess in milliseconds, best of
+/// two runs (the first also serves as page-cache warm-up).
+fn measure_smoke_ms(dir: &std::path::Path, fig: &str) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let out = Command::new(dir.join(fig))
+            .arg("--smoke")
+            .env_remove("HIVEMIND_FULL")
+            .env_remove("HIVEMIND_SMOKE")
+            .stdout(std::process::Stdio::null())
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(
+            out.status.success(),
+            "{fig} --smoke exited with {}",
+            out.status
+        );
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Pulls every `"key": <number>` pair out of a BENCH_core.json. Good
+/// enough for `--check`: all numeric keys in the schema are unique.
+fn parse_numbers(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some((key_part, value_part)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key_part.trim().trim_matches('"');
+        let value = value_part.trim().trim_end_matches(',');
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn baseline_value(baseline: &[(String, f64)], key: &str) -> Option<f64> {
+    baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+fn main() {
+    let mut check = false;
+    let mut out_path = PathBuf::from("BENCH_core.json");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out_path = args.next().map(PathBuf::from).expect("--out needs a path"),
+            "--baseline" => {
+                baseline_path = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .expect("--baseline needs a path"),
+                )
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| out_path.clone());
+    let baseline = if check {
+        let json = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            panic!(
+                "--check needs a baseline at {}: {e}",
+                baseline_path.display()
+            )
+        });
+        parse_numbers(&json)
+    } else {
+        Vec::new()
+    };
+
+    println!("perf_smoke: measuring DES kernel throughput...");
+    let events_per_sec = measure_events_per_sec();
+    println!("  des_events_per_sec: {events_per_sec:.0}");
+
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut rows: Vec<(&str, f64)> = Vec::with_capacity(FIGURES.len());
+    let mut total = 0.0;
+    for fig in FIGURES {
+        let ms = measure_smoke_ms(dir, fig);
+        println!("  {fig} --smoke: {ms:.0} ms");
+        total += ms;
+        rows.push((fig, ms));
+    }
+    println!("  total: {total:.0} ms");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"hivemind-bench-core-v1\",\n");
+    let _ = writeln!(json, "  \"des_events_per_sec\": {events_per_sec:.0},");
+    json.push_str("  \"smoke_wall_ms\": {\n");
+    for (fig, ms) in &rows {
+        let _ = writeln!(json, "    \"{fig}\": {ms:.0},");
+    }
+    let _ = writeln!(json, "    \"total\": {total:.0}");
+    json.push_str("  },\n");
+    json.push_str("  \"default_sweep_reference\": {\n");
+    let _ = writeln!(json, "    \"pre_pr_total_s\": {DEFAULT_SWEEP_PRE_PR_SECS},");
+    let _ = writeln!(
+        json,
+        "    \"post_pr_total_s\": {DEFAULT_SWEEP_POST_PR_SECS},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.2},",
+        DEFAULT_SWEEP_PRE_PR_SECS / DEFAULT_SWEEP_POST_PR_SECS
+    );
+    json.push_str(
+        "    \"note\": \"all_figures at default fidelity on the single-core dev container; \
+         the post-PR run additionally includes the 4096-device fig17 point, which pre-PR \
+         required HIVEMIND_FULL=1\"\n",
+    );
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let mut failures = Vec::new();
+    if check {
+        if let Some(base) = baseline_value(&baseline, "des_events_per_sec") {
+            if events_per_sec < base / REGRESSION_RATIO {
+                failures.push(format!(
+                    "des_events_per_sec regressed: {events_per_sec:.0} vs baseline {base:.0}"
+                ));
+            }
+        }
+        rows.push(("total", total));
+        for &(fig, ms) in rows.iter() {
+            if let Some(base) = baseline_value(&baseline, fig) {
+                if ms > base * REGRESSION_RATIO + SLACK_MS {
+                    failures.push(format!(
+                        "{fig} smoke wall regressed: {ms:.0} ms vs baseline {base:.0} ms"
+                    ));
+                }
+            }
+        }
+    }
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", out_path.display()));
+    println!("wrote {}", out_path.display());
+
+    if !failures.is_empty() {
+        eprintln!("perf_smoke: regression vs {}:", baseline_path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    if check {
+        println!("perf_smoke: no regression vs {}", baseline_path.display());
+    }
+}

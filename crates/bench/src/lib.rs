@@ -23,6 +23,12 @@
 //! `all_figures` runs the lot; `cargo bench` runs the criterion
 //! micro/scenario benchmarks under `benches/`.
 //!
+//! Every figure binary accepts `--smoke` (or `HIVEMIND_SMOKE=1`): a
+//! seconds-scale deterministic slice of the figure — short durations,
+//! two repeats, a three-workload set — used by the golden snapshot tests
+//! (`tests/golden_smoke.rs`) and the `perf_smoke` baseline harness. The
+//! default (no flag) output is untouched by smoke mode.
+//!
 //! `chaos_sweep` is the odd one out: instead of reproducing a figure it
 //! sweeps the unified fault plane (function-fault rate × packet loss,
 //! controller failover, device MTBF) and asserts graceful degradation;
@@ -61,6 +67,27 @@ impl Workload {
         v.push(Workload::Scenario(Scenario::StationaryItems));
         v.push(Workload::Scenario(Scenario::MovingPeople));
         v
+    }
+
+    /// The smoke-mode slice of [`Workload::evaluation_set`]: two apps
+    /// with different profiles plus one end-to-end mission, enough to
+    /// exercise every execution path in seconds.
+    pub fn smoke_set() -> Vec<Workload> {
+        vec![
+            Workload::App(App::FaceRecognition),
+            Workload::App(App::WeatherAnalytics),
+            Workload::Scenario(Scenario::StationaryItems),
+        ]
+    }
+
+    /// [`Workload::smoke_set`] under `--smoke`, the full
+    /// [`Workload::evaluation_set`] otherwise.
+    pub fn active_set() -> Vec<Workload> {
+        if smoke() {
+            Workload::smoke_set()
+        } else {
+            Workload::evaluation_set()
+        }
     }
 
     /// Paper column label.
@@ -107,10 +134,13 @@ pub fn run_replicated(config: &ExperimentConfig, replicates: u64) -> RunSet {
 }
 
 /// Single-app workload duration. The paper runs each job for 120 s; set
-/// `HIVEMIND_FULL=1` for that, default 60 s keeps the full harness quick.
+/// `HIVEMIND_FULL=1` for that, default 60 s keeps the full harness
+/// quick, `--smoke` drops to 4 s.
 pub fn single_app_duration_secs() -> f64 {
     if full_fidelity() {
         120.0
+    } else if smoke() {
+        4.0
     } else {
         60.0
     }
@@ -123,10 +153,27 @@ pub fn full_fidelity() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether smoke mode is requested (`--smoke` on the command line or
+/// `HIVEMIND_SMOKE=1` in the environment). Smoke mode is the golden-test
+/// and perf-baseline slice: every figure prints a deterministic,
+/// seconds-scale subset of its tables. Full fidelity wins if both are
+/// set.
+pub fn smoke() -> bool {
+    if full_fidelity() {
+        return false;
+    }
+    std::env::var("HIVEMIND_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--smoke")
+}
+
 /// Number of repetitions for distribution-style figures.
 pub fn repeats() -> u64 {
     if full_fidelity() {
         10
+    } else if smoke() {
+        2
     } else {
         3
     }

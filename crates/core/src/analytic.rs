@@ -257,15 +257,13 @@ mod tests {
         let cen =
             QuickModel::testbed(Platform::CentralizedFaaS, App::TextRecognition).predict(4000, 1);
         let hm = QuickModel::testbed(Platform::HiveMind, App::TextRecognition).predict(4000, 1);
-        let mut cen = cen;
-        let mut hm = hm;
         assert!(hm.median() < cen.median());
         assert!(hm.p99() < cen.p99());
     }
 
     #[test]
     fn edge_placement_prediction_scales_with_slowdown() {
-        let mut d =
+        let d =
             QuickModel::testbed(Platform::DistributedEdge, App::FaceRecognition).predict(2000, 2);
         // 10× the 250 ms cloud median on-board.
         assert!(d.median() > 2.0, "median {}", d.median());

@@ -190,6 +190,24 @@ enum EdgeJobKind {
     Filter,
 }
 
+/// On-device job ids carry their task and kind arithmetically (kind in
+/// the two low bits), so completions decode without a side table.
+fn edge_job(task: u32, kind: EdgeJobKind) -> u64 {
+    (task as u64) * 4
+        + match kind {
+            EdgeJobKind::Exec => 0,
+            EdgeJobKind::Filter => 1,
+        }
+}
+
+fn decode_edge_job(job: u64) -> (u32, EdgeJobKind) {
+    let kind = match job % 4 {
+        0 => EdgeJobKind::Exec,
+        _ => EdgeJobKind::Filter,
+    };
+    ((job / 4) as u32, kind)
+}
+
 #[derive(Debug, Clone)]
 struct TaskState {
     app: App,
@@ -227,12 +245,18 @@ pub struct Engine {
     actions: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
     seq: u64,
     tasks: Vec<TaskState>,
-    tags: HashMap<u64, TagPurpose>,
-    edge_jobs: HashMap<u64, (u32, EdgeJobKind)>,
+    /// Purpose of each in-flight transfer, indexed by its dense
+    /// [`TransferId`](hivemind_net::fabric::TransferId) — a direct-mapped
+    /// table instead of a hash map on the per-delivery path.
+    tags: Vec<Option<TagPurpose>>,
     /// Conservative wake index over per-device FIFO queues (entries may
     /// be early, never late) — avoids O(devices) scans per event.
     edge_wake: BinaryHeap<Reverse<(SimTime, u32)>>,
     records: Vec<TaskRecord>,
+    /// Reusable per-tick buffers (the hot loop stays allocation-free).
+    delivery_scratch: Vec<hivemind_net::fabric::Delivery>,
+    completion_scratch: Vec<hivemind_faas::types::Completion>,
+    edge_done_scratch: Vec<(SimTime, u64, SimDuration)>,
     rng: SmallRng,
     next_server: u32,
     /// Per-task uplink byte budget for hybrid platforms (rate adaptation).
@@ -345,15 +369,14 @@ impl Engine {
         // Register the suite (and intra-task split variants) on whichever
         // backend exists.
         for app in App::ALL {
-            let profile = scaled_profile(app, &cfg);
             if let Some(c) = cluster.as_mut() {
-                c.register_app(app.app_id(), profile.clone());
+                c.register_app(app.app_id(), scaled_profile(app, &cfg));
                 if cfg.intra_task {
                     c.register_app(split_id(app), split_profile(app, &cfg));
                 }
             }
             if let Some(p) = pool.as_mut() {
-                p.register_app(app.app_id(), profile.clone());
+                p.register_app(app.app_id(), scaled_profile(app, &cfg));
             }
         }
 
@@ -396,7 +419,6 @@ impl Engine {
             ledger.recovery_secs_sum += detection + takeover;
             ledger.recovery_events += 1;
             if tracer.is_enabled() {
-                let kind = ("kind", ArgValue::Str("controller_failover".into()));
                 for (name, offset) in [
                     (faults::EV_INJECTED, 0.0),
                     (faults::EV_DETECTED, detection),
@@ -407,7 +429,7 @@ impl Engine {
                         name,
                         0,
                         SimTime::ZERO + SimDuration::from_secs_f64(at + offset),
-                        vec![kind.clone()],
+                        vec![("kind", ArgValue::Str("controller_failover".into()))],
                     );
                 }
             }
@@ -434,13 +456,18 @@ impl Engine {
             cluster,
             pool,
             now: SimTime::ZERO,
-            actions: BinaryHeap::new(),
+            // Steady state keeps a handful of pending actions per device
+            // (capture, upload, response, finish); sizing the heaps up
+            // front keeps the first simulated seconds reallocation-free.
+            actions: BinaryHeap::with_capacity((devices * 4).max(64)),
             seq: 0,
             tasks: Vec::new(),
-            tags: HashMap::new(),
-            edge_jobs: HashMap::new(),
-            edge_wake: BinaryHeap::new(),
+            tags: Vec::new(),
+            edge_wake: BinaryHeap::with_capacity(devices.max(16)),
             records: Vec::new(),
+            delivery_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
+            edge_done_scratch: Vec::new(),
             rng: forge.stream("engine"),
             next_server: 0,
             placements,
@@ -545,6 +572,16 @@ impl Engine {
         self.actions.push(Reverse((at, seq, action)));
     }
 
+    /// Records the purpose of transfer `id` (ids are dense, so the table
+    /// grows at most once per new transfer).
+    fn set_tag(&mut self, id: u64, purpose: TagPurpose) {
+        let i = id as usize;
+        if self.tags.len() <= i {
+            self.tags.resize(i + 1, None);
+        }
+        self.tags[i] = Some(purpose);
+    }
+
     /// The earliest instant at which anything will happen.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = self.actions.peek().map(|Reverse((t, _, _))| *t);
@@ -631,38 +668,37 @@ impl Engine {
             let Reverse((at, _, action)) = self.actions.pop().expect("peeked");
             self.handle_action(at, action);
         }
-        // 2. Network deliveries.
-        let deliveries = self.fabric.advance_to(t);
-        for d in deliveries {
+        // 2. Network deliveries (through the reusable scratch buffer —
+        //    the per-tick hot path allocates nothing in steady state).
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.fabric.advance_into(t, &mut deliveries);
+        for d in deliveries.drain(..) {
             self.handle_delivery(d);
         }
-        // 3. Cloud completions.
+        self.delivery_scratch = deliveries;
+        // 3. Cloud completions (cluster first, then pool — platforms
+        //    carry at most one, but the order is part of the contract).
+        let mut completions = std::mem::take(&mut self.completion_scratch);
         if let Some(cluster) = self.cluster.as_mut() {
-            for c in cluster.advance_to(t) {
-                self.handle_cloud_completion(
-                    c.finished,
-                    c.tag,
-                    c.server,
-                    c.breakdown,
-                    c.cold_start,
-                    c.outcome,
-                );
-            }
+            cluster.advance_into(t, &mut completions);
         }
         if let Some(pool) = self.pool.as_mut() {
-            for c in pool.advance_to(t) {
-                self.handle_cloud_completion(
-                    c.finished,
-                    c.tag,
-                    c.server,
-                    c.breakdown,
-                    c.cold_start,
-                    c.outcome,
-                );
-            }
+            pool.advance_into(t, &mut completions);
         }
+        for c in completions.drain(..) {
+            self.handle_cloud_completion(
+                c.finished,
+                c.tag,
+                c.server,
+                c.breakdown,
+                c.cold_start,
+                c.outcome,
+            );
+        }
+        self.completion_scratch = completions;
         // 4. On-device completions, in global head-time order (entries
         //    are exact head times or stale-early duplicates).
+        let mut done = std::mem::take(&mut self.edge_done_scratch);
         while let Some(&Reverse((et, dev))) = self.edge_wake.peek() {
             if et > t {
                 break;
@@ -670,7 +706,7 @@ impl Engine {
             self.edge_wake.pop();
             match self.edge[dev as usize].next_wakeup() {
                 Some(actual) if actual <= t => {
-                    let done = self.edge[dev as usize].advance_to(actual);
+                    self.edge[dev as usize].advance_into(actual, &mut done);
                     if let Some(next) = self.edge[dev as usize].next_wakeup() {
                         self.edge_wake.push(Reverse((next, dev)));
                     }
@@ -683,7 +719,7 @@ impl Engine {
                             self.edge[dev as usize].load() as f64,
                         );
                     }
-                    for (finish, job, queued) in done {
+                    for (finish, job, queued) in done.drain(..) {
                         self.handle_edge_completion(finish, job, queued);
                     }
                 }
@@ -691,6 +727,7 @@ impl Engine {
                 None => {}
             }
         }
+        self.edge_done_scratch = done;
     }
 
     fn handle_action(&mut self, t: SimTime, action: Action) {
@@ -711,7 +748,7 @@ impl Engine {
                         tag: task as u64,
                     },
                 );
-                self.tags.insert(tag.0, TagPurpose::Upload { task });
+                self.set_tag(tag.0, TagPurpose::Upload { task });
             }
             Action::SubmitCloud { task } => {
                 let st = &self.tasks[task as usize];
@@ -748,7 +785,7 @@ impl Engine {
                         tag: task as u64,
                     },
                 );
-                self.tags.insert(tag.0, TagPurpose::Response { task });
+                self.set_tag(tag.0, TagPurpose::Response { task });
             }
             Action::Finish { task } => self.finish_task(t, task),
         }
@@ -764,9 +801,7 @@ impl Engine {
                 let service = self.edge_service(app);
                 self.tasks[task as usize].exec = service;
                 self.batteries[device as usize].draw_compute(service);
-                let job = (task as u64) * 4;
-                self.edge_jobs.insert(job, (task, EdgeJobKind::Exec));
-                self.edge_submit(t, device, job, service);
+                self.edge_submit(t, device, edge_job(task, EdgeJobKind::Exec), service);
             }
             PlacementSite::Cloud => {
                 let mut upload_bytes =
@@ -790,9 +825,7 @@ impl Engine {
                         .mul_f64(0.02)
                         .min(SimDuration::from_millis(40));
                     self.batteries[device as usize].draw_compute(filter);
-                    let job = (task as u64) * 4 + 1;
-                    self.edge_jobs.insert(job, (task, EdgeJobKind::Filter));
-                    self.edge_submit(t, device, job, filter);
+                    self.edge_submit(t, device, edge_job(task, EdgeJobKind::Filter), filter);
                 } else {
                     let send = self
                         .edge_rpc
@@ -820,7 +853,7 @@ impl Engine {
     }
 
     fn handle_delivery(&mut self, d: hivemind_net::fabric::Delivery) {
-        let Some(purpose) = self.tags.remove(&d.id.0) else {
+        let Some(purpose) = self.tags.get_mut(d.id.0 as usize).and_then(Option::take) else {
             return;
         };
         match purpose {
@@ -848,9 +881,7 @@ impl Engine {
     }
 
     fn handle_edge_completion(&mut self, finish: SimTime, job: u64, queued: SimDuration) {
-        let Some((task, kind)) = self.edge_jobs.remove(&job) else {
-            return;
-        };
+        let (task, kind) = decode_edge_job(job);
         match kind {
             EdgeJobKind::Exec => {
                 // Device-side queueing is the edge analogue of management.
@@ -873,7 +904,7 @@ impl Engine {
                         tag: task as u64,
                     },
                 );
-                self.tags.insert(tag.0, TagPurpose::ResultUpload { task });
+                self.set_tag(tag.0, TagPurpose::ResultUpload { task });
             }
             EdgeJobKind::Filter => {
                 let upload_bytes = {

@@ -36,8 +36,8 @@ pub struct FifoServer {
     running: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     /// Waiting jobs: `(arrival, id, service)`.
     waiting: VecDeque<(SimTime, u64, SimDuration)>,
-    /// Completions not yet handed out: `(finish, id, queue_delay)`.
-    ready: Vec<(SimTime, u64, SimDuration)>,
+    /// Completions not yet handed out, ordered by `(finish, id)`.
+    ready: BinaryHeap<Reverse<(SimTime, u64, SimDuration)>>,
     /// Queue delay per running id (parallel to `running` entries).
     delays: std::collections::HashMap<u64, SimDuration>,
     seq: u64,
@@ -57,7 +57,7 @@ impl FifoServer {
             servers,
             running: BinaryHeap::new(),
             waiting: VecDeque::new(),
-            ready: Vec::new(),
+            ready: BinaryHeap::new(),
             delays: std::collections::HashMap::new(),
             seq: 0,
             busy_time: SimDuration::ZERO,
@@ -85,7 +85,7 @@ impl FifoServer {
             }
             self.running.pop();
             let queued = self.delays.remove(&id).unwrap_or(SimDuration::ZERO);
-            self.ready.push((finish, id, queued));
+            self.ready.push(Reverse((finish, id, queued)));
             if let Some((arrival, wid, service)) = self.waiting.pop_front() {
                 debug_assert!(arrival <= finish);
                 self.start(finish, wid, service, finish - arrival);
@@ -106,7 +106,7 @@ impl FifoServer {
     /// Earliest pending completion, if any.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let run = self.running.peek().map(|Reverse((t, _, _))| *t);
-        let ready = self.ready.iter().map(|&(t, _, _)| t).min();
+        let ready = self.ready.peek().map(|&Reverse((t, _, _))| t);
         match (run, ready) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -116,18 +116,22 @@ impl FifoServer {
     /// Returns `(finish, id, queue_delay)` for jobs finished by `now`,
     /// in completion order.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<(SimTime, u64, SimDuration)> {
-        self.pump(now);
-        let mut out: Vec<(SimTime, u64, SimDuration)> = Vec::new();
-        self.ready.retain(|&(t, id, q)| {
-            if t <= now {
-                out.push((t, id, q));
-                false
-            } else {
-                true
-            }
-        });
-        out.sort_by_key(|&(t, id, _)| (t, id));
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
         out
+    }
+
+    /// [`FifoServer::advance_to`] into a caller-provided buffer, so a hot
+    /// caller can reuse one allocation across calls.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, u64, SimDuration)>) {
+        self.pump(now);
+        while let Some(&Reverse((t, id, q))) = self.ready.peek() {
+            if t > now {
+                break;
+            }
+            self.ready.pop();
+            out.push((t, id, q));
+        }
     }
 
     /// Jobs queued or running.

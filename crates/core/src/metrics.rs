@@ -283,7 +283,6 @@ impl Outcome {
 /// Serializes a [`Summary`] as its order statistics (deterministic
 /// regardless of sample insertion order).
 pub(crate) fn summary_json(out: &mut String, s: &Summary) {
-    let mut s = s.clone();
     out.push_str(&format!(
         "{{\"len\":{},\"mean\":{:?},\"median\":{:?},\"p99\":{:?},\"min\":{:?},\"max\":{:?}}}",
         s.len(),

@@ -33,25 +33,49 @@ pub struct Criterion {
 }
 
 impl Default for Criterion {
+    /// Defaults to 300 ms warm-up / 1 s measurement / 20 samples. With
+    /// `HIVEMIND_BENCH_QUICK=1` in the environment (the CI perf-smoke
+    /// job), every benchmark instead runs a fast low-fidelity pass —
+    /// explicit `warm_up_time`/`measurement_time` overrides are clamped
+    /// down too, since quick mode wins over per-bench configuration.
     fn default() -> Self {
-        Criterion {
-            warm_up: Duration::from_millis(300),
-            measurement: Duration::from_secs(1),
-            sample_size: 20,
+        if quick_mode() {
+            Criterion {
+                warm_up: Duration::from_millis(20),
+                measurement: Duration::from_millis(100),
+                sample_size: 5,
+            }
+        } else {
+            Criterion {
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_secs(1),
+                sample_size: 20,
+            }
         }
     }
 }
 
+/// Whether `HIVEMIND_BENCH_QUICK=1` requested a fast low-fidelity pass.
+fn quick_mode() -> bool {
+    std::env::var("HIVEMIND_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
 impl Criterion {
-    /// Sets the warm-up time before measurement starts.
+    /// Sets the warm-up time before measurement starts (ignored in quick
+    /// mode, which keeps its own shorter budget).
     pub fn warm_up_time(mut self, d: Duration) -> Self {
-        self.warm_up = d;
+        if !quick_mode() {
+            self.warm_up = d;
+        }
         self
     }
 
-    /// Sets the target total measurement time per benchmark.
+    /// Sets the target total measurement time per benchmark (ignored in
+    /// quick mode, which keeps its own shorter budget).
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement = d;
+        if !quick_mode() {
+            self.measurement = d;
+        }
         self
     }
 

@@ -201,6 +201,9 @@ pub struct Cluster {
     wait_queue: VecDeque<u32>,
     running: u32,
     completions: Vec<Completion>,
+    /// Reusable scheduler-view buffer (rebuilt before every placement
+    /// decision; reallocating it per decision dominated admission cost).
+    view_scratch: Vec<ServerView>,
     /// Exec-time history per app for straggler thresholds.
     exec_history: HashMap<AppId, Summary>,
     active_series: TimeSeries,
@@ -261,6 +264,7 @@ impl Cluster {
             wait_queue: VecDeque::new(),
             running: 0,
             completions: Vec::new(),
+            view_scratch: Vec::with_capacity(servers),
             exec_history: HashMap::new(),
             active_series: TimeSeries::new(),
             stragglers_mitigated: 0,
@@ -379,9 +383,12 @@ impl Cluster {
         self.heap.push(Reverse((at, seq, ev)));
     }
 
-    fn server_views(&self, now: SimTime) -> Vec<ServerView> {
-        (0..self.params.servers)
-            .map(|s| ServerView {
+    /// Rebuilds `view_scratch` with the schedulers' picture of the
+    /// cluster at `now`.
+    fn refresh_server_views(&mut self, now: SimTime) {
+        self.view_scratch.clear();
+        for s in 0..self.params.servers {
+            self.view_scratch.push(ServerView {
                 id: s,
                 total_cores: self.params.cores_per_server,
                 // A crashed server reports every core busy, which keeps
@@ -393,12 +400,12 @@ impl Cluster {
                     self.busy[s as usize]
                 },
                 on_probation: self.probation_until[s as usize] > now,
-            })
-            .collect()
+            });
+        }
     }
 
-    fn straggler_threshold(&mut self, app: AppId) -> Option<SimDuration> {
-        let hist = self.exec_history.get_mut(&app)?;
+    fn straggler_threshold(&self, app: AppId) -> Option<SimDuration> {
+        let hist = self.exec_history.get(&app)?;
         if hist.len() < self.params.straggler_min_samples {
             return None;
         }
@@ -413,17 +420,24 @@ impl Cluster {
             self.sample_occupancy(now);
             return;
         }
-        let views = self.server_views(now);
+        self.refresh_server_views(now);
         let choice = {
             let st = &self.invs[idx as usize];
-            self.params.policy.choose(now, &st.inv, &views, &self.warm)
+            self.params
+                .policy
+                .choose(now, &st.inv, &self.view_scratch, &self.warm)
         };
         let Some(server) = choice else {
             self.wait_queue.push_back(idx);
             self.sample_occupancy(now);
             return;
         };
+        self.place(now, idx, server);
+    }
 
+    /// Places an admitted invocation on its chosen server: occupies a
+    /// core, acquires a container, and schedules the data-in stage.
+    fn place(&mut self, now: SimTime, idx: u32, server: u32) {
         // --- Occupy a pinned core. ---
         self.busy[server as usize] += 1;
         self.running += 1;
@@ -509,7 +523,7 @@ impl Cluster {
             let st = &self.invs[idx as usize];
             (st.inv.app, st.colocated, st.server)
         };
-        let profile = self.apps.get(&app).expect("registered").clone();
+        let profile = &self.apps[&app];
         let in_proto = if colocated {
             ExchangeProtocol::InMemory
         } else {
@@ -527,7 +541,7 @@ impl Cluster {
         // (sample, coin, wasted fraction, respawn cost; up to 5 respawns,
         // final attempt forced to succeed) so fault-free and
         // default-policy runs are bit-identical to pre-policy builds.
-        let rp = self.params.retry.clone();
+        let rp = &self.params.retry;
         let mut wasted = SimDuration::ZERO;
         let mut respawns = 0u32;
         let mut gave_up = false;
@@ -673,14 +687,10 @@ impl Cluster {
     /// Execution finished: store the output, then complete.
     fn data_out_stage(&mut self, now: SimTime, idx: u32) {
         let app = self.invs[idx as usize].inv.app;
-        let profile = self.apps.get(&app).expect("registered").clone();
-        let data_out = if profile.output_bytes > 0 {
-            self.dataplane.exchange(
-                now,
-                self.params.exchange_out,
-                profile.output_bytes,
-                &mut self.rng,
-            )
+        let output_bytes = self.apps[&app].output_bytes;
+        let data_out = if output_bytes > 0 {
+            self.dataplane
+                .exchange(now, self.params.exchange_out, output_bytes, &mut self.rng)
         } else {
             SimDuration::ZERO
         };
@@ -730,21 +740,27 @@ impl Cluster {
         self.drain_wait_queue(now);
     }
 
-    /// Admits as many queued invocations as now fit.
+    /// Admits as many queued invocations as now fit. The placement
+    /// decision is made once per head-of-queue invocation (`choose` draws
+    /// no randomness, so deciding here and placing directly is exactly
+    /// the old decide-then-re-decide behavior, minus the second pass).
     fn drain_wait_queue(&mut self, now: SimTime) {
         while let Some(&head) = self.wait_queue.front() {
-            let views = self.server_views(now);
-            let can_place = self.running < self.params.max_concurrent
-                && self
-                    .params
-                    .policy
-                    .choose(now, &self.invs[head as usize].inv, &views, &self.warm)
-                    .is_some();
-            if !can_place {
+            if self.running >= self.params.max_concurrent {
                 break;
             }
+            self.refresh_server_views(now);
+            let choice = self.params.policy.choose(
+                now,
+                &self.invs[head as usize].inv,
+                &self.view_scratch,
+                &self.warm,
+            );
+            let Some(server) = choice else {
+                break;
+            };
             self.wait_queue.pop_front();
-            self.admit(now, head);
+            self.place(now, head, server);
         }
     }
 
@@ -832,6 +848,21 @@ impl Cluster {
     /// Advances to `now`, returning completions that finished at or before
     /// `now` (chronological).
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Completion> {
+        self.pump_events(now);
+        std::mem::take(&mut self.completions)
+    }
+
+    /// [`Cluster::advance_to`] into a caller-provided buffer; the internal
+    /// completion buffer keeps its capacity, so a hot caller allocates
+    /// nothing per advance.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        self.pump_events(now);
+        out.append(&mut self.completions);
+    }
+
+    /// Runs every internal event due at or before `now`, accumulating
+    /// completions in `self.completions`.
+    fn pump_events(&mut self, now: SimTime) {
         while self.heap.peek().is_some_and(|Reverse((t, _, _))| *t <= now) {
             let Reverse((t, _, ev)) = self.heap.pop().expect("peeked event vanished");
             debug_assert!(t >= self.last_event_time);
@@ -849,7 +880,6 @@ impl Cluster {
                 Ev::Recover(server) => self.recover_server(t, server),
             }
         }
-        std::mem::take(&mut self.completions)
     }
 
     /// Functions currently executing.
@@ -930,7 +960,7 @@ impl Component for Cluster {
     }
 
     fn advance(&mut self, now: SimTime, out: &mut Vec<Completion>) {
-        out.extend(self.advance_to(now));
+        self.advance_into(now, out);
     }
 }
 

@@ -81,7 +81,9 @@ pub struct FixedPool {
     busy: BinaryHeap<Reverse<(SimTime, u64)>>,
     seq: u64,
     wait_queue: VecDeque<(SimTime, Invocation)>,
-    pending: Vec<Completion>,
+    /// Finished-but-undelivered completions, ordered by `(finished, seq)`
+    /// — matching the old stable sort on finish time.
+    pending: BinaryHeap<Reverse<PendingCompletion>>,
     active_series: TimeSeries,
     tracer: TraceHandle,
 }
@@ -102,7 +104,7 @@ impl FixedPool {
             busy: BinaryHeap::new(),
             seq: 0,
             wait_queue: VecDeque::new(),
-            pending: Vec::new(),
+            pending: BinaryHeap::new(),
             active_series: TimeSeries::new(),
             tracer: TraceHandle::disabled(),
         }
@@ -140,7 +142,7 @@ impl FixedPool {
     }
 
     fn start(&mut self, now: SimTime, arrived: SimTime, inv: Invocation) {
-        let profile = self.apps[&inv.app].clone();
+        let profile = &self.apps[&inv.app];
         let data_in = if profile.input_bytes > 0 {
             self.dataplane.exchange(
                 now,
@@ -168,23 +170,26 @@ impl FixedPool {
         self.seq += 1;
         self.busy.push(Reverse((finish, seq)));
         self.active_series.record(now, self.busy.len() as f64);
-        self.pending.push(Completion {
-            tag: inv.tag,
-            app: inv.app,
-            server: 0,
-            arrived,
-            finished: finish,
-            breakdown: LatencyBreakdown {
-                queueing: now - arrived,
-                management: SimDuration::ZERO,
-                instantiation: SimDuration::ZERO,
-                data_io: data_in + data_out,
-                exec,
+        self.push_pending(
+            seq,
+            Completion {
+                tag: inv.tag,
+                app: inv.app,
+                server: 0,
+                arrived,
+                finished: finish,
+                breakdown: LatencyBreakdown {
+                    queueing: now - arrived,
+                    management: SimDuration::ZERO,
+                    instantiation: SimDuration::ZERO,
+                    data_io: data_in + data_out,
+                    exec,
+                },
+                cold_start: false,
+                in_memory_exchange: false,
+                outcome: Outcome::Ok,
             },
-            cold_start: false,
-            in_memory_exchange: false,
-            outcome: Outcome::Ok,
-        });
+        );
     }
 
     /// Submits an invocation.
@@ -213,8 +218,16 @@ impl FixedPool {
     }
 
     /// Advances to `now`, returning finished completions.
-    #[allow(clippy::while_let_loop)] // the loop also breaks on `t > now`
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// [`FixedPool::advance_to`] into a caller-provided buffer, so a hot
+    /// caller can reuse one allocation across calls.
+    #[allow(clippy::while_let_loop)] // the loop also breaks on `t > now`
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
         // Free workers as their tasks finish, starting queued work at the
         // exact instant each worker frees (not at `now`).
         loop {
@@ -230,17 +243,20 @@ impl FixedPool {
             }
             self.sample_occupancy(t);
         }
-        let mut done: Vec<Completion> = Vec::new();
-        self.pending.retain(|c| {
-            if c.finished <= now {
-                done.push(c.clone());
-                false
-            } else {
-                true
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.completion.finished > now {
+                break;
             }
-        });
-        done.sort_by_key(|c| c.finished);
-        done
+            let Some(Reverse(p)) = self.pending.pop() else {
+                unreachable!("peeked completion vanished");
+            };
+            out.push(p.completion);
+        }
+    }
+
+    fn push_pending(&mut self, seq: u64, completion: Completion) {
+        self.pending
+            .push(Reverse(PendingCompletion { seq, completion }));
     }
 
     /// Tasks waiting for a worker.
@@ -267,7 +283,35 @@ impl Component for FixedPool {
     }
 
     fn advance(&mut self, now: SimTime, out: &mut Vec<Completion>) {
-        out.extend(self.advance_to(now));
+        self.advance_into(now, out);
+    }
+}
+
+/// Heap entry ordering pending completions by `(finished, seq)`; `seq` is
+/// the start order, reproducing the old stable sort's tie-breaking.
+#[derive(Debug)]
+struct PendingCompletion {
+    seq: u64,
+    completion: Completion,
+}
+
+impl PartialEq for PendingCompletion {
+    fn eq(&self, other: &Self) -> bool {
+        self.completion.finished == other.completion.finished && self.seq == other.seq
+    }
+}
+
+impl Eq for PendingCompletion {}
+
+impl PartialOrd for PendingCompletion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingCompletion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.completion.finished, self.seq).cmp(&(other.completion.finished, other.seq))
     }
 }
 

@@ -94,6 +94,55 @@ struct HopState {
     next_hop: usize,
 }
 
+/// A fault-held transfer queued for release, min-ordered by
+/// `(release time, transfer id)` — the same total order the old linear
+/// scan selected, now O(log n) per release.
+#[derive(Debug)]
+struct Delayed {
+    at: SimTime,
+    state: HopState,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.state.id == other.state.id
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.state.id).cmp(&(other.at, other.state.id))
+    }
+}
+
+/// A completed delivery awaiting emission, min-ordered by
+/// `(delivered_at, id)` — the exact key `advance_to` used to sort by, so
+/// popping due entries replaces the old filter + clone + sort pass.
+#[derive(Debug)]
+struct PendingDelivery(Delivery);
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.delivered_at == other.0.delivered_at && self.0.id == other.0.id
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.delivered_at, self.0.id).cmp(&(other.0.delivered_at, other.0.id))
+    }
+}
+
 /// The network fabric component.
 ///
 /// # Examples
@@ -120,8 +169,9 @@ pub struct Fabric {
     topology: Topology,
     links: Vec<Link<HopState>>,
     next_id: u64,
-    /// Local (zero-hop) deliveries waiting to be emitted.
-    local: Vec<Delivery>,
+    /// Completed deliveries waiting to be emitted, min-ordered by
+    /// `(delivered_at, id)` so draining pops them already chronological.
+    local: BinaryHeap<Reverse<PendingDelivery>>,
     /// Delay applied to same-node "transfers" (loopback copy).
     local_delay: SimDuration,
     edge_meter: Meter,
@@ -135,9 +185,10 @@ pub struct Fabric {
     /// Fault-plan state; `None` unless the experiment injects network
     /// faults (the inert path makes no extra RNG draws).
     faults: Option<FabricFaults>,
-    /// Transfers held back by an outage/partition, keyed by release time.
-    /// Released in `(time, id)` order interleaved with hop completions.
-    delayed: Vec<(SimTime, HopState)>,
+    /// Transfers held back by an outage/partition, min-ordered by release
+    /// time. Released in `(time, id)` order interleaved with hop
+    /// completions.
+    delayed: BinaryHeap<Reverse<Delayed>>,
 }
 
 impl Fabric {
@@ -152,14 +203,14 @@ impl Fabric {
             topology,
             links,
             next_id: 0,
-            local: Vec::new(),
+            local: BinaryHeap::new(),
             local_delay: SimDuration::from_micros(50),
             edge_meter: Meter::new(SimDuration::from_secs(1)),
             total_meter: Meter::new(SimDuration::from_secs(1)),
             wake: BinaryHeap::new(),
             tracer: TraceHandle::disabled(),
             faults: None,
-            delayed: Vec::new(),
+            delayed: BinaryHeap::new(),
         }
     }
 
@@ -237,7 +288,7 @@ impl Fabric {
             now
         };
         if start > now {
-            self.delayed.push((start, state));
+            self.delayed.push(Reverse(Delayed { at: start, state }));
         } else {
             self.route(now, state);
         }
@@ -331,7 +382,7 @@ impl Fabric {
 
     fn route(&mut self, now: SimTime, mut state: HopState) {
         if state.next_hop >= state.path.len() {
-            self.local.push(Delivery {
+            self.local.push(Reverse(PendingDelivery(Delivery {
                 id: state.id,
                 tag: state.tag,
                 src: state.src,
@@ -343,7 +394,7 @@ impl Fabric {
                 } else {
                     now
                 },
-            });
+            })));
             return;
         }
         let link = state.path[state.next_hop];
@@ -386,31 +437,39 @@ impl Fabric {
     /// reconciles against the true link state.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let link_next = self.wake.peek().map(|Reverse((t, _))| *t);
-        let local_next = self.local.iter().map(|d| d.delivered_at).min();
-        let delayed_next = self.delayed.iter().map(|(t, _)| *t).min();
+        let local_next = self.local.peek().map(|Reverse(p)| p.0.delivered_at);
+        let delayed_next = self.delayed.peek().map(|Reverse(d)| d.at);
         earliest([link_next, local_next, delayed_next])
     }
 
     /// Advances the fabric to `now`, returning all deliveries that completed
     /// at or before `now` in chronological order.
+    ///
+    /// Convenience wrapper over [`Fabric::advance_into`]; hot callers
+    /// should pass their own reusable buffer instead.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut ready = Vec::new();
+        self.advance_into(now, &mut ready);
+        ready
+    }
+
+    /// Advances the fabric to `now`, appending all deliveries that
+    /// completed at or before `now` to `out` in chronological order.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
         // Process hop completions in global time order (the wake index is
         // conservative: every pending delivery has an entry at or before
         // its true time) so FIFO queues see arrivals chronologically.
         // Fault-delayed transfers are released interleaved at their exact
         // instants so link FIFOs still see arrivals in time order.
         loop {
-            let release = self
-                .delayed
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (t, s))| (*t, s.id))
-                .map(|(i, (t, _))| (*t, i));
             let wake_head = self.wake.peek().map(|Reverse((t, _))| *t);
-            if let Some((rt, ri)) = release {
+            if let Some(Reverse(head)) = self.delayed.peek() {
+                let rt = head.at;
                 if rt <= now && wake_head.is_none_or(|wt| rt <= wt) {
-                    let (_, state) = self.delayed.remove(ri);
-                    self.route(rt, state);
+                    let Some(Reverse(d)) = self.delayed.pop() else {
+                        unreachable!("peeked head vanished")
+                    };
+                    self.route(rt, d.state);
                     continue;
                 }
             }
@@ -444,17 +503,17 @@ impl Fabric {
                 None => {}
             }
         }
-        let mut ready: Vec<Delivery> = Vec::new();
-        self.local.retain(|d| {
-            if d.delivered_at <= now {
-                ready.push(d.clone());
-                false
-            } else {
-                true
+        // Emit due deliveries; the heap pops them in (delivered_at, id)
+        // order, so no sort pass and no per-delivery clone.
+        while let Some(Reverse(p)) = self.local.peek() {
+            if p.0.delivered_at > now {
+                break;
             }
-        });
-        ready.sort_by_key(|d| (d.delivered_at, d.id));
-        ready
+            let Some(Reverse(p)) = self.local.pop() else {
+                unreachable!("peeked head vanished")
+            };
+            out.push(p.0);
+        }
     }
 
     /// Bytes that crossed the wireless edge↔cloud boundary, total.
@@ -475,9 +534,10 @@ impl Fabric {
     }
 
     /// Current number of items queued/in flight on each link, for
-    /// congestion diagnostics.
-    pub fn link_loads(&self) -> Vec<usize> {
-        self.links.iter().map(|l| l.load()).collect()
+    /// congestion diagnostics (allocation-free; collect if a `Vec` is
+    /// needed).
+    pub fn link_loads(&self) -> impl Iterator<Item = usize> + '_ {
+        self.links.iter().map(|l| l.load())
     }
 }
 
@@ -494,7 +554,7 @@ impl Component for Fabric {
     }
 
     fn advance(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
-        out.extend(self.advance_to(now));
+        self.advance_into(now, out);
     }
 }
 

@@ -75,10 +75,18 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     /// A toy component: echoes each command back after a fixed delay.
+    ///
+    /// The in-flight set is a time-ordered min-heap, so `advance` pops
+    /// exactly the due entries in `(time, value)` order instead of
+    /// filter + retain + sort over the whole backlog — the same shape the
+    /// real delay queues (`net::fabric`, `faas` pipelines) use.
     struct DelayLine {
         delay: SimDuration,
-        inflight: Vec<(SimTime, u32)>,
+        inflight: BinaryHeap<Reverse<(SimTime, u32)>>,
     }
 
     impl Component for DelayLine {
@@ -86,23 +94,21 @@ mod tests {
         type Output = u32;
 
         fn handle(&mut self, now: SimTime, cmd: u32) {
-            self.inflight.push((now + self.delay, cmd));
+            self.inflight.push(Reverse((now + self.delay, cmd)));
         }
 
         fn next_wakeup(&self) -> Option<SimTime> {
-            self.inflight.iter().map(|&(t, _)| t).min()
+            self.inflight.peek().map(|&Reverse((t, _))| t)
         }
 
         fn advance(&mut self, now: SimTime, out: &mut Vec<u32>) {
-            let mut due: Vec<_> = self
-                .inflight
-                .iter()
-                .filter(|&&(t, _)| t <= now)
-                .map(|&(t, v)| (t, v))
-                .collect();
-            due.sort();
-            self.inflight.retain(|&(t, _)| t > now);
-            out.extend(due.into_iter().map(|(_, v)| v));
+            while let Some(&Reverse((t, v))) = self.inflight.peek() {
+                if t > now {
+                    break;
+                }
+                self.inflight.pop();
+                out.push(v);
+            }
         }
     }
 
@@ -110,7 +116,7 @@ mod tests {
     fn delay_line_roundtrip() {
         let mut d = DelayLine {
             delay: SimDuration::from_millis(10),
-            inflight: vec![],
+            inflight: BinaryHeap::new(),
         };
         assert_eq!(d.next_wakeup(), None);
         d.handle(SimTime::ZERO, 7);
@@ -119,6 +125,23 @@ mod tests {
         let mut out = vec![];
         d.advance(wake, &mut out);
         assert_eq!(out, vec![7]);
+        assert_eq!(d.next_wakeup(), None);
+    }
+
+    #[test]
+    fn delay_line_drains_in_time_order() {
+        let mut d = DelayLine {
+            delay: SimDuration::from_millis(10),
+            inflight: BinaryHeap::new(),
+        };
+        // Staggered sends come back in send order; same-instant sends
+        // come back in value order (matching the old sort semantics).
+        d.handle(SimTime::from_secs(1), 3);
+        d.handle(SimTime::ZERO, 9);
+        d.handle(SimTime::ZERO, 2);
+        let mut out = vec![];
+        d.advance(SimTime::from_secs(5), &mut out);
+        assert_eq!(out, vec![2, 9, 3]);
         assert_eq!(d.next_wakeup(), None);
     }
 

@@ -150,9 +150,17 @@ pub enum RunOutcome {
 impl<M: Model> Engine<M> {
     /// Creates an engine at `SimTime::ZERO` wrapping `model`.
     pub fn new(model: M) -> Self {
+        Engine::with_capacity(model, 0)
+    }
+
+    /// [`Engine::new`] with the event queue pre-sized for `capacity`
+    /// concurrent events, so a caller that knows its steady-state backlog
+    /// (e.g. one event per simulated device) skips the queue's growth
+    /// reallocations.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
         Engine {
             model,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(capacity),
             ctx: Context {
                 now: SimTime::ZERO,
                 seq: 0,

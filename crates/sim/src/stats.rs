@@ -11,6 +11,7 @@
 //! * [`Meter`] — windowed byte/event accounting for bandwidth figures
 //!   (Figs. 3b, 14b, 17).
 
+use std::cell::OnceCell;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
@@ -18,7 +19,13 @@ use crate::time::{SimDuration, SimTime};
 /// A collection of scalar samples with exact order statistics.
 ///
 /// Samples are stored raw (an experiment produces at most a few hundred
-/// thousand), so quantiles are exact rather than sketched.
+/// thousand), so quantiles are exact rather than sketched. The buffer
+/// keeps insertion order; quantile queries build a sorted copy once and
+/// cache it until the next mutation, so repeated percentile reads (the
+/// common figure-table pattern) sort at most once and never need `&mut`.
+/// The mean is maintained as a running sum in insertion order — exactly
+/// the fold `samples.iter().sum()` would produce, so results are
+/// bit-identical to summing on demand.
 ///
 /// # Examples
 ///
@@ -33,10 +40,20 @@ use crate::time::{SimDuration, SimTime};
 /// assert!((s.quantile(0.5) - 50.0).abs() <= 1.0);
 /// assert!((s.mean() - 50.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
+    /// Samples in insertion order (never reordered by queries).
     samples: Vec<f64>,
-    sorted: bool,
+    /// Sorted copy, built by the first quantile query after a mutation.
+    sorted: OnceCell<Vec<f64>>,
+    /// Running sum of `samples` in insertion order.
+    sum: f64,
+}
+
+impl PartialEq for Summary {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl Summary {
@@ -54,7 +71,16 @@ impl Summary {
     pub fn record(&mut self, value: f64) {
         assert!(value.is_finite(), "summary sample must be finite");
         self.samples.push(value);
-        self.sorted = false;
+        self.sum += value;
+        // A hot sorted cache stays hot: one positional insert is far
+        // cheaper than the clone-and-resort a later quantile would pay.
+        // (The straggler monitor interleaves record/quantile per
+        // completion — invalidating here would make that pass quadratic
+        // in allocations.)
+        if let Some(sorted) = self.sorted.get_mut() {
+            let i = sorted.partition_point(|x| x.total_cmp(&value).is_lt());
+            sorted.insert(i, value);
+        }
     }
 
     /// Records a duration, in seconds.
@@ -77,7 +103,7 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            self.sum / self.samples.len() as f64
         }
     }
 
@@ -92,32 +118,38 @@ impl Summary {
         var.sqrt()
     }
 
+    /// The sorted cache, built on first use after a mutation.
+    fn sorted(&self) -> &[f64] {
+        self.sorted.get_or_init(|| {
+            let mut v = self.samples.clone();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    }
+
     /// Exact `q`-quantile (nearest-rank); `0.0` when empty.
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= q <= 1.0`.
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.samples.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.samples.sort_by(f64::total_cmp);
-            self.sorted = true;
-        }
-        let n = self.samples.len();
+        let sorted = self.sorted();
+        let n = sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.samples[rank - 1]
+        sorted[rank - 1]
     }
 
     /// Median (p50).
-    pub fn median(&mut self) -> f64 {
+    pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
 
     /// 99th percentile — the paper's tail-latency metric.
-    pub fn p99(&mut self) -> f64 {
+    pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
 
@@ -140,16 +172,45 @@ impl Summary {
             .pipe_finite()
     }
 
-    /// All samples, unsorted insertion order not guaranteed after a
-    /// quantile query.
+    /// All samples, in insertion order.
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
 
     /// Merges another summary into this one.
+    ///
+    /// When both sides already have a hot sorted cache the caches are
+    /// two-way merged in O(n + m), so a percentile query on the result
+    /// does not re-sort. The running sum is extended sample-by-sample in
+    /// buffer order, matching an on-demand `iter().sum()` bit-for-bit.
     pub fn merge(&mut self, other: &Summary) {
+        for &v in &other.samples {
+            self.sum += v;
+        }
+        let merged_cache = match (self.sorted.get(), other.sorted.get()) {
+            (Some(a), Some(b)) => {
+                let mut m = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    if a[i].total_cmp(&b[j]).is_le() {
+                        m.push(a[i]);
+                        i += 1;
+                    } else {
+                        m.push(b[j]);
+                        j += 1;
+                    }
+                }
+                m.extend_from_slice(&a[i..]);
+                m.extend_from_slice(&b[j..]);
+                Some(m)
+            }
+            _ => None,
+        };
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.sorted.take();
+        if let Some(m) = merged_cache {
+            let _ = self.sorted.set(m);
+        }
     }
 
     /// Builds a [`Histogram`] of the samples with `bins` equal-width bins
@@ -192,14 +253,13 @@ impl Extend<f64> for Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut copy = self.clone();
         write!(
             f,
             "n={} mean={:.4} p50={:.4} p99={:.4}",
-            copy.len(),
-            copy.mean(),
-            copy.median(),
-            copy.p99()
+            self.len(),
+            self.mean(),
+            self.median(),
+            self.p99()
         )
     }
 }
@@ -413,17 +473,18 @@ impl Meter {
 
     /// Mean per-second rate across completed windows; `0.0` if none.
     pub fn mean_rate(&self) -> f64 {
-        let rates = self.rates_per_sec();
-        if rates.is_empty() {
-            0.0
-        } else {
-            rates.iter().sum::<f64>() / rates.len() as f64
+        if self.windows.is_empty() {
+            return 0.0;
         }
+        // Same per-window division then left-to-right sum as iterating
+        // `rates_per_sec()`, without materializing the rate vector.
+        let secs = self.window.as_secs_f64();
+        self.windows.iter().map(|w| w / secs).sum::<f64>() / self.windows.len() as f64
     }
 
     /// 99th-percentile per-second window rate.
     pub fn p99_rate(&self) -> f64 {
-        let mut s: Summary = self.rates_per_sec().into_iter().collect();
+        let s: Summary = self.rates_per_sec().into_iter().collect();
         s.p99()
     }
 }
@@ -434,7 +495,7 @@ mod tests {
 
     #[test]
     fn summary_quantiles_exact() {
-        let mut s: Summary = (1..=1000).map(|v| v as f64).collect();
+        let s: Summary = (1..=1000).map(|v| v as f64).collect();
         assert_eq!(s.quantile(0.0), 1.0);
         assert_eq!(s.quantile(1.0), 1000.0);
         assert_eq!(s.median(), 500.0);
@@ -445,7 +506,7 @@ mod tests {
 
     #[test]
     fn summary_empty_is_zeroes() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.median(), 0.0);
         assert_eq!(s.std_dev(), 0.0);

@@ -106,7 +106,7 @@ proptest! {
         let mut merged: Summary = a.iter().copied().collect();
         let other: Summary = b.iter().copied().collect();
         merged.merge(&other);
-        let mut direct: Summary = a.iter().chain(b.iter()).copied().collect();
+        let direct: Summary = a.iter().chain(b.iter()).copied().collect();
         prop_assert_eq!(merged.len(), direct.len());
         prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9 * direct.mean().max(1.0));
         prop_assert_eq!(merged.median(), direct.median());
@@ -170,8 +170,8 @@ proptest! {
             shuffled.swap(i, rng.gen_range(0..=i));
         }
 
-        let mut a = merge_all(&natural);
-        let mut b = merge_all(&shuffled);
+        let a = merge_all(&natural);
+        let b = merge_all(&shuffled);
         prop_assert_eq!(a.len(), b.len());
         prop_assert!((a.mean() - b.mean()).abs() < 1e-9 * a.mean().max(1.0));
         prop_assert_eq!(a.median(), b.median());

@@ -47,10 +47,10 @@ fn analytic_model_tracks_des_within_five_percent() {
 
     let mut mean_abs = 0.0;
     let mut worst: f64 = 0.0;
-    for (&(app, platform), mut des) in cells.iter().zip(outcomes) {
+    for (&(app, platform), des) in cells.iter().zip(outcomes) {
         let mut qm = QuickModel::testbed(platform, app);
         qm.duration_secs = DURATION_SECS;
-        let mut model = qm.predict(8000, 8);
+        let model = qm.predict(8000, 8);
         let dev = deviation_pct(des.tasks.total.p99(), model.p99()).abs();
         mean_abs += dev;
         worst = worst.max(dev);

@@ -197,14 +197,14 @@ fn bandwidth_ordering_across_platforms() {
 fn analytic_model_tracks_des_for_representative_apps() {
     use hivemind::core::analytic::QuickModel;
     for app in [App::FaceRecognition, App::SoilAnalytics] {
-        let mut des = Experiment::new(
+        let des = Experiment::new(
             ExperimentConfig::single_app(app)
                 .platform(Platform::CentralizedFaaS)
                 .duration_secs(60.0)
                 .seed(8),
         )
         .run();
-        let mut model = QuickModel::testbed(Platform::CentralizedFaaS, app).predict(8000, 8);
+        let model = QuickModel::testbed(Platform::CentralizedFaaS, app).predict(8000, 8);
         let ratio = model.median() / des.tasks.total.median();
         assert!(
             (0.7..1.4).contains(&ratio),

@@ -77,7 +77,7 @@ proptest! {
     /// Quantiles are monotone in q and bounded by min/max.
     #[test]
     fn summary_quantiles_monotone(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
-        let mut s: Summary = samples.iter().copied().collect();
+        let s: Summary = samples.iter().copied().collect();
         let q25 = s.quantile(0.25);
         let q50 = s.quantile(0.5);
         let q99 = s.quantile(0.99);
