@@ -27,7 +27,7 @@ use std::time::Instant;
 use hivemind_sim::engine::{Context, Engine, Model};
 use hivemind_sim::time::{SimDuration, SimTime};
 
-const FIGURES: [&str; 14] = [
+const FIGURES: [&str; 15] = [
     "fig01",
     "fig03",
     "fig04",
@@ -42,6 +42,7 @@ const FIGURES: [&str; 14] = [
     "fig17",
     "fig18",
     "chaos_sweep",
+    "overload_sweep",
 ];
 
 /// Pre-PR wall-clock of `all_figures` at default fidelity on the

@@ -33,7 +33,11 @@
 //! sweeps the unified fault plane (function-fault rate × packet loss,
 //! controller failover, device MTBF) and asserts graceful degradation;
 //! `chaos_sweep --smoke` prints a small deterministic slice that CI
-//! byte-diffs across `HIVEMIND_THREADS` values.
+//! byte-diffs across `HIVEMIND_THREADS` values. `overload_sweep` does the
+//! same for the overload-control plane: offered load × admission bound ×
+//! circuit breaker, asserting that shedding keeps queueing bounded at the
+//! capacity plateau while the unbounded baseline's latency grows without
+//! limit.
 //!
 //! Every figure binary accepts `--trace <path>` to export structured
 //! event traces (Chrome `trace_event` JSON + JSONL) for the runs behind

@@ -5,8 +5,9 @@
 //! float summation order shows up here as a diff. Each figure binary runs
 //! in smoke mode (a seconds-scale deterministic slice of its sweep) and
 //! its stdout is byte-compared against `tests/goldens/<bin>.smoke.txt`.
-//! `chaos_sweep --smoke` additionally covers the full `Outcome` JSON
-//! serialization, and a subset re-runs under `HIVEMIND_THREADS=1` and
+//! `chaos_sweep --smoke` and `overload_sweep --smoke` additionally cover
+//! the full `Outcome` JSON serialization (recovery and shed blocks
+//! included), and a subset re-runs under `HIVEMIND_THREADS=1` and
 //! `HIVEMIND_THREADS=8` to pin thread-count invariance.
 //!
 //! To regenerate after an intentional output change:
@@ -106,6 +107,15 @@ fn chaos_sweep() {
     check_golden("chaos_sweep", env!("CARGO_BIN_EXE_chaos_sweep"));
 }
 
+/// `overload_sweep --smoke` runs a saturated cluster under the full
+/// overload policy (bound + deadline + breaker + spillover + ingress
+/// backpressure) and prints outcome JSON including the `"shed"` block —
+/// the golden that pins shed accounting byte-for-byte.
+#[test]
+fn overload_sweep() {
+    check_golden("overload_sweep", env!("CARGO_BIN_EXE_overload_sweep"));
+}
+
 /// A subset re-runs under explicit worker counts: the parallel replicate
 /// runner must produce byte-identical output regardless of
 /// `HIVEMIND_THREADS`.
@@ -115,6 +125,7 @@ fn thread_count_invariance() {
         ("fig04", env!("CARGO_BIN_EXE_fig04")),
         ("fig13", env!("CARGO_BIN_EXE_fig13")),
         ("chaos_sweep", env!("CARGO_BIN_EXE_chaos_sweep")),
+        ("overload_sweep", env!("CARGO_BIN_EXE_overload_sweep")),
     ] {
         let one = smoke_stdout(bin, exe, Some("1"));
         let eight = smoke_stdout(bin, exe, Some("8"));

@@ -39,6 +39,7 @@ use hivemind_net::fabric::{Fabric, Transfer};
 use hivemind_net::rpc::RpcProfile;
 use hivemind_net::topology::{Node, Topology, TopologyParams};
 use hivemind_sim::faults::{self, FaultPlan};
+use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, Trace, TraceHandle};
@@ -88,6 +89,11 @@ pub struct EngineConfig {
     /// overrides the function failure process/retry policy, and stalls
     /// cluster admission across a controller failover window.
     pub faults: FaultPlan,
+    /// The overload-control policy. The inert default perturbs nothing;
+    /// an active policy bounds the cluster admission queue, arms per-app
+    /// circuit breakers, spills shed work to degraded on-device
+    /// execution, and bounds link-ingress queues — all without RNG.
+    pub overload: OverloadPolicy,
 }
 
 impl EngineConfig {
@@ -106,6 +112,7 @@ impl EngineConfig {
             iaas_workers: None,
             trace: false,
             faults: FaultPlan::default(),
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -128,6 +135,20 @@ pub struct FaultLedger {
     pub recovery_secs_sum: f64,
     /// Number of detection/recovery samples in the sums.
     pub recovery_events: u32,
+}
+
+/// Engine-level overload bookkeeping: whole-task consequences of the
+/// cluster's shed decisions, which only the engine can attribute (it owns
+/// the task ↔ sub-invocation mapping and the spillover re-routing).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShedLedger {
+    /// Tasks re-routed to degraded on-device execution after a shed.
+    pub tasks_spilled: u64,
+    /// Tasks abandoned because a sub-invocation was shed and no spillover
+    /// was configured.
+    pub tasks_shed: u64,
+    /// Accuracy points lost across all spilled tasks (sum, not mean).
+    pub accuracy_penalty_sum_pct: f64,
 }
 
 /// Completed-task record with the paper's latency decomposition.
@@ -188,6 +209,9 @@ enum TagPurpose {
 enum EdgeJobKind {
     Exec,
     Filter,
+    /// Degraded-model re-execution of a task whose cloud work was shed
+    /// (brownout spillover).
+    Spillover,
 }
 
 /// On-device job ids carry their task and kind arithmetically (kind in
@@ -197,12 +221,14 @@ fn edge_job(task: u32, kind: EdgeJobKind) -> u64 {
         + match kind {
             EdgeJobKind::Exec => 0,
             EdgeJobKind::Filter => 1,
+            EdgeJobKind::Spillover => 2,
         }
 }
 
 fn decode_edge_job(job: u64) -> (u32, EdgeJobKind) {
     let kind = match job % 4 {
         0 => EdgeJobKind::Exec,
+        2 => EdgeJobKind::Spillover,
         _ => EdgeJobKind::Filter,
     };
     ((job / 4) as u32, kind)
@@ -230,6 +256,9 @@ struct TaskState {
     /// A sub-invocation exhausted its retry budget; the task is lost and
     /// produces no [`TaskRecord`].
     failed: bool,
+    /// A sub-invocation was shed by the overload plane; the task either
+    /// spills over to the device or is abandoned.
+    shed: bool,
 }
 
 /// The simulation engine.
@@ -270,6 +299,7 @@ pub struct Engine {
     fpga: Option<FpgaFabric>,
     tracer: TraceHandle,
     ledger: FaultLedger,
+    shed_ledger: ShedLedger,
 }
 
 impl Engine {
@@ -285,6 +315,9 @@ impl Engine {
         assert!(cfg.input_scale > 0.0);
         if let Err(e) = cfg.faults.validate(cfg.devices, cfg.servers) {
             panic!("invalid fault plan: {e}");
+        }
+        if let Err(e) = cfg.overload.validate() {
+            panic!("invalid overload policy: {e}");
         }
         let forge = RngForge::new(cfg.seed);
         let tracer = if cfg.trace {
@@ -313,6 +346,9 @@ impl Engine {
             // arming it never reshuffles the workload's randomness.
             fabric.set_faults(cfg.faults.net.clone(), forge.child("faults").stream("net"));
         }
+        // Ingress backpressure needs no RNG lane at all: hold decisions
+        // are pure functions of link occupancy at the offer instant.
+        fabric.set_backpressure(cfg.overload.net);
 
         let mut cluster = cfg
             .platform
@@ -331,6 +367,7 @@ impl Engine {
                     p.fault_rate = rate;
                 }
                 p.retry = cfg.faults.functions.retry.clone();
+                p.overload = cfg.overload.clone();
                 let mut c = Cluster::new(p, forge.child("cluster"));
                 c.set_tracer(tracer.clone());
                 for crash in &cfg.faults.servers {
@@ -476,6 +513,7 @@ impl Engine {
             fpga,
             tracer,
             ledger,
+            shed_ledger: ShedLedger::default(),
             cfg,
         }
     }
@@ -548,6 +586,7 @@ impl Engine {
             upload_bytes: 0,
             done: false,
             failed: false,
+            shed: false,
         });
         if self.tracer.is_enabled() {
             self.tracer.instant(
@@ -916,6 +955,12 @@ impl Engine {
                 self.tasks[task as usize].network += send;
                 self.push_action(finish + send, Action::Upload { task });
             }
+            EdgeJobKind::Spillover => {
+                // Degraded re-execution finished: the result is already on
+                // the device, so the task completes with no downlink leg.
+                self.tasks[task as usize].management += queued;
+                self.finish_task(finish, task);
+            }
         }
     }
 
@@ -929,7 +974,7 @@ impl Engine {
         outcome: hivemind_faas::types::Outcome,
     ) {
         let task = (tag / 16) as u32;
-        let (output_bytes, sub_done, device, lost) = {
+        let (output_bytes, sub_done, device, lost, shed, app) = {
             let st = &mut self.tasks[task as usize];
             // Aggregate sub-invocation contributions; the slowest defines
             // the completion time, the cost components take the max (they
@@ -942,6 +987,9 @@ impl Engine {
             st.sub_done = st.sub_done.max(finished);
             if matches!(outcome, hivemind_faas::types::Outcome::Failed { .. }) {
                 st.failed = true;
+            }
+            if matches!(outcome, hivemind_faas::types::Outcome::Shed { .. }) {
+                st.shed = true;
             }
             st.remaining -= 1;
             if st.remaining != 0 {
@@ -957,6 +1005,8 @@ impl Engine {
                 st.sub_done,
                 st.device,
                 st.failed,
+                st.shed,
+                st.app,
             )
         };
         if lost {
@@ -969,6 +1019,51 @@ impl Engine {
                     sub_done,
                     vec![("task", ArgValue::U64(task as u64))],
                 );
+            }
+            return;
+        }
+        if shed {
+            // The overload plane refused (at least) one sub-invocation.
+            // Brownout spillover re-routes the whole task to a degraded
+            // on-device model; without spillover the task is shed outright.
+            let spill = self.cfg.overload.spillover;
+            if spill.enabled {
+                let service = self.edge_service(app).mul_f64(1.0 / spill.degraded_speedup);
+                {
+                    let st = &mut self.tasks[task as usize];
+                    st.placement = PlacementSite::Edge;
+                    st.exec = st.exec.max(service);
+                }
+                self.batteries[device as usize].draw_compute(service);
+                self.shed_ledger.tasks_spilled += 1;
+                self.shed_ledger.accuracy_penalty_sum_pct += spill.accuracy_penalty_pct;
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        "task",
+                        "spillover",
+                        device,
+                        sub_done,
+                        vec![("task", ArgValue::U64(task as u64))],
+                    );
+                }
+                self.edge_submit(
+                    sub_done,
+                    device,
+                    edge_job(task, EdgeJobKind::Spillover),
+                    service,
+                );
+            } else {
+                self.tasks[task as usize].done = true;
+                self.shed_ledger.tasks_shed += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        "task",
+                        "shed",
+                        device,
+                        sub_done,
+                        vec![("task", ArgValue::U64(task as u64))],
+                    );
+                }
             }
             return;
         }
@@ -1053,6 +1148,12 @@ impl Engine {
     /// controller failovers, detection/recovery latency sums).
     pub fn fault_ledger(&self) -> FaultLedger {
         self.ledger
+    }
+
+    /// Engine-level overload bookkeeping (spilled and shed tasks,
+    /// accumulated accuracy penalty).
+    pub fn shed_ledger(&self) -> ShedLedger {
+        self.shed_ledger
     }
 
     /// Records a device failure applied by the mission layer: `detection`

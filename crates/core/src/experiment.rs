@@ -32,12 +32,15 @@ use hivemind_apps::learning::RetrainMode;
 use hivemind_apps::scenario::{Fleet, Scenario};
 use hivemind_apps::suite::App;
 use hivemind_sim::faults::FaultPlan;
+use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::stats::Summary;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_swarm::device::DeviceProfile;
 
 use crate::engine::{Engine, EngineConfig, TaskRecord};
-use crate::metrics::{BandwidthStats, BatteryStats, MissionOutcome, Outcome, RecoveryStats};
+use crate::metrics::{
+    BandwidthStats, BatteryStats, MissionOutcome, Outcome, RecoveryStats, ShedStats,
+};
 use crate::mission;
 use crate::platform::Platform;
 
@@ -96,6 +99,11 @@ pub struct ExperimentConfig {
     /// function failure process + retry policy, device MTBF, controller
     /// failover). The inert default leaves every metric byte-identical.
     pub faults: FaultPlan,
+    /// The overload-control policy (bounded admission, load shedding,
+    /// circuit breaking, brownout spillover, network backpressure). The
+    /// inert default leaves every metric byte-identical; an active policy
+    /// makes no RNG draws, so its decisions are pure functions of load.
+    pub overload: OverloadPolicy,
 }
 
 /// Why an [`ExperimentConfig`] cannot be run.
@@ -124,6 +132,10 @@ pub enum ConfigError {
     /// window, out-of-range target…); the string is the plan's own
     /// description of the first problem.
     InvalidFaultPlan(String),
+    /// The overload policy is inconsistent (zero deadline, zero cooldown,
+    /// out-of-range spillover model…); the string is the policy's own
+    /// description of the first problem.
+    InvalidOverloadPolicy(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -143,6 +155,9 @@ impl fmt::Display for ConfigError {
                 "fail_device at {at_secs} s is outside the workload horizon of {horizon_secs} s"
             ),
             ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            ConfigError::InvalidOverloadPolicy(msg) => {
+                write!(f, "invalid overload policy: {msg}")
+            }
         }
     }
 }
@@ -173,6 +188,7 @@ impl ExperimentConfig {
             device_failures: Vec::new(),
             trace: false,
             faults: FaultPlan::default(),
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -299,6 +315,18 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches an overload-control policy. Unlike the fault plane, the
+    /// overload plane draws no randomness at all — every shed, breaker,
+    /// and backpressure decision is a pure function of queue lengths,
+    /// counters, and event times — so the same seed compares the same
+    /// workload with and without overload control; the inert
+    /// [`OverloadPolicy::default`] leaves every metric byte-identical to
+    /// a run without a policy.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
     /// Checks the configuration for inconsistencies that would make the
     /// run meaningless: `fail_device` entries must target a device inside
     /// the fleet and fire within the workload's time horizon, and the
@@ -324,7 +352,10 @@ impl ExperimentConfig {
         }
         self.faults
             .validate(self.devices, self.servers)
-            .map_err(ConfigError::InvalidFaultPlan)
+            .map_err(ConfigError::InvalidFaultPlan)?;
+        self.overload
+            .validate()
+            .map_err(ConfigError::InvalidOverloadPolicy)
     }
 
     /// Enables (or disables) structured event tracing for the run; the
@@ -358,6 +389,7 @@ impl ExperimentConfig {
             iaas_workers: self.iaas_workers,
             trace: self.trace,
             faults: self.faults.clone(),
+            overload: self.overload.clone(),
         }
     }
 }
@@ -570,6 +602,29 @@ impl Experiment {
             }
             outcome.recovery = Some(recovery);
         }
+        // Shed metrics likewise exist only for runs with an active
+        // overload policy.
+        if cfg.overload.is_active() {
+            let mut shed = ShedStats {
+                net_holds: engine.fabric().backpressure_holds(),
+                ..ShedStats::default()
+            };
+            if let Some(cluster) = engine.cluster() {
+                let oc = cluster.overload_counters();
+                shed.invocations_shed = oc.shed_total();
+                shed.shed_queue_full = oc.shed_queue_full;
+                shed.shed_deadline = oc.shed_deadline;
+                shed.shed_breaker = oc.shed_breaker;
+                shed.breaker_opens = oc.breaker_opens;
+                shed.breaker_open_secs = cluster.breaker_open_time(end).as_secs_f64();
+            }
+            let ledger = engine.shed_ledger();
+            shed.tasks_spilled = ledger.tasks_spilled;
+            shed.tasks_shed = ledger.tasks_shed;
+            shed.mean_accuracy_penalty_pct =
+                ledger.accuracy_penalty_sum_pct / records.len().max(1) as f64;
+            outcome.shed = Some(shed);
+        }
         if mission.duration_secs == 0.0 {
             mission.duration_secs = end.as_secs_f64();
         }
@@ -680,6 +735,82 @@ mod tests {
         assert_eq!(a.tasks.len(), b.tasks.len());
         assert_eq!(a.median_task_ms(), b.median_task_ms());
         assert_eq!(a.p99_task_ms(), b.p99_task_ms());
+    }
+
+    #[test]
+    fn inert_overload_policy_is_byte_identical() {
+        let base = Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .duration_secs(15.0)
+                .seed(7),
+        )
+        .run();
+        let with_default = Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .duration_secs(15.0)
+                .overload(OverloadPolicy::default())
+                .seed(7),
+        )
+        .run();
+        assert_eq!(base.to_json(), with_default.to_json());
+        assert!(with_default.shed.is_none());
+    }
+
+    fn overloaded(policy: OverloadPolicy) -> Outcome {
+        Experiment::new(
+            ExperimentConfig::single_app(App::Slam)
+                .platform(Platform::CentralizedFaaS)
+                .servers(1)
+                .duration_secs(20.0)
+                .rate_scale(4.0)
+                .overload(policy)
+                .seed(2),
+        )
+        .run()
+    }
+
+    #[test]
+    fn bounded_queue_sheds_under_overload() {
+        let outcome = overloaded(OverloadPolicy::default().queue_bound(8));
+        let shed = outcome.shed.expect("active policy populates shed stats");
+        assert!(shed.invocations_shed > 0, "saturated queue must shed");
+        assert_eq!(shed.invocations_shed, shed.shed_queue_full);
+        assert_eq!(shed.tasks_shed, shed.invocations_shed);
+        assert_eq!(shed.tasks_spilled, 0);
+        // Shed tasks produce no record.
+        let total = outcome.tasks.len() as u64 + shed.tasks_shed;
+        assert!(!outcome.tasks.is_empty() && total > outcome.tasks.len() as u64);
+        assert!(outcome
+            .to_json()
+            .contains("\"shed\":{\"invocations_shed\":"));
+    }
+
+    #[test]
+    fn spillover_completes_shed_tasks_on_device() {
+        let bounded = overloaded(OverloadPolicy::default().queue_bound(8));
+        let spilled = overloaded(OverloadPolicy::default().queue_bound(8).spillover());
+        let stats = spilled.shed.expect("shed stats");
+        assert!(stats.tasks_spilled > 0, "shed work must spill to devices");
+        assert_eq!(stats.tasks_shed, 0, "spillover leaves no task abandoned");
+        assert!(stats.mean_accuracy_penalty_pct > 0.0);
+        assert!(
+            spilled.tasks.len() > bounded.tasks.len(),
+            "spillover recovers goodput: {} vs {}",
+            spilled.tasks.len(),
+            bounded.tasks.len()
+        );
+    }
+
+    #[test]
+    fn invalid_overload_policy_is_rejected() {
+        let cfg = ExperimentConfig::single_app(App::FaceRecognition)
+            .overload(OverloadPolicy::default().per_app_limit(0));
+        match Experiment::try_new(cfg) {
+            Err(ConfigError::InvalidOverloadPolicy(msg)) => {
+                assert!(msg.contains("per_app_limit"), "{msg}");
+            }
+            other => panic!("expected InvalidOverloadPolicy, got {other:?}"),
+        }
     }
 
     #[test]

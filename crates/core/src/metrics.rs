@@ -155,6 +155,40 @@ pub struct RecoveryStats {
     pub slo_violation_fraction: f64,
 }
 
+/// Overload-control metrics, populated only when the experiment ran with
+/// an active [`OverloadPolicy`] (so unconfigured outcomes serialize
+/// byte-identically to pre-overload-plane builds).
+///
+/// [`OverloadPolicy`]: hivemind_sim::overload::OverloadPolicy
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShedStats {
+    /// Cloud invocations refused by the admission plane, total.
+    pub invocations_shed: u64,
+    /// …because the bounded admission queue was full on arrival.
+    pub shed_queue_full: u64,
+    /// …because they waited past the queueing deadline.
+    pub shed_deadline: u64,
+    /// …because the app's circuit breaker was open (fail fast).
+    pub shed_breaker: u64,
+    /// Circuit-breaker open transitions (including re-opens from failed
+    /// half-open probes).
+    pub breaker_opens: u32,
+    /// Total wall-clock the breakers spent open, seconds.
+    pub breaker_open_secs: f64,
+    /// Shed tasks re-routed to degraded on-device execution (brownout
+    /// spillover).
+    pub tasks_spilled: u64,
+    /// Tasks abandoned outright because their cloud work was shed and no
+    /// spillover was configured.
+    pub tasks_shed: u64,
+    /// Mean accuracy penalty over *completed* tasks, percent: spilled
+    /// tasks pay the policy's degraded-accuracy cost, everything else
+    /// pays zero.
+    pub mean_accuracy_penalty_pct: f64,
+    /// Transfers held at a link ingress by network backpressure.
+    pub net_holds: u64,
+}
+
 /// Mission-level outcome (end-to-end scenarios).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MissionOutcome {
@@ -205,6 +239,9 @@ pub struct Outcome {
     pub faults_recovered: u64,
     /// Recovery metrics; `None` unless the run had an active fault plan.
     pub recovery: Option<RecoveryStats>,
+    /// Overload-control metrics; `None` unless the run had an active
+    /// overload policy.
+    pub shed: Option<ShedStats>,
     /// Structured event trace, present when the experiment ran with
     /// [`crate::experiment::ExperimentConfig::trace`] enabled. Excluded
     /// from [`Outcome::to_json`] — export it via
@@ -273,6 +310,26 @@ impl Outcome {
                 r.mean_recovery_secs,
                 r.slo_violations,
                 r.slo_violation_fraction
+            ));
+        }
+        // Likewise emitted only for overload-policy runs, preserving
+        // byte-identity for unconfigured experiments.
+        if let Some(s) = &self.shed {
+            out.push_str(&format!(
+                ",\"shed\":{{\"invocations_shed\":{},\"shed_queue_full\":{},\
+                 \"shed_deadline\":{},\"shed_breaker\":{},\"breaker_opens\":{},\
+                 \"breaker_open_secs\":{:?},\"tasks_spilled\":{},\"tasks_shed\":{},\
+                 \"mean_accuracy_penalty_pct\":{:?},\"net_holds\":{}}}",
+                s.invocations_shed,
+                s.shed_queue_full,
+                s.shed_deadline,
+                s.shed_breaker,
+                s.breaker_opens,
+                s.breaker_open_secs,
+                s.tasks_spilled,
+                s.tasks_shed,
+                s.mean_accuracy_penalty_pct,
+                s.net_holds
             ));
         }
         out.push('}');

@@ -24,6 +24,7 @@
 pub use crate::experiment::{ConfigError, Experiment, ExperimentConfig};
 pub use crate::metrics::{
     BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome, RecoveryStats,
+    ShedStats,
 };
 pub use crate::platform::Platform;
 pub use crate::runner::{RunSet, Runner};
@@ -32,5 +33,6 @@ pub use hivemind_apps::learning::RetrainMode;
 pub use hivemind_apps::scenario::Scenario;
 pub use hivemind_apps::suite::App;
 pub use hivemind_sim::faults::{FaultPlan, RetryPolicy};
+pub use hivemind_sim::overload::OverloadPolicy;
 pub use hivemind_sim::time::{SimDuration, SimTime};
 pub use hivemind_sim::trace::Trace;

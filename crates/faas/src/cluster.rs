@@ -14,6 +14,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hivemind_sim::component::Component;
 use hivemind_sim::faults::{self, RetryPolicy};
+use hivemind_sim::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker, OverloadPolicy};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::{Summary, TimeSeries};
 use hivemind_sim::time::{SimDuration, SimTime};
@@ -24,7 +25,9 @@ use rand::Rng;
 use crate::container::{ContainerParams, WarmPool};
 use crate::dataplane::{DataPlane, ExchangeProtocol};
 use crate::scheduler::{SchedulerPolicy, ServerView};
-use crate::types::{AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome};
+use crate::types::{
+    AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome, ShedReason,
+};
 use hivemind_net::rpc::RateGate;
 
 /// Cluster sizing and policy knobs.
@@ -71,6 +74,10 @@ pub struct ClusterParams {
     /// default reproduces the historical behaviour (up to 5 respawns,
     /// final attempt always succeeds) with a bit-identical RNG sequence.
     pub retry: RetryPolicy,
+    /// Overload-control plane (bounded admission queue, queueing
+    /// deadline, per-app concurrency limit, circuit breaker). The inert
+    /// default draws no RNG and changes no byte of any run.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ClusterParams {
@@ -93,6 +100,7 @@ impl Default for ClusterParams {
             controller_rps: 500.0,
             scheduler_shards: 1,
             retry: RetryPolicy::default(),
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -162,6 +170,9 @@ struct InvState {
     /// Lost to a server crash; its pending events are dead letters and a
     /// clone has been resubmitted under a fresh index.
     aborted: bool,
+    /// Admitted as a half-open circuit-breaker probe; cleared once its
+    /// outcome is reported back to the breaker.
+    probe: bool,
 }
 
 /// The serverless cluster.
@@ -221,6 +232,32 @@ pub struct Cluster {
     /// landing inside one stall until the backup controller takes over.
     outages: Vec<(SimTime, SimTime)>,
     crash_stats: CrashStats,
+    /// Per-app circuit breakers, created on demand (overload plane only).
+    breakers: HashMap<AppId, CircuitBreaker>,
+    /// Concurrent running invocations per app, maintained only while a
+    /// per-app limit is configured.
+    app_running: HashMap<AppId, u32>,
+    shed_counters: OverloadCounters,
+}
+
+/// Counters describing overload-plane shedding and breaker activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadCounters {
+    /// Invocations shed because the bounded admission queue was full.
+    pub shed_queue_full: u64,
+    /// Invocations shed because their queueing deadline expired.
+    pub shed_deadline: u64,
+    /// Invocations shed by an open circuit breaker (fail fast).
+    pub shed_breaker: u64,
+    /// Times any app's breaker tripped open (re-opens included).
+    pub breaker_opens: u32,
+}
+
+impl OverloadCounters {
+    /// Total invocations shed by any mechanism.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_breaker
+    }
 }
 
 /// Counters describing server-crash and give-up damage.
@@ -275,6 +312,9 @@ impl Cluster {
             pending_recover: Vec::new(),
             outages: Vec::new(),
             crash_stats: CrashStats::default(),
+            breakers: HashMap::new(),
+            app_running: HashMap::new(),
+            shed_counters: OverloadCounters::default(),
             params,
         }
     }
@@ -373,6 +413,7 @@ impl Cluster {
             colocated: false,
             placed: false,
             aborted: false,
+            probe: false,
         });
         self.push_event(now + management, Ev::Admit(idx));
     }
@@ -415,9 +456,11 @@ impl Cluster {
     }
 
     fn admit(&mut self, now: SimTime, idx: u32) {
+        if self.params.overload.is_active() && self.overload_gate(now, idx) {
+            return;
+        }
         if self.running >= self.params.max_concurrent {
-            self.wait_queue.push_back(idx);
-            self.sample_occupancy(now);
+            self.enqueue_or_shed(now, idx);
             return;
         }
         self.refresh_server_views(now);
@@ -428,11 +471,129 @@ impl Cluster {
                 .choose(now, &st.inv, &self.view_scratch, &self.warm)
         };
         let Some(server) = choice else {
-            self.wait_queue.push_back(idx);
-            self.sample_occupancy(now);
+            self.enqueue_or_shed(now, idx);
             return;
         };
         self.place(now, idx, server);
+    }
+
+    /// Overload-plane admission gate: sheds on an open circuit breaker
+    /// and queues at the per-app concurrency limit. Returns `true` if the
+    /// invocation was consumed (shed or queued) and admission must stop.
+    fn overload_gate(&mut self, now: SimTime, idx: u32) -> bool {
+        let app = self.invs[idx as usize].inv.app;
+        if let Some(cfg) = self.params.overload.breaker {
+            let (decision, event) = self
+                .breakers
+                .entry(app)
+                .or_insert_with(|| CircuitBreaker::new(cfg))
+                .admit_traced(now);
+            if let Some(ev) = event {
+                self.note_breaker_event(now, app, ev);
+            }
+            match decision {
+                BreakerDecision::Reject => {
+                    self.shed(now, idx, ShedReason::BreakerOpen);
+                    return true;
+                }
+                BreakerDecision::Probe => self.invs[idx as usize].probe = true,
+                BreakerDecision::Admit => {}
+            }
+        }
+        if let Some(limit) = self.params.overload.admission.per_app_limit {
+            if self.app_running.get(&app).copied().unwrap_or(0) >= limit {
+                self.enqueue_or_shed(now, idx);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Queues an admitted-but-unplaceable invocation, shedding instead
+    /// when the bounded admission queue is full.
+    fn enqueue_or_shed(&mut self, now: SimTime, idx: u32) {
+        if let Some(bound) = self.params.overload.admission.queue_bound {
+            if self.wait_queue.len() as u32 >= bound {
+                self.shed(now, idx, ShedReason::QueueFull);
+                return;
+            }
+        }
+        self.wait_queue.push_back(idx);
+        self.sample_occupancy(now);
+    }
+
+    /// Rejects an unplaced invocation: it completes immediately with
+    /// [`Outcome::Shed`], charged only its management and queueing time —
+    /// no core, container, or data-plane work is spent on it. The
+    /// completion is pushed directly (admissions run in event-time order,
+    /// so the completion stream stays chronological).
+    fn shed(&mut self, now: SimTime, idx: u32, reason: ShedReason) {
+        let (tag, app) = {
+            let st = &mut self.invs[idx as usize];
+            debug_assert!(!st.placed && !st.done, "shed of a live invocation");
+            st.done = true;
+            st.outcome = Outcome::Shed { reason };
+            st.breakdown.management = st.management;
+            st.breakdown.queueing = now.saturating_since(st.ready);
+            (st.inv.tag, st.inv.app)
+        };
+        match reason {
+            ShedReason::QueueFull => self.shed_counters.shed_queue_full += 1,
+            ShedReason::DeadlineExpired => self.shed_counters.shed_deadline += 1,
+            ShedReason::BreakerOpen => self.shed_counters.shed_breaker += 1,
+        }
+        if self.tracer.is_enabled() {
+            let reason_str = match reason {
+                ShedReason::QueueFull => "queue_full",
+                ShedReason::DeadlineExpired => "deadline_expired",
+                ShedReason::BreakerOpen => "breaker_open",
+            };
+            self.tracer.instant(
+                "sched",
+                overload::EV_SHED,
+                0,
+                now,
+                vec![
+                    ("app", ArgValue::U64(app.0 as u64)),
+                    ("tag", ArgValue::U64(tag)),
+                    ("reason", ArgValue::Str(reason_str.into())),
+                ],
+            );
+            self.sample_occupancy(now);
+        }
+        let st = &self.invs[idx as usize];
+        self.completions.push(Completion {
+            tag,
+            app,
+            server: 0,
+            arrived: st.arrived,
+            finished: now,
+            breakdown: st.breakdown,
+            cold_start: false,
+            in_memory_exchange: false,
+            outcome: st.outcome,
+        });
+    }
+
+    /// Counts and (when tracing) emits a breaker state transition.
+    fn note_breaker_event(&mut self, now: SimTime, app: AppId, ev: BreakerEvent) {
+        if ev == BreakerEvent::Opened {
+            self.shed_counters.breaker_opens += 1;
+        }
+        if self.tracer.is_enabled() {
+            let name = match ev {
+                BreakerEvent::Opened => overload::EV_BREAKER_OPEN,
+                BreakerEvent::HalfOpened => overload::EV_BREAKER_HALF_OPEN,
+                BreakerEvent::Closed => overload::EV_BREAKER_CLOSE,
+            };
+            self.tracer.instant(
+                overload::BREAKER_TRACE_CAT,
+                name,
+                app.0 as u32,
+                now,
+                vec![("app", ArgValue::U64(app.0 as u64))],
+            );
+        }
     }
 
     /// Places an admitted invocation on its chosen server: occupies a
@@ -452,6 +613,9 @@ impl Cluster {
                 st.inv.parent_in_memory,
             )
         };
+        if self.params.overload.admission.per_app_limit.is_some() {
+            *self.app_running.entry(app).or_insert(0) += 1;
+        }
 
         // --- Container acquisition. ---
         let colocated = parent_server == Some(server) && parent_in_memory;
@@ -588,6 +752,43 @@ impl Cluster {
             }
             break draw;
         };
+        // Report the attempt outcome to the app's circuit breaker. The
+        // retry loop resolves here (at the data-in instant), so breaker
+        // timing is a pure function of event times — no RNG.
+        if self.params.overload.breaker.is_some() {
+            let probe = {
+                let st = &mut self.invs[idx as usize];
+                std::mem::replace(&mut st.probe, false)
+            };
+            let event = self.breakers.get_mut(&app).and_then(|b| {
+                if gave_up {
+                    b.record_failure(now, probe)
+                } else {
+                    b.record_success(now, probe)
+                }
+            });
+            // Inlined note_breaker_event: `profile` still borrows
+            // `self.apps`, so only disjoint fields may be touched here.
+            if let Some(ev) = event {
+                if ev == BreakerEvent::Opened {
+                    self.shed_counters.breaker_opens += 1;
+                }
+                if self.tracer.is_enabled() {
+                    let name = match ev {
+                        BreakerEvent::Opened => overload::EV_BREAKER_OPEN,
+                        BreakerEvent::HalfOpened => overload::EV_BREAKER_HALF_OPEN,
+                        BreakerEvent::Closed => overload::EV_BREAKER_CLOSE,
+                    };
+                    self.tracer.instant(
+                        overload::BREAKER_TRACE_CAT,
+                        name,
+                        app.0 as u32,
+                        now,
+                        vec![("app", ArgValue::U64(app.0 as u64))],
+                    );
+                }
+            }
+        }
         if gave_up {
             let attempts = respawns + 1;
             self.crash_stats.invocations_failed += 1;
@@ -708,6 +909,11 @@ impl Cluster {
         self.busy[server as usize] -= 1;
         self.running -= 1;
         self.active_series.record(now, self.running as f64);
+        if self.params.overload.admission.per_app_limit.is_some() {
+            if let Some(n) = self.app_running.get_mut(&app) {
+                *n = n.saturating_sub(1);
+            }
+        }
         if !matches!(self.invs[idx as usize].outcome, Outcome::Failed { .. }) {
             // A failed invocation's container died with it — nothing to
             // keep warm.
@@ -745,7 +951,26 @@ impl Cluster {
     /// no randomness, so deciding here and placing directly is exactly
     /// the old decide-then-re-decide behavior, minus the second pass).
     fn drain_wait_queue(&mut self, now: SimTime) {
+        let overload_active = self.params.overload.is_active();
         while let Some(&head) = self.wait_queue.front() {
+            if overload_active {
+                // Deadline-aware drop: stale work is shed before it can
+                // waste a core (its caller has long since given up).
+                if let Some(deadline) = self.params.overload.admission.queue_deadline {
+                    let waited = now.saturating_since(self.invs[head as usize].ready);
+                    if waited > deadline {
+                        self.wait_queue.pop_front();
+                        self.shed(now, head, ShedReason::DeadlineExpired);
+                        continue;
+                    }
+                }
+                if let Some(limit) = self.params.overload.admission.per_app_limit {
+                    let app = self.invs[head as usize].inv.app;
+                    if self.app_running.get(&app).copied().unwrap_or(0) >= limit {
+                        break;
+                    }
+                }
+            }
             if self.running >= self.params.max_concurrent {
                 break;
             }
@@ -782,7 +1007,10 @@ impl Cluster {
         for st in self.invs.iter_mut() {
             if st.placed && !st.done && !st.aborted && st.server == server {
                 st.aborted = true;
-                resubmit.push(st.inv.clone());
+                // An unresolved probe dies with the server: its breaker
+                // slot must be released so half-open doesn't wedge.
+                let probe = std::mem::replace(&mut st.probe, false);
+                resubmit.push((st.inv.clone(), probe));
             }
         }
         let lost = resubmit.len() as u32;
@@ -816,7 +1044,17 @@ impl Cluster {
             self.tracer.counter("faas", "server.busy", server, now, 0.0);
             self.sample_occupancy(now);
         }
-        for inv in resubmit {
+        for (inv, probe) in resubmit {
+            if self.params.overload.admission.per_app_limit.is_some() {
+                if let Some(n) = self.app_running.get_mut(&inv.app) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            if probe {
+                if let Some(b) = self.breakers.get_mut(&inv.app) {
+                    b.release_probe();
+                }
+            }
             self.crash_stats.invocations_rescheduled += 1;
             self.submit(now, inv);
         }
@@ -926,6 +1164,19 @@ impl Cluster {
     /// Number of invocations that recovered from injected faults.
     pub fn faults_recovered(&self) -> u64 {
         self.faults_recovered
+    }
+
+    /// Overload-plane shed and breaker-trip counters.
+    pub fn overload_counters(&self) -> OverloadCounters {
+        self.shed_counters
+    }
+
+    /// Total fail-fast (open or half-open) breaker time across all apps
+    /// up to `now`; an open period still in progress counts up to `now`.
+    pub fn breaker_open_time(&self, now: SimTime) -> SimDuration {
+        self.breakers
+            .values()
+            .fold(SimDuration::ZERO, |acc, b| acc + b.total_open_time(now))
     }
 
     /// Mean unloaded latency of a root invocation of `app` under this
@@ -1155,6 +1406,132 @@ mod tests {
             let _ = c.advance_to(t);
             assert!(c.running() <= 3, "cap violated: {}", c.running());
         }
+    }
+
+    #[test]
+    fn bounded_queue_sheds_on_full_and_conserves() {
+        let params = ClusterParams {
+            max_concurrent: 2,
+            overload: OverloadPolicy::default().queue_bound(1),
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..10 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        let mut done = Vec::new();
+        while let Some(t) = c.next_wakeup() {
+            done.extend(c.advance_to(t));
+            assert!(c.queued() <= 1, "queue bound violated: {}", c.queued());
+        }
+        // Conservation: every submission resolves, as a run or a shed.
+        assert_eq!(done.len(), 10);
+        let shed = done
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.outcome,
+                    Outcome::Shed {
+                        reason: ShedReason::QueueFull
+                    }
+                )
+            })
+            .count();
+        assert!(shed >= 6, "2 cores + 1 slot must shed most of 10: {shed}");
+        // Shed invocations never touch a core or the data plane.
+        for d in done
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Shed { .. }))
+        {
+            assert_eq!(d.breakdown.exec, SimDuration::ZERO);
+            assert_eq!(d.breakdown.data_io, SimDuration::ZERO);
+            assert_eq!(d.breakdown.instantiation, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn queue_deadline_sheds_stale_work() {
+        let params = ClusterParams {
+            max_concurrent: 1,
+            overload: OverloadPolicy::default().queue_deadline(SimDuration::from_millis(50)),
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..5 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        let done = run_all(&mut c);
+        assert_eq!(done.len(), 5);
+        let expired = done
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.outcome,
+                    Outcome::Shed {
+                        reason: ShedReason::DeadlineExpired
+                    }
+                )
+            })
+            .count();
+        // 100 ms exec serialized on one slot: everything queued behind
+        // the first completion has waited > 50 ms already.
+        assert!(expired >= 3, "stale entries must shed: {expired}");
+        assert_eq!(c.overload_counters().shed_deadline, expired as u64);
+    }
+
+    #[test]
+    fn breaker_opens_and_fails_fast() {
+        let params = ClusterParams {
+            fault_rate: 1.0,
+            retry: RetryPolicy::bounded(2, SimDuration::ZERO),
+            overload: OverloadPolicy::default().breaker(3, SimDuration::from_secs(5)),
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..10 {
+            c.submit(SimTime::from_secs(tag), Invocation::root(AppId(0), tag));
+        }
+        let done = run_all(&mut c);
+        assert_eq!(done.len(), 10, "failed and shed invocations complete");
+        let counters = c.overload_counters();
+        assert!(counters.breaker_opens >= 1, "breaker must trip");
+        assert!(
+            counters.shed_breaker >= 3,
+            "an open breaker fails fast: {}",
+            counters.shed_breaker
+        );
+        assert!(
+            c.breaker_open_time(SimTime::from_secs(30)) > SimDuration::ZERO,
+            "open time is accounted"
+        );
+        let failed = done
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Failed { .. }))
+            .count();
+        let shed = done
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Shed { .. }))
+            .count();
+        assert_eq!(failed + shed, 10, "all-faulting cluster: fail or shed");
+    }
+
+    #[test]
+    fn per_app_limit_caps_concurrency() {
+        let params = ClusterParams {
+            overload: OverloadPolicy::default().per_app_limit(2),
+            ..ClusterParams::default()
+        };
+        let mut c = small_cluster(params);
+        for tag in 0..8 {
+            c.submit(SimTime::ZERO, Invocation::root(AppId(0), tag));
+        }
+        let mut done = Vec::new();
+        while let Some(t) = c.next_wakeup() {
+            done.extend(c.advance_to(t));
+            assert!(c.running() <= 2, "per-app cap violated: {}", c.running());
+        }
+        assert_eq!(done.len(), 8, "the limit queues, it never drops");
+        assert_eq!(c.overload_counters().shed_total(), 0);
     }
 
     #[test]

@@ -140,6 +140,27 @@ pub enum Outcome {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// The overload-control plane rejected the invocation before it ran:
+    /// the admission queue was full, its queueing deadline expired, or
+    /// the app's circuit breaker was open (only possible with an active
+    /// [`OverloadPolicy`]).
+    ///
+    /// [`OverloadPolicy`]: hivemind_sim::overload::OverloadPolicy
+    Shed {
+        /// Why the plane refused it.
+        reason: ShedReason,
+    },
+}
+
+/// Which overload-control mechanism shed an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue was full on arrival.
+    QueueFull,
+    /// The invocation waited past its queueing deadline.
+    DeadlineExpired,
+    /// The app's circuit breaker was open (fail fast).
+    BreakerOpen,
 }
 
 /// Record of one finished invocation.

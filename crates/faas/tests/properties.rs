@@ -2,7 +2,9 @@
 
 use hivemind_faas::cluster::{Cluster, ClusterParams};
 use hivemind_faas::iaas::{FixedPool, FixedPoolParams};
-use hivemind_faas::types::{AppId, AppProfile, Invocation};
+use hivemind_faas::types::{AppId, AppProfile, Invocation, Outcome};
+use hivemind_sim::faults::RetryPolicy;
+use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -87,6 +89,91 @@ proptest! {
             cold,
             warm
         );
+    }
+
+    /// Conservation under overload: every submission resolves exactly
+    /// once as completed, shed, or failed; the shed tally matches the
+    /// plane's counters; and the admission queue never exceeds its bound
+    /// at any observed instant.
+    #[test]
+    fn overload_conserves_and_bounds_queue(
+        arrivals in prop::collection::vec((0u64..30_000, 0u16..3), 1..120),
+        servers in 1u32..4,
+        cores in 1u32..4,
+        bound in 0u32..6,
+        deadline_ms in 0u64..200,
+        fault_pct in 0u32..40,
+        breaker in any::<bool>(),
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|&(t, _)| t);
+        let mut policy = OverloadPolicy::default().queue_bound(bound);
+        // 0 means "no deadline knob" (SimDuration::ZERO is invalid).
+        if deadline_ms > 0 {
+            policy = policy.queue_deadline(SimDuration::from_millis(deadline_ms));
+        }
+        if breaker {
+            policy = policy.breaker(2, SimDuration::from_millis(500));
+        }
+        let params = ClusterParams {
+            servers,
+            cores_per_server: cores,
+            fault_rate: fault_pct as f64 / 100.0,
+            // Bounded retries so faults can give up and trip the breaker.
+            retry: RetryPolicy::bounded(1, SimDuration::ZERO),
+            overload: policy,
+            ..ClusterParams::default()
+        };
+        let mut cluster = Cluster::new(params, RngForge::new(11));
+        for app in 0..3u16 {
+            cluster.register_app(
+                AppId(app),
+                AppProfile::test_profile(10.0 + 40.0 * app as f64),
+            );
+        }
+        for (i, &(t_ms, app)) in arrivals.iter().enumerate() {
+            cluster.submit(
+                SimTime::ZERO + SimDuration::from_millis(t_ms),
+                Invocation::root(AppId(app), i as u64),
+            );
+            prop_assert!(
+                cluster.queued() <= bound as usize,
+                "queue {} exceeds bound {} after submit",
+                cluster.queued(),
+                bound
+            );
+        }
+        let mut done = Vec::new();
+        while let Some(t) = cluster.next_wakeup() {
+            done.extend(cluster.advance_to(t));
+            prop_assert!(
+                cluster.queued() <= bound as usize,
+                "queue {} exceeds bound {} at {}",
+                cluster.queued(),
+                bound,
+                t
+            );
+        }
+        // submitted = completed + shed + lost, each exactly once.
+        prop_assert_eq!(done.len(), arrivals.len());
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), arrivals.len(), "no duplicate resolutions");
+        let shed = done
+            .iter()
+            .filter(|c| matches!(c.outcome, Outcome::Shed { .. }))
+            .count() as u64;
+        prop_assert_eq!(shed, cluster.overload_counters().shed_total());
+        for c in &done {
+            prop_assert!(c.finished >= c.arrived);
+            if matches!(c.outcome, Outcome::Shed { .. }) {
+                prop_assert_eq!(c.breakdown.exec, SimDuration::ZERO);
+                prop_assert_eq!(c.breakdown.instantiation, SimDuration::ZERO);
+            }
+        }
+        prop_assert_eq!(cluster.running(), 0);
+        prop_assert_eq!(cluster.queued(), 0);
     }
 
     /// The fixed pool also conserves work and never exceeds its size.

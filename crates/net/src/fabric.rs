@@ -10,6 +10,7 @@ use std::collections::BinaryHeap;
 
 use hivemind_sim::component::{earliest, Component};
 use hivemind_sim::faults::{self, NetFaults};
+use hivemind_sim::overload::NetBackpressure;
 use hivemind_sim::stats::Meter;
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, TraceHandle};
@@ -80,6 +81,19 @@ struct FabricFaults {
     cfg: NetFaults,
     rng: SmallRng,
     stats: NetFaultStats,
+}
+
+/// Bounded-ingress backpressure state: the policy knobs plus a counter of
+/// hold decisions. Absent (`None` on the fabric) unless an
+/// [`OverloadPolicy`](hivemind_sim::overload::OverloadPolicy) arms it, so
+/// the default path is byte-identical to a fabric without the feature.
+/// Decisions are pure functions of link occupancy and event time — no RNG.
+#[derive(Debug)]
+struct Backpressure {
+    cfg: NetBackpressure,
+    /// Hold decisions made (a transfer re-held at each re-offer counts
+    /// once per hold).
+    holds: u64,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -185,6 +199,9 @@ pub struct Fabric {
     /// Fault-plan state; `None` unless the experiment injects network
     /// faults (the inert path makes no extra RNG draws).
     faults: Option<FabricFaults>,
+    /// Bounded-ingress backpressure; `None` unless armed by an overload
+    /// policy.
+    backpressure: Option<Backpressure>,
     /// Transfers held back by an outage/partition, min-ordered by release
     /// time. Released in `(time, id)` order interleaved with hop
     /// completions.
@@ -210,6 +227,7 @@ impl Fabric {
             wake: BinaryHeap::new(),
             tracer: TraceHandle::disabled(),
             faults: None,
+            backpressure: None,
             delayed: BinaryHeap::new(),
         }
     }
@@ -231,6 +249,24 @@ impl Fabric {
     /// What the fault plane did so far (zeros when no faults are armed).
     pub fn fault_stats(&self) -> NetFaultStats {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Arms bounded-ingress backpressure: a transfer whose first hop's
+    /// link already holds `ingress_bound` items is held and re-offered
+    /// after `retry_delay` instead of joining the queue. Unlike
+    /// [`Fabric::set_faults`] this needs no RNG — every hold decision is
+    /// a pure function of link occupancy at the offer instant, so arming
+    /// an inactive policy changes nothing.
+    pub fn set_backpressure(&mut self, cfg: NetBackpressure) {
+        if cfg.is_active() {
+            self.backpressure = Some(Backpressure { cfg, holds: 0 });
+        }
+    }
+
+    /// Hold decisions made by ingress backpressure so far (0 when the
+    /// feature is not armed).
+    pub fn backpressure_holds(&self) -> u64 {
+        self.backpressure.as_ref().map(|b| b.holds).unwrap_or(0)
     }
 
     /// Installs a tracing handle; the fabric then emits a `net/link.load`
@@ -398,9 +434,40 @@ impl Fabric {
             return;
         }
         let link = state.path[state.next_hop];
+        let idx = link.index();
+        // Bounded ingress: a transfer about to take its *first* hop onto a
+        // link already at the bound is held and re-offered later instead
+        // of deepening the queue. Each re-offer re-checks, and time
+        // advances every hold, so the transfer eventually enters once the
+        // link drains — deterministic backpressure with no drops.
+        if state.next_hop == 0 {
+            if let Some(bp) = self.backpressure.as_mut() {
+                if let Some(bound) = bp.cfg.ingress_bound {
+                    if self.links[idx].load() >= bound as usize {
+                        bp.holds += 1;
+                        if self.tracer.is_enabled() {
+                            self.tracer.instant(
+                                "net",
+                                "backpressure.hold",
+                                idx as u32,
+                                now,
+                                vec![
+                                    ("transfer", ArgValue::U64(state.id.0)),
+                                    ("load", ArgValue::U64(self.links[idx].load() as u64)),
+                                ],
+                            );
+                        }
+                        self.delayed.push(Reverse(Delayed {
+                            at: now + bp.cfg.retry_delay,
+                            state,
+                        }));
+                        return;
+                    }
+                }
+            }
+        }
         state.next_hop += 1;
         let bytes = state.bytes;
-        let idx = link.index();
         // Only index the link when its head changes: pushing an entry per
         // enqueue would accumulate thousands of duplicates on a saturated
         // link, each re-examined on every head completion (quadratic).
@@ -739,6 +806,59 @@ mod tests {
             },
         );
         assert!(b > a);
+    }
+
+    #[test]
+    fn backpressure_holds_but_never_drops() {
+        let mut bounded = fabric();
+        bounded.set_backpressure(NetBackpressure {
+            ingress_bound: Some(1),
+            retry_delay: SimDuration::from_millis(5),
+        });
+        // Device 0 and 2 share router 0: a burst of frames overflows the
+        // one-deep ingress bound immediately.
+        for tag in 0..8u64 {
+            bounded.send(
+                SimTime::ZERO,
+                Transfer {
+                    src: Node::Device((tag % 2) as u32 * 2),
+                    dst: Node::Server(0),
+                    bytes: 2_000_000,
+                    tag,
+                },
+            );
+        }
+        let d = drain(&mut bounded);
+        assert_eq!(d.len(), 8, "backpressure must hold, not drop");
+        assert!(
+            bounded.backpressure_holds() > 0,
+            "burst past the bound must record holds"
+        );
+        for pair in d.windows(2) {
+            assert!(pair[0].delivered_at <= pair[1].delivered_at);
+        }
+    }
+
+    #[test]
+    fn inactive_backpressure_is_inert() {
+        let mut plain = fabric();
+        let mut armed = fabric();
+        armed.set_backpressure(NetBackpressure::default());
+        for f in [&mut plain, &mut armed] {
+            for tag in 0..6u64 {
+                f.send(
+                    SimTime::ZERO,
+                    Transfer {
+                        src: Node::Device(0),
+                        dst: Node::Server(0),
+                        bytes: 1_000_000,
+                        tag,
+                    },
+                );
+            }
+        }
+        assert_eq!(drain(&mut plain), drain(&mut armed));
+        assert_eq!(armed.backpressure_holds(), 0);
     }
 
     #[test]

@@ -410,15 +410,21 @@ impl RetryPolicy {
     }
 
     /// The pause to insert before retry number `retry` (0-based).
+    ///
+    /// Closed form with saturation: `min(base · factor^retry,
+    /// backoff_max)`. The exponent is computed in `f64`, so a huge
+    /// `backoff_factor` or retry count overflows to `+inf` and saturates
+    /// cleanly at `backoff_max` instead of looping `retry` times. Retry 0
+    /// returns the base unclamped, matching the historical loop.
     pub fn backoff(&self, retry: u32) -> SimDuration {
         if self.backoff_base == SimDuration::ZERO {
             return SimDuration::ZERO;
         }
-        let mut pause = self.backoff_base;
-        for _ in 0..retry {
-            pause = pause.mul_f64(self.backoff_factor).min(self.backoff_max);
+        if retry == 0 {
+            return self.backoff_base;
         }
-        pause
+        let scale = self.backoff_factor.powf(retry as f64);
+        self.backoff_base.mul_f64(scale).min(self.backoff_max)
     }
 }
 
@@ -545,5 +551,47 @@ mod tests {
         assert_eq!(rp.backoff(2), SimDuration::from_millis(400));
         assert_eq!(rp.backoff(3), SimDuration::from_millis(500));
         assert_eq!(rp.backoff(10), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let rp = RetryPolicy {
+            backoff_base: SimDuration::from_secs(1),
+            backoff_factor: 1e300,
+            backoff_max: SimDuration::from_secs(30),
+            ..RetryPolicy::default()
+        };
+        // factor^retry overflows f64 to +inf: the pause must clamp at
+        // backoff_max, not wrap or panic.
+        assert_eq!(rp.backoff(1), SimDuration::from_secs(30));
+        assert_eq!(rp.backoff(2), SimDuration::from_secs(30));
+        assert_eq!(rp.backoff(u32::MAX), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn backoff_with_unit_factor_stays_flat() {
+        let rp = RetryPolicy {
+            backoff_base: SimDuration::from_millis(250),
+            backoff_factor: 1.0,
+            backoff_max: SimDuration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        for retry in [0, 1, 7, 1_000_000] {
+            assert_eq!(rp.backoff(retry), SimDuration::from_millis(250));
+        }
+    }
+
+    #[test]
+    fn backoff_zero_retry_returns_base_unclamped() {
+        // Historical quirk preserved by the closed form: the cap applies
+        // from the first retry onward, never to the base pause itself.
+        let rp = RetryPolicy {
+            backoff_base: SimDuration::from_secs(60),
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(rp.backoff(0), SimDuration::from_secs(60));
+        assert_eq!(rp.backoff(1), SimDuration::from_secs(10));
     }
 }

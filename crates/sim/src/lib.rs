@@ -23,6 +23,10 @@
 //! * [`faults`] — the declarative fault-injection vocabulary
 //!   ([`FaultPlan`], [`RetryPolicy`]) whose draws come from a dedicated
 //!   seed-chain lane, so enabling faults never perturbs a fault-free run.
+//! * [`overload`] — the declarative overload-control vocabulary
+//!   ([`OverloadPolicy`], [`CircuitBreaker`]): bounded admission, load
+//!   shedding, circuit breaking, and brownout spillover, all decided
+//!   without RNG so the plane is inert-by-default and byte-deterministic.
 //! * [`trace`] — zero-cost-when-disabled structured tracing ([`Tracer`],
 //!   [`TraceHandle`]) with JSONL and Chrome `trace_event` exporters, so a
 //!   run can be replayed event by event in Perfetto.
@@ -65,6 +69,7 @@ pub mod component;
 pub mod dist;
 pub mod engine;
 pub mod faults;
+pub mod overload;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -74,6 +79,7 @@ pub use component::Component;
 pub use dist::Dist;
 pub use engine::{Context, Engine, Model};
 pub use faults::{FaultPlan, RetryPolicy};
+pub use overload::{CircuitBreaker, OverloadPolicy};
 pub use rng::RngForge;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,620 @@
+//! Deterministic overload-control plane: bounded admission, load
+//! shedding, circuit breaking, and brownout spillover.
+//!
+//! The paper's central tension is that the cloud controller is both the
+//! performance win and the scalability hazard: Fig. 17/18 show it
+//! saturating as swarms grow. An [`OverloadPolicy`] describes how the
+//! stack should *degrade gracefully* at that point instead of queueing
+//! without bound: admission queues get a bound and shed on overflow,
+//! stale work is dropped before it wastes a server, a per-app circuit
+//! breaker stops retry storms at the source, and shed cloud invocations
+//! can spill over to on-device execution with a cheaper, less accurate
+//! model (the paper's edge fallback). Experiments attach a policy via
+//! `ExperimentConfig::overload`.
+//!
+//! ## Determinism contract
+//!
+//! Unlike [`crate::faults`], the overload plane draws **no randomness at
+//! all**: every decision is a pure function of queue lengths, counters,
+//! and event times, so the plane needs no seed-chain lane. Two
+//! consequences:
+//!
+//! 1. a run with an inert policy ([`OverloadPolicy::default`]) is
+//!    **bit-for-bit identical** to a run that never heard of overload
+//!    control — no extra RNG stream exists and no event is reordered;
+//! 2. sweeping an overload knob (say the queue bound) never reshuffles
+//!    the workload's own randomness, so saturation curves compare the
+//!    *same* offered load under different control settings.
+//!
+//! The consumers live in their own crates — `faas::cluster` applies the
+//! admission bounds and drives per-app [`CircuitBreaker`]s,
+//! `core::engine` re-routes shed invocations per [`Spillover`], and
+//! `net::fabric` applies [`NetBackpressure`] — but the vocabulary (and
+//! the breaker state machine itself) is defined here so a policy can be
+//! validated and threaded as one value.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Trace category used by circuit-breaker transitions
+/// (`breaker/open`, `breaker/half_open`, `breaker/close`).
+pub const BREAKER_TRACE_CAT: &str = "breaker";
+/// Trace event name emitted when a breaker opens (fail-fast begins).
+pub const EV_BREAKER_OPEN: &str = "open";
+/// Trace event name emitted when a cooled-down breaker admits probes.
+pub const EV_BREAKER_HALF_OPEN: &str = "half_open";
+/// Trace event name emitted when a probe success closes the breaker.
+pub const EV_BREAKER_CLOSE: &str = "close";
+/// Trace event name for a shed task (emitted in the `task` category,
+/// alongside `task/lost`).
+pub const EV_SHED: &str = "shed";
+
+/// A declarative description of every overload-control mechanism armed
+/// for one run.
+///
+/// The default policy is **inert**: [`OverloadPolicy::is_active`] returns
+/// `false` and every consumer skips its overload path entirely, leaving
+/// the simulation byte-identical to one that never heard of overload
+/// control.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::overload::OverloadPolicy;
+/// use hivemind_sim::time::SimDuration;
+///
+/// let policy = OverloadPolicy::default()
+///     .queue_bound(64)
+///     .queue_deadline(SimDuration::from_secs(2))
+///     .per_app_limit(128)
+///     .breaker(5, SimDuration::from_secs(1))
+///     .spillover();
+/// assert!(policy.is_active());
+/// assert!(policy.validate().is_ok());
+/// assert!(!OverloadPolicy::default().is_active());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OverloadPolicy {
+    /// Cluster admission bounds (queue bound, deadline, per-app limit).
+    pub admission: AdmissionLimits,
+    /// Per-app retry circuit breaker; `None` keeps retries unguarded.
+    pub breaker: Option<BreakerConfig>,
+    /// Brownout spillover of shed cloud invocations to the device.
+    pub spillover: Spillover,
+    /// Network-ingress backpressure (bounded first-hop link queues).
+    pub net: NetBackpressure,
+}
+
+impl OverloadPolicy {
+    /// `true` if any knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.admission.is_active()
+            || self.breaker.is_some()
+            || self.spillover.enabled
+            || self.net.is_active()
+    }
+
+    /// Bounds the cluster admission queue: a submission arriving while
+    /// `bound` invocations already wait is shed instead of enqueued.
+    pub fn queue_bound(mut self, bound: u32) -> Self {
+        self.admission.queue_bound = Some(bound);
+        self
+    }
+
+    /// Sheds a queued invocation whose wait already exceeds `deadline`
+    /// at the moment it would be placed (stale work wastes a server).
+    pub fn queue_deadline(mut self, deadline: SimDuration) -> Self {
+        self.admission.queue_deadline = Some(deadline);
+        self
+    }
+
+    /// Caps concurrent running invocations per application.
+    pub fn per_app_limit(mut self, limit: u32) -> Self {
+        self.admission.per_app_limit = Some(limit);
+        self
+    }
+
+    /// Arms the per-app circuit breaker: open after `open_after`
+    /// consecutive faults, fail fast for `cooldown`, then admit half-open
+    /// probes (see [`BreakerConfig`] for the probe count).
+    pub fn breaker(mut self, open_after: u32, cooldown: SimDuration) -> Self {
+        self.breaker = Some(BreakerConfig {
+            open_after,
+            cooldown,
+            ..BreakerConfig::default()
+        });
+        self
+    }
+
+    /// Replaces the full breaker configuration.
+    pub fn breaker_config(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
+        self
+    }
+
+    /// Enables brownout spillover with the default degraded model
+    /// (see [`Spillover`]).
+    pub fn spillover(mut self) -> Self {
+        self.spillover.enabled = true;
+        self
+    }
+
+    /// Enables spillover with an explicit degraded model: `speedup`× the
+    /// on-device service rate at `accuracy_penalty_pct` points of lost
+    /// accuracy.
+    pub fn spillover_model(mut self, speedup: f64, accuracy_penalty_pct: f64) -> Self {
+        self.spillover.enabled = true;
+        self.spillover.degraded_speedup = speedup;
+        self.spillover.accuracy_penalty_pct = accuracy_penalty_pct;
+        self
+    }
+
+    /// Bounds each device's first-hop (ingress) link queue: a transfer
+    /// finding `bound` transfers already in flight on its first hop is
+    /// held at the source and re-offered later, so backpressure
+    /// propagates instead of buffering infinitely.
+    pub fn net_ingress_bound(mut self, bound: u32) -> Self {
+        self.net.ingress_bound = Some(bound);
+        self
+    }
+
+    /// Checks every knob for internal consistency. Returns a
+    /// human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(d) = self.admission.queue_deadline {
+            if d == SimDuration::ZERO {
+                return Err("admission.queue_deadline must be positive".into());
+            }
+        }
+        if let Some(limit) = self.admission.per_app_limit {
+            if limit == 0 {
+                return Err("admission.per_app_limit must be at least 1".into());
+            }
+        }
+        if let Some(b) = &self.breaker {
+            if b.open_after == 0 {
+                return Err("breaker.open_after must be at least 1".into());
+            }
+            if b.half_open_probes == 0 {
+                return Err("breaker.half_open_probes must be at least 1".into());
+            }
+            if b.cooldown == SimDuration::ZERO {
+                return Err("breaker.cooldown must be positive".into());
+            }
+        }
+        if self.spillover.enabled {
+            let s = self.spillover.degraded_speedup;
+            if !(s.is_finite() && s >= 1.0) {
+                return Err(format!("spillover.degraded_speedup must be >= 1, got {s}"));
+            }
+            let p = self.spillover.accuracy_penalty_pct;
+            if !(0.0..=100.0).contains(&p) {
+                return Err(format!(
+                    "spillover.accuracy_penalty_pct must be in [0, 100], got {p}"
+                ));
+            }
+        }
+        if let Some(bound) = self.net.ingress_bound {
+            if bound == 0 {
+                return Err("net.ingress_bound must be at least 1".into());
+            }
+            if self.net.retry_delay == SimDuration::ZERO {
+                return Err("net.retry_delay must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cluster admission bounds applied by `faas::cluster`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdmissionLimits {
+    /// Maximum queued (admitted but unplaced) invocations. A submission
+    /// arriving with the queue full is shed. `Some(0)` means no queueing
+    /// at all: anything that cannot start immediately is shed.
+    pub queue_bound: Option<u32>,
+    /// Maximum time an invocation may wait in the admission queue; a
+    /// queued invocation older than this at placement time is shed.
+    pub queue_deadline: Option<SimDuration>,
+    /// Maximum concurrent running invocations per application.
+    pub per_app_limit: Option<u32>,
+}
+
+impl AdmissionLimits {
+    /// `true` if any admission knob deviates from the inert default.
+    pub fn is_active(&self) -> bool {
+        self.queue_bound.is_some() || self.queue_deadline.is_some() || self.per_app_limit.is_some()
+    }
+}
+
+/// Circuit-breaker knobs (per application).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive faulted attempts that trip the breaker open.
+    pub open_after: u32,
+    /// Concurrent probe invocations admitted while half-open.
+    pub half_open_probes: u32,
+    /// How long an open breaker fails fast before admitting probes.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 5,
+            half_open_probes: 1,
+            cooldown: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Brownout spillover: shed cloud invocations re-route to on-device
+/// execution with a degraded (smaller, faster, less accurate) model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spillover {
+    /// Whether shed invocations spill over to the device at all.
+    pub enabled: bool,
+    /// Service-rate multiplier of the degraded on-device model relative
+    /// to the full on-device model (>= 1: the fallback model is smaller
+    /// and faster).
+    pub degraded_speedup: f64,
+    /// Accuracy points lost per spilled invocation, accounted in
+    /// `ShedStats` so experiments can weigh goodput against quality.
+    pub accuracy_penalty_pct: f64,
+}
+
+impl Default for Spillover {
+    fn default() -> Self {
+        Spillover {
+            enabled: false,
+            degraded_speedup: 4.0,
+            accuracy_penalty_pct: 15.0,
+        }
+    }
+}
+
+/// Network-ingress backpressure applied by `net::fabric`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetBackpressure {
+    /// Maximum transfers in flight on a transfer's first-hop link before
+    /// new sends are held at the source.
+    pub ingress_bound: Option<u32>,
+    /// How long a held transfer waits before re-offering itself to the
+    /// link (deterministic, no RNG).
+    pub retry_delay: SimDuration,
+}
+
+impl Default for NetBackpressure {
+    fn default() -> Self {
+        NetBackpressure {
+            ingress_bound: None,
+            retry_delay: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl NetBackpressure {
+    /// `true` if the ingress bound is armed.
+    pub fn is_active(&self) -> bool {
+        self.ingress_bound.is_some()
+    }
+}
+
+/// What a [`CircuitBreaker`] decided about one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed: admit normally.
+    Admit,
+    /// Breaker half-open: admit as a probe (report its outcome back).
+    Probe,
+    /// Breaker open (or probe slots exhausted): fail fast.
+    Reject,
+}
+
+/// A state transition worth tracing, returned by breaker methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// Closed (or half-open) → open: fail-fast begins.
+    Opened,
+    /// Open → half-open: cool-down elapsed, probes admitted.
+    HalfOpened,
+    /// Half-open → closed: a probe succeeded, service restored.
+    Closed,
+}
+
+/// Deterministic per-app circuit breaker.
+///
+/// Closed → (N consecutive faults) → Open → (cool-down) → HalfOpen →
+/// (probe success) → Closed, or (probe fault) → Open again. Every
+/// transition is a pure function of event times and counters — no RNG.
+///
+/// ```rust
+/// use hivemind_sim::overload::{BreakerConfig, BreakerDecision, CircuitBreaker};
+/// use hivemind_sim::time::{SimDuration, SimTime};
+///
+/// let cfg = BreakerConfig { open_after: 2, ..BreakerConfig::default() };
+/// let mut b = CircuitBreaker::new(cfg);
+/// let t = SimTime::ZERO;
+/// b.record_failure(t, false);
+/// assert_eq!(b.record_failure(t, false), Some(hivemind_sim::overload::BreakerEvent::Opened));
+/// assert_eq!(b.admit(t), BreakerDecision::Reject);
+/// let later = t + cfg.cooldown;
+/// assert_eq!(b.admit(later), BreakerDecision::Probe);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+    consecutive: u32,
+    /// When the current open period began (valid while not Closed).
+    opened_at: SimTime,
+    /// When an open breaker may transition to half-open.
+    open_until: SimTime,
+    /// Probes admitted and not yet resolved (half-open only).
+    probes_in_flight: u32,
+    /// Times the breaker tripped open (re-opens from half-open included).
+    opens: u32,
+    /// Accumulated fail-fast time over closed open periods.
+    open_time: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with zeroed counters.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: State::Closed,
+            consecutive: 0,
+            opened_at: SimTime::ZERO,
+            open_until: SimTime::ZERO,
+            probes_in_flight: 0,
+            opens: 0,
+            open_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Decides one admission at `now`. May transition open → half-open
+    /// (the accompanying [`BreakerEvent::HalfOpened`] is returned so the
+    /// caller can trace it).
+    pub fn admit(&mut self, now: SimTime) -> BreakerDecision {
+        self.admit_traced(now).0
+    }
+
+    /// Like [`Self::admit`], also reporting a half-open transition.
+    pub fn admit_traced(&mut self, now: SimTime) -> (BreakerDecision, Option<BreakerEvent>) {
+        match self.state {
+            State::Closed => (BreakerDecision::Admit, None),
+            State::Open => {
+                if now >= self.open_until {
+                    self.state = State::HalfOpen;
+                    self.probes_in_flight = 1;
+                    (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+                } else {
+                    (BreakerDecision::Reject, None)
+                }
+            }
+            State::HalfOpen => {
+                if self.probes_in_flight < self.cfg.half_open_probes {
+                    self.probes_in_flight += 1;
+                    (BreakerDecision::Probe, None)
+                } else {
+                    (BreakerDecision::Reject, None)
+                }
+            }
+        }
+    }
+
+    /// Reports a successful attempt (a probe if admitted as one).
+    pub fn record_success(&mut self, now: SimTime, probe: bool) -> Option<BreakerEvent> {
+        self.consecutive = 0;
+        if probe && self.state == State::HalfOpen {
+            self.state = State::Closed;
+            self.probes_in_flight = 0;
+            self.open_time += now.saturating_since(self.opened_at);
+            return Some(BreakerEvent::Closed);
+        }
+        None
+    }
+
+    /// Reports a faulted attempt (a probe if admitted as one).
+    pub fn record_failure(&mut self, now: SimTime, probe: bool) -> Option<BreakerEvent> {
+        if probe && self.state == State::HalfOpen {
+            // Probe failed: re-open for another cool-down. The open
+            // period is continuous, so `opened_at` keeps its first value.
+            self.state = State::Open;
+            self.probes_in_flight = 0;
+            self.open_until = now + self.cfg.cooldown;
+            self.opens += 1;
+            return Some(BreakerEvent::Opened);
+        }
+        if self.state == State::Closed {
+            self.consecutive += 1;
+            if self.consecutive >= self.cfg.open_after {
+                self.state = State::Open;
+                self.consecutive = 0;
+                self.opened_at = now;
+                self.open_until = now + self.cfg.cooldown;
+                self.opens += 1;
+                return Some(BreakerEvent::Opened);
+            }
+        }
+        None
+    }
+
+    /// Releases a probe slot whose invocation vanished without ever
+    /// resolving (e.g. lost to a server crash), so half-open admission
+    /// doesn't wedge waiting for an answer that will never come.
+    pub fn release_probe(&mut self) {
+        if self.state == State::HalfOpen {
+            self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    /// `true` while the breaker fails fast (open or half-open).
+    pub fn is_open(&self) -> bool {
+        self.state != State::Closed
+    }
+
+    /// Times the breaker tripped open.
+    pub fn opens(&self) -> u32 {
+        self.opens
+    }
+
+    /// Total fail-fast time up to `now` (an open period still in
+    /// progress counts up to `now`).
+    pub fn total_open_time(&self, now: SimTime) -> SimDuration {
+        if self.state == State::Closed {
+            self.open_time
+        } else {
+            self.open_time + now.saturating_since(self.opened_at)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_inert() {
+        let policy = OverloadPolicy::default();
+        assert!(!policy.is_active());
+        assert!(!policy.admission.is_active());
+        assert!(!policy.net.is_active());
+        assert!(policy.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_activate_their_layer() {
+        assert!(OverloadPolicy::default()
+            .queue_bound(8)
+            .admission
+            .is_active());
+        assert!(OverloadPolicy::default()
+            .queue_deadline(SimDuration::from_secs(1))
+            .admission
+            .is_active());
+        assert!(OverloadPolicy::default()
+            .per_app_limit(4)
+            .admission
+            .is_active());
+        assert!(OverloadPolicy::default()
+            .breaker(3, SimDuration::from_secs(1))
+            .is_active());
+        assert!(OverloadPolicy::default().spillover().is_active());
+        assert!(OverloadPolicy::default()
+            .net_ingress_bound(16)
+            .net
+            .is_active());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        assert!(OverloadPolicy::default()
+            .queue_deadline(SimDuration::ZERO)
+            .validate()
+            .is_err());
+        assert!(OverloadPolicy::default()
+            .per_app_limit(0)
+            .validate()
+            .is_err());
+        assert!(OverloadPolicy::default()
+            .breaker(0, SimDuration::from_secs(1))
+            .validate()
+            .is_err());
+        assert!(OverloadPolicy::default()
+            .breaker(3, SimDuration::ZERO)
+            .validate()
+            .is_err());
+        let mut bad_probe = OverloadPolicy::default().breaker(3, SimDuration::from_secs(1));
+        bad_probe.breaker.as_mut().unwrap().half_open_probes = 0;
+        assert!(bad_probe.validate().is_err());
+        assert!(OverloadPolicy::default()
+            .spillover_model(0.5, 10.0)
+            .validate()
+            .is_err());
+        assert!(OverloadPolicy::default()
+            .spillover_model(2.0, 150.0)
+            .validate()
+            .is_err());
+        assert!(OverloadPolicy::default()
+            .net_ingress_bound(0)
+            .validate()
+            .is_err());
+        // A zero queue bound is legal: shed anything that cannot start.
+        assert!(OverloadPolicy::default().queue_bound(0).validate().is_ok());
+    }
+
+    #[test]
+    fn breaker_full_cycle() {
+        let cfg = BreakerConfig {
+            open_after: 3,
+            half_open_probes: 2,
+            cooldown: SimDuration::from_secs(1),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO;
+        // Two faults: still closed (a success in between resets the run).
+        assert_eq!(b.record_failure(t0, false), None);
+        assert_eq!(b.record_success(t0, false), None);
+        assert_eq!(b.record_failure(t0, false), None);
+        assert_eq!(b.record_failure(t0, false), None);
+        // Third consecutive fault trips it.
+        assert_eq!(b.record_failure(t0, false), Some(BreakerEvent::Opened));
+        assert!(b.is_open());
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.admit(t0), BreakerDecision::Reject);
+        // Cool-down elapses: half-open, two probe slots.
+        let t1 = t0 + cfg.cooldown;
+        assert_eq!(
+            b.admit_traced(t1),
+            (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+        );
+        assert_eq!(b.admit_traced(t1), (BreakerDecision::Probe, None));
+        assert_eq!(b.admit(t1), BreakerDecision::Reject);
+        // Probe success closes and accounts the open time.
+        let t2 = t1 + SimDuration::from_millis(500);
+        assert_eq!(b.record_success(t2, true), Some(BreakerEvent::Closed));
+        assert!(!b.is_open());
+        assert_eq!(b.total_open_time(t2), t2.saturating_since(t0));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let cfg = BreakerConfig {
+            open_after: 1,
+            ..BreakerConfig::default()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert_eq!(b.record_failure(t0, false), Some(BreakerEvent::Opened));
+        let t1 = t0 + cfg.cooldown;
+        assert_eq!(b.admit(t1), BreakerDecision::Probe);
+        assert_eq!(b.record_failure(t1, true), Some(BreakerEvent::Opened));
+        assert_eq!(b.opens(), 2);
+        assert_eq!(b.admit(t1), BreakerDecision::Reject);
+        // Open time keeps accruing across the re-open.
+        let t2 = t1 + cfg.cooldown;
+        assert_eq!(b.total_open_time(t2), t2.saturating_since(t0));
+    }
+
+    #[test]
+    fn open_time_counts_in_progress_period() {
+        let cfg = BreakerConfig {
+            open_after: 1,
+            cooldown: SimDuration::from_secs(5),
+            ..BreakerConfig::default()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO + SimDuration::from_secs(10);
+        b.record_failure(t0, false);
+        let t1 = t0 + SimDuration::from_secs(2);
+        assert_eq!(b.total_open_time(t1), SimDuration::from_secs(2));
+    }
+}

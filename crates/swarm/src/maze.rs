@@ -6,8 +6,70 @@
 //! simply connected) with an iterative recursive-backtracker, on which the
 //! right-hand rule is guaranteed to reach the exit.
 
+use std::fmt;
+
 use hivemind_sim::rng::RngForge;
 use rand::seq::SliceRandom;
+
+/// Why a maze operation could not proceed.
+///
+/// Mirrors the [`FailoverError`](crate::failover::FailoverError) pattern:
+/// the panicking entry points stay for callers holding trusted inputs,
+/// while `try_*` variants surface the same conditions as values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MazeError {
+    /// A cell coordinate outside the grid.
+    CellOutOfBounds {
+        /// The offending cell.
+        cell: (u32, u32),
+        /// Grid width in cells.
+        width: u32,
+        /// Grid height in cells.
+        height: u32,
+    },
+    /// Two cells that are not edge-adjacent, so no direction connects
+    /// them.
+    NonAdjacentMove {
+        /// Move origin.
+        from: (u32, u32),
+        /// Move destination.
+        to: (u32, u32),
+    },
+    /// A cell with all four walls closed — impossible in a perfect maze,
+    /// so traversal cannot continue (indicates a corrupted grid).
+    NoOpenPassage {
+        /// The walled-in cell.
+        cell: (u32, u32),
+    },
+}
+
+impl fmt::Display for MazeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MazeError::CellOutOfBounds {
+                cell,
+                width,
+                height,
+            } => write!(
+                f,
+                "cell ({}, {}) out of bounds for a {width}x{height} maze",
+                cell.0, cell.1
+            ),
+            MazeError::NonAdjacentMove { from, to } => write!(
+                f,
+                "no direction leads from ({}, {}) to non-adjacent ({}, {})",
+                from.0, from.1, to.0, to.1
+            ),
+            MazeError::NoOpenPassage { cell } => write!(
+                f,
+                "cell ({}, {}) has no open passage (corrupted maze)",
+                cell.0, cell.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MazeError {}
 
 /// A compass direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,6 +114,21 @@ impl Dir {
             Dir::East => (1, 0),
             Dir::South => (0, -1),
             Dir::West => (-1, 0),
+        }
+    }
+
+    /// The direction leading from `from` to the edge-adjacent cell `to`,
+    /// or [`MazeError::NonAdjacentMove`] when the cells do not share an
+    /// edge.
+    pub fn between(from: (u32, u32), to: (u32, u32)) -> Result<Dir, MazeError> {
+        let dx = to.0 as i64 - from.0 as i64;
+        let dy = to.1 as i64 - from.1 as i64;
+        match (dx, dy) {
+            (1, 0) => Ok(Dir::East),
+            (-1, 0) => Ok(Dir::West),
+            (0, 1) => Ok(Dir::North),
+            (0, -1) => Ok(Dir::South),
+            _ => Err(MazeError::NonAdjacentMove { from, to }),
         }
     }
 }
@@ -136,10 +213,26 @@ impl Maze {
     ///
     /// # Panics
     ///
-    /// Panics if the cell is out of bounds.
+    /// Panics if the cell is out of bounds; use [`Maze::try_is_open`]
+    /// when coordinates come from untrusted sources.
     pub fn is_open(&self, x: u32, y: u32, d: Dir) -> bool {
-        assert!(x < self.width && y < self.height, "cell out of bounds");
-        self.open[(y * self.width + x) as usize][dir_index(d)]
+        match self.try_is_open(x, y, d) {
+            Ok(open) => open,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Whether the wall from `(x, y)` toward `d` is open, rejecting
+    /// out-of-bounds cells instead of panicking.
+    pub fn try_is_open(&self, x: u32, y: u32, d: Dir) -> Result<bool, MazeError> {
+        if x >= self.width || y >= self.height {
+            return Err(MazeError::CellOutOfBounds {
+                cell: (x, y),
+                width: self.width,
+                height: self.height,
+            });
+        }
+        Ok(self.open[(y * self.width + x) as usize][dir_index(d)])
     }
 
     /// Number of open wall pairs — a perfect maze on `n` cells has exactly
@@ -185,6 +278,17 @@ impl Traversal {
 /// assert_eq!(*t.path.last().unwrap(), (11, 11));
 /// ```
 pub fn wall_follower(maze: &Maze) -> Traversal {
+    match try_wall_follower(maze) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`wall_follower`]: returns [`MazeError::NoOpenPassage`]
+/// instead of panicking when a cell has all four walls closed (which a
+/// generated perfect maze never has, but a hand-built or corrupted grid
+/// can).
+pub fn try_wall_follower(maze: &Maze) -> Result<Traversal, MazeError> {
     let goal = (maze.width() - 1, maze.height() - 1);
     let mut pos = (0u32, 0u32);
     let mut facing = Dir::North;
@@ -195,26 +299,27 @@ pub fn wall_follower(maze: &Maze) -> Traversal {
     let budget = 8 * (maze.width() * maze.height()) as usize + 8;
     for _ in 0..budget {
         if pos == goal {
-            return Traversal {
+            return Ok(Traversal {
                 path,
                 reached: true,
-            };
+            });
         }
         // Right-hand rule.
         let choices = [facing.right(), facing, facing.left(), facing.opposite()];
-        let d = *choices
+        let d = choices
             .iter()
             .find(|&&d| maze.is_open(pos.0, pos.1, d))
-            .expect("perfect maze cells always have an open passage");
+            .copied()
+            .ok_or(MazeError::NoOpenPassage { cell: pos })?;
         let (dx, dy) = d.delta();
         pos = ((pos.0 as i64 + dx) as u32, (pos.1 as i64 + dy) as u32);
         facing = d;
         path.push(pos);
     }
-    Traversal {
+    Ok(Traversal {
         path,
         reached: false,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -260,16 +365,10 @@ mod tests {
             let t = wall_follower(&m);
             assert!(t.reached, "seed {seed} failed");
             assert_eq!(*t.path.last().unwrap(), (11, 8));
-            // Every move crosses an open wall.
+            // Every move crosses an open wall between adjacent cells.
             for w in t.path.windows(2) {
                 let (a, b) = (w[0], w[1]);
-                let d = match (b.0 as i64 - a.0 as i64, b.1 as i64 - a.1 as i64) {
-                    (1, 0) => Dir::East,
-                    (-1, 0) => Dir::West,
-                    (0, 1) => Dir::North,
-                    (0, -1) => Dir::South,
-                    other => panic!("non-adjacent move {other:?}"),
-                };
+                let d = Dir::between(a, b).expect("traversal only makes adjacent moves");
                 assert!(m.is_open(a.0, a.1, d));
             }
         }
@@ -290,6 +389,82 @@ mod tests {
         let t = wall_follower(&m);
         assert!(t.reached);
         assert_eq!(t.steps(), 0);
+    }
+
+    #[test]
+    fn dir_between_classifies_moves() {
+        assert_eq!(Dir::between((1, 1), (2, 1)), Ok(Dir::East));
+        assert_eq!(Dir::between((1, 1), (0, 1)), Ok(Dir::West));
+        assert_eq!(Dir::between((1, 1), (1, 2)), Ok(Dir::North));
+        assert_eq!(Dir::between((1, 1), (1, 0)), Ok(Dir::South));
+        assert_eq!(
+            Dir::between((1, 1), (3, 1)),
+            Err(MazeError::NonAdjacentMove {
+                from: (1, 1),
+                to: (3, 1)
+            })
+        );
+        assert_eq!(
+            Dir::between((0, 0), (1, 1)),
+            Err(MazeError::NonAdjacentMove {
+                from: (0, 0),
+                to: (1, 1)
+            })
+        );
+    }
+
+    #[test]
+    fn try_is_open_rejects_out_of_bounds() {
+        let m = Maze::generate(4, 3, RngForge::new(1));
+        assert!(m.try_is_open(3, 2, Dir::North).is_ok());
+        assert_eq!(
+            m.try_is_open(4, 0, Dir::North),
+            Err(MazeError::CellOutOfBounds {
+                cell: (4, 0),
+                width: 4,
+                height: 3
+            })
+        );
+        assert_eq!(
+            m.try_is_open(0, 3, Dir::East),
+            Err(MazeError::CellOutOfBounds {
+                cell: (0, 3),
+                width: 4,
+                height: 3
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn is_open_panics_out_of_bounds() {
+        let m = Maze::generate(2, 2, RngForge::new(1));
+        let _ = m.is_open(2, 0, Dir::North);
+    }
+
+    #[test]
+    fn try_wall_follower_surfaces_corrupted_grids() {
+        // A hand-built grid whose entrance has all four walls closed.
+        let m = Maze {
+            width: 2,
+            height: 1,
+            open: vec![[false; 4]; 2],
+        };
+        assert_eq!(
+            try_wall_follower(&m),
+            Err(MazeError::NoOpenPassage { cell: (0, 0) })
+        );
+    }
+
+    #[test]
+    fn maze_error_messages_name_the_cell() {
+        let e = MazeError::NoOpenPassage { cell: (3, 7) };
+        assert!(e.to_string().contains("(3, 7)"));
+        let e = MazeError::NonAdjacentMove {
+            from: (0, 0),
+            to: (5, 5),
+        };
+        assert!(e.to_string().contains("(5, 5)"));
     }
 
     #[test]
