@@ -116,6 +116,16 @@ fn overload_sweep() {
     check_golden("overload_sweep", env!("CARGO_BIN_EXE_overload_sweep"));
 }
 
+/// `mc_sweep --smoke` exhaustively explores the smaller protocol
+/// instances and prints their state-space statistics plus the three
+/// planted-bug counterexample schedules — the golden that pins the
+/// model checker's exploration order, fingerprint dedup, and schedule
+/// rendering byte-for-byte.
+#[test]
+fn mc_sweep() {
+    check_golden("mc_sweep", env!("CARGO_BIN_EXE_mc_sweep"));
+}
+
 /// A subset re-runs under explicit worker counts: the parallel replicate
 /// runner must produce byte-identical output regardless of
 /// `HIVEMIND_THREADS`.
@@ -126,6 +136,7 @@ fn thread_count_invariance() {
         ("fig13", env!("CARGO_BIN_EXE_fig13")),
         ("chaos_sweep", env!("CARGO_BIN_EXE_chaos_sweep")),
         ("overload_sweep", env!("CARGO_BIN_EXE_overload_sweep")),
+        ("mc_sweep", env!("CARGO_BIN_EXE_mc_sweep")),
     ] {
         let one = smoke_stdout(bin, exe, Some("1"));
         let eight = smoke_stdout(bin, exe, Some("8"));

@@ -10,7 +10,7 @@
 
 use hivemind_sim::faults;
 use hivemind_sim::time::{SimDuration, SimTime};
-use hivemind_swarm::failover::{try_repartition, FailoverError, HeartbeatTracker};
+use hivemind_swarm::failover::{try_assign_rect, try_repartition, FailoverError, HeartbeatTracker};
 use hivemind_swarm::geometry::{partition_field, Rect};
 
 /// Timeline of one primary-controller failover (Sec. 4.6: the controller
@@ -44,6 +44,10 @@ pub struct SwarmController {
     primary: u32,
     /// Completed failovers, oldest first.
     failovers: Vec<ControllerFailover>,
+    /// When a device dies, also re-home the strips it had *inherited*
+    /// from earlier failovers (off by default: the historical behaviour
+    /// silently drops them, and existing experiment goldens pin it).
+    redistribute_orphans: bool,
 }
 
 impl SwarmController {
@@ -54,7 +58,17 @@ impl SwarmController {
     /// Panics if `devices == 0`.
     pub fn new(field: Rect, devices: u32) -> SwarmController {
         assert!(devices > 0, "need at least one device");
-        SwarmController {
+        SwarmController::try_new(field, devices).expect("validated above")
+    }
+
+    /// Fallible [`SwarmController::new`]: rejects an empty fleet as a
+    /// value so fault-injected and model-checked configurations can
+    /// treat it as an explorable outcome.
+    pub fn try_new(field: Rect, devices: u32) -> Result<SwarmController, FailoverError> {
+        if devices == 0 {
+            return Err(FailoverError::EmptyFleet);
+        }
+        Ok(SwarmController {
             regions: partition_field(&field, devices),
             extra: vec![Vec::new(); devices as usize],
             alive: vec![true; devices as usize],
@@ -63,7 +77,18 @@ impl SwarmController {
             shards: 1,
             primary: 0,
             failovers: Vec::new(),
-        }
+            redistribute_orphans: false,
+        })
+    }
+
+    /// Also re-home inherited strips when their holder dies, so no area
+    /// is silently lost across chained failovers. The model-checking
+    /// lane proved the default drops them (task-conservation
+    /// counterexample); the fix is opt-in because existing experiment
+    /// goldens pin the historical assignments.
+    pub fn with_orphan_redistribution(mut self) -> SwarmController {
+        self.redistribute_orphans = true;
+        self
     }
 
     /// The mission field.
@@ -78,6 +103,17 @@ impl SwarmController {
     /// Panics if out of range.
     pub fn region_of(&self, device: u32) -> Rect {
         self.regions[device as usize]
+    }
+
+    /// Fallible [`SwarmController::region_of`].
+    pub fn try_region_of(&self, device: u32) -> Result<Rect, FailoverError> {
+        self.regions
+            .get(device as usize)
+            .copied()
+            .ok_or(FailoverError::DeviceOutOfRange {
+                device,
+                fleet: self.regions.len() as u32,
+            })
     }
 
     /// All regions currently assigned to `device` (initial + inherited).
@@ -102,6 +138,11 @@ impl SwarmController {
         self.heartbeats.beat(device, now);
     }
 
+    /// Records a heartbeat, rejecting unknown ids instead of panicking.
+    pub fn try_heartbeat(&mut self, device: u32, now: SimTime) -> Result<(), FailoverError> {
+        self.heartbeats.try_beat(device, now)
+    }
+
     /// Checks for newly failed devices at `now`; for each, repartitions
     /// its area among live neighbours and returns `(failed_device,
     /// inherited_assignments)` pairs.
@@ -121,14 +162,27 @@ impl SwarmController {
             }
             // A fault storm can leave no survivor to absorb the area; the
             // mission simply loses it (graceful degradation, not a panic).
-            let extra =
-                try_repartition(&self.regions, &self.alive, dev as usize).unwrap_or_default();
-            for &(heir, rect) in &extra {
-                self.extra[heir].push(rect);
-            }
-            out.push((dev, extra.into_iter().map(|(d, r)| (d as u32, r)).collect()));
+            let extra = self.inherit_from(dev as usize).unwrap_or_default();
+            out.push((dev, extra));
         }
         out
+    }
+
+    /// Shared tail of both failure paths: hands the dead device's
+    /// initial region to live neighbours and — when orphan
+    /// redistribution is on — re-homes every strip the device had
+    /// inherited from earlier failovers instead of dropping it.
+    fn inherit_from(&mut self, dev: usize) -> Result<Vec<(u32, Rect)>, FailoverError> {
+        let mut extra = try_repartition(&self.regions, &self.alive, dev)?;
+        if self.redistribute_orphans {
+            for orphan in std::mem::take(&mut self.extra[dev]) {
+                extra.extend(try_assign_rect(&orphan, &self.regions, &self.alive, dev)?);
+            }
+        }
+        for &(heir, rect) in &extra {
+            self.extra[heir].push(rect);
+        }
+        Ok(extra.into_iter().map(|(d, r)| (d as u32, r)).collect())
     }
 
     /// Declares `device` failed immediately (the same path
@@ -168,11 +222,7 @@ impl SwarmController {
             return Err(FailoverError::NoSurvivors);
         }
         self.alive[device as usize] = false;
-        let extra = try_repartition(&self.regions, &self.alive, device as usize)?;
-        for &(heir, rect) in &extra {
-            self.extra[heir].push(rect);
-        }
-        Ok(extra.into_iter().map(|(d, r)| (d as u32, r)).collect())
+        self.inherit_from(device as usize)
     }
 
     /// The controller instance currently acting as primary.
@@ -200,6 +250,20 @@ impl SwarmController {
         };
         self.primary += 1;
         self.failovers.push(fo);
+        // Takeover grace: heartbeats sent during the outage were lost
+        // with the dead primary, so without re-arming the tracker every
+        // device would look silent for longer than the 3 s window the
+        // moment the standby resumes, and the whole fleet would be
+        // spuriously declared failed (found by the model-checking lane).
+        for d in 0..self.alive.len() as u32 {
+            let stale = self
+                .heartbeats
+                .last_beat(d)
+                .is_none_or(|t| t < fo.resumed_at);
+            if self.alive[d as usize] && stale {
+                let _ = self.heartbeats.try_beat(d, fo.resumed_at);
+            }
+        }
         fo
     }
 
@@ -345,6 +409,86 @@ mod tests {
         assert_eq!(c.failovers().len(), 1);
         // Swarm state survives the failover (warm standby replication).
         assert_eq!(c.alive_count(), 16);
+    }
+
+    #[test]
+    fn orphan_redistribution_conserves_area_across_chained_failovers() {
+        let field = Rect::new(0.0, 0.0, 40.0, 10.0);
+        let live_area = |c: &SwarmController| -> f64 {
+            (0..4)
+                .filter(|&d| c.is_alive(d))
+                .flat_map(|d| c.assignment_of(d))
+                .map(|r| r.area())
+                .sum()
+        };
+
+        // Historical default: device 1 inherits part of 0's region, then
+        // dies itself; its inherited strip vanishes with it.
+        let mut legacy = SwarmController::new(field, 4);
+        legacy.force_fail(0);
+        let inherited: f64 = legacy.extra[1].iter().map(|r| r.area()).sum();
+        assert!(inherited > 0.0, "device 1 neighbours device 0");
+        legacy.force_fail(1);
+        assert!(
+            (field.area() - live_area(&legacy) - inherited).abs() < 1e-9,
+            "legacy drops exactly the inherited strip"
+        );
+
+        // With redistribution on, the second failover re-homes the strip
+        // and the live assignment always tiles the whole field.
+        let mut fixed = SwarmController::new(field, 4).with_orphan_redistribution();
+        fixed.force_fail(0);
+        fixed.force_fail(1);
+        assert!((live_area(&fixed) - field.area()).abs() < 1e-9);
+        assert!(fixed.extra[1].is_empty(), "nothing left on the dead device");
+    }
+
+    #[test]
+    fn takeover_grace_prevents_spurious_fleet_death() {
+        let mut c = controller();
+        for d in 0..16 {
+            c.heartbeat(d, SimTime::from_secs(1));
+        }
+        // Primary dies at t = 2 s; detection (3 s) + takeover (0.5 s)
+        // resumes service at t = 5.5 s. Beats sent meanwhile were lost
+        // with the dead primary.
+        let fo = c.fail_primary(SimTime::from_secs(2), SimDuration::from_millis(500));
+        // First check after resumption: more than 3 s since anyone's
+        // last *recorded* beat, but nobody actually crashed.
+        let first_check = fo.resumed_at + SimDuration::from_secs(1);
+        assert!(
+            c.check_failures(first_check).is_empty(),
+            "outage silence must not read as device failures"
+        );
+        assert_eq!(c.alive_count(), 16);
+        // The window re-arms from the takeover: a device silent for
+        // > 3 s after resumption is still detected.
+        let late = fo.resumed_at + SimDuration::from_secs(4);
+        for d in 1..16 {
+            c.heartbeat(d, late);
+        }
+        let failed = c.check_failures(late);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, 0);
+    }
+
+    #[test]
+    fn fallible_constructors_reject_bad_input() {
+        assert!(matches!(
+            SwarmController::try_new(Rect::new(0.0, 0.0, 1.0, 1.0), 0),
+            Err(FailoverError::EmptyFleet)
+        ));
+        let mut c = SwarmController::new(Rect::new(0.0, 0.0, 1.0, 1.0), 2);
+        assert!(c.try_heartbeat(0, SimTime::ZERO).is_ok());
+        assert!(matches!(
+            c.try_heartbeat(7, SimTime::ZERO),
+            Err(FailoverError::DeviceOutOfRange {
+                device: 7,
+                fleet: 2
+            })
+        ));
+        assert!(c.try_region_of(1).is_ok());
+        assert!(c.try_region_of(2).is_err());
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   (Sec. 4.2).
 //! * [`analytic`] — the fast queueing cross-model used to validate the
 //!   simulator (Fig. 18).
+//! * [`mc`] — the coordination protocols (failover, retry + circuit
+//!   breaker, data exchange) lifted behind pure step functions and
+//!   exhaustively model-checked under all fault schedules.
 //! * [`metrics`] — outcome records: latency summaries and breakdowns,
 //!   bandwidth, battery, detection quality.
 //! * [`prelude`] — one-stop imports for experiment code: `use
@@ -43,6 +46,7 @@ pub mod controller;
 pub mod dsl;
 pub mod engine;
 pub mod experiment;
+pub mod mc;
 pub mod metrics;
 pub mod mission;
 pub mod platform;

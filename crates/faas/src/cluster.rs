@@ -13,7 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hivemind_sim::component::Component;
-use hivemind_sim::faults::{self, RetryPolicy};
+use hivemind_sim::faults::{self, RetryDecision, RetryPolicy};
 use hivemind_sim::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker, OverloadPolicy};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::{Summary, TimeSeries};
@@ -716,41 +716,51 @@ impl Cluster {
                 // extra RNG draw (the kill is deterministic given the
                 // sample), so enabling a timeout only reshapes `wasted`.
                 if draw > to {
-                    if respawns + 1 < rp.max_attempts {
-                        wasted += to;
-                        wasted += self.warm.instantiation_cost(true, &mut self.rng);
-                        wasted += rp.backoff(respawns);
-                        respawns += 1;
-                        continue;
+                    match rp.on_fault(respawns) {
+                        RetryDecision::Retry { backoff } => {
+                            wasted += to;
+                            wasted += self.warm.instantiation_cost(true, &mut self.rng);
+                            wasted += backoff;
+                            respawns += 1;
+                            continue;
+                        }
+                        RetryDecision::GiveUp => {
+                            wasted += to;
+                            gave_up = true;
+                            break SimDuration::ZERO;
+                        }
+                        // Out of attempts but forced to succeed: let it run.
+                        RetryDecision::ForceSuccess => {}
                     }
-                    if rp.give_up {
-                        wasted += to;
-                        gave_up = true;
-                        break SimDuration::ZERO;
-                    }
-                    // Out of attempts but forced to succeed: let it run.
                 }
             }
-            if respawns + 1 < rp.max_attempts && self.rng.gen::<f64>() < self.params.fault_rate {
-                // Fails a uniform way through; OpenWhisk respawns it.
-                wasted += draw.mul_f64(self.rng.gen::<f64>());
-                wasted += self.warm.instantiation_cost(true, &mut self.rng);
-                wasted += rp.backoff(respawns);
-                respawns += 1;
-                continue;
+            // The match guards reproduce the legacy draw order exactly: a
+            // fault coin is flipped only on arms that flipped one before
+            // this was expressed through `RetryPolicy::on_fault`, and a
+            // guard that fails falls through to plain success.
+            match rp.on_fault(respawns) {
+                RetryDecision::Retry { backoff }
+                    if self.rng.gen::<f64>() < self.params.fault_rate =>
+                {
+                    // Fails a uniform way through; OpenWhisk respawns it.
+                    wasted += draw.mul_f64(self.rng.gen::<f64>());
+                    wasted += self.warm.instantiation_cost(true, &mut self.rng);
+                    wasted += backoff;
+                    respawns += 1;
+                    continue;
+                }
+                RetryDecision::GiveUp
+                    if self.params.fault_rate > 0.0
+                        && self.rng.gen::<f64>() < self.params.fault_rate =>
+                {
+                    // The final attempt also faulted and the policy allows
+                    // giving up: report the invocation as failed.
+                    wasted += draw.mul_f64(self.rng.gen::<f64>());
+                    gave_up = true;
+                    break SimDuration::ZERO;
+                }
+                _ => break draw,
             }
-            if rp.give_up
-                && respawns + 1 >= rp.max_attempts
-                && self.params.fault_rate > 0.0
-                && self.rng.gen::<f64>() < self.params.fault_rate
-            {
-                // The final attempt also faulted and the policy allows
-                // giving up: report the invocation as failed.
-                wasted += draw.mul_f64(self.rng.gen::<f64>());
-                gave_up = true;
-                break SimDuration::ZERO;
-            }
-            break draw;
         };
         // Report the attempt outcome to the app's circuit breaker. The
         // retry loop resolves here (at the data-in instant), so breaker

@@ -17,7 +17,7 @@ use rand::Rng;
 // The retry/timeout/backoff policy governing failed data-plane attempts
 // is part of the fault-injection vocabulary; re-exported here because the
 // data plane (input fetch / execution / output store) is where it applies.
-pub use hivemind_sim::faults::RetryPolicy;
+pub use hivemind_sim::faults::{RetryDecision, RetryPolicy};
 
 /// The protocol used for one exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +196,245 @@ impl DataPlane {
     pub fn remote_fabric(&self) -> &RemoteMemoryFabric {
         &self.remote
     }
+
+    /// A logical exchange session over `protocol`: CouchDB persists the
+    /// stored object across store-node crashes; the in-memory, RPC and
+    /// remote-memory paths hold it in volatile state that a crash wipes.
+    pub fn session(protocol: ExchangeProtocol, retry: RetryPolicy) -> ExchangeSession {
+        ExchangeSession::new(retry, protocol == ExchangeProtocol::CouchDb)
+    }
+}
+
+/// A message on the wire between parent, store and child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExchangeMsg {
+    /// Parent → store: persist the output object.
+    StoreReq,
+    /// Store → parent: object persisted.
+    StoreAck,
+    /// Child → store: fetch the input object.
+    FetchReq,
+    /// Store → child: the object.
+    FetchResp,
+    /// Store → child: not stored (yet).
+    FetchMiss,
+}
+
+/// A side effect requested by [`ExchangeSession::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeEffect {
+    /// Put a message on the wire (the environment decides its fate:
+    /// deliver, duplicate, drop).
+    Send(ExchangeMsg),
+    /// Launch the child function with the fetched input.
+    RunChild,
+}
+
+/// An input the environment feeds into the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeInput {
+    /// A message arrived (possibly duplicated or reordered).
+    Deliver(ExchangeMsg),
+    /// The parent's retransmit timer fired (no ack yet).
+    ParentTimer,
+    /// The child's retransmit timer fired (no response yet).
+    ChildTimer,
+    /// The storage node crashed and restarted.
+    StoreCrash,
+}
+
+/// One parent→child data handoff lifted to a pure message-passing state
+/// machine.
+///
+/// The latency models above price an exchange; this machine captures its
+/// *logic* — store, ack, fetch, retransmit, give-up — as a step function
+/// with no RNG and no clock, so the same protocol code runs under the
+/// DES engine and under exhaustive exploration by the model checker
+/// (`hivemind_sim::mc`). The invariant that matters is exactly-once
+/// execution: however the environment interleaves, duplicates or drops
+/// messages and crashes the store, the child must run at most once (and,
+/// absent give-up, at least once eventually).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeSession {
+    retry: RetryPolicy,
+    /// The store survives [`ExchangeInput::StoreCrash`] (CouchDB); a
+    /// volatile store loses the object.
+    durable: bool,
+    /// Deduplicate redundant `FetchResp` deliveries (the correct
+    /// protocol). Disabled only by the planted-bug mutation hook.
+    dedup: bool,
+    stored: bool,
+    acked: bool,
+    delivered: bool,
+    executed: u32,
+    store_sends: u32,
+    fetch_sends: u32,
+    failed: bool,
+}
+
+impl std::hash::Hash for ExchangeSession {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // RetryPolicy carries f64 knobs, so it cannot derive Hash; its
+        // bits are hashed explicitly (NaN never occurs in configured
+        // policies, and bitwise equality is the determinism contract).
+        self.retry.max_attempts.hash(state);
+        self.retry.timeout.map(|t| t.as_nanos()).hash(state);
+        self.retry.backoff_base.as_nanos().hash(state);
+        self.retry.backoff_factor.to_bits().hash(state);
+        self.retry.backoff_max.as_nanos().hash(state);
+        self.retry.give_up.hash(state);
+        self.durable.hash(state);
+        self.dedup.hash(state);
+        self.stored.hash(state);
+        self.acked.hash(state);
+        self.delivered.hash(state);
+        self.executed.hash(state);
+        self.store_sends.hash(state);
+        self.fetch_sends.hash(state);
+        self.failed.hash(state);
+    }
+}
+
+impl ExchangeSession {
+    /// A fresh session governed by `retry`; `durable` selects whether
+    /// the store survives crashes.
+    pub fn new(retry: RetryPolicy, durable: bool) -> ExchangeSession {
+        ExchangeSession {
+            retry,
+            durable,
+            dedup: true,
+            stored: false,
+            acked: false,
+            delivered: false,
+            executed: 0,
+            store_sends: 0,
+            fetch_sends: 0,
+            failed: false,
+        }
+    }
+
+    /// Planted-bug mutation hook: disables `FetchResp` deduplication so
+    /// a duplicated response runs the child twice. Exists to prove the
+    /// model-checking lane has teeth — the checker must produce a
+    /// counterexample for this variant.
+    pub fn without_dedup(mut self) -> ExchangeSession {
+        self.dedup = false;
+        self
+    }
+
+    /// Emits the opening sends (parent stores, child fetches — the fetch
+    /// can race ahead of the store, which is why `FetchMiss` exists).
+    pub fn start(&mut self, out: &mut Vec<ExchangeEffect>) {
+        self.store_sends = 1;
+        self.fetch_sends = 1;
+        out.push(ExchangeEffect::Send(ExchangeMsg::StoreReq));
+        out.push(ExchangeEffect::Send(ExchangeMsg::FetchReq));
+    }
+
+    /// Advances the machine by one input, appending requested effects.
+    pub fn step(&mut self, input: ExchangeInput, out: &mut Vec<ExchangeEffect>) {
+        if self.failed {
+            return;
+        }
+        match input {
+            ExchangeInput::Deliver(ExchangeMsg::StoreReq) => {
+                self.stored = true;
+                out.push(ExchangeEffect::Send(ExchangeMsg::StoreAck));
+            }
+            ExchangeInput::Deliver(ExchangeMsg::StoreAck) => {
+                self.acked = true;
+            }
+            ExchangeInput::Deliver(ExchangeMsg::FetchReq) => {
+                let reply = if self.stored {
+                    ExchangeMsg::FetchResp
+                } else {
+                    ExchangeMsg::FetchMiss
+                };
+                out.push(ExchangeEffect::Send(reply));
+            }
+            ExchangeInput::Deliver(ExchangeMsg::FetchResp) => {
+                if self.delivered && self.dedup {
+                    return; // redundant retransmission: drop it
+                }
+                self.delivered = true;
+                self.executed += 1;
+                out.push(ExchangeEffect::RunChild);
+            }
+            ExchangeInput::Deliver(ExchangeMsg::FetchMiss) => {
+                self.retransmit_fetch(out);
+            }
+            ExchangeInput::ParentTimer => {
+                if !self.acked {
+                    match self.retry.on_fault(self.store_sends.saturating_sub(1)) {
+                        RetryDecision::Retry { .. } | RetryDecision::ForceSuccess => {
+                            self.store_sends += 1;
+                            out.push(ExchangeEffect::Send(ExchangeMsg::StoreReq));
+                        }
+                        RetryDecision::GiveUp => self.failed = true,
+                    }
+                }
+            }
+            ExchangeInput::ChildTimer => {
+                if !self.delivered {
+                    self.retransmit_fetch(out);
+                }
+            }
+            ExchangeInput::StoreCrash => {
+                if !self.durable {
+                    self.stored = false;
+                }
+            }
+        }
+    }
+
+    fn retransmit_fetch(&mut self, out: &mut Vec<ExchangeEffect>) {
+        if self.delivered {
+            return;
+        }
+        match self.retry.on_fault(self.fetch_sends.saturating_sub(1)) {
+            RetryDecision::Retry { .. } | RetryDecision::ForceSuccess => {
+                self.fetch_sends += 1;
+                out.push(ExchangeEffect::Send(ExchangeMsg::FetchReq));
+            }
+            RetryDecision::GiveUp => self.failed = true,
+        }
+    }
+
+    /// Times the child has been launched (the exactly-once invariant is
+    /// `executed() <= 1`).
+    pub fn executed(&self) -> u32 {
+        self.executed
+    }
+
+    /// Whether the object is currently in the store.
+    pub fn stored(&self) -> bool {
+        self.stored
+    }
+
+    /// Whether the parent has seen its ack.
+    pub fn acked(&self) -> bool {
+        self.acked
+    }
+
+    /// Whether the child has received the object.
+    pub fn delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// Whether a bounded policy exhausted its attempts and gave up.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// `StoreReq` transmissions so far.
+    pub fn store_sends(&self) -> u32 {
+        self.store_sends
+    }
+
+    /// `FetchReq` transmissions so far.
+    pub fn fetch_sends(&self) -> u32 {
+        self.fetch_sends
+    }
 }
 
 #[cfg(test)]
@@ -269,5 +508,99 @@ mod tests {
         let small = mean_latency(ExchangeProtocol::CouchDb, 1_000, false);
         let large = mean_latency(ExchangeProtocol::CouchDb, 50_000_000, false);
         assert!(large > small + 0.15, "50 MB should add ~0.17 s at 600 MB/s");
+    }
+
+    #[test]
+    fn session_happy_path_runs_child_once() {
+        let mut s = DataPlane::session(ExchangeProtocol::CouchDb, RetryPolicy::default());
+        let mut out = Vec::new();
+        s.start(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                ExchangeEffect::Send(ExchangeMsg::StoreReq),
+                ExchangeEffect::Send(ExchangeMsg::FetchReq),
+            ]
+        );
+        out.clear();
+        s.step(ExchangeInput::Deliver(ExchangeMsg::StoreReq), &mut out);
+        assert_eq!(out, vec![ExchangeEffect::Send(ExchangeMsg::StoreAck)]);
+        out.clear();
+        s.step(ExchangeInput::Deliver(ExchangeMsg::StoreAck), &mut out);
+        s.step(ExchangeInput::Deliver(ExchangeMsg::FetchReq), &mut out);
+        assert_eq!(out, vec![ExchangeEffect::Send(ExchangeMsg::FetchResp)]);
+        out.clear();
+        s.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        assert_eq!(out, vec![ExchangeEffect::RunChild]);
+        assert_eq!(s.executed(), 1);
+        assert!(s.acked() && s.delivered() && !s.failed());
+    }
+
+    #[test]
+    fn session_dedup_absorbs_duplicate_response() {
+        let mut s = DataPlane::session(ExchangeProtocol::CouchDb, RetryPolicy::default());
+        let mut out = Vec::new();
+        s.start(&mut out);
+        s.step(ExchangeInput::Deliver(ExchangeMsg::StoreReq), &mut out);
+        out.clear();
+        s.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        s.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        assert_eq!(out, vec![ExchangeEffect::RunChild], "one launch only");
+        assert_eq!(s.executed(), 1);
+        // The planted-bug variant runs the child twice.
+        let mut buggy = ExchangeSession::new(RetryPolicy::default(), true).without_dedup();
+        out.clear();
+        buggy.start(&mut out);
+        out.clear();
+        buggy.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        buggy.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        assert_eq!(buggy.executed(), 2);
+    }
+
+    #[test]
+    fn session_crash_loses_volatile_store_but_not_durable() {
+        for (proto, survives) in [
+            (ExchangeProtocol::CouchDb, true),
+            (ExchangeProtocol::InMemory, false),
+            (ExchangeProtocol::RemoteMemory, false),
+        ] {
+            let mut s = DataPlane::session(proto, RetryPolicy::default());
+            let mut out = Vec::new();
+            s.start(&mut out);
+            s.step(ExchangeInput::Deliver(ExchangeMsg::StoreReq), &mut out);
+            assert!(s.stored());
+            s.step(ExchangeInput::StoreCrash, &mut out);
+            assert_eq!(s.stored(), survives, "{proto:?}");
+            // A fetch after the crash misses on volatile stores.
+            out.clear();
+            s.step(ExchangeInput::Deliver(ExchangeMsg::FetchReq), &mut out);
+            let expect = if survives {
+                ExchangeMsg::FetchResp
+            } else {
+                ExchangeMsg::FetchMiss
+            };
+            assert_eq!(out, vec![ExchangeEffect::Send(expect)]);
+        }
+    }
+
+    #[test]
+    fn session_bounded_policy_gives_up_after_exhausting_fetches() {
+        let rp = RetryPolicy::bounded(3, SimDuration::ZERO);
+        let mut s = ExchangeSession::new(rp, false);
+        let mut out = Vec::new();
+        s.start(&mut out); // fetch_sends = 1
+        out.clear();
+        s.step(ExchangeInput::ChildTimer, &mut out); // 2
+        s.step(ExchangeInput::ChildTimer, &mut out); // 3
+        assert_eq!(out.len(), 2, "two retransmissions within budget");
+        assert!(!s.failed());
+        out.clear();
+        s.step(ExchangeInput::ChildTimer, &mut out); // exhausted
+        assert!(s.failed());
+        assert!(out.is_empty());
+        // A failed session is inert: even a late response is ignored.
+        s.step(ExchangeInput::Deliver(ExchangeMsg::FetchResp), &mut out);
+        assert_eq!(s.executed(), 0);
+        assert!(out.is_empty());
     }
 }

@@ -426,6 +426,42 @@ impl RetryPolicy {
         let scale = self.backoff_factor.powf(retry as f64);
         self.backoff_base.mul_f64(scale).min(self.backoff_max)
     }
+
+    /// What the policy does about attempt failure number `respawns`
+    /// (0-based count of respawns already performed).
+    ///
+    /// This is the pure decision kernel shared by the DES cluster loop
+    /// and the model checker: given how many respawns happened so far, a
+    /// faulted attempt either retries (with the matching backoff pause),
+    /// gives up, or — for unbounded policies reproducing the historical
+    /// "OpenWhisk retries until completion" semantics — forces the final
+    /// attempt to succeed.
+    pub fn on_fault(&self, respawns: u32) -> RetryDecision {
+        if respawns + 1 < self.max_attempts {
+            RetryDecision::Retry {
+                backoff: self.backoff(respawns),
+            }
+        } else if self.give_up {
+            RetryDecision::GiveUp
+        } else {
+            RetryDecision::ForceSuccess
+        }
+    }
+}
+
+/// Outcome of [`RetryPolicy::on_fault`] for one faulted attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryDecision {
+    /// Respawn the attempt after pausing for `backoff`.
+    Retry {
+        /// Pause to insert before the respawn.
+        backoff: SimDuration,
+    },
+    /// Attempts are exhausted and the policy is bounded: report failure.
+    GiveUp,
+    /// Attempts are exhausted but the policy is unbounded: the final
+    /// attempt is forced to succeed (historical OpenWhisk semantics).
+    ForceSuccess,
 }
 
 /// Device-fleet and controller failures.
@@ -566,6 +602,39 @@ mod tests {
         assert_eq!(rp.backoff(1), SimDuration::from_secs(30));
         assert_eq!(rp.backoff(2), SimDuration::from_secs(30));
         assert_eq!(rp.backoff(u32::MAX), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn on_fault_mirrors_the_legacy_loop_conditions() {
+        // Unbounded default: retries while respawns+1 < max_attempts,
+        // then forces the final attempt to succeed.
+        let rp = RetryPolicy::default();
+        for respawns in 0..5 {
+            assert_eq!(
+                rp.on_fault(respawns),
+                RetryDecision::Retry {
+                    backoff: SimDuration::ZERO
+                }
+            );
+        }
+        assert_eq!(rp.on_fault(5), RetryDecision::ForceSuccess);
+        assert_eq!(rp.on_fault(99), RetryDecision::ForceSuccess);
+
+        // Bounded: same retry window, then a real give-up.
+        let rp = RetryPolicy::bounded(3, SimDuration::from_millis(100));
+        assert_eq!(
+            rp.on_fault(0),
+            RetryDecision::Retry {
+                backoff: SimDuration::from_millis(100)
+            }
+        );
+        assert_eq!(
+            rp.on_fault(1),
+            RetryDecision::Retry {
+                backoff: SimDuration::from_millis(200)
+            }
+        );
+        assert_eq!(rp.on_fault(2), RetryDecision::GiveUp);
     }
 
     #[test]

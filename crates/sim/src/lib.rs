@@ -69,6 +69,7 @@ pub mod component;
 pub mod dist;
 pub mod engine;
 pub mod faults;
+pub mod mc;
 pub mod overload;
 pub mod rng;
 pub mod stats;
@@ -78,7 +79,8 @@ pub mod trace;
 pub use component::Component;
 pub use dist::Dist;
 pub use engine::{Context, Engine, Model};
-pub use faults::{FaultPlan, RetryPolicy};
+pub use faults::{FaultPlan, RetryDecision, RetryPolicy};
+pub use mc::{McConfig, McModel, McReport};
 pub use overload::{CircuitBreaker, OverloadPolicy};
 pub use rng::RngForge;
 pub use stats::Summary;

@@ -227,7 +227,7 @@ impl AdmissionLimits {
 }
 
 /// Circuit-breaker knobs (per application).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BreakerConfig {
     /// Consecutive faulted attempts that trip the breaker open.
     pub open_after: u32,
@@ -340,10 +340,10 @@ pub enum BreakerEvent {
 /// let later = t + cfg.cooldown;
 /// assert_eq!(b.admit(later), BreakerDecision::Probe);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
-    state: State,
+    state: BreakerState,
     consecutive: u32,
     /// When the current open period began (valid while not Closed).
     opened_at: SimTime,
@@ -357,10 +357,17 @@ pub struct CircuitBreaker {
     open_time: SimDuration,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
+/// A circuit breaker's position in its state machine.
+///
+/// Public so the model-checking lane (`sim::mc`) and tests can compare
+/// the implementation against its specification mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Normal service; a failure streak is being counted.
     Closed,
+    /// Failing fast until the cool-down elapses.
     Open,
+    /// Cool-down elapsed; probes decide whether to close or re-open.
     HalfOpen,
 }
 
@@ -369,7 +376,7 @@ impl CircuitBreaker {
     pub fn new(cfg: BreakerConfig) -> Self {
         CircuitBreaker {
             cfg,
-            state: State::Closed,
+            state: BreakerState::Closed,
             consecutive: 0,
             opened_at: SimTime::ZERO,
             open_until: SimTime::ZERO,
@@ -389,17 +396,17 @@ impl CircuitBreaker {
     /// Like [`Self::admit`], also reporting a half-open transition.
     pub fn admit_traced(&mut self, now: SimTime) -> (BreakerDecision, Option<BreakerEvent>) {
         match self.state {
-            State::Closed => (BreakerDecision::Admit, None),
-            State::Open => {
+            BreakerState::Closed => (BreakerDecision::Admit, None),
+            BreakerState::Open => {
                 if now >= self.open_until {
-                    self.state = State::HalfOpen;
+                    self.state = BreakerState::HalfOpen;
                     self.probes_in_flight = 1;
                     (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
                 } else {
                     (BreakerDecision::Reject, None)
                 }
             }
-            State::HalfOpen => {
+            BreakerState::HalfOpen => {
                 if self.probes_in_flight < self.cfg.half_open_probes {
                     self.probes_in_flight += 1;
                     (BreakerDecision::Probe, None)
@@ -411,33 +418,45 @@ impl CircuitBreaker {
     }
 
     /// Reports a successful attempt (a probe if admitted as one).
+    ///
+    /// The consecutive-failure streak is reset only while the breaker is
+    /// closed (or when a probe success closes it): a stale invocation
+    /// resolving *during* a cool-down — admitted before the breaker
+    /// tripped, finishing while it fails fast — must not perturb the
+    /// streak the next closed period starts from.
     pub fn record_success(&mut self, now: SimTime, probe: bool) -> Option<BreakerEvent> {
-        self.consecutive = 0;
-        if probe && self.state == State::HalfOpen {
-            self.state = State::Closed;
+        if probe && self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
             self.probes_in_flight = 0;
+            self.consecutive = 0;
             self.open_time += now.saturating_since(self.opened_at);
             return Some(BreakerEvent::Closed);
+        }
+        if self.state == BreakerState::Closed {
+            self.consecutive = 0;
         }
         None
     }
 
     /// Reports a faulted attempt (a probe if admitted as one).
     pub fn record_failure(&mut self, now: SimTime, probe: bool) -> Option<BreakerEvent> {
-        if probe && self.state == State::HalfOpen {
+        if probe && self.state == BreakerState::HalfOpen {
             // Probe failed: re-open for another cool-down. The open
             // period is continuous, so `opened_at` keeps its first value.
-            self.state = State::Open;
+            self.state = BreakerState::Open;
             self.probes_in_flight = 0;
             self.open_until = now + self.cfg.cooldown;
             self.opens += 1;
             return Some(BreakerEvent::Opened);
         }
-        if self.state == State::Closed {
+        if self.state == BreakerState::Closed {
             self.consecutive += 1;
             if self.consecutive >= self.cfg.open_after {
-                self.state = State::Open;
-                self.consecutive = 0;
+                // The streak is preserved through the open window (it is
+                // only cleared when the breaker actually closes again),
+                // so a give-up resolving during the cool-down observably
+                // cannot reset it.
+                self.state = BreakerState::Open;
                 self.opened_at = now;
                 self.open_until = now + self.cfg.cooldown;
                 self.opens += 1;
@@ -451,14 +470,37 @@ impl CircuitBreaker {
     /// resolving (e.g. lost to a server crash), so half-open admission
     /// doesn't wedge waiting for an answer that will never come.
     pub fn release_probe(&mut self) {
-        if self.state == State::HalfOpen {
+        if self.state == BreakerState::HalfOpen {
             self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
         }
     }
 
     /// `true` while the breaker fails fast (open or half-open).
     pub fn is_open(&self) -> bool {
-        self.state != State::Closed
+        self.state != BreakerState::Closed
+    }
+
+    /// The breaker's current position in its state machine.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The current consecutive-failure streak. Counts up while closed,
+    /// is preserved verbatim through open/half-open windows, and resets
+    /// to zero when the breaker closes.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// The instant at which an open breaker starts admitting probes
+    /// (meaningful while not closed).
+    pub fn open_until(&self) -> SimTime {
+        self.open_until
+    }
+
+    /// Probes admitted and not yet resolved (half-open only).
+    pub fn probes_in_flight(&self) -> u32 {
+        self.probes_in_flight
     }
 
     /// Times the breaker tripped open.
@@ -469,7 +511,7 @@ impl CircuitBreaker {
     /// Total fail-fast time up to `now` (an open period still in
     /// progress counts up to `now`).
     pub fn total_open_time(&self, now: SimTime) -> SimDuration {
-        if self.state == State::Closed {
+        if self.state == BreakerState::Closed {
             self.open_time
         } else {
             self.open_time + now.saturating_since(self.opened_at)
@@ -616,5 +658,58 @@ mod tests {
         b.record_failure(t0, false);
         let t1 = t0 + SimDuration::from_secs(2);
         assert_eq!(b.total_open_time(t1), SimDuration::from_secs(2));
+    }
+
+    /// Regression: an invocation that gives up *during* the cool-down
+    /// (admitted before the trip, resolving while the breaker fails
+    /// fast) must not reset the consecutive-failure streak, and a stale
+    /// success in the same window must not either. The streak is only
+    /// cleared when the breaker actually closes again.
+    #[test]
+    fn give_up_during_cooldown_does_not_reset_streak() {
+        let cfg = BreakerConfig {
+            open_after: 3,
+            cooldown: SimDuration::from_secs(1),
+            ..BreakerConfig::default()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert_eq!(b.record_failure(t0, false), None);
+        assert_eq!(b.record_failure(t0, false), None);
+        assert_eq!(b.record_failure(t0, false), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.consecutive_failures(), 3, "streak survives the trip");
+        let open_until = b.open_until();
+
+        // A straggler invocation gives up mid-cool-down: no transition,
+        // no streak reset, no cool-down extension.
+        let mid = t0 + SimDuration::from_millis(500);
+        assert_eq!(b.record_failure(mid, false), None);
+        assert_eq!(b.consecutive_failures(), 3);
+        assert_eq!(b.open_until(), open_until);
+        // A stale *success* in the same window is equally inert.
+        assert_eq!(b.record_success(mid, false), None);
+        assert_eq!(b.consecutive_failures(), 3);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // The cool-down boundary is exact: 1 ns early still rejects.
+        let just_before = t0 + (cfg.cooldown - SimDuration::from_nanos(1));
+        assert_eq!(b.admit(just_before), BreakerDecision::Reject);
+        assert_eq!(
+            b.admit_traced(open_until),
+            (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+        );
+
+        // Closing via the probe is what clears the streak: three fresh
+        // give-ups are needed to re-open.
+        assert_eq!(
+            b.record_success(open_until, true),
+            Some(BreakerEvent::Closed)
+        );
+        assert_eq!(b.consecutive_failures(), 0);
+        let t2 = open_until + SimDuration::from_millis(1);
+        assert_eq!(b.record_failure(t2, false), None);
+        assert_eq!(b.record_failure(t2, false), None);
+        assert_eq!(b.record_failure(t2, false), Some(BreakerEvent::Opened));
     }
 }

@@ -2,6 +2,10 @@
 
 use hivemind_sim::dist::Dist;
 use hivemind_sim::engine::{Context, Engine, Model};
+use hivemind_sim::mc::BreakerMonitor;
+use hivemind_sim::overload::{
+    BreakerConfig, BreakerDecision, BreakerEvent, BreakerState, CircuitBreaker,
+};
 use hivemind_sim::rng::RngForge;
 use hivemind_sim::stats::{Histogram, Meter, Summary};
 use hivemind_sim::time::{SimDuration, SimTime};
@@ -178,6 +182,174 @@ proptest! {
         prop_assert_eq!(a.p99(), b.p99());
         prop_assert_eq!(a.min(), b.min());
         prop_assert_eq!(a.max(), b.max());
+    }
+
+    /// The circuit breaker never diverges from its specification mirror
+    /// under arbitrary interleavings of admissions, outcome reports
+    /// (resolved oldest-first or newest-first), vanished probes, and
+    /// time advances.
+    #[test]
+    fn breaker_matches_specification_mirror(
+        open_after in 1u32..5,
+        half_open_probes in 1u32..4,
+        cooldown_ms in 1u64..3_000,
+        ops in prop::collection::vec((0u64..2_000, 0u8..8), 1..200),
+    ) {
+        let cfg = BreakerConfig {
+            open_after,
+            half_open_probes,
+            cooldown: SimDuration::from_millis(cooldown_ms),
+        };
+        let mut breaker = CircuitBreaker::new(cfg);
+        let mut monitor = BreakerMonitor::new(cfg);
+        let mut now = SimTime::ZERO;
+        // Admitted attempts not yet resolved (probe flags).
+        let mut inflight: Vec<bool> = Vec::new();
+        for &(dt_ms, op) in &ops {
+            now += SimDuration::from_millis(dt_ms);
+            match op {
+                0..=2 => {
+                    let (decision, event) = breaker.admit_traced(now);
+                    let checked = monitor.on_admit(now, decision, event);
+                    prop_assert!(checked.is_ok(), "admit diverged: {:?}", checked);
+                    if decision != BreakerDecision::Reject {
+                        inflight.push(decision == BreakerDecision::Probe);
+                    }
+                }
+                3..=6 => {
+                    let probe = if op < 5 {
+                        (!inflight.is_empty()).then(|| inflight.remove(0))
+                    } else {
+                        inflight.pop()
+                    };
+                    if let Some(probe) = probe {
+                        let success = op % 2 == 1;
+                        let event = if success {
+                            breaker.record_success(now, probe)
+                        } else {
+                            breaker.record_failure(now, probe)
+                        };
+                        let checked = monitor.on_outcome(now, success, probe, event);
+                        prop_assert!(checked.is_ok(), "outcome diverged: {:?}", checked);
+                    }
+                }
+                _ => {
+                    // A probe's invocation vanishes without resolving.
+                    if let Some(pos) = inflight.iter().position(|&p| p) {
+                        inflight.remove(pos);
+                        breaker.release_probe();
+                        monitor.on_release();
+                    }
+                }
+            }
+            prop_assert_eq!(breaker.state(), monitor.state());
+        }
+    }
+
+    /// Closed → open after exactly `open_after` consecutive final
+    /// failures; a success while closed resets the streak.
+    #[test]
+    fn breaker_opens_after_exact_streak(open_after in 1u32..8, warmup in 0u32..3) {
+        let cfg = BreakerConfig {
+            open_after,
+            half_open_probes: 1,
+            cooldown: SimDuration::from_secs(1),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let now = SimTime::ZERO;
+        for _ in 0..warmup {
+            prop_assert_eq!(b.admit(now), BreakerDecision::Admit);
+            prop_assert_eq!(b.record_success(now, false), None);
+        }
+        // One short of the threshold, broken by a success: still closed.
+        for _ in 1..open_after {
+            prop_assert_eq!(b.admit(now), BreakerDecision::Admit);
+            prop_assert_eq!(b.record_failure(now, false), None);
+        }
+        prop_assert_eq!(b.record_success(now, false), None);
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        prop_assert_eq!(b.consecutive_failures(), 0);
+        // A full uninterrupted streak: the final failure, and only it,
+        // trips the breaker.
+        let mut last = None;
+        for i in 0..open_after {
+            prop_assert_eq!(b.admit(now), BreakerDecision::Admit);
+            last = b.record_failure(now, false);
+            if i + 1 < open_after {
+                prop_assert_eq!(last, None);
+            }
+        }
+        prop_assert_eq!(last, Some(BreakerEvent::Opened));
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        prop_assert_eq!(b.admit(now), BreakerDecision::Reject);
+    }
+
+    /// Open → half-open at exactly the cool-down boundary: one
+    /// nanosecond early still rejects, the boundary instant admits the
+    /// first probe.
+    #[test]
+    fn breaker_half_opens_exactly_at_cooldown(
+        cooldown_ms in 1u64..10_000,
+        trip_at_ms in 0u64..5_000,
+    ) {
+        let cooldown = SimDuration::from_millis(cooldown_ms);
+        let cfg = BreakerConfig { open_after: 1, half_open_probes: 1, cooldown };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(trip_at_ms);
+        prop_assert_eq!(b.admit(t0), BreakerDecision::Admit);
+        prop_assert_eq!(b.record_failure(t0, false), Some(BreakerEvent::Opened));
+        let just_before = t0 + (cooldown - SimDuration::from_nanos(1));
+        prop_assert_eq!(b.admit_traced(just_before), (BreakerDecision::Reject, None));
+        let boundary = t0 + cooldown;
+        prop_assert_eq!(
+            b.admit_traced(boundary),
+            (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+        );
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    /// Half-open probe slots are conserved: exactly `half_open_probes`
+    /// concurrent probes, a vanished probe frees its slot, a probe
+    /// success closes (clearing the streak), a probe failure re-opens
+    /// for a fresh cool-down.
+    #[test]
+    fn breaker_probe_slots_are_conserved(half_open_probes in 1u32..5, succeed in 0u8..2) {
+        let cooldown = SimDuration::from_secs(1);
+        let cfg = BreakerConfig { open_after: 1, half_open_probes, cooldown };
+        let mut b = CircuitBreaker::new(cfg);
+        prop_assert_eq!(b.admit(SimTime::ZERO), BreakerDecision::Admit);
+        prop_assert_eq!(b.record_failure(SimTime::ZERO, false), Some(BreakerEvent::Opened));
+        let t1 = SimTime::ZERO + cooldown;
+        prop_assert_eq!(
+            b.admit_traced(t1),
+            (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+        );
+        for _ in 1..half_open_probes {
+            prop_assert_eq!(b.admit_traced(t1), (BreakerDecision::Probe, None));
+        }
+        prop_assert_eq!(b.probes_in_flight(), half_open_probes);
+        prop_assert_eq!(b.admit(t1), BreakerDecision::Reject);
+        // A vanished probe frees exactly one slot.
+        b.release_probe();
+        prop_assert_eq!(b.admit_traced(t1), (BreakerDecision::Probe, None));
+        prop_assert_eq!(b.admit(t1), BreakerDecision::Reject);
+        if succeed == 1 {
+            prop_assert_eq!(b.record_success(t1, true), Some(BreakerEvent::Closed));
+            prop_assert_eq!(b.state(), BreakerState::Closed);
+            prop_assert_eq!(b.consecutive_failures(), 0);
+            prop_assert_eq!(b.probes_in_flight(), 0);
+        } else {
+            prop_assert_eq!(b.record_failure(t1, true), Some(BreakerEvent::Opened));
+            prop_assert_eq!(b.state(), BreakerState::Open);
+            prop_assert_eq!(b.probes_in_flight(), 0);
+            // The re-open runs a full fresh cool-down from the failure.
+            let just_before = t1 + (cooldown - SimDuration::from_nanos(1));
+            prop_assert_eq!(b.admit(just_before), BreakerDecision::Reject);
+            prop_assert_eq!(
+                b.admit_traced(t1 + cooldown),
+                (BreakerDecision::Probe, Some(BreakerEvent::HalfOpened))
+            );
+        }
     }
 
     /// Derived replicate seeds never collide with each other (or the

@@ -35,6 +35,8 @@ pub enum FailoverError {
     },
     /// Every device is dead; there is nobody to absorb the area.
     NoSurvivors,
+    /// A tracker or controller over zero devices.
+    EmptyFleet,
 }
 
 impl fmt::Display for FailoverError {
@@ -48,6 +50,9 @@ impl fmt::Display for FailoverError {
             }
             FailoverError::NoSurvivors => {
                 write!(f, "at least one device must be alive to absorb the area")
+            }
+            FailoverError::EmptyFleet => {
+                write!(f, "fleet must contain at least one device")
             }
         }
     }
@@ -83,18 +88,45 @@ pub struct HeartbeatTracker {
 
 impl HeartbeatTracker {
     /// Tracks `n` devices with the paper's 3 s timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet; use [`HeartbeatTracker::try_with_timeout`]
+    /// when `n` comes from untrusted configuration.
     pub fn new(n: u32) -> HeartbeatTracker {
         HeartbeatTracker::with_timeout(n, SimDuration::from_secs(3))
     }
 
     /// Tracks `n` devices with a custom timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet; use [`HeartbeatTracker::try_with_timeout`]
+    /// when `n` comes from untrusted configuration.
     pub fn with_timeout(n: u32, timeout: SimDuration) -> HeartbeatTracker {
-        HeartbeatTracker {
+        match HeartbeatTracker::try_with_timeout(n, timeout) {
+            Ok(hb) => hb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`HeartbeatTracker::with_timeout`]: rejects an empty
+    /// fleet as a value instead of aborting, so fault-injected and
+    /// model-checked configurations can treat it as an explorable
+    /// outcome.
+    pub fn try_with_timeout(
+        n: u32,
+        timeout: SimDuration,
+    ) -> Result<HeartbeatTracker, FailoverError> {
+        if n == 0 {
+            return Err(FailoverError::EmptyFleet);
+        }
+        Ok(HeartbeatTracker {
             last_beat: vec![None; n as usize],
             start: SimTime::ZERO,
             timeout,
             declared: vec![false; n as usize],
-        }
+        })
     }
 
     /// The heartbeat send period devices should use (paper: 1 s).
@@ -148,6 +180,12 @@ impl HeartbeatTracker {
     pub fn is_failed(&self, device: u32) -> bool {
         self.declared.get(device as usize).copied().unwrap_or(false)
     }
+
+    /// The last recorded heartbeat from `device` (`None` if it never
+    /// beat or the id is out of range).
+    pub fn last_beat(&self, device: u32) -> Option<SimTime> {
+        self.last_beat.get(device as usize).copied().flatten()
+    }
 }
 
 /// Repartitions a failed device's region among its live neighbours.
@@ -187,17 +225,34 @@ pub fn try_repartition(
             fleet: regions.len() as u32,
         });
     }
+    try_assign_rect(&regions[failed], regions, alive, failed)
+}
+
+/// Assigns an arbitrary rectangle to live devices: the step function
+/// shared by [`try_repartition`] (which hands over a failed device's
+/// *initial* region) and orphan redistribution (which hands over strips
+/// the dead device had *inherited* from earlier failovers).
+///
+/// Devices whose region shares an edge with `rect` (skipping `exclude`,
+/// normally the dead device itself) each receive an equal vertical
+/// strip, left-to-right in device order; with no adjacent survivor the
+/// whole rect goes to the nearest live region by center distance.
+pub fn try_assign_rect(
+    rect: &Rect,
+    regions: &[Rect],
+    alive: &[bool],
+    exclude: usize,
+) -> Result<Vec<(usize, Rect)>, FailoverError> {
     if regions.len() != alive.len() {
         return Err(FailoverError::LengthMismatch {
             regions: regions.len(),
             alive: alive.len(),
         });
     }
-    let lost = regions[failed];
     let mut neighbors: Vec<usize> = regions
         .iter()
         .enumerate()
-        .filter(|&(i, r)| i != failed && alive[i] && r.adjacent(&lost))
+        .filter(|&(i, r)| i != exclude && alive[i] && r.adjacent(rect))
         .map(|(i, _)| i)
         .collect();
     if neighbors.is_empty() {
@@ -205,17 +260,17 @@ pub fn try_repartition(
         let nearest = regions
             .iter()
             .enumerate()
-            .filter(|&(i, _)| i != failed && alive[i])
+            .filter(|&(i, _)| i != exclude && alive[i])
             .min_by(|(_, a), (_, b)| {
                 a.center()
-                    .distance(lost.center())
-                    .total_cmp(&b.center().distance(lost.center()))
+                    .distance(rect.center())
+                    .total_cmp(&b.center().distance(rect.center()))
             })
             .map(|(i, _)| i)
             .ok_or(FailoverError::NoSurvivors)?;
         neighbors.push(nearest);
     }
-    let strips = lost.split_vertical(neighbors.len() as u32);
+    let strips = rect.split_vertical(neighbors.len() as u32);
     Ok(neighbors.into_iter().zip(strips).collect())
 }
 
@@ -291,6 +346,54 @@ mod tests {
     fn repartition_with_no_survivors_panics() {
         let regions = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(1.0, 0.0, 2.0, 1.0)];
         let _ = repartition(&regions, &[true, false], 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_value_not_an_abort() {
+        assert_eq!(
+            HeartbeatTracker::try_with_timeout(0, SimDuration::from_secs(3)),
+            Err(FailoverError::EmptyFleet)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_panics_through_the_infallible_constructor() {
+        let _ = HeartbeatTracker::new(0);
+    }
+
+    #[test]
+    fn last_beat_reports_what_was_recorded() {
+        let mut hb = HeartbeatTracker::new(2);
+        assert_eq!(hb.last_beat(0), None);
+        hb.beat(0, SimTime::from_secs(7));
+        assert_eq!(hb.last_beat(0), Some(SimTime::from_secs(7)));
+        assert_eq!(hb.last_beat(1), None);
+        assert_eq!(hb.last_beat(99), None, "out of range reads as never beat");
+    }
+
+    #[test]
+    fn assign_rect_handles_inherited_strips() {
+        // Device 1 dies holding a strip it inherited from device 0's
+        // earlier failure; the strip must find a live home even though
+        // it is not anyone's initial region.
+        let regions = vec![
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            Rect::new(10.0, 0.0, 20.0, 10.0),
+            Rect::new(20.0, 0.0, 30.0, 10.0),
+        ];
+        let alive = vec![false, false, true];
+        let orphan = Rect::new(5.0, 0.0, 10.0, 10.0); // half of region 0
+        let extra = try_assign_rect(&orphan, &regions, &alive, 1).unwrap();
+        let total: f64 = extra.iter().map(|(_, r)| r.area()).sum();
+        assert!((total - orphan.area()).abs() < 1e-9);
+        assert!(extra.iter().all(|(d, _)| alive[*d]));
+
+        // With nobody left the step reports rather than panicking.
+        assert_eq!(
+            try_assign_rect(&orphan, &regions, &[false; 3], 1),
+            Err(FailoverError::NoSurvivors)
+        );
     }
 
     #[test]
