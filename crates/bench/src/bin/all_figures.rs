@@ -4,35 +4,22 @@
 //! cargo run --release -p hivemind-bench --bin all_figures
 //! ```
 //!
-//! Set `HIVEMIND_FULL=1` for paper-length runs (120 s jobs, 10 repeats,
-//! swarm sweep to 8192 devices). Pass `--smoke` to forward smoke mode to
-//! every figure (the seconds-scale deterministic slice the golden tests
-//! and perf baseline use). Pass `--trace <path>` to collect event traces
+//! Set `HIVEMIND_FULL=1` (or pass `--full`) for paper-length runs (120 s
+//! jobs, 10 repeats, swarm sweep to 8192 devices). Pass `--smoke` to
+//! forward smoke mode to every figure (the seconds-scale deterministic
+//! slice the golden tests and perf baseline use). Pass `--trace <path>`
+//! to collect event traces
 //! from every figure; each figure gets its own trace family
 //! (`<stem>.fig01.<ext>`, `<stem>.fig03.<ext>`, ...) so the figures never
 //! overwrite each other's files.
 
-use std::path::PathBuf;
 use std::process::Command;
 
+use hivemind_bench::cli::Cli;
 use hivemind_bench::report::keyed_path;
 
 fn main() {
-    let mut smoke = false;
-    let trace_base: Option<PathBuf> = {
-        let mut base = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            if arg == "--trace" {
-                base = args.next().map(PathBuf::from);
-            } else if let Some(path) = arg.strip_prefix("--trace=") {
-                base = Some(PathBuf::from(path));
-            } else if arg == "--smoke" {
-                smoke = true;
-            }
-        }
-        base
-    };
+    let cli = Cli::from_env();
     let figures = [
         "fig01", "fig03", "fig04", "fig05", "fig06", "fig11", "fig12", "fig13", "fig14", "fig15",
         "fig16", "fig17", "fig18",
@@ -41,10 +28,13 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
     for fig in figures {
         let mut cmd = Command::new(dir.join(fig));
-        if smoke {
+        if cli.smoke_flag() {
             cmd.arg("--smoke");
         }
-        if let Some(base) = &trace_base {
+        if cli.full() {
+            cmd.arg("--full");
+        }
+        if let Some(base) = cli.trace_path() {
             cmd.arg("--trace").arg(keyed_path(base, fig));
         }
         let status = cmd

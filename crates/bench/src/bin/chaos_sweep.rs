@@ -42,7 +42,7 @@ fn grid_config(fault_rate: f64, packet_loss: f64) -> ExperimentConfig {
         .platform(Platform::CentralizedFaaS)
         .duration_secs(30.0)
         .seed(7)
-        .faults(plan)
+        .plan(RunPlan::new().faults(plan))
 }
 
 fn sweep() {
@@ -79,10 +79,13 @@ fn sweep() {
     let healthy = Experiment::new(base.clone()).run();
     let failover = Experiment::new(
         base.clone()
-            .faults(FaultPlan::default().controller_failover(60.0)),
+            .plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0))),
     )
     .run();
-    let mtbf = Experiment::new(base.faults(FaultPlan::default().device_mtbf(900.0))).run();
+    let mtbf = Experiment::new(
+        base.plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(900.0))),
+    )
+    .run();
     let mut table = Table::new(["mission", "time (s)", "found", "completed", "failures"]);
     for (label, o) in [
         ("healthy", &healthy),
@@ -123,7 +126,7 @@ fn smoke() {
         .platform(Platform::CentralizedFaaS)
         .duration_secs(20.0)
         .seed(5)
-        .faults(cluster_plan);
+        .plan(RunPlan::new().faults(cluster_plan));
     // ...through the replicate runner, so HIVEMIND_THREADS affects the
     // execution schedule but must not affect any byte of the output.
     let set = runner().run_replicates(&cfg, 3);
@@ -140,7 +143,7 @@ fn smoke() {
         ExperimentConfig::scenario(Scenario::StationaryItems)
             .platform(Platform::HiveMind)
             .seed(5)
-            .faults(FaultPlan::default().device_mtbf(3000.0)),
+            .plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(3000.0))),
     )
     .run();
     let r = mission.recovery.expect("active plan yields recovery stats");
@@ -151,7 +154,7 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if hivemind_bench::cli::Cli::from_env().smoke() {
         smoke();
     } else {
         sweep();

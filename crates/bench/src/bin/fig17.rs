@@ -2,8 +2,11 @@
 //! image resolution and frame rate increase, and (b) as the swarm grows
 //! from 16 to 8192 drones (simulated, links scaled proportionally).
 //!
-//! Set `HIVEMIND_FULL=1` to extend the swarm sweep to 8192 devices
-//! (several minutes); the default sweep stops at 4096.
+//! Set `HIVEMIND_FULL=1` (or pass `--full`) to extend the swarm sweep
+//! through 8192 to the serverless-edge headline sizes of 100k and 1M
+//! simulated devices (tens of minutes on one core — the sharded engine
+//! spreads each replicate across `HIVEMIND_SHARDS` cores); the default
+//! sweep stops at 4096.
 
 use hivemind_bench::report::Report;
 use hivemind_bench::{banner, full_fidelity, smoke, Table};
@@ -72,7 +75,10 @@ fn main() {
         vec![16u32, 32, 64, 128, 256, 512, 1024, 2048, 4096]
     };
     if full_fidelity() {
-        sizes.push(8192);
+        // The 100k/1M points are where spatial sharding earns its keep:
+        // one replicate spread across every core instead of one core
+        // per replicate.
+        sizes.extend([8192, 100_000, 1_000_000]);
     }
     let mut table = Table::new([
         "drones",

@@ -4,9 +4,9 @@
 //! Where the DES samples one fault schedule per seed, the checker in
 //! `hivemind_sim::mc` enumerates *every* schedule the fault budgets
 //! allow, checking the protocol invariants at each reachable state. This
-//! binary drives the three lifted protocols from `hivemind_core::mc`
-//! over their canonical small instances (2 servers / 1 controller / 3
-//! tasks) and reports the explored state space:
+//! binary drives the four lifted protocols from `hivemind_core::mc`
+//! over their canonical small instances and reports the explored state
+//! space:
 //!
 //! * **controller failover** — heartbeat detection + geometric
 //!   repartitioning, with device crashes and a primary failover inside
@@ -17,12 +17,19 @@
 //!   specification monitor; queue bound; task conservation.
 //! * **data exchange** — store/fetch sessions under duplication, loss,
 //!   reordering and store crashes. Invariant: exactly-once execution.
+//! * **sharded barrier merge** — the spatial engine's epoch protocol:
+//!   shards consume under conservative lookahead and exchange boundary
+//!   events at barriers. Invariants: no shard consumes past its horizon;
+//!   the merged stream is totally ordered by `(time, shard, seq)`;
+//!   every consumed event is merged or still staged.
 //!
-//! A second section checks the lane's *bug-finding power*: three planted
+//! A second section checks the lane's *bug-finding power*: five planted
 //! bugs (the historical orphan-dropping failover, a breaker that skips
-//! half-open, an exchange without response dedup) must each produce a
-//! minimal counterexample that replays through the DES engine to the
-//! identical violation.
+//! half-open, an exchange without response dedup, a barrier that
+//! concatenates batches in shard order, a shard that consumes one
+//! lookahead past the epoch horizon) must each produce a minimal
+//! counterexample that replays through the DES engine to the identical
+//! violation.
 //!
 //! The checker is a pure function of the model — FNV-fingerprint dedup,
 //! canonical action order, no wall clock — so every number and schedule
@@ -34,6 +41,7 @@ use hivemind_bench::{banner, runner, Table};
 use hivemind_core::mc::{
     exchange_instance, exchange_mutant, exchange_smoke_instance, failover_instance,
     failover_legacy_instance, replay_schedule, retry_breaker_instance, retry_breaker_mutant,
+    shard_eager_mutant, shard_merge_instance, shard_merge_mutant,
 };
 use hivemind_sim::mc::{check, McConfig, McModel, McStats, Schedule};
 
@@ -112,7 +120,7 @@ fn catch<M: McModel>(
     )
 }
 
-fn planted_bugs() -> [String; 3] {
+fn planted_bugs() -> [String; 5] {
     [
         catch(
             "failover: orphaned strips died with their heir (pre-fix controller)",
@@ -134,6 +142,20 @@ fn planted_bugs() -> [String; 3] {
             exchange_mutant,
             14,
             |s| assert_eq!(replay_schedule(exchange_smoke_instance(), s), None),
+        ),
+        catch(
+            "shard merge: barrier concatenated batches in shard order",
+            "merge order",
+            shard_merge_mutant,
+            16,
+            |s| assert_eq!(replay_schedule(shard_merge_instance(), s), None),
+        ),
+        catch(
+            "shard horizon: a shard consumed one lookahead past the epoch",
+            "lookahead horizon",
+            shard_eager_mutant,
+            16,
+            |s| assert_eq!(replay_schedule(shard_merge_instance(), s), None),
         ),
     ]
 }
@@ -162,9 +184,12 @@ fn sweep() {
         },
     );
     table.row(stats_row("data exchange (3 sessions)", &exchange));
+    let shard = verify("shard merge", &shard_merge_instance(), &cfg(16));
+    table.row(stats_row("sharded barrier merge (3 shards)", &shard));
     table.print();
     println!("(2 servers / 1 controller / 3 tasks per protocol; every fault");
-    println!(" schedule within the crash/drop/duplicate/failover budgets)");
+    println!(" schedule within the crash/drop/duplicate/failover budgets;");
+    println!(" the shard protocol explores every consume/barrier interleaving)");
 
     banner("Planted bugs: each must yield a replayable minimal counterexample");
     for rendered in planted_bugs() {
@@ -173,10 +198,10 @@ fn sweep() {
 }
 
 fn smoke() {
-    // The smaller exhaustive instances plus all three planted bugs, fanned
+    // The smaller exhaustive instances plus all five planted bugs, fanned
     // across the replicate runner's workers: HIVEMIND_THREADS changes the
     // execution schedule but must not change one byte of this output.
-    let jobs: Vec<usize> = (0..4).collect();
+    let jobs: Vec<usize> = (0..5).collect();
     let sections = runner().map(&jobs, |_, &job| match job {
         0 => {
             let stats = verify("failover", &failover_instance(), &cfg(24));
@@ -199,6 +224,13 @@ fn smoke() {
                 stats.states, stats.transitions, stats.max_depth, stats.terminals
             )
         }
+        3 => {
+            let stats = verify("shard merge", &shard_merge_instance(), &cfg(16));
+            format!(
+                "shard merge: {} states, {} transitions, diameter {}, {} terminals, 0 violations",
+                stats.states, stats.transitions, stats.max_depth, stats.terminals
+            )
+        }
         _ => planted_bugs().join("\n"),
     });
     for section in sections {
@@ -208,7 +240,7 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if hivemind_bench::cli::Cli::from_env().smoke() {
         smoke();
     } else {
         sweep();

@@ -43,7 +43,7 @@ fn config(rate_scale: f64, policy: OverloadPolicy) -> ExperimentConfig {
         .duration_secs(DURATION_SECS)
         .rate_scale(rate_scale)
         .seed(9)
-        .overload(policy)
+        .plan(RunPlan::new().overload(policy))
 }
 
 struct Cell {
@@ -175,20 +175,19 @@ fn sweep() {
         .platform(Platform::CentralizedFaaS)
         .duration_secs(20.0)
         .seed(9)
-        .faults(storm);
+        .plan(RunPlan::new().faults(storm));
     let no_breaker = Experiment::new(base.clone()).run();
-    let with_breaker = Experiment::new(
-        base.clone()
-            .overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2))),
-    )
+    let with_breaker = Experiment::new(base.clone().plan(
+        base.plan.clone().overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2))),
+    ))
     .run();
-    let with_spillover = Experiment::new(
-        base.overload(
+    let with_spillover = Experiment::new(base.clone().plan(
+        base.plan.clone().overload(
             OverloadPolicy::default()
                 .breaker(3, SimDuration::from_secs(2))
                 .spillover(),
         ),
-    )
+    ))
     .run();
     let mut table = Table::new(["policy", "completed", "lost", "shed", "spilled", "opens"]);
     for (label, o) in [
@@ -258,7 +257,7 @@ fn smoke() {
         .duration_secs(6.0)
         .rate_scale(4.0)
         .seed(5)
-        .overload(policy);
+        .plan(RunPlan::new().overload(policy));
     let set = runner().run_replicates(&cfg, 3);
     for (seed, outcome) in set.seeds().iter().zip(set.outcomes()) {
         let s = outcome.shed.expect("active policy yields shed stats");
@@ -271,7 +270,7 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if hivemind_bench::cli::Cli::from_env().smoke() {
         smoke();
     } else {
         sweep();

@@ -8,10 +8,16 @@
 //!
 //! With `--check`, the run first reads the committed baseline (default:
 //! the `--out` path before it is overwritten) and fails the process if
-//! any figure, the smoke total, or the DES kernel throughput regressed by
-//! more than 25% — with an absolute slack floor so sub-100 ms entries
-//! don't trip on scheduler noise. CI runs this after `cargo bench` in
-//! quick mode and uploads the refreshed JSON as an artifact.
+//! any figure, the smoke total, the DES kernel throughput, or the
+//! sharded swarm-engine throughput regressed by more than 25% — with an
+//! absolute slack floor so sub-100 ms entries don't trip on scheduler
+//! noise (the sharded gate only applies when the baseline machine had
+//! the same core count). CI runs this after `cargo bench` in quick mode
+//! and uploads the refreshed JSON as an artifact.
+//!
+//! At full fidelity (`--full` / `HIVEMIND_FULL=1`) the run additionally
+//! executes the fig17 100k-device HiveMind mission and records its wall
+//! clock under `fig17_100k` — the sharded engine's headline scale point.
 //!
 //! The JSON also carries the default-fidelity `all_figures` reference
 //! numbers from the optimization PR (measured on the single-core dev
@@ -24,6 +30,11 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::time::Instant;
 
+use hivemind_apps::scenario::Scenario;
+use hivemind_apps::suite::App;
+use hivemind_core::engine::{Engine as SwarmEngine, EngineConfig};
+use hivemind_core::experiment::{Experiment, ExperimentConfig};
+use hivemind_core::platform::Platform;
 use hivemind_sim::engine::{Context, Engine, Model};
 use hivemind_sim::time::{SimDuration, SimTime};
 
@@ -85,6 +96,58 @@ fn measure_events_per_sec() -> f64 {
     best
 }
 
+/// Sharded swarm-engine throughput in events/sec: a 256-device mixed
+/// edge/cloud workload on the HiveMind platform, run once per shard
+/// count, best of two runs each. The shard count only changes wall
+/// clock (the output is byte-identical by construction), so this is the
+/// honest denominator for the spatial-sharding speedup.
+fn measure_swarm_events_per_sec(shards: u32) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..2 {
+        let mut cfg = EngineConfig::testbed(Platform::HiveMind);
+        cfg.devices = 256;
+        cfg.servers = 192;
+        cfg.shards = shards;
+        let mut engine = SwarmEngine::new(cfg);
+        for i in 0..40u64 {
+            for dev in 0..256 {
+                let app = if dev % 2 == 0 {
+                    App::FaceRecognition
+                } else {
+                    App::DroneDetection
+                };
+                engine.submit_task(SimTime::from_secs(i), dev, app, dev);
+            }
+        }
+        let start = Instant::now();
+        let records = engine.run_to_completion();
+        let rate = engine.events_processed() as f64 / start.elapsed().as_secs_f64();
+        assert!(!records.is_empty(), "workload must complete tasks");
+        best = best.max(rate);
+    }
+    best
+}
+
+/// The fig17 swarm-scalability headline point: the 100k-device
+/// HiveMind mission (same configuration as the fig17b sweep), measured
+/// once. Full-fidelity only — this is a minutes-scale run; the recorded
+/// wall clock documents that the sharded engine completes it.
+fn measure_fig17_100k() -> (f64, f64, bool) {
+    let devices = 100_000;
+    let cfg = ExperimentConfig::scenario(Scenario::StationaryItems)
+        .platform(Platform::HiveMind)
+        .devices(devices)
+        .servers((devices * 3 / 4).max(12))
+        .seed(1);
+    let start = Instant::now();
+    let o = Experiment::new(cfg).run();
+    (
+        start.elapsed().as_secs_f64(),
+        o.mission.duration_secs,
+        o.mission.completed,
+    )
+}
+
 /// Wall-clock of one `fig --smoke` subprocess in milliseconds, best of
 /// two runs (the first also serves as page-cache warm-up).
 fn measure_smoke_ms(dir: &std::path::Path, fig: &str) -> f64 {
@@ -133,7 +196,8 @@ fn main() {
     let mut check = false;
     let mut out_path = PathBuf::from("BENCH_core.json");
     let mut baseline_path: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let cli = hivemind_bench::cli::Cli::from_env();
+    let mut args = cli.rest().iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
@@ -165,6 +229,25 @@ fn main() {
     let events_per_sec = measure_events_per_sec();
     println!("  des_events_per_sec: {events_per_sec:.0}");
 
+    println!("perf_smoke: measuring sharded swarm-engine throughput...");
+    let swarm_shards = std::thread::available_parallelism()
+        .map(|p| p.get() as u32)
+        .unwrap_or(1);
+    let swarm_single = measure_swarm_events_per_sec(1);
+    let swarm_sharded = measure_swarm_events_per_sec(swarm_shards);
+    println!("  swarm_events_per_sec (1 shard): {swarm_single:.0}");
+    println!("  swarm_events_per_sec_sharded ({swarm_shards} shards): {swarm_sharded:.0}");
+
+    let fig17_100k = cli.full().then(|| {
+        println!("perf_smoke: full fidelity — running the fig17 100k-device point...");
+        let point = measure_fig17_100k();
+        println!(
+            "  fig17_100k: wall {:.1} s, job {:.1} s, completed {}",
+            point.0, point.1, point.2
+        );
+        point
+    });
+
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut rows: Vec<(&str, f64)> = Vec::with_capacity(FIGURES.len());
@@ -181,6 +264,19 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"schema\": \"hivemind-bench-core-v1\",\n");
     let _ = writeln!(json, "  \"des_events_per_sec\": {events_per_sec:.0},");
+    let _ = writeln!(json, "  \"swarm_events_per_sec\": {swarm_single:.0},");
+    let _ = writeln!(
+        json,
+        "  \"swarm_events_per_sec_sharded\": {swarm_sharded:.0},"
+    );
+    let _ = writeln!(json, "  \"swarm_shards\": {swarm_shards},");
+    if let Some((wall_s, job_s, completed)) = fig17_100k {
+        json.push_str("  \"fig17_100k\": {\n");
+        let _ = writeln!(json, "    \"wall_s\": {wall_s:.1},");
+        let _ = writeln!(json, "    \"job_s\": {job_s:.1},");
+        let _ = writeln!(json, "    \"completed\": {completed}");
+        json.push_str("  },\n");
+    }
     json.push_str("  \"smoke_wall_ms\": {\n");
     for (fig, ms) in &rows {
         let _ = writeln!(json, "    \"{fig}\": {ms:.0},");
@@ -213,6 +309,21 @@ fn main() {
                 failures.push(format!(
                     "des_events_per_sec regressed: {events_per_sec:.0} vs baseline {base:.0}"
                 ));
+            }
+        }
+        // The sharded rate is gated only when the baseline machine had a
+        // comparable core count — otherwise a 1-core CI runner would
+        // "regress" against a many-core dev box.
+        if let Some(base_shards) = baseline_value(&baseline, "swarm_shards") {
+            if base_shards as u32 == swarm_shards {
+                if let Some(base) = baseline_value(&baseline, "swarm_events_per_sec_sharded") {
+                    if swarm_sharded < base / REGRESSION_RATIO {
+                        failures.push(format!(
+                            "swarm_events_per_sec_sharded regressed: {swarm_sharded:.0} \
+                             vs baseline {base:.0}"
+                        ));
+                    }
+                }
             }
         }
         rows.push(("total", total));

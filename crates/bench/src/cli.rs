@@ -1,0 +1,142 @@
+//! One command-line surface for every harness binary.
+//!
+//! Each figure binary used to hand-roll its own `std::env::args()` scan
+//! (and three of them grew subtly different ones). [`Cli`] is the single
+//! parser: it owns the flags the whole harness recognizes and hands the
+//! leftovers back for bin-specific switches.
+//!
+//! Recognized flags:
+//!
+//! - `--smoke` — the seconds-scale deterministic slice (equivalent to
+//!   `HIVEMIND_SMOKE=1`); golden tests and the perf baseline run this.
+//! - `--full` — paper-fidelity runs (equivalent to `HIVEMIND_FULL=1`).
+//!   Full fidelity wins when both are requested.
+//! - `--trace <path>` / `--trace=<path>` — export structured event
+//!   traces for every run, via [`Report`].
+//!
+//! Anything else is collected verbatim in [`Cli::rest`] so binaries with
+//! extra switches (`perf_smoke --check`) layer on top instead of
+//! re-scanning the command line.
+
+use std::path::{Path, PathBuf};
+
+use crate::report::Report;
+
+/// Parsed harness command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    smoke_flag: bool,
+    full_flag: bool,
+    trace: Option<PathBuf>,
+    rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parses the process command line.
+    pub fn from_env() -> Cli {
+        Cli::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable variant of
+    /// [`Cli::from_env`]).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli {
+            smoke_flag: false,
+            full_flag: false,
+            trace: None,
+            rest: Vec::new(),
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => cli.smoke_flag = true,
+                "--full" => cli.full_flag = true,
+                "--trace" => cli.trace = args.next().map(PathBuf::from),
+                other => match other.strip_prefix("--trace=") {
+                    Some(path) => cli.trace = Some(PathBuf::from(path)),
+                    None => cli.rest.push(arg),
+                },
+            }
+        }
+        cli
+    }
+
+    /// Whether `--smoke` itself was passed (ignoring the environment).
+    pub fn smoke_flag(&self) -> bool {
+        self.smoke_flag
+    }
+
+    /// Whether full-fidelity mode is in effect (`--full` or
+    /// `HIVEMIND_FULL=1`).
+    pub fn full(&self) -> bool {
+        self.full_flag
+            || std::env::var("HIVEMIND_FULL")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+    }
+
+    /// Whether smoke mode is in effect (`--smoke` or `HIVEMIND_SMOKE=1`,
+    /// unless full fidelity overrides it).
+    pub fn smoke(&self) -> bool {
+        if self.full() {
+            return false;
+        }
+        self.smoke_flag
+            || std::env::var("HIVEMIND_SMOKE")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+    }
+
+    /// The `--trace` export path, if any.
+    pub fn trace_path(&self) -> Option<&Path> {
+        self.trace.as_deref()
+    }
+
+    /// The per-binary [`Report`] for this command line.
+    pub fn report(&self) -> Report {
+        Report::with_trace(self.trace.clone())
+    }
+
+    /// Arguments the shared parser did not recognize, in order — the
+    /// bin-specific tail (`--check`, `--out PATH`, ...).
+    pub fn rest(&self) -> &[String] {
+        &self.rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Cli {
+        Cli::from_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn recognizes_shared_flags_and_keeps_the_rest() {
+        let cli = parse(&["--check", "--smoke", "--trace", "t.json", "--out", "x"]);
+        assert!(cli.smoke_flag());
+        assert_eq!(cli.trace_path(), Some(Path::new("t.json")));
+        assert_eq!(cli.rest(), ["--check", "--out", "x"]);
+        assert_eq!(
+            parse(&["--trace=u.json"]).trace_path(),
+            Some(Path::new("u.json"))
+        );
+    }
+
+    #[test]
+    fn full_beats_smoke() {
+        let cli = parse(&["--smoke", "--full"]);
+        assert!(cli.full());
+        assert!(!cli.smoke(), "full fidelity wins over smoke");
+    }
+
+    #[test]
+    fn bare_command_line_is_inert() {
+        let cli = parse(&[]);
+        assert!(!cli.smoke_flag());
+        assert!(cli.trace_path().is_none());
+        assert!(cli.rest().is_empty());
+        assert!(!cli.report().tracing());
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod report;
 
 use hivemind_apps::scenario::Scenario;
@@ -150,26 +151,19 @@ pub fn single_app_duration_secs() -> f64 {
     }
 }
 
-/// Whether full-fidelity mode is requested (`HIVEMIND_FULL=1`).
+/// Whether full-fidelity mode is requested (`--full` on the command
+/// line or `HIVEMIND_FULL=1`). Delegates to the shared [`cli`] parser.
 pub fn full_fidelity() -> bool {
-    std::env::var("HIVEMIND_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    cli::Cli::from_env().full()
 }
 
 /// Whether smoke mode is requested (`--smoke` on the command line or
 /// `HIVEMIND_SMOKE=1` in the environment). Smoke mode is the golden-test
 /// and perf-baseline slice: every figure prints a deterministic,
 /// seconds-scale subset of its tables. Full fidelity wins if both are
-/// set.
+/// set. Delegates to the shared [`cli`] parser.
 pub fn smoke() -> bool {
-    if full_fidelity() {
-        return false;
-    }
-    std::env::var("HIVEMIND_SMOKE")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-        || std::env::args().any(|a| a == "--smoke")
+    cli::Cli::from_env().smoke()
 }
 
 /// Number of repetitions for distribution-style figures.

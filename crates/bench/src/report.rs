@@ -49,26 +49,24 @@ pub struct Report {
 }
 
 impl Report {
-    /// Builds a report from the process command line.
+    /// Builds a report from the process command line via the shared
+    /// [`crate::cli`] parser.
     ///
     /// Recognizes `--trace <path>` and `--trace=<path>`; other arguments
-    /// are ignored (the fig binaries take none).
+    /// are ignored here (the shared parser hands them to the binary).
     pub fn from_env() -> Report {
-        Report::from_args(std::env::args().skip(1))
+        crate::cli::Cli::from_env().report()
     }
 
     /// Builds a report from an explicit argument list (testable variant
     /// of [`Report::from_env`]).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Report {
-        let mut trace_path = None;
-        let mut args = args.into_iter();
-        while let Some(arg) = args.next() {
-            if arg == "--trace" {
-                trace_path = args.next().map(PathBuf::from);
-            } else if let Some(path) = arg.strip_prefix("--trace=") {
-                trace_path = Some(PathBuf::from(path));
-            }
-        }
+        crate::cli::Cli::from_args(args).report()
+    }
+
+    /// Builds a report straight from a parsed trace path (the shared
+    /// [`crate::cli::Cli`] constructs reports this way).
+    pub(crate) fn with_trace(trace_path: Option<PathBuf>) -> Report {
         Report {
             trace_path,
             claimed: Cell::new(false),
@@ -80,9 +78,11 @@ impl Report {
         self.trace_path.is_some()
     }
 
-    /// Applies the report's tracing decision to a configuration.
-    pub fn configure(&self, cfg: ExperimentConfig) -> ExperimentConfig {
-        cfg.trace(self.tracing())
+    /// Applies the report's tracing decision to a configuration
+    /// (preserving the rest of its run plan).
+    pub fn configure(&self, mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.plan.trace = self.tracing();
+        cfg
     }
 
     /// Runs one experiment; its trace (if enabled) goes to the exact

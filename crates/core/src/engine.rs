@@ -25,6 +25,35 @@
 //! capture → on-device FIFO queue → exec (slowdown × cloud time)
 //!         → result upload → done at cloud
 //! ```
+//!
+//! ## Sharded execution
+//!
+//! Device-local work (capture, the hybrid filter tier, on-device FIFO
+//! execution, battery accounting, and the RPC-send cost draws) is
+//! partitioned into [`ShardMap`] blocks — contiguous device ranges, one
+//! spatial swarm region each — and advanced one *epoch* at a time under
+//! conservative lookahead derived from the slowest cross-shard link
+//! (the wireless hop: no device-side event can influence another
+//! device's hardware, or the shared cloud, in less virtual time than
+//! one wireless propagation). Each epoch runs two phases:
+//!
+//! 1. **Shard phase** (parallel): every shard drains its own action
+//!    heap and FIFO wake index up to the epoch boundary, drawing only
+//!    from per-device RNG lanes (`forge.indexed_stream("device", d)`)
+//!    and emitting boundary *effects* stamped `(time, device, seq)`.
+//! 2. **Hub phase** (serial): the per-shard effect batches pass through
+//!    the order-stable merge ([`merge_keyed`]) and are applied
+//!    interleaved, in global time order, with hub actions, network
+//!    deliveries, and cloud completions — all hub randomness stays on
+//!    the global `"engine"` stream.
+//!
+//! Because every shard-phase draw is keyed by device, every effect by a
+//! shard-count-invariant `(time, device, seq)` key, and the epoch grid
+//! by configuration alone, `HIVEMIND_SHARDS` (or
+//! [`EngineConfig::shards`]) changes wall-clock time but never a single
+//! output byte. The one hub→device feedback edge — overload spillover
+//! resubmission — is deferred to the epoch boundary, which is itself
+//! shard-count-invariant.
 
 pub mod fifo;
 
@@ -41,6 +70,7 @@ use hivemind_net::topology::{Node, Topology, TopologyParams};
 use hivemind_sim::faults::{self, FaultPlan};
 use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::rng::RngForge;
+use hivemind_sim::shard::{merge_keyed, shards_from_env, EffectKey, ShardMap};
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, Trace, TraceHandle};
 use rand::rngs::SmallRng;
@@ -53,6 +83,15 @@ use hivemind_accel::fpga::{FpgaConfig, FpgaFabric, SoftRegisters};
 
 use hivemind_swarm::device::DeviceProfile;
 use hivemind_swarm::Battery;
+
+/// Epoch length used when nothing couples the hub back into the shard
+/// phase inside an epoch (the dataflow is feed-forward): batching many
+/// lookahead windows per barrier amortizes per-epoch synchronization
+/// without affecting a single output byte. When spillover re-routing is
+/// armed, or a caller is waiting on the next record, epochs shrink to
+/// the true lookahead so feedback lands (and records surface) within
+/// one wireless hop of their causal time.
+const EPOCH_FLOOR: SimDuration = SimDuration::from_millis(250);
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -94,6 +133,13 @@ pub struct EngineConfig {
     /// circuit breakers, spills shed work to degraded on-device
     /// execution, and bounds link-ingress queues — all without RNG.
     pub overload: OverloadPolicy,
+    /// Spatial shards the device-local event loop is split into. Each
+    /// shard owns a contiguous device block (its FIFO queues, batteries,
+    /// and per-device RNG lanes) and advances on its own core under
+    /// conservative lookahead. `0` reads `HIVEMIND_SHARDS` (default 1);
+    /// the count is clamped to the device count. Purely a parallelism
+    /// knob: every output byte is identical for every value.
+    pub shards: u32,
 }
 
 impl EngineConfig {
@@ -113,6 +159,7 @@ impl EngineConfig {
             trace: false,
             faults: FaultPlan::default(),
             overload: OverloadPolicy::default(),
+            shards: 0,
         }
     }
 }
@@ -189,10 +236,9 @@ impl TaskRecord {
     }
 }
 
+/// Hub-side actions (everything device-local lives in the shard phase).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Action {
-    Capture { task: u32 },
-    Upload { task: u32 },
     SubmitCloud { task: u32 },
     Response { task: u32, from_server: u32 },
     Finish { task: u32 },
@@ -261,6 +307,159 @@ struct TaskState {
     shed: bool,
 }
 
+/// A device's shard-owned hardware: its FIFO compute queue, battery,
+/// dedicated RNG lane, and effect-sequence counter.
+#[derive(Debug)]
+struct DeviceState {
+    fifo: FifoServer,
+    battery: Battery,
+    rng: SmallRng,
+    /// Monotone per-device effect counter — the `seq` leg of the
+    /// shard-count-invariant `(time, device, seq)` merge key.
+    seq: u64,
+}
+
+/// A capture scheduled on a shard's local heap. Ordered by `(at, seq)`
+/// only; `seq` is unique per shard, so the order is total.
+#[derive(Debug, Clone, Copy)]
+struct LocalCapture {
+    at: SimTime,
+    seq: u64,
+    task: u32,
+    device: u32,
+    app: App,
+    placement: PlacementSite,
+}
+
+impl PartialEq for LocalCapture {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for LocalCapture {}
+impl PartialOrd for LocalCapture {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LocalCapture {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Device-local context a FIFO job completion needs that the job id
+/// cannot carry.
+#[derive(Debug, Clone, Copy)]
+enum EdgePending {
+    Exec { bytes: u64, service: SimDuration },
+    Filter { upload_bytes: u64 },
+}
+
+/// A boundary event a shard hands to the hub, applied at its
+/// [`EffectKey`] instant in globally merged key order.
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    /// Put `bytes` on the uplink toward a (hub-chosen) server, tagged as
+    /// a task upload; carries the latency-breakdown contributions of the
+    /// device-side leg that produced it.
+    Uplink {
+        task: u32,
+        bytes: u64,
+        network: SimDuration,
+        management: SimDuration,
+    },
+    /// Like [`Effect::Uplink`] but for an edge-executed task's result
+    /// (no cloud execution follows); `exec` is the on-device service
+    /// time drawn at capture.
+    ResultUplink {
+        task: u32,
+        bytes: u64,
+        network: SimDuration,
+        management: SimDuration,
+        exec: SimDuration,
+    },
+    /// A spillover (degraded on-device) job finished; the result is
+    /// already on the device, so the task completes with no uplink.
+    FinishLocal { task: u32, queued: SimDuration },
+    /// Queue-depth trace counter from the shard phase (the tracer is
+    /// hub-owned, so shard-side emissions ride the effect stream and
+    /// land in merge-key order).
+    QueueDepth { depth: u64 },
+}
+
+/// Heap wrapper ordering pending effects by key alone (keys are unique:
+/// one `(time, device, seq)` triple is emitted at most once).
+#[derive(Debug)]
+struct PendingEffect {
+    key: EffectKey,
+    effect: Effect,
+}
+
+impl PartialEq for PendingEffect {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for PendingEffect {}
+impl PartialOrd for PendingEffect {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingEffect {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// One spatial shard: a contiguous device block with its own action
+/// heap, FIFO wake index, and outbound effect batch.
+#[derive(Debug)]
+struct Shard {
+    first_dev: u32,
+    devs: Vec<DeviceState>,
+    actions: BinaryHeap<Reverse<LocalCapture>>,
+    aseq: u64,
+    /// Conservative wake index over this shard's FIFO queues (entries
+    /// may be early, never late).
+    wake: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Task → device-local context for in-flight FIFO jobs.
+    pending_jobs: HashMap<u32, EdgePending>,
+    done_scratch: Vec<(SimTime, u64, SimDuration)>,
+    /// Effects emitted this epoch, sorted by key at the barrier.
+    out: Vec<(EffectKey, Effect)>,
+    /// Latest device-local event time processed (feeds the engine clock:
+    /// `now` tracks processed events, not epoch boundaries).
+    cursor: SimTime,
+    events: u64,
+}
+
+impl Shard {
+    /// The earliest device-local instant at which anything happens.
+    fn next_event(&self) -> Option<SimTime> {
+        let a = self.actions.peek().map(|Reverse(e)| e.at);
+        let w = self.wake.peek().map(|Reverse((t, _))| *t);
+        match (a, w) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, y) => x.or(y),
+        }
+    }
+}
+
+/// Read-only configuration snapshot the parallel shard phase runs
+/// against (everything it needs from [`EngineConfig`], plus the edge
+/// RPC profile).
+struct ShardCtx<'a> {
+    hybrid: bool,
+    upload_fraction: f64,
+    input_scale: f64,
+    uplink_budget: f64,
+    device_factor: f64,
+    trace: bool,
+    edge_rpc: &'a RpcProfile,
+}
+
 /// The simulation engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -269,8 +468,14 @@ pub struct Engine {
     fabric: Fabric,
     cluster: Option<Cluster>,
     pool: Option<FixedPool>,
-    edge: Vec<FifoServer>,
-    batteries: Vec<Battery>,
+    /// Spatial shards (contiguous device blocks with their hardware).
+    shards: Vec<Shard>,
+    map: ShardMap,
+    /// Conservative cross-shard lookahead (the wireless hop).
+    lookahead: SimDuration,
+    /// Merged shard effects not yet due (effects may be future-dated
+    /// past their epoch, e.g. `finish + send_cost`).
+    pending: BinaryHeap<Reverse<PendingEffect>>,
     actions: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
     seq: u64,
     tasks: Vec<TaskState>,
@@ -278,14 +483,15 @@ pub struct Engine {
     /// [`TransferId`](hivemind_net::fabric::TransferId) — a direct-mapped
     /// table instead of a hash map on the per-delivery path.
     tags: Vec<Option<TagPurpose>>,
-    /// Conservative wake index over per-device FIFO queues (entries may
-    /// be early, never late) — avoids O(devices) scans per event.
-    edge_wake: BinaryHeap<Reverse<(SimTime, u32)>>,
     records: Vec<TaskRecord>,
-    /// Reusable per-tick buffers (the hot loop stays allocation-free).
+    /// Reusable per-epoch buffers (the hot loop stays allocation-free).
     delivery_scratch: Vec<hivemind_net::fabric::Delivery>,
     completion_scratch: Vec<hivemind_faas::types::Completion>,
-    edge_done_scratch: Vec<(SimTime, u64, SimDuration)>,
+    /// Spillover jobs created by the hub phase, resubmitted to their
+    /// device's FIFO at the epoch boundary (the one hub→device feedback
+    /// edge; the boundary is shard-count-invariant, so the deferral is
+    /// deterministic).
+    spill_inbox: Vec<(SimTime, u32, u64, SimDuration)>,
     rng: SmallRng,
     next_server: u32,
     /// Per-task uplink byte budget for hybrid platforms (rate adaptation).
@@ -300,6 +506,9 @@ pub struct Engine {
     tracer: TraceHandle,
     ledger: FaultLedger,
     shed_ledger: ShedLedger,
+    hub_events: u64,
+    /// Cores available to the shard phase (cached at construction).
+    phase_budget: usize,
 }
 
 impl Engine {
@@ -339,6 +548,7 @@ impl Engine {
             topo_params.wireless_bps *= cfg.faults.net.bandwidth_factor;
         }
         let topology = Topology::new(topo_params);
+        let lookahead = topology.lookahead();
         let mut fabric = Fabric::new(topology);
         fabric.set_tracer(tracer.clone());
         if cfg.faults.net.per_transfer() {
@@ -472,7 +682,40 @@ impl Engine {
             }
         }
 
-        let devices = cfg.devices as usize;
+        let shard_count = if cfg.shards == 0 {
+            shards_from_env()
+        } else {
+            cfg.shards
+        };
+        let map = ShardMap::new(cfg.devices, shard_count);
+        let shards = (0..map.shards())
+            .map(|s| {
+                let range = map.range(s);
+                Shard {
+                    first_dev: range.start,
+                    devs: range
+                        .map(|dev| DeviceState {
+                            fifo: FifoServer::new(cfg.device_profile.cores),
+                            battery: Battery::new(cfg.device_profile.battery),
+                            // One RNG lane per device, keyed by the
+                            // shard-count-invariant device id — re-sharding
+                            // never reshuffles a single draw.
+                            rng: forge.indexed_stream("device", dev as u64),
+                            seq: 0,
+                        })
+                        .collect(),
+                    actions: BinaryHeap::new(),
+                    aseq: 0,
+                    wake: BinaryHeap::new(),
+                    pending_jobs: HashMap::new(),
+                    done_scratch: Vec::new(),
+                    out: Vec::new(),
+                    cursor: SimTime::ZERO,
+                    events: 0,
+                }
+            })
+            .collect();
+
         let topo_params = hivemind_net::topology::TopologyParams {
             devices: cfg.devices,
             servers: cfg.servers,
@@ -483,28 +726,22 @@ impl Engine {
             0.7 * (topo_params.wireless_bps / 8.0) / devices_per_router as f64;
         Engine {
             uplink_budget_bytes,
-            edge: (0..devices)
-                .map(|_| FifoServer::new(cfg.device_profile.cores))
-                .collect(),
-            batteries: (0..devices)
-                .map(|_| Battery::new(cfg.device_profile.battery))
-                .collect(),
+            shards,
+            map,
+            lookahead,
+            pending: BinaryHeap::new(),
             fabric,
             cluster,
             pool,
             now: SimTime::ZERO,
-            // Steady state keeps a handful of pending actions per device
-            // (capture, upload, response, finish); sizing the heaps up
-            // front keeps the first simulated seconds reallocation-free.
-            actions: BinaryHeap::with_capacity((devices * 4).max(64)),
+            actions: BinaryHeap::with_capacity(64),
             seq: 0,
             tasks: Vec::new(),
             tags: Vec::new(),
-            edge_wake: BinaryHeap::with_capacity(devices.max(16)),
             records: Vec::new(),
             delivery_scratch: Vec::new(),
             completion_scratch: Vec::new(),
-            edge_done_scratch: Vec::new(),
+            spill_inbox: Vec::new(),
             rng: forge.stream("engine"),
             next_server: 0,
             placements,
@@ -514,6 +751,10 @@ impl Engine {
             tracer,
             ledger,
             shed_ledger: ShedLedger::default(),
+            hub_events: 0,
+            phase_budget: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             cfg,
         }
     }
@@ -548,6 +789,30 @@ impl Engine {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The number of spatial shards the device plane is split into.
+    pub fn shard_count(&self) -> u32 {
+        self.map.shards()
+    }
+
+    /// The conservative cross-shard lookahead (the wireless hop).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The resolved device→shard partition, for components that want to
+    /// align their own spatial bookkeeping with the engine's (e.g. the
+    /// swarm controller's per-shard region view).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Total simulation events processed so far (shard-phase actions and
+    /// FIFO completions plus hub-phase actions, effects, deliveries, and
+    /// cloud completions). A throughput denominator for benchmarks.
+    pub fn events_processed(&self) -> u64 {
+        self.hub_events + self.shards.iter().map(|s| s.events).sum::<u64>()
     }
 
     /// The resolved placement for an app on this platform.
@@ -601,7 +866,17 @@ impl Engine {
                 ],
             );
         }
-        self.push_action(at, Action::Capture { task: id });
+        let sh = &mut self.shards[self.map.shard_of(device) as usize];
+        let seq = sh.aseq;
+        sh.aseq += 1;
+        sh.actions.push(Reverse(LocalCapture {
+            at,
+            seq,
+            task: id,
+            device,
+            app,
+            placement,
+        }));
         id
     }
 
@@ -621,6 +896,16 @@ impl Engine {
         self.tags[i] = Some(purpose);
     }
 
+    fn device(&self, device: u32) -> &DeviceState {
+        let sh = &self.shards[self.map.shard_of(device) as usize];
+        &sh.devs[(device - sh.first_dev) as usize]
+    }
+
+    fn device_mut(&mut self, device: u32) -> &mut DeviceState {
+        let sh = &mut self.shards[self.map.shard_of(device) as usize];
+        &mut sh.devs[(device - sh.first_dev) as usize]
+    }
+
     /// The earliest instant at which anything will happen.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let mut best: Option<SimTime> = self.actions.peek().map(|Reverse((t, _, _))| *t);
@@ -630,34 +915,14 @@ impl Engine {
                 (a, b) => a.or(b),
             };
         };
+        merge(self.pending.peek().map(|Reverse(p)| p.key.at));
         merge(self.fabric.next_wakeup());
         merge(self.cluster.as_ref().and_then(|c| c.next_wakeup()));
         merge(self.pool.as_ref().and_then(|p| p.next_wakeup()));
-        merge(self.edge_wake.peek().map(|Reverse((t, _))| *t));
+        for sh in &self.shards {
+            merge(sh.next_event());
+        }
         best
-    }
-
-    fn edge_submit(&mut self, now: SimTime, device: u32, job: u64, service: SimDuration) {
-        let q = &mut self.edge[device as usize];
-        let prev = q.next_wakeup();
-        q.submit(now, job, service);
-        let new = q.next_wakeup();
-        // Index only head changes — one live entry per device, not one
-        // per job (which would go quadratic on overloaded devices).
-        if new != prev {
-            if let Some(t) = new {
-                self.edge_wake.push(Reverse((t, device)));
-            }
-        }
-        if self.tracer.is_enabled() {
-            self.tracer.counter(
-                "edge",
-                "queue",
-                device,
-                now,
-                self.edge[device as usize].load() as f64,
-            );
-        }
     }
 
     /// Runs until quiescent or `deadline`, returning completed records
@@ -668,8 +933,7 @@ impl Engine {
                 break;
             }
             debug_assert!(t >= self.now, "engine time went backwards");
-            self.now = t;
-            self.tick(t);
+            self.run_epoch(t, deadline, false);
         }
         if deadline > self.now && deadline < SimTime::MAX {
             self.now = deadline;
@@ -685,101 +949,250 @@ impl Engine {
     /// Runs until at least one task completes (or the engine quiesces),
     /// returning the records produced. Used by missions whose next step
     /// depends on a result — e.g. a car waiting for an instruction panel
-    /// to be OCR'd before it can move.
+    /// to be OCR'd before it can move. Epochs shrink to the true
+    /// lookahead here, so the caller resumes within one wireless hop of
+    /// the completion.
     pub fn run_until_record(&mut self) -> Vec<TaskRecord> {
         while self.records.is_empty() {
             let Some(t) = self.next_wakeup() else {
                 break;
             };
-            self.now = t;
-            self.tick(t);
+            self.run_epoch(t, SimTime::MAX, true);
         }
         std::mem::take(&mut self.records)
     }
 
-    fn tick(&mut self, t: SimTime) {
-        // 1. Externally scheduled actions due now.
-        while self
-            .actions
-            .peek()
-            .is_some_and(|Reverse((at, _, _))| *at <= t)
-        {
-            let Reverse((at, _, action)) = self.actions.pop().expect("peeked");
-            self.handle_action(at, action);
-        }
-        // 2. Network deliveries (through the reusable scratch buffer —
-        //    the per-tick hot path allocates nothing in steady state).
-        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
-        self.fabric.advance_into(t, &mut deliveries);
-        for d in deliveries.drain(..) {
-            self.handle_delivery(d);
-        }
-        self.delivery_scratch = deliveries;
-        // 3. Cloud completions (cluster first, then pool — platforms
-        //    carry at most one, but the order is part of the contract).
-        let mut completions = std::mem::take(&mut self.completion_scratch);
-        if let Some(cluster) = self.cluster.as_mut() {
-            cluster.advance_into(t, &mut completions);
-        }
-        if let Some(pool) = self.pool.as_mut() {
-            pool.advance_into(t, &mut completions);
-        }
-        for c in completions.drain(..) {
-            self.handle_cloud_completion(
-                c.finished,
-                c.tag,
-                c.server,
-                c.breakdown,
-                c.cold_start,
-                c.outcome,
-            );
-        }
-        self.completion_scratch = completions;
-        // 4. On-device completions, in global head-time order (entries
-        //    are exact head times or stale-early duplicates).
-        let mut done = std::mem::take(&mut self.edge_done_scratch);
-        while let Some(&Reverse((et, dev))) = self.edge_wake.peek() {
-            if et > t {
-                break;
-            }
-            self.edge_wake.pop();
-            match self.edge[dev as usize].next_wakeup() {
-                Some(actual) if actual <= t => {
-                    self.edge[dev as usize].advance_into(actual, &mut done);
-                    if let Some(next) = self.edge[dev as usize].next_wakeup() {
-                        self.edge_wake.push(Reverse((next, dev)));
-                    }
-                    if self.tracer.is_enabled() {
-                        self.tracer.counter(
-                            "edge",
-                            "queue",
-                            dev,
-                            actual,
-                            self.edge[dev as usize].load() as f64,
-                        );
-                    }
-                    for (finish, job, queued) in done.drain(..) {
-                        self.handle_edge_completion(finish, job, queued);
-                    }
-                }
-                Some(actual) => self.edge_wake.push(Reverse((actual, dev))),
-                None => {}
-            }
-        }
-        self.edge_done_scratch = done;
+    /// Advances one barrier epoch `[start, end]` where
+    /// `end = min(start + horizon, deadline)`: the parallel shard phase,
+    /// the order-stable effect merge, the serial hub phase, and the
+    /// spillover drain. The epoch grid is a pure function of the
+    /// configuration and the (shard-count-invariant) event stream, so
+    /// sharding never moves the boundaries.
+    fn run_epoch(&mut self, start: SimTime, deadline: SimTime, stop_on_record: bool) {
+        let horizon = if stop_on_record || self.cfg.overload.spillover.enabled {
+            self.lookahead
+        } else {
+            self.lookahead.max(EPOCH_FLOOR)
+        };
+        let end = start.saturating_add(horizon).min(deadline);
+        self.run_shard_phase(end);
+        self.collect_effects();
+        self.run_hub_phase(end);
+        self.drain_spillover(end);
+        // The clock tracks the latest *processed* event, not the epoch
+        // boundary: the boundary is only a processing bound, so leaving
+        // `now` at the last event keeps post-run submissions (mission
+        // barriers at the last record's time) legal, exactly as in the
+        // unsharded engine.
+        let latest = self
+            .shards
+            .iter()
+            .map(|s| s.cursor)
+            .fold(self.now, SimTime::max);
+        self.now = latest;
     }
 
-    fn handle_action(&mut self, t: SimTime, action: Action) {
-        match action {
-            Action::Capture { task } => self.start_task(t, task),
-            Action::Upload { task } => {
-                let st = &self.tasks[task as usize];
-                let bytes = st.upload_bytes;
-                let device = st.device;
+    /// Phase A: every shard with work in the window advances
+    /// independently (in parallel when cores and shards allow).
+    fn run_shard_phase(&mut self, upto: SimTime) {
+        let ctx = ShardCtx {
+            hybrid: self.cfg.platform.is_hybrid(),
+            upload_fraction: self.cfg.platform.upload_fraction(),
+            input_scale: self.cfg.input_scale,
+            uplink_budget: self.uplink_budget_bytes,
+            device_factor: self.cfg.device_profile.compute_slowdown / 10.0,
+            trace: self.tracer.is_enabled(),
+            edge_rpc: &self.edge_rpc,
+        };
+        let mut active = 0usize;
+        let mut only = 0usize;
+        for (i, sh) in self.shards.iter().enumerate() {
+            if sh.next_event().is_some_and(|t| t <= upto) {
+                active += 1;
+                only = i;
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        if active == 1 {
+            shard_phase(&mut self.shards[only], &ctx, upto);
+            return;
+        }
+        let outer = crate::runner::outer_workers().max(1);
+        let threads = (self.phase_budget / outer).clamp(1, self.shards.len());
+        if threads <= 1 {
+            for sh in &mut self.shards {
+                shard_phase(sh, &ctx, upto);
+            }
+            return;
+        }
+        let chunk = self.shards.len().div_ceil(threads);
+        let ctx = &ctx;
+        std::thread::scope(|scope| {
+            for group in self.shards.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for sh in group {
+                        shard_phase(sh, ctx, upto);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Barrier: merge every shard's (sorted) effect batch into the
+    /// pending stream in `(time, device, seq)` order.
+    fn collect_effects(&mut self) {
+        if self.shards.len() == 1 {
+            let batch = std::mem::take(&mut self.shards[0].out);
+            for (key, effect) in batch {
+                self.pending.push(Reverse(PendingEffect { key, effect }));
+            }
+            return;
+        }
+        let batches: Vec<Vec<(EffectKey, Effect)>> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.out))
+            .collect();
+        for (key, effect) in merge_keyed(batches) {
+            self.pending.push(Reverse(PendingEffect { key, effect }));
+        }
+    }
+
+    /// Phase B: the serial hub loop — due effects, hub actions, network
+    /// deliveries, and cloud completions, interleaved in global time
+    /// order up to the epoch boundary.
+    fn run_hub_phase(&mut self, end: SimTime) {
+        loop {
+            let mut best: Option<SimTime> = self.pending.peek().map(|Reverse(p)| p.key.at);
+            {
+                let mut merge = |t: Option<SimTime>| {
+                    best = match (best, t) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                };
+                merge(self.actions.peek().map(|Reverse((t, _, _))| *t));
+                merge(self.fabric.next_wakeup());
+                merge(self.cluster.as_ref().and_then(|c| c.next_wakeup()));
+                merge(self.pool.as_ref().and_then(|p| p.next_wakeup()));
+            }
+            let Some(t) = best else { break };
+            if t > end {
+                break;
+            }
+            if t > self.now {
+                self.now = t;
+            }
+            // 1. Due effects, in merge-key order.
+            while self
+                .pending
+                .peek()
+                .is_some_and(|Reverse(p)| p.key.at <= t)
+            {
+                let Reverse(p) = self.pending.pop().expect("peeked");
+                self.hub_events += 1;
+                self.apply_effect(p.key, p.effect);
+            }
+            // 2. Hub actions due now.
+            while self
+                .actions
+                .peek()
+                .is_some_and(|Reverse((at, _, _))| *at <= t)
+            {
+                let Reverse((at, _, action)) = self.actions.pop().expect("peeked");
+                self.hub_events += 1;
+                self.handle_action(at, action);
+            }
+            // 3. Network deliveries (through the reusable scratch buffer —
+            //    the hot path allocates nothing in steady state).
+            let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+            self.fabric.advance_into(t, &mut deliveries);
+            for d in deliveries.drain(..) {
+                self.hub_events += 1;
+                self.handle_delivery(d);
+            }
+            self.delivery_scratch = deliveries;
+            // 4. Cloud completions (cluster first, then pool — platforms
+            //    carry at most one, but the order is part of the contract).
+            let mut completions = std::mem::take(&mut self.completion_scratch);
+            if let Some(cluster) = self.cluster.as_mut() {
+                cluster.advance_into(t, &mut completions);
+            }
+            if let Some(pool) = self.pool.as_mut() {
+                pool.advance_into(t, &mut completions);
+            }
+            for c in completions.drain(..) {
+                self.hub_events += 1;
+                self.handle_cloud_completion(
+                    c.finished,
+                    c.tag,
+                    c.server,
+                    c.breakdown,
+                    c.cold_start,
+                    c.outcome,
+                );
+            }
+            self.completion_scratch = completions;
+        }
+    }
+
+    /// Resubmits hub-phase spillover jobs to their device FIFOs at the
+    /// epoch boundary, in hub (time) order.
+    fn drain_spillover(&mut self, end: SimTime) {
+        if self.spill_inbox.is_empty() {
+            return;
+        }
+        let inbox = std::mem::take(&mut self.spill_inbox);
+        for (orig, device, job, service) in inbox {
+            let at = orig.max(end);
+            self.hub_edge_submit(at, device, job, service);
+        }
+    }
+
+    /// Shard-aware FIFO submission from the (serial) hub side.
+    fn hub_edge_submit(&mut self, now: SimTime, device: u32, job: u64, service: SimDuration) {
+        let sh = &mut self.shards[self.map.shard_of(device) as usize];
+        let di = (device - sh.first_dev) as usize;
+        let d = &mut sh.devs[di];
+        let prev = d.fifo.next_wakeup();
+        d.fifo.submit(now, job, service);
+        let new = d.fifo.next_wakeup();
+        // Index only head changes — one live entry per device, not one
+        // per job (which would go quadratic on overloaded devices).
+        if new != prev {
+            if let Some(t) = new {
+                sh.wake.push(Reverse((t, device)));
+            }
+        }
+        if self.tracer.is_enabled() {
+            let depth = sh.devs[di].fifo.load() as f64;
+            self.tracer.counter("edge", "queue", device, now, depth);
+        }
+    }
+
+    /// Applies one merged shard effect at its key instant.
+    fn apply_effect(&mut self, key: EffectKey, effect: Effect) {
+        let at = key.at;
+        let device = key.lane;
+        match effect {
+            Effect::Uplink {
+                task,
+                bytes,
+                network,
+                management,
+            } => {
+                {
+                    let st = &mut self.tasks[task as usize];
+                    st.upload_bytes = bytes;
+                    st.network += network;
+                    st.management += management;
+                }
+                self.device_mut(device).battery.draw_radio(bytes);
                 let server = self.pick_server();
-                self.batteries[device as usize].draw_radio(bytes);
                 let tag = self.fabric.send(
-                    t,
+                    at,
                     Transfer {
                         src: Node::Device(device),
                         dst: Node::Server(server),
@@ -789,6 +1202,44 @@ impl Engine {
                 );
                 self.set_tag(tag.0, TagPurpose::Upload { task });
             }
+            Effect::ResultUplink {
+                task,
+                bytes,
+                network,
+                management,
+                exec,
+            } => {
+                {
+                    let st = &mut self.tasks[task as usize];
+                    st.network += network;
+                    st.management += management;
+                    st.exec = exec;
+                }
+                let server = self.pick_server();
+                let tag = self.fabric.send(
+                    at,
+                    Transfer {
+                        src: Node::Device(device),
+                        dst: Node::Server(server),
+                        bytes,
+                        tag: task as u64,
+                    },
+                );
+                self.set_tag(tag.0, TagPurpose::ResultUpload { task });
+            }
+            Effect::FinishLocal { task, queued } => {
+                self.tasks[task as usize].management += queued;
+                self.finish_task(at, task);
+            }
+            Effect::QueueDepth { depth } => {
+                self.tracer
+                    .counter("edge", "queue", device, at, depth as f64);
+            }
+        }
+    }
+
+    fn handle_action(&mut self, t: SimTime, action: Action) {
+        match action {
             Action::SubmitCloud { task } => {
                 let st = &self.tasks[task as usize];
                 let app = st.app;
@@ -830,61 +1281,6 @@ impl Engine {
         }
     }
 
-    fn start_task(&mut self, t: SimTime, task: u32) {
-        let (app, device, placement) = {
-            let st = &self.tasks[task as usize];
-            (st.app, st.device, st.placement)
-        };
-        match placement {
-            PlacementSite::Edge => {
-                let service = self.edge_service(app);
-                self.tasks[task as usize].exec = service;
-                self.batteries[device as usize].draw_compute(service);
-                self.edge_submit(t, device, edge_job(task, EdgeJobKind::Exec), service);
-            }
-            PlacementSite::Cloud => {
-                let mut upload_bytes =
-                    (scaled_input(app, &self.cfg) as f64) * self.cfg.platform.upload_fraction();
-                if self.cfg.platform.is_hybrid() {
-                    // The synthesized collect tier is rate-adaptive: it
-                    // never offers more than ~70% of the device's fair
-                    // share of the wireless medium, so HiveMind "does not
-                    // saturate the network links" even at 8 MB / 32 fps
-                    // (Sec. 5.6, Fig. 17a) — excess pixels are culled by
-                    // the on-device filter instead.
-                    upload_bytes = upload_bytes.min(self.uplink_budget_bytes);
-                }
-                self.tasks[task as usize].upload_bytes = (upload_bytes as u64).max(1);
-                if self.cfg.platform.is_hybrid() {
-                    // The synthesized on-device filter tier runs first: a
-                    // cheap salience detector, far lighter than the full
-                    // model (bounded so it never dominates the device).
-                    let filter = self
-                        .edge_service(app)
-                        .mul_f64(0.02)
-                        .min(SimDuration::from_millis(40));
-                    self.batteries[device as usize].draw_compute(filter);
-                    self.edge_submit(t, device, edge_job(task, EdgeJobKind::Filter), filter);
-                } else {
-                    let send = self
-                        .edge_rpc
-                        .send_cost(&mut self.rng, self.tasks[task as usize].upload_bytes);
-                    self.tasks[task as usize].network += send;
-                    self.push_action(t + send, Action::Upload { task });
-                }
-            }
-        }
-    }
-
-    fn edge_service(&mut self, app: App) -> SimDuration {
-        // The app's edge slow-down is calibrated for the drone's
-        // Cortex-A8; other device classes scale proportionally.
-        let device_factor = self.cfg.device_profile.compute_slowdown / 10.0;
-        let factor = (app.edge_slowdown() * device_factor).max(1.0);
-        let cloud = app.cloud_profile().exec.sample(&mut self.rng);
-        cloud.mul_f64(factor)
-    }
-
     fn pick_server(&mut self) -> u32 {
         let s = self.next_server % self.cfg.servers;
         self.next_server += 1;
@@ -903,11 +1299,14 @@ impl Engine {
                 self.push_action(d.delivered_at + recv, Action::SubmitCloud { task });
             }
             TagPurpose::Response { task } => {
-                let st = &mut self.tasks[task as usize];
-                st.network += d.latency();
+                let device = {
+                    let st = &mut self.tasks[task as usize];
+                    st.network += d.latency();
+                    st.device
+                };
                 let recv = self.edge_rpc.recv_overhead.sample(&mut self.rng);
-                st.network += recv;
-                self.batteries[st.device as usize].draw_radio(d.bytes);
+                self.tasks[task as usize].network += recv;
+                self.device_mut(device).battery.draw_radio(d.bytes);
                 self.push_action(d.delivered_at + recv, Action::Finish { task });
             }
             TagPurpose::ResultUpload { task } => {
@@ -915,51 +1314,6 @@ impl Engine {
                 let recv = self.cloud_rpc.recv_cost(&mut self.rng, d.bytes);
                 self.tasks[task as usize].network += recv;
                 self.push_action(d.delivered_at + recv, Action::Finish { task });
-            }
-        }
-    }
-
-    fn handle_edge_completion(&mut self, finish: SimTime, job: u64, queued: SimDuration) {
-        let (task, kind) = decode_edge_job(job);
-        match kind {
-            EdgeJobKind::Exec => {
-                // Device-side queueing is the edge analogue of management.
-                let (device, bytes) = {
-                    let st = &mut self.tasks[task as usize];
-                    st.management += queued;
-                    (st.device, st.app.cloud_profile().output_bytes.max(1))
-                };
-                // Ship the result to the backend.
-                self.batteries[device as usize].draw_radio(bytes);
-                let send = self.edge_rpc.send_cost(&mut self.rng, bytes);
-                self.tasks[task as usize].network += send;
-                let server = self.pick_server();
-                let tag = self.fabric.send(
-                    finish + send,
-                    Transfer {
-                        src: Node::Device(device),
-                        dst: Node::Server(server),
-                        bytes,
-                        tag: task as u64,
-                    },
-                );
-                self.set_tag(tag.0, TagPurpose::ResultUpload { task });
-            }
-            EdgeJobKind::Filter => {
-                let upload_bytes = {
-                    let st = &mut self.tasks[task as usize];
-                    st.management += queued;
-                    st.upload_bytes
-                };
-                let send = self.edge_rpc.send_cost(&mut self.rng, upload_bytes);
-                self.tasks[task as usize].network += send;
-                self.push_action(finish + send, Action::Upload { task });
-            }
-            EdgeJobKind::Spillover => {
-                // Degraded re-execution finished: the result is already on
-                // the device, so the task completes with no downlink leg.
-                self.tasks[task as usize].management += queued;
-                self.finish_task(finish, task);
             }
         }
     }
@@ -1028,13 +1382,15 @@ impl Engine {
             // on-device model; without spillover the task is shed outright.
             let spill = self.cfg.overload.spillover;
             if spill.enabled {
-                let service = self.edge_service(app).mul_f64(1.0 / spill.degraded_speedup);
+                let factor = self.cfg.device_profile.compute_slowdown / 10.0;
+                let service = edge_service_from(&mut self.rng, app, factor)
+                    .mul_f64(1.0 / spill.degraded_speedup);
                 {
                     let st = &mut self.tasks[task as usize];
                     st.placement = PlacementSite::Edge;
                     st.exec = st.exec.max(service);
                 }
-                self.batteries[device as usize].draw_compute(service);
+                self.device_mut(device).battery.draw_compute(service);
                 self.shed_ledger.tasks_spilled += 1;
                 self.shed_ledger.accuracy_penalty_sum_pct += spill.accuracy_penalty_pct;
                 if self.tracer.is_enabled() {
@@ -1046,12 +1402,15 @@ impl Engine {
                         vec![("task", ArgValue::U64(task as u64))],
                     );
                 }
-                self.edge_submit(
+                // The device FIFO belongs to the shard phase, which has
+                // already advanced past `sub_done`; the job is resubmitted
+                // at the (shard-count-invariant) epoch boundary.
+                self.spill_inbox.push((
                     sub_done,
                     device,
                     edge_job(task, EdgeJobKind::Spillover),
                     service,
-                );
+                ));
             } else {
                 self.tasks[task as usize].done = true;
                 self.shed_ledger.tasks_shed += 1;
@@ -1169,12 +1528,12 @@ impl Engine {
 
     /// Battery state of a device.
     pub fn battery(&self, device: u32) -> &Battery {
-        &self.batteries[device as usize]
+        &self.device(device).battery
     }
 
     /// Mutable battery access (missions charge motion energy directly).
     pub fn battery_mut(&mut self, device: u32) -> &mut Battery {
-        &mut self.batteries[device as usize]
+        &mut self.device_mut(device).battery
     }
 
     /// The network fabric (bandwidth accounting).
@@ -1208,17 +1567,243 @@ impl Engine {
 
     /// Pending on-device work for a device (queue depth).
     pub fn edge_load(&self, device: u32) -> usize {
-        self.edge[device as usize].load()
+        self.device(device).fifo.load()
     }
 
     /// Total on-device busy compute time for a device.
     pub fn edge_busy_time(&self, device: u32) -> SimDuration {
-        self.edge[device as usize].busy_time()
+        self.device(device).fifo.busy_time()
     }
 }
 
-fn scaled_input(app: App, cfg: &EngineConfig) -> u64 {
-    ((app.cloud_profile().input_bytes as f64) * cfg.input_scale).max(1.0) as u64
+/// Advances one shard through `[.., upto]`: local captures and FIFO
+/// completions in device-local time order, drawing only from per-device
+/// RNG lanes and emitting boundary effects. Runs with no access to hub
+/// state, so shards advance in parallel.
+fn shard_phase(sh: &mut Shard, ctx: &ShardCtx<'_>, upto: SimTime) {
+    while let Some(t) = sh.next_event() {
+        if t > upto {
+            break;
+        }
+        sh.cursor = sh.cursor.max(t);
+        while sh.actions.peek().is_some_and(|Reverse(e)| e.at <= t) {
+            let Reverse(e) = sh.actions.pop().expect("peeked");
+            sh.events += 1;
+            shard_capture(sh, ctx, e);
+        }
+        drain_completions(sh, ctx, t);
+    }
+    // The hub merges batches by `(time, device, seq)`; emissions can be
+    // future-dated (`finish + send`), so local order is not key order.
+    sh.out.sort_by_key(|&(k, _)| k);
+}
+
+/// Stamps and queues one effect on the shard's outbound batch.
+fn emit(sh: &mut Shard, device: u32, at: SimTime, effect: Effect) {
+    let di = (device - sh.first_dev) as usize;
+    let seq = sh.devs[di].seq;
+    sh.devs[di].seq += 1;
+    sh.out.push((EffectKey::new(at, device, seq), effect));
+}
+
+/// Shard-side FIFO submission (mirrors the hub's head-change wake
+/// indexing; the queue-depth counter rides the effect stream).
+fn fifo_submit(
+    sh: &mut Shard,
+    ctx: &ShardCtx<'_>,
+    now: SimTime,
+    device: u32,
+    job: u64,
+    service: SimDuration,
+) {
+    let di = (device - sh.first_dev) as usize;
+    let d = &mut sh.devs[di];
+    let prev = d.fifo.next_wakeup();
+    d.fifo.submit(now, job, service);
+    let new = d.fifo.next_wakeup();
+    if new != prev {
+        if let Some(t) = new {
+            sh.wake.push(Reverse((t, device)));
+        }
+    }
+    if ctx.trace {
+        let depth = sh.devs[di].fifo.load() as u64;
+        emit(sh, device, now, Effect::QueueDepth { depth });
+    }
+}
+
+fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, e: LocalCapture) {
+    let LocalCapture {
+        at,
+        task,
+        device,
+        app,
+        placement,
+        ..
+    } = e;
+    let di = (device - sh.first_dev) as usize;
+    match placement {
+        PlacementSite::Edge => {
+            let d = &mut sh.devs[di];
+            let service = edge_service_from(&mut d.rng, app, ctx.device_factor);
+            let bytes = app.cloud_profile().output_bytes.max(1);
+            d.battery.draw_compute(service);
+            sh.pending_jobs
+                .insert(task, EdgePending::Exec { bytes, service });
+            fifo_submit(sh, ctx, at, device, edge_job(task, EdgeJobKind::Exec), service);
+        }
+        PlacementSite::Cloud => {
+            let mut upload = (scaled_input_bytes(app, ctx.input_scale) as f64)
+                * ctx.upload_fraction;
+            if ctx.hybrid {
+                // The synthesized collect tier is rate-adaptive: it
+                // never offers more than ~70% of the device's fair
+                // share of the wireless medium, so HiveMind "does not
+                // saturate the network links" even at 8 MB / 32 fps
+                // (Sec. 5.6, Fig. 17a) — excess pixels are culled by
+                // the on-device filter instead.
+                upload = upload.min(ctx.uplink_budget);
+            }
+            let upload_bytes = (upload as u64).max(1);
+            if ctx.hybrid {
+                // The synthesized on-device filter tier runs first: a
+                // cheap salience detector, far lighter than the full
+                // model (bounded so it never dominates the device).
+                let d = &mut sh.devs[di];
+                let filter = edge_service_from(&mut d.rng, app, ctx.device_factor)
+                    .mul_f64(0.02)
+                    .min(SimDuration::from_millis(40));
+                d.battery.draw_compute(filter);
+                sh.pending_jobs
+                    .insert(task, EdgePending::Filter { upload_bytes });
+                fifo_submit(
+                    sh,
+                    ctx,
+                    at,
+                    device,
+                    edge_job(task, EdgeJobKind::Filter),
+                    filter,
+                );
+            } else {
+                let send = ctx
+                    .edge_rpc
+                    .send_cost(&mut sh.devs[di].rng, upload_bytes);
+                emit(
+                    sh,
+                    device,
+                    at + send,
+                    Effect::Uplink {
+                        task,
+                        bytes: upload_bytes,
+                        network: send,
+                        management: SimDuration::ZERO,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Drains this shard's FIFO completions due by `t`, in global head-time
+/// order (wake entries are exact head times or stale-early duplicates).
+fn drain_completions(sh: &mut Shard, ctx: &ShardCtx<'_>, t: SimTime) {
+    let mut done = std::mem::take(&mut sh.done_scratch);
+    while let Some(&Reverse((et, dev))) = sh.wake.peek() {
+        if et > t {
+            break;
+        }
+        sh.wake.pop();
+        let di = (dev - sh.first_dev) as usize;
+        match sh.devs[di].fifo.next_wakeup() {
+            Some(actual) if actual <= t => {
+                sh.devs[di].fifo.advance_into(actual, &mut done);
+                if let Some(next) = sh.devs[di].fifo.next_wakeup() {
+                    sh.wake.push(Reverse((next, dev)));
+                }
+                if ctx.trace {
+                    let depth = sh.devs[di].fifo.load() as u64;
+                    emit(sh, dev, actual, Effect::QueueDepth { depth });
+                }
+                for (finish, job, queued) in std::mem::take(&mut done) {
+                    sh.events += 1;
+                    edge_completion(sh, ctx, dev, finish, job, queued);
+                }
+            }
+            Some(actual) => sh.wake.push(Reverse((actual, dev))),
+            None => {}
+        }
+    }
+    sh.done_scratch = done;
+}
+
+fn edge_completion(
+    sh: &mut Shard,
+    ctx: &ShardCtx<'_>,
+    dev: u32,
+    finish: SimTime,
+    job: u64,
+    queued: SimDuration,
+) {
+    let (task, kind) = decode_edge_job(job);
+    let di = (dev - sh.first_dev) as usize;
+    match kind {
+        EdgeJobKind::Exec => {
+            let Some(EdgePending::Exec { bytes, service }) = sh.pending_jobs.remove(&task) else {
+                unreachable!("exec completion without pending state");
+            };
+            let d = &mut sh.devs[di];
+            d.battery.draw_radio(bytes);
+            let send = ctx.edge_rpc.send_cost(&mut d.rng, bytes);
+            emit(
+                sh,
+                dev,
+                finish + send,
+                Effect::ResultUplink {
+                    task,
+                    bytes,
+                    network: send,
+                    management: queued,
+                    exec: service,
+                },
+            );
+        }
+        EdgeJobKind::Filter => {
+            let Some(EdgePending::Filter { upload_bytes }) = sh.pending_jobs.remove(&task) else {
+                unreachable!("filter completion without pending state");
+            };
+            let send = ctx
+                .edge_rpc
+                .send_cost(&mut sh.devs[di].rng, upload_bytes);
+            emit(
+                sh,
+                dev,
+                finish + send,
+                Effect::Uplink {
+                    task,
+                    bytes: upload_bytes,
+                    network: send,
+                    management: queued,
+                },
+            );
+        }
+        EdgeJobKind::Spillover => {
+            // Degraded re-execution finished: the result is already on
+            // the device, so the task completes with no downlink leg.
+            emit(sh, dev, finish, Effect::FinishLocal { task, queued });
+        }
+    }
+}
+
+/// On-device service time: the app's edge slow-down is calibrated for
+/// the drone's Cortex-A8; other device classes scale proportionally.
+fn edge_service_from(rng: &mut SmallRng, app: App, device_factor: f64) -> SimDuration {
+    let factor = (app.edge_slowdown() * device_factor).max(1.0);
+    let cloud = app.cloud_profile().exec.sample(rng);
+    cloud.mul_f64(factor)
+}
+
+fn scaled_input_bytes(app: App, input_scale: f64) -> u64 {
+    ((app.cloud_profile().input_bytes as f64) * input_scale).max(1.0) as u64
 }
 
 fn scaled_profile(app: App, cfg: &EngineConfig) -> AppProfile {
@@ -1493,5 +2078,76 @@ mod tests {
         let r = run_one(Platform::CentralizedIaaS, App::WeatherAnalytics);
         assert_eq!(r.placement, PlacementSite::Cloud);
         assert_eq!(r.instantiation, SimDuration::ZERO, "reserved workers");
+    }
+
+    /// Runs a mixed workload (edge + cloud placements, multiple devices)
+    /// and fingerprints everything byte-visible about the records.
+    fn record_fingerprint(platform: Platform, shards: u32) -> Vec<(u32, u32, u64, u64, u64)> {
+        let mut cfg = EngineConfig::testbed(platform);
+        cfg.shards = shards;
+        let mut engine = Engine::new(cfg);
+        for i in 0..20u64 {
+            for dev in 0..16 {
+                let app = if dev % 2 == 0 {
+                    App::FaceRecognition
+                } else {
+                    App::DroneDetection
+                };
+                engine.submit_task(SimTime::from_secs(i), dev, app, dev);
+            }
+        }
+        let records = engine.run_to_completion();
+        records
+            .iter()
+            .map(|r| {
+                (
+                    r.task,
+                    r.device,
+                    (r.done - SimTime::ZERO).as_nanos(),
+                    r.network.as_nanos(),
+                    r.exec.as_nanos(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_count_never_changes_a_byte() {
+        for platform in [
+            Platform::CentralizedFaaS,
+            Platform::DistributedEdge,
+            Platform::HiveMind,
+        ] {
+            let one = record_fingerprint(platform, 1);
+            assert!(!one.is_empty());
+            for shards in [2u32, 3, 8, 16, 64] {
+                assert_eq!(
+                    one,
+                    record_fingerprint(platform, shards),
+                    "{platform:?} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_devices() {
+        let mut cfg = EngineConfig::testbed(Platform::HiveMind);
+        cfg.shards = 1000;
+        let engine = Engine::new(cfg);
+        assert_eq!(engine.shard_count(), 16);
+        assert_eq!(engine.lookahead(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn events_counter_advances() {
+        let mut engine = Engine::new(EngineConfig::testbed(Platform::HiveMind));
+        assert_eq!(engine.events_processed(), 0);
+        for dev in 0..16 {
+            engine.submit_task(SimTime::ZERO, dev, App::DroneDetection, 0);
+        }
+        let records = engine.run_to_completion();
+        assert_eq!(records.len(), 16);
+        assert!(engine.events_processed() >= 32, "captures + completions");
     }
 }

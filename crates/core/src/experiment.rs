@@ -58,6 +58,137 @@ pub enum Workload {
     Mission(Scenario),
 }
 
+/// The run-control planes of an experiment, gathered into one builder
+/// with a single cross-checking [`RunPlan::validate`]: fault injection,
+/// overload control, tracing, scripted device failures, and engine
+/// sharding. Attach one to a configuration with
+/// [`ExperimentConfig::plan`]:
+///
+/// ```rust
+/// use hivemind_core::experiment::{ExperimentConfig, RunPlan};
+/// use hivemind_apps::suite::App;
+/// use hivemind_sim::faults::FaultPlan;
+///
+/// let cfg = ExperimentConfig::single_app(App::FaceRecognition).plan(
+///     RunPlan::new()
+///         .faults(FaultPlan::default().packet_loss(0.05))
+///         .trace(true)
+///         .shards(4),
+/// );
+/// assert!(cfg.validate().is_ok());
+/// ```
+///
+/// Every plane is inert by default: a default `RunPlan` leaves every
+/// output byte identical to a plan-less run.
+#[derive(Debug, Clone, Default)]
+pub struct RunPlan {
+    /// The fault-injection plan (network loss/outages, server crashes,
+    /// function failure process + retry policy, device MTBF, controller
+    /// failover). The inert default leaves every metric byte-identical.
+    pub faults: FaultPlan,
+    /// The overload-control policy (bounded admission, load shedding,
+    /// circuit breaking, brownout spillover, network backpressure). The
+    /// inert default leaves every metric byte-identical; an active policy
+    /// makes no RNG draws, so its decisions are pure functions of load.
+    pub overload: OverloadPolicy,
+    /// Collect a structured event trace; the result lands in
+    /// [`Outcome::trace`]. Tracing draws no randomness, so enabling it
+    /// never changes any metric.
+    pub trace: bool,
+    /// Mid-mission device failures: `(seconds_from_start, device)`. The
+    /// controller detects each via missed heartbeats and repartitions the
+    /// failed device's remaining area among its live neighbours (Fig. 10).
+    pub device_failures: Vec<(f64, u32)>,
+    /// Spatial shards for the engine's device-local event loop; `0`
+    /// (the default) reads `HIVEMIND_SHARDS`. Purely a parallelism knob:
+    /// every output byte is identical for every value.
+    pub shards: u32,
+}
+
+impl RunPlan {
+    /// An inert plan: no faults, no overload control, no tracing, no
+    /// scripted failures, sharding from the environment.
+    pub fn new() -> RunPlan {
+        RunPlan::default()
+    }
+
+    /// Attaches a fault-injection plan. All stochastic fault draws come
+    /// from a dedicated lane of the seed chain, so the same seed compares
+    /// the same workload under different disturbance levels.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Attaches an overload-control policy. Unlike the fault plane, the
+    /// overload plane draws no randomness at all — every shed, breaker,
+    /// and backpressure decision is a pure function of queue lengths,
+    /// counters, and event times.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
+    /// Enables (or disables) structured event tracing for the run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Kills a device `at_secs` into the mission (missions only).
+    pub fn fail_device(mut self, at_secs: f64, device: u32) -> Self {
+        self.device_failures.push((at_secs, device));
+        self
+    }
+
+    /// Pins the engine's shard count (0 = read `HIVEMIND_SHARDS`).
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Whether any plane deviates from the inert default in a way that
+    /// can change metrics (sharding and tracing never do).
+    pub fn is_active(&self) -> bool {
+        self.faults.is_active() || self.overload.is_active() || !self.device_failures.is_empty()
+    }
+
+    /// Cross-checks every plane against the workload it will run under:
+    /// `fail_device` entries must target a device inside the fleet and
+    /// fire within `horizon_secs`, the fault plan and overload policy
+    /// must each be self-consistent, and a pinned shard count must not
+    /// exceed the fleet (one shard owns at least one device).
+    pub fn validate(&self, devices: u32, servers: u32, horizon_secs: f64) -> Result<(), ConfigError> {
+        for &(at_secs, device) in &self.device_failures {
+            if device >= devices {
+                return Err(ConfigError::FailedDeviceOutOfRange {
+                    device,
+                    fleet: devices,
+                });
+            }
+            if !(at_secs.is_finite() && at_secs >= 0.0) || at_secs > horizon_secs {
+                return Err(ConfigError::FailureOutsideMission {
+                    at_secs,
+                    horizon_secs,
+                });
+            }
+        }
+        self.faults
+            .validate(devices, servers)
+            .map_err(ConfigError::InvalidFaultPlan)?;
+        self.overload
+            .validate()
+            .map_err(ConfigError::InvalidOverloadPolicy)?;
+        if self.shards > devices {
+            return Err(ConfigError::InvalidShardPlan {
+                shards: self.shards,
+                fleet: devices,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Full experiment configuration (builder-style).
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -88,22 +219,9 @@ pub struct ExperimentConfig {
     pub retrain: RetrainMode,
     /// Override the IaaS pool size.
     pub iaas_workers: Option<u32>,
-    /// Mid-mission device failures: `(seconds_from_start, device)`. The
-    /// controller detects each via missed heartbeats and repartitions the
-    /// failed device's remaining area among its live neighbours (Fig. 10).
-    pub device_failures: Vec<(f64, u32)>,
-    /// Collect a structured event trace; the result lands in
-    /// [`Outcome::trace`].
-    pub trace: bool,
-    /// The fault-injection plan (network loss/outages, server crashes,
-    /// function failure process + retry policy, device MTBF, controller
-    /// failover). The inert default leaves every metric byte-identical.
-    pub faults: FaultPlan,
-    /// The overload-control policy (bounded admission, load shedding,
-    /// circuit breaking, brownout spillover, network backpressure). The
-    /// inert default leaves every metric byte-identical; an active policy
-    /// makes no RNG draws, so its decisions are pure functions of load.
-    pub overload: OverloadPolicy,
+    /// The run-control planes: faults, overload, tracing, scripted
+    /// device failures, sharding.
+    pub plan: RunPlan,
 }
 
 /// Why an [`ExperimentConfig`] cannot be run.
@@ -136,6 +254,14 @@ pub enum ConfigError {
     /// out-of-range spillover model…); the string is the policy's own
     /// description of the first problem.
     InvalidOverloadPolicy(String),
+    /// The pinned shard count exceeds the fleet (a shard must own at
+    /// least one device).
+    InvalidShardPlan {
+        /// The configured shard count.
+        shards: u32,
+        /// Configured fleet size.
+        fleet: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -158,6 +284,10 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidOverloadPolicy(msg) => {
                 write!(f, "invalid overload policy: {msg}")
             }
+            ConfigError::InvalidShardPlan { shards, fleet } => write!(
+                f,
+                "shard plan pins {shards} shards but the fleet has only {fleet} devices"
+            ),
         }
     }
 }
@@ -185,10 +315,7 @@ impl ExperimentConfig {
             load_profile: None,
             retrain: RetrainMode::SwarmWide,
             iaas_workers: None,
-            device_failures: Vec::new(),
-            trace: false,
-            faults: FaultPlan::default(),
-            overload: OverloadPolicy::default(),
+            plan: RunPlan::default(),
         }
     }
 
@@ -211,14 +338,6 @@ impl ExperimentConfig {
     pub fn devices(mut self, n: u32) -> Self {
         self.devices = n;
         self
-    }
-
-    /// Sets the device count.
-    ///
-    /// Deprecated spelling of [`ExperimentConfig::devices`] (kept for
-    /// existing callers; not every fleet is a drone swarm).
-    pub fn drones(self, n: u32) -> Self {
-        self.devices(n)
     }
 
     /// Sets the backend server count.
@@ -299,72 +418,60 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches the run-control planes (faults, overload, tracing,
+    /// scripted device failures, sharding) in one validated bundle.
+    pub fn plan(mut self, plan: RunPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
     /// Kills a device `at_secs` into the mission (missions only).
+    #[deprecated(note = "use `.plan(RunPlan::new().fail_device(..))` — \
+                         planes now live on the RunPlan builder")]
     pub fn fail_device(mut self, at_secs: f64, device: u32) -> Self {
-        self.device_failures.push((at_secs, device));
+        self.plan.device_failures.push((at_secs, device));
         self
     }
 
-    /// Attaches a fault-injection plan. All stochastic fault draws come
-    /// from a dedicated lane of the seed chain, so the same seed compares
-    /// the same workload under different disturbance levels; the inert
-    /// [`FaultPlan::default`] leaves every metric byte-identical to a run
-    /// without a plan.
+    /// Attaches a fault-injection plan.
+    #[deprecated(note = "use `.plan(RunPlan::new().faults(..))` — \
+                         planes now live on the RunPlan builder")]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = plan;
+        self.plan.faults = plan;
         self
     }
 
-    /// Attaches an overload-control policy. Unlike the fault plane, the
-    /// overload plane draws no randomness at all — every shed, breaker,
-    /// and backpressure decision is a pure function of queue lengths,
-    /// counters, and event times — so the same seed compares the same
-    /// workload with and without overload control; the inert
-    /// [`OverloadPolicy::default`] leaves every metric byte-identical to
-    /// a run without a policy.
+    /// Attaches an overload-control policy.
+    #[deprecated(note = "use `.plan(RunPlan::new().overload(..))` — \
+                         planes now live on the RunPlan builder")]
     pub fn overload(mut self, policy: OverloadPolicy) -> Self {
-        self.overload = policy;
+        self.plan.overload = policy;
         self
+    }
+
+    /// Enables (or disables) structured event tracing for the run.
+    #[deprecated(note = "use `.plan(RunPlan::new().trace(..))` — \
+                         planes now live on the RunPlan builder")]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.plan.trace = on;
+        self
+    }
+
+    /// The workload's time horizon in seconds (single-app duration, or
+    /// the mission timeout).
+    pub fn horizon_secs(&self) -> f64 {
+        match self.workload {
+            Workload::SingleApp { duration_secs, .. } => duration_secs,
+            Workload::Mission(s) => s.mission_timeout().as_secs_f64(),
+        }
     }
 
     /// Checks the configuration for inconsistencies that would make the
-    /// run meaningless: `fail_device` entries must target a device inside
-    /// the fleet and fire within the workload's time horizon, and the
-    /// fault plan must be self-consistent.
+    /// run meaningless, by cross-checking the attached [`RunPlan`]
+    /// against the workload (see [`RunPlan::validate`]).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        let horizon = match self.workload {
-            Workload::SingleApp { duration_secs, .. } => duration_secs,
-            Workload::Mission(s) => s.mission_timeout().as_secs_f64(),
-        };
-        for &(at_secs, device) in &self.device_failures {
-            if device >= self.devices {
-                return Err(ConfigError::FailedDeviceOutOfRange {
-                    device,
-                    fleet: self.devices,
-                });
-            }
-            if !(at_secs.is_finite() && at_secs >= 0.0) || at_secs > horizon {
-                return Err(ConfigError::FailureOutsideMission {
-                    at_secs,
-                    horizon_secs: horizon,
-                });
-            }
-        }
-        self.faults
-            .validate(self.devices, self.servers)
-            .map_err(ConfigError::InvalidFaultPlan)?;
-        self.overload
-            .validate()
-            .map_err(ConfigError::InvalidOverloadPolicy)
-    }
-
-    /// Enables (or disables) structured event tracing for the run; the
-    /// collected [`hivemind_sim::trace::Trace`] lands in
-    /// [`Outcome::trace`]. Tracing draws no randomness, so enabling it
-    /// never changes any metric.
-    pub fn trace(mut self, on: bool) -> Self {
-        self.trace = on;
-        self
+        self.plan
+            .validate(self.devices, self.servers, self.horizon_secs())
     }
 
     /// The device profile implied by the workload's fleet.
@@ -387,9 +494,10 @@ impl ExperimentConfig {
             device_profile: self.device_profile(),
             input_scale: self.input_scale,
             iaas_workers: self.iaas_workers,
-            trace: self.trace,
-            faults: self.faults.clone(),
-            overload: self.overload.clone(),
+            trace: self.plan.trace,
+            faults: self.plan.faults.clone(),
+            overload: self.plan.overload.clone(),
+            shards: self.plan.shards,
         }
     }
 }
@@ -515,7 +623,7 @@ impl Experiment {
         let mut slo_violations = 0u64;
         for r in &records {
             outcome.tasks.record(r);
-            if let Some(slo) = cfg.faults.slo {
+            if let Some(slo) = cfg.plan.faults.slo {
                 if r.latency() > slo {
                     slo_violations += 1;
                 }
@@ -572,7 +680,7 @@ impl Experiment {
         // Recovery metrics exist only for runs with an active fault plan,
         // so inert configurations serialize byte-identically to pre-fault
         // outputs.
-        if cfg.faults.is_active() {
+        if cfg.plan.faults.is_active() {
             let net = engine.fabric().fault_stats();
             let ledger = engine.fault_ledger();
             let mut recovery = RecoveryStats {
@@ -596,7 +704,7 @@ impl Experiment {
                 recovery.invocations_lost = crashes.invocations_lost;
                 recovery.invocations_rescheduled = crashes.invocations_rescheduled;
             }
-            if cfg.faults.slo.is_some() {
+            if cfg.plan.faults.slo.is_some() {
                 recovery.slo_violation_fraction =
                     slo_violations as f64 / (records.len().max(1)) as f64;
             }
@@ -604,7 +712,7 @@ impl Experiment {
         }
         // Shed metrics likewise exist only for runs with an active
         // overload policy.
-        if cfg.overload.is_active() {
+        if cfg.plan.overload.is_active() {
             let mut shed = ShedStats {
                 net_holds: engine.fabric().backpressure_holds(),
                 ..ShedStats::default()
@@ -748,7 +856,7 @@ mod tests {
         let with_default = Experiment::new(
             ExperimentConfig::single_app(App::FaceRecognition)
                 .duration_secs(15.0)
-                .overload(OverloadPolicy::default())
+                .plan(RunPlan::new().overload(OverloadPolicy::default()))
                 .seed(7),
         )
         .run();
@@ -763,7 +871,7 @@ mod tests {
                 .servers(1)
                 .duration_secs(20.0)
                 .rate_scale(4.0)
-                .overload(policy)
+                .plan(RunPlan::new().overload(policy))
                 .seed(2),
         )
         .run()
@@ -804,12 +912,49 @@ mod tests {
     #[test]
     fn invalid_overload_policy_is_rejected() {
         let cfg = ExperimentConfig::single_app(App::FaceRecognition)
-            .overload(OverloadPolicy::default().per_app_limit(0));
+            .plan(RunPlan::new().overload(OverloadPolicy::default().per_app_limit(0)));
         match Experiment::try_new(cfg) {
             Err(ConfigError::InvalidOverloadPolicy(msg)) => {
                 assert!(msg.contains("per_app_limit"), "{msg}");
             }
             other => panic!("expected InvalidOverloadPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_forward_to_the_plan() {
+        // External callers still on the pre-RunPlan surface must land on
+        // the exact same plan the builder would produce.
+        let shimmed = ExperimentConfig::single_app(App::FaceRecognition)
+            .fail_device(20.0, 5)
+            .faults(FaultPlan::default().packet_loss(0.05))
+            .overload(OverloadPolicy::default().per_app_limit(8))
+            .trace(true);
+        let planned = ExperimentConfig::single_app(App::FaceRecognition).plan(
+            RunPlan::new()
+                .fail_device(20.0, 5)
+                .faults(FaultPlan::default().packet_loss(0.05))
+                .overload(OverloadPolicy::default().per_app_limit(8))
+                .trace(true),
+        );
+        assert_eq!(
+            format!("{:?}", shimmed.plan),
+            format!("{:?}", planned.plan),
+            "shims and builder must agree"
+        );
+        assert!(shimmed.plan.is_active());
+        shimmed.validate().expect("shimmed plan validates");
+    }
+
+    #[test]
+    fn oversharded_plan_is_rejected() {
+        let cfg = ExperimentConfig::single_app(App::FaceRecognition)
+            .devices(4)
+            .plan(RunPlan::new().shards(5));
+        match Experiment::try_new(cfg) {
+            Err(ConfigError::InvalidShardPlan { shards: 5, fleet: 4 }) => {}
+            other => panic!("expected InvalidShardPlan, got {other:?}"),
         }
     }
 

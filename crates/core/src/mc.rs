@@ -20,11 +20,18 @@
 //! * [`ExchangeModel`] — the parent→child data-exchange sessions
 //!   ([`ExchangeSession`]) under message duplication, loss, reordering
 //!   and store crashes. Invariant: exactly-once child execution.
+//! * [`ShardModel`] — the sharded engine's conservative barrier/epoch
+//!   exchange, driven through the real `sim::shard` partition, key
+//!   order and k-way merge. Invariants: no shard consumes past what
+//!   another shard can still send (lookahead safety), and the merged
+//!   stream is in `(time, lane, seq)` order — independent of schedule
+//!   and shard count.
 //!
 //! Each model has a canonical small instance (2 servers / 1 controller /
 //! 3 tasks, per the reproduction roadmap) explored to zero violations,
 //! plus a planted-bug mutant ([`SkipHalfOpenBreaker`], the no-dedup
-//! exchange variant, the legacy orphan-dropping controller) that must
+//! exchange variant, the legacy orphan-dropping controller, the
+//! `(shard, time)`-keyed merge and the eager-horizon shard) that must
 //! yield a counterexample — proving the lane can actually find bugs.
 //! Counterexamples replay deterministically through the DES engine via
 //! [`replay_schedule`].
@@ -39,6 +46,7 @@ use hivemind_sim::mc::{BreakerMonitor, McModel, Schedule};
 use hivemind_sim::overload::{
     BreakerConfig, BreakerDecision, BreakerEvent, BreakerState, CircuitBreaker,
 };
+use hivemind_sim::shard::{merge_keyed, EffectKey, ShardMap};
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_swarm::geometry::Rect;
 
@@ -846,6 +854,290 @@ impl McModel for ExchangeModel {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol 4: the sharded engine's barrier/merge exchange.
+// ---------------------------------------------------------------------------
+
+/// How a [`ShardModel`] merges per-shard epoch batches at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeRule {
+    /// The real protocol: the order-stable k-way merge on
+    /// `(time, lane, seq)` keys ([`merge_keyed`]).
+    ByKey,
+    /// Planted bug: concatenate batches in shard order (effectively a
+    /// `(shard, time)` key). Each batch is internally time-sorted, so
+    /// the bug only shows when two shards interleave in time — exactly
+    /// the case the order-stable merge exists for.
+    ByShardTime,
+}
+
+/// One enabled event in the shard barrier/merge protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAction {
+    /// A shard consumes its earliest pending event inside the epoch
+    /// horizon (the checker owns which shard advances next).
+    Consume(u32),
+    /// No shard has a consumable event left: exchange boundary events
+    /// and merge the epoch's batches into the global stream.
+    Barrier,
+}
+
+/// The sharded DES engine's conservative barrier/merge protocol over a
+/// small device fleet, driven through the *real* [`ShardMap`] partition,
+/// [`EffectKey`] ordering and [`merge_keyed`] exchange from
+/// `hivemind_sim::shard`.
+///
+/// Each epoch spans one conservative lookahead window `L` (the engine
+/// derives it from the slowest cross-shard link — the WiFi hop). Within
+/// the epoch the checker interleaves shard progress arbitrarily: any
+/// shard with a pending event before the horizon may consume it, and a
+/// consumed event with remaining hop budget emits a boundary event into
+/// a *different* shard at `t + L` — which, under the conservative rule,
+/// can never land inside the epoch that produced it. At the barrier the
+/// per-shard batches merge into the global stream.
+///
+/// Invariants, checked at every reachable state:
+///
+/// * **lookahead safety** — no shard ever holds a pending event older
+///   than its own consumption cursor; i.e. nothing arrives "in the
+///   past" of a shard, for every interleaving the budgets allow.
+/// * **merge order** — the merged global stream is strictly sorted by
+///   `(time, lane, seq)`, which makes it independent of both the
+///   schedule and the shard count (the single-shard stream is the same
+///   sorted sequence of the same keys).
+/// * **conservation** — every consumed event is either in a shard's
+///   unmerged batch or in the merged stream; nothing is dropped or
+///   duplicated by the exchange.
+#[derive(Debug, Clone)]
+pub struct ShardModel {
+    map: ShardMap,
+    /// Per-shard pending events (key, remaining hop budget), sorted.
+    pending: Vec<Vec<(EffectKey, u8)>>,
+    /// Per-shard current-epoch batch, in consumption order.
+    out: Vec<Vec<EffectKey>>,
+    /// Per-shard consumption cursor (last consumed key).
+    cursor: Vec<Option<EffectKey>>,
+    /// The merged global stream.
+    merged: Vec<EffectKey>,
+    epoch_start: SimTime,
+    lookahead: SimDuration,
+    /// Extra consumption horizon past the epoch end. `ZERO` is the
+    /// conservative protocol; the eager mutant sets it to `L`,
+    /// consuming events another shard can still front-run.
+    slack: SimDuration,
+    merge: MergeRule,
+    consumed: u64,
+}
+
+impl ShardModel {
+    /// A fleet of `devices` split into `shards`, with one initial event
+    /// per device at `offsets_ms[d]` carrying `hops` boundary-emission
+    /// budget, under a 5 ms lookahead (the testbed WiFi hop).
+    pub fn new(
+        devices: u32,
+        shards: u32,
+        offsets_ms: &[u64],
+        hops: u8,
+        merge: MergeRule,
+        eager: bool,
+    ) -> ShardModel {
+        assert_eq!(offsets_ms.len(), devices as usize);
+        let map = ShardMap::new(devices, shards);
+        let lookahead = SimDuration::from_millis(5);
+        let mut model = ShardModel {
+            pending: vec![Vec::new(); map.shards() as usize],
+            out: vec![Vec::new(); map.shards() as usize],
+            cursor: vec![None; map.shards() as usize],
+            merged: Vec::new(),
+            epoch_start: SimTime::ZERO,
+            lookahead,
+            slack: if eager { lookahead } else { SimDuration::ZERO },
+            merge,
+            consumed: 0,
+            map,
+        };
+        for (d, &ms) in offsets_ms.iter().enumerate() {
+            let key = EffectKey::new(
+                SimTime::ZERO + SimDuration::from_millis(ms),
+                d as u32,
+                0,
+            );
+            model.insert(key, hops);
+        }
+        model
+    }
+
+    fn insert(&mut self, key: EffectKey, hops: u8) {
+        let s = self.map.shard_of(key.lane) as usize;
+        let pos = self.pending[s].partition_point(|&(k, _)| k <= key);
+        self.pending[s].insert(pos, (key, hops));
+    }
+
+    fn epoch_end(&self) -> SimTime {
+        self.epoch_start + self.lookahead
+    }
+
+    /// The bound below which a shard may consume. Conservative protocol:
+    /// the epoch end. Eager mutant: one lookahead past it.
+    fn consume_bound(&self) -> SimTime {
+        self.epoch_end() + self.slack
+    }
+
+    fn consumable(&self, s: usize) -> bool {
+        self.pending[s]
+            .first()
+            .is_some_and(|&(k, _)| k.at < self.consume_bound())
+    }
+
+    /// The boundary event a consumed event emits: one lookahead later,
+    /// on the device half a fleet ahead (a constant of the universe, so
+    /// the key is a pure function of the emitting event — schedule- and
+    /// shard-count-independent; for any shard count > 1 the target is a
+    /// different shard), with a seq derived injectively from the emitter.
+    fn emission(&self, key: EffectKey) -> EffectKey {
+        let block = (self.map.devices() / 2).max(1);
+        let target = (key.lane + block) % self.map.devices();
+        EffectKey::new(
+            key.at + self.lookahead,
+            target,
+            (key.lane as u64 + 1) * 1_000 + key.seq + 1,
+        )
+    }
+}
+
+impl Hash for ShardModel {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The map, lookahead, slack and merge rule are run constants.
+        self.pending.hash(state);
+        self.out.hash(state);
+        self.cursor.hash(state);
+        self.merged.hash(state);
+        self.epoch_start.hash(state);
+        self.consumed.hash(state);
+    }
+}
+
+impl McModel for ShardModel {
+    type Action = ShardAction;
+
+    fn enabled(&self, out: &mut Vec<ShardAction>) {
+        let mut any = false;
+        for s in 0..self.pending.len() {
+            if self.consumable(s) {
+                out.push(ShardAction::Consume(s as u32));
+                any = true;
+            }
+        }
+        if !any
+            && (self.out.iter().any(|o| !o.is_empty())
+                || self.pending.iter().any(|p| !p.is_empty()))
+        {
+            out.push(ShardAction::Barrier);
+        }
+    }
+
+    fn apply(&mut self, action: &ShardAction) {
+        match *action {
+            ShardAction::Consume(s) => {
+                let s = s as usize;
+                if !self.consumable(s) {
+                    return;
+                }
+                let (key, hops) = self.pending[s].remove(0);
+                self.out[s].push(key);
+                self.cursor[s] = Some(key);
+                self.consumed += 1;
+                if hops > 0 {
+                    let next = self.emission(key);
+                    self.insert(next, hops - 1);
+                }
+            }
+            ShardAction::Barrier => {
+                let batches: Vec<Vec<(EffectKey, ())>> = self
+                    .out
+                    .iter_mut()
+                    .map(|o| o.drain(..).map(|k| (k, ())).collect())
+                    .collect();
+                match self.merge {
+                    MergeRule::ByKey => {
+                        self.merged
+                            .extend(merge_keyed(batches).into_iter().map(|(k, ())| k));
+                    }
+                    MergeRule::ByShardTime => {
+                        // BUG: shard index outranks time.
+                        for batch in batches {
+                            self.merged.extend(batch.into_iter().map(|(k, ())| k));
+                        }
+                    }
+                }
+                // Next epoch starts at the earliest pending event (the
+                // hub's next_wakeup), never before the current end.
+                let next = self
+                    .pending
+                    .iter()
+                    .filter_map(|p| p.first())
+                    .map(|&(k, _)| k.at)
+                    .min();
+                if let Some(t) = next {
+                    self.epoch_start = t.max(self.epoch_end());
+                }
+            }
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // 1. Lookahead safety: nothing pending behind a shard's cursor.
+        for (s, pending) in self.pending.iter().enumerate() {
+            if let Some(cursor) = self.cursor[s] {
+                if let Some(&(k, _)) = pending.iter().find(|&&(k, _)| k < cursor) {
+                    return Err(format!(
+                        "lookahead horizon: shard {s} holds a pending event at \
+                         {:?} behind its cursor {:?} — it consumed past what \
+                         another shard could still send",
+                        k.at, cursor.at
+                    ));
+                }
+            }
+        }
+        // 2. Merge order: the global stream is strictly key-sorted, so
+        //    it cannot depend on the schedule or the shard count.
+        if let Some(w) = self.merged.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "merge order: global stream has {:?}/lane {} before \
+                 {:?}/lane {} — not the (time, lane, seq) order",
+                w[0].at, w[0].lane, w[1].at, w[1].lane
+            ));
+        }
+        // 3. Conservation across the exchange.
+        let staged: u64 = self.out.iter().map(|o| o.len() as u64).sum();
+        if self.consumed != self.merged.len() as u64 + staged {
+            return Err(format!(
+                "exchange conservation: consumed {} != merged {} + staged {staged}",
+                self.consumed,
+                self.merged.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn now(&self) -> SimTime {
+        self.epoch_start
+    }
+
+    fn describe(&self, action: &ShardAction) -> String {
+        match *action {
+            ShardAction::Consume(s) => match self.pending[s as usize].first() {
+                Some(&(k, _)) => format!(
+                    "consume(shard={s}, at={:?}, lane={})",
+                    k.at, k.lane
+                ),
+                None => format!("consume(shard={s}, empty)"),
+            },
+            ShardAction::Barrier => format!("barrier(epoch_end={:?})", self.epoch_end()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Counterexample replay through the DES engine.
 // ---------------------------------------------------------------------------
 
@@ -984,6 +1276,39 @@ pub fn exchange_mutant() -> ExchangeModel {
     ExchangeModel::new(&exchange_placements(2, false), 1, 1, 1)
 }
 
+/// The initial-event offsets of the shard protocol's canonical universe:
+/// 6 devices whose events interleave in time *across* the three shard
+/// blocks ({0, 4} ms, {2, 6} ms, {1, 5} ms), so a `(shard, time)` merge
+/// is actually wrong and every epoch has real cross-shard concurrency.
+const SHARD_OFFSETS_MS: [u64; 6] = [0, 4, 2, 6, 1, 5];
+
+/// The shard protocol's canonical instance: 6 devices in 3 shards,
+/// time-interleaved initial events, one boundary hop each, under the
+/// conservative 5 ms lookahead. Explores to zero violations.
+pub fn shard_merge_instance() -> ShardModel {
+    ShardModel::new(6, 3, &SHARD_OFFSETS_MS, 1, MergeRule::ByKey, false)
+}
+
+/// The same universe on `shards` shards — the merged stream must be the
+/// identical key sequence for every count (1 = the unsharded reference).
+pub fn shard_merge_instance_on(shards: u32) -> ShardModel {
+    ShardModel::new(6, shards, &SHARD_OFFSETS_MS, 1, MergeRule::ByKey, false)
+}
+
+/// Planted bug: the barrier concatenates batches in shard order — a
+/// `(shard, time)` merge key. The checker must produce a merge-order
+/// counterexample.
+pub fn shard_merge_mutant() -> ShardModel {
+    ShardModel::new(6, 3, &SHARD_OFFSETS_MS, 1, MergeRule::ByShardTime, false)
+}
+
+/// Planted bug: a shard that consumes one lookahead *past* the epoch
+/// horizon, racing events other shards can still send. The checker must
+/// produce a lookahead-safety counterexample.
+pub fn shard_eager_mutant() -> ShardModel {
+    ShardModel::new(6, 3, &SHARD_OFFSETS_MS, 1, MergeRule::ByKey, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1098,6 +1423,85 @@ mod tests {
         assert_eq!(index, v.schedule.len() - 1);
         assert_eq!(message, v.message);
         assert_eq!(replay_schedule(exchange_instance(), &v.schedule), None);
+    }
+
+    #[test]
+    fn shard_merge_instance_holds_exhaustively() {
+        let report = check(&shard_merge_instance(), &cfg(16));
+        assert!(
+            report.holds(),
+            "unexpected violation: {:?}",
+            report
+                .violation
+                .map(|v| (v.message, v.schedule.to_string()))
+        );
+        assert!(!report.stats.truncated);
+        // The conservative protocol is confluent by design: within a
+        // shard the consume order is fixed, so dedup collapses the
+        // interleavings to a per-shard progress vector. A few dozen
+        // distinct states is the honest size of this space.
+        assert!(
+            report.stats.states > 30,
+            "exploration is non-trivial ({} states)",
+            report.stats.states
+        );
+    }
+
+    #[test]
+    fn shard_merged_stream_is_shard_count_invariant() {
+        // Run each instance to termination deterministically (always the
+        // first enabled action) and compare the merged key streams: the
+        // checker proves every schedule yields a sorted stream of the
+        // same multiset, so one schedule per count suffices here.
+        let run = |mut m: ShardModel| -> Vec<EffectKey> {
+            let mut actions = Vec::new();
+            loop {
+                actions.clear();
+                m.enabled(&mut actions);
+                match actions.first() {
+                    Some(a) => m.apply(&a.clone()),
+                    None => break,
+                }
+                m.invariant().expect("conservative protocol holds");
+            }
+            m.merged
+        };
+        let reference = run(shard_merge_instance_on(1));
+        assert_eq!(reference.len(), 12, "6 initial events + 6 boundary hops");
+        for shards in [2u32, 3, 4] {
+            assert_eq!(
+                reference,
+                run(shard_merge_instance_on(shards)),
+                "merged stream diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_time_merge_mutant_is_caught_and_replays() {
+        let report = check(&shard_merge_mutant(), &cfg(16));
+        let v = report.violation.expect("shard-keyed merge must be caught");
+        assert!(v.message.contains("merge order"), "{}", v.message);
+        let (index, message) =
+            replay_schedule(shard_merge_mutant(), &v.schedule).expect("must reproduce");
+        assert_eq!(index, v.schedule.len() - 1);
+        assert_eq!(message, v.message);
+        // The order-stable merge survives the exact same schedule.
+        assert_eq!(replay_schedule(shard_merge_instance(), &v.schedule), None);
+    }
+
+    #[test]
+    fn shard_eager_horizon_mutant_is_caught_and_replays() {
+        let report = check(&shard_eager_mutant(), &cfg(16));
+        let v = report.violation.expect("eager horizon must be caught");
+        assert!(v.message.contains("lookahead horizon"), "{}", v.message);
+        let (index, message) =
+            replay_schedule(shard_eager_mutant(), &v.schedule).expect("must reproduce");
+        assert_eq!(index, v.schedule.len() - 1);
+        assert_eq!(message, v.message);
+        // The conservative protocol treats the eager consume as a no-op
+        // (the event is simply not consumable yet) and survives.
+        assert_eq!(replay_schedule(shard_merge_instance(), &v.schedule), None);
     }
 
     #[test]

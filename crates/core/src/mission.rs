@@ -202,6 +202,11 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
     };
     let mut field = Field::generate(field_params, forge.child("world"));
     let mut controller = SwarmController::new(bounds, cfg.devices);
+    // The controller's monitoring plane reasons in the same spatial
+    // blocks the engine shards the device plane into.
+    controller
+        .align_device_shards(*engine.shard_map())
+        .expect("engine and controller agree on the fleet size");
     let profile = cfg.device_profile();
 
     // --- Device failures (Sec. 4.6 / Fig. 10): the controller declares a
@@ -210,12 +215,12 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
     // strips after finishing their own.
     let mut fail_secs: Vec<Option<f64>> = vec![None; cfg.devices as usize];
     let mut heir_strips: Vec<(u32, Rect)> = Vec::new();
-    let mut failures = cfg.device_failures.clone();
+    let mut failures = cfg.plan.device_failures.clone();
     // Stochastic MTBF failures ride alongside the scripted ones. The
     // draws come from the dedicated fault lane of the seed chain (one
     // indexed stream per device), so enabling them never reshuffles the
     // mission's sighting/world randomness.
-    if let Some(mtbf) = cfg.faults.devices.mtbf_secs {
+    if let Some(mtbf) = cfg.plan.faults.devices.mtbf_secs {
         let fault_forge = RngForge::new(cfg.seed).child("faults");
         let horizon = scenario.mission_timeout().as_secs_f64();
         for dev in 0..cfg.devices {
@@ -312,10 +317,10 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
     // Controller failover: the swarm controller's backup takes over after
     // the detection window (the cluster-side admission stall and ledger
     // entry are wired by the engine from the same plan).
-    if let Some(at) = cfg.faults.devices.controller_failover_at_secs {
+    if let Some(at) = cfg.plan.faults.devices.controller_failover_at_secs {
         let _ = controller.fail_primary(
             SimTime::ZERO + SimDuration::from_secs_f64(at),
-            SimDuration::from_secs_f64(cfg.faults.devices.controller_takeover_secs),
+            SimDuration::from_secs_f64(cfg.plan.faults.devices.controller_takeover_secs),
         );
     }
 
@@ -769,6 +774,7 @@ fn car_maze(cfg: &ExperimentConfig) -> Outcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::RunPlan;
     use crate::platform::Platform;
 
     fn mission(scenario: Scenario, platform: Platform) -> Outcome {
@@ -891,7 +897,7 @@ mod tests {
         let failed = Experiment::new(
             ExperimentConfig::scenario(Scenario::StationaryItems)
                 .platform(Platform::HiveMind)
-                .fail_device(20.0, 5)
+                .plan(RunPlan::new().fail_device(20.0, 5))
                 .seed(11),
         )
         .run();
@@ -915,7 +921,7 @@ mod tests {
         let o = Experiment::new(
             ExperimentConfig::scenario(Scenario::StationaryItems)
                 .platform(Platform::HiveMind)
-                .fail_device(5.0, 0)
+                .plan(RunPlan::new().fail_device(5.0, 0))
                 .seed(2),
         )
         .run();
@@ -930,7 +936,7 @@ mod tests {
         let o = Experiment::new(
             ExperimentConfig::scenario(Scenario::MovingPeople)
                 .platform(Platform::HiveMind)
-                .fail_device(30.0, 7)
+                .plan(RunPlan::new().fail_device(30.0, 7))
                 .seed(11),
         )
         .run();

@@ -21,7 +21,7 @@
 //! the bench crate has its own `Workload` type and a glob import of both
 //! would collide. Reach it as `hivemind_core::experiment::Workload`.
 
-pub use crate::experiment::{ConfigError, Experiment, ExperimentConfig};
+pub use crate::experiment::{ConfigError, Experiment, ExperimentConfig, RunPlan};
 pub use crate::metrics::{
     BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome, RecoveryStats,
     ShedStats,

@@ -18,14 +18,17 @@ fn faulty() -> ExperimentConfig {
         .platform(Platform::CentralizedFaaS)
         .duration(SimDuration::from_secs(15))
         .seed(11)
-        .faults(
-            FaultPlan::default()
-                .packet_loss(0.05)
-                .function_fault_rate(0.10)
-                .server_crash(1, 5.0, 5.0)
-                .slo(SimDuration::from_secs(5)),
+        .plan(
+            RunPlan::new()
+                .faults(
+                    FaultPlan::default()
+                        .packet_loss(0.05)
+                        .function_fault_rate(0.10)
+                        .server_crash(1, 5.0, 5.0)
+                        .slo(SimDuration::from_secs(5)),
+                )
+                .trace(true),
         )
-        .trace(true)
 }
 
 #[test]
@@ -35,7 +38,7 @@ fn default_plan_is_inert() {
         .duration(SimDuration::from_secs(10))
         .seed(3);
     let plain = Experiment::new(cfg.clone()).run();
-    let planned = Experiment::new(cfg.faults(FaultPlan::default())).run();
+    let planned = Experiment::new(cfg.plan(RunPlan::new().faults(FaultPlan::default()))).run();
     assert!(planned.recovery.is_none(), "inert plan reports no recovery");
     assert_eq!(plain.to_json(), planned.to_json());
 }
@@ -82,12 +85,12 @@ fn bounded_retry_masks_moderate_chaos() {
             .platform(Platform::CentralizedFaaS)
             .duration(SimDuration::from_secs(30))
             .seed(7)
-            .faults(
+            .plan(RunPlan::new().faults(
                 FaultPlan::default()
                     .function_fault_rate(0.10)
                     .packet_loss(0.05)
                     .retry(RetryPolicy::bounded(4, SimDuration::from_millis(50))),
-            ),
+            )),
     )
     .run();
     let r = outcome.recovery.expect("active plan yields recovery stats");
@@ -107,7 +110,7 @@ fn controller_failover_still_finds_every_target() {
         .seed(11);
     let healthy = Experiment::new(base.clone()).run();
     let failover =
-        Experiment::new(base.faults(FaultPlan::default().controller_failover(60.0))).run();
+        Experiment::new(base.plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0)))).run();
     assert!(failover.mission.completed);
     assert_eq!(
         failover.mission.targets_found,
@@ -129,7 +132,7 @@ fn bad_device_failure_configs_are_rejected() {
     let err = Experiment::try_new(
         ExperimentConfig::scenario(Scenario::StationaryItems)
             .platform(Platform::HiveMind)
-            .fail_device(10.0, 99),
+            .plan(RunPlan::new().fail_device(10.0, 99)),
     )
     .expect_err("device 99 of 16 must be rejected");
     assert!(matches!(
@@ -141,7 +144,7 @@ fn bad_device_failure_configs_are_rejected() {
     let err = Experiment::try_new(
         ExperimentConfig::scenario(Scenario::StationaryItems)
             .platform(Platform::HiveMind)
-            .fail_device(1.0e9, 0),
+            .plan(RunPlan::new().fail_device(1.0e9, 0)),
     )
     .expect_err("failure beyond the mission timeout must be rejected");
     assert!(matches!(err, ConfigError::FailureOutsideMission { .. }));
@@ -150,7 +153,7 @@ fn bad_device_failure_configs_are_rejected() {
     let err = Experiment::try_new(
         ExperimentConfig::single_app(App::FaceRecognition)
             .platform(Platform::CentralizedFaaS)
-            .faults(FaultPlan::default().packet_loss(1.5)),
+            .plan(RunPlan::new().faults(FaultPlan::default().packet_loss(1.5))),
     )
     .expect_err("loss probability over 1 must be rejected");
     assert!(matches!(err, ConfigError::InvalidFaultPlan(_)));

@@ -20,13 +20,16 @@ fn overloaded() -> ExperimentConfig {
         .duration_secs(8.0)
         .rate_scale(4.0)
         .seed(13)
-        .overload(
-            OverloadPolicy::default()
-                .queue_bound(8)
-                .queue_deadline(SimDuration::from_secs(2))
-                .spillover(),
+        .plan(
+            RunPlan::new()
+                .overload(
+                    OverloadPolicy::default()
+                        .queue_bound(8)
+                        .queue_deadline(SimDuration::from_secs(2))
+                        .spillover(),
+                )
+                .trace(true),
         )
-        .trace(true)
 }
 
 #[test]
@@ -36,7 +39,7 @@ fn default_policy_is_inert() {
         .duration(SimDuration::from_secs(10))
         .seed(3);
     let plain = Experiment::new(cfg.clone()).run();
-    let gated = Experiment::new(cfg.overload(OverloadPolicy::default())).run();
+    let gated = Experiment::new(cfg.plan(RunPlan::new().overload(OverloadPolicy::default()))).run();
     assert!(gated.shed.is_none(), "inert policy reports no shed stats");
     assert_eq!(plain.to_json(), gated.to_json());
 }
@@ -73,13 +76,16 @@ fn breaker_events_appear_in_the_trace() {
             .platform(Platform::CentralizedFaaS)
             .duration_secs(20.0)
             .seed(9)
-            .faults(
-                FaultPlan::default()
-                    .function_fault_rate(0.9)
-                    .retry(RetryPolicy::bounded(2, SimDuration::from_millis(20))),
-            )
-            .overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2)))
-            .trace(true),
+            .plan(
+                RunPlan::new()
+                    .faults(
+                        FaultPlan::default()
+                            .function_fault_rate(0.9)
+                            .retry(RetryPolicy::bounded(2, SimDuration::from_millis(20))),
+                    )
+                    .overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2)))
+                    .trace(true),
+            ),
     )
     .run();
     let trace = outcome.trace.as_ref().expect("tracing enabled");
@@ -119,7 +125,7 @@ fn bad_overload_policies_are_rejected() {
     let err = Experiment::try_new(
         ExperimentConfig::single_app(App::FaceRecognition)
             .platform(Platform::CentralizedFaaS)
-            .overload(OverloadPolicy::default().per_app_limit(0)),
+            .plan(RunPlan::new().overload(OverloadPolicy::default().per_app_limit(0))),
     )
     .expect_err("a zero concurrency cap must be rejected");
     assert!(matches!(err, ConfigError::InvalidOverloadPolicy(_)));

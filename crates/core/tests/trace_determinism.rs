@@ -18,7 +18,7 @@ fn base() -> ExperimentConfig {
         .platform(Platform::CentralizedFaaS)
         .duration(SimDuration::from_secs(10))
         .seed(11)
-        .trace(true)
+        .plan(RunPlan::new().trace(true))
 }
 
 #[test]
@@ -42,7 +42,7 @@ fn traces_identical_across_thread_counts() {
 #[test]
 fn tracing_never_changes_the_metrics() {
     let traced = Experiment::new(base()).run();
-    let plain = Experiment::new(base().trace(false)).run();
+    let plain = Experiment::new(base().plan(RunPlan::new())).run();
     assert!(traced.trace.is_some());
     assert!(plain.trace.is_none());
     assert_eq!(traced.to_json(), plain.to_json());

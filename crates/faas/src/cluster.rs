@@ -10,13 +10,13 @@
 //! probation, Sec. 4.6).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use hivemind_sim::component::Component;
 use hivemind_sim::faults::{self, RetryDecision, RetryPolicy};
 use hivemind_sim::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker, OverloadPolicy};
 use hivemind_sim::rng::RngForge;
-use hivemind_sim::stats::{Summary, TimeSeries};
+use hivemind_sim::stats::{QuantileTracker, TimeSeries};
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, TraceHandle};
 use rand::rngs::SmallRng;
@@ -24,7 +24,9 @@ use rand::Rng;
 
 use crate::container::{ContainerParams, WarmPool};
 use crate::dataplane::{DataPlane, ExchangeProtocol};
-use crate::scheduler::{SchedulerPolicy, ServerView};
+#[cfg(debug_assertions)]
+use crate::scheduler::ServerView;
+use crate::scheduler::SchedulerPolicy;
 use crate::types::{
     AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome, ShedReason,
 };
@@ -212,11 +214,27 @@ pub struct Cluster {
     wait_queue: VecDeque<u32>,
     running: u32,
     completions: Vec<Completion>,
-    /// Reusable scheduler-view buffer (rebuilt before every placement
-    /// decision; reallocating it per decision dominated admission cost).
+    /// Placement index: `by_busy[b]` holds the ids of servers with
+    /// exactly `b` pinned cores (crash masking stays in `down_until`),
+    /// `with_free` the ids with at least one free core. Together they
+    /// answer every scheduling query in near-constant time — the old
+    /// rebuild-all-views-per-admission path made 100k-device fleets
+    /// quadratic. Every total is identical (`cores_per_server`), so
+    /// busy-count order *is* utilization order and the indexed chooser
+    /// reproduces [`SchedulerPolicy::choose`] decision-for-decision
+    /// (asserted against it in debug builds).
+    by_busy: Vec<BTreeSet<u32>>,
+    with_free: BTreeSet<u32>,
+    /// Reusable scheduler-view buffer for the debug-only reference
+    /// placement check.
+    #[cfg(debug_assertions)]
     view_scratch: Vec<ServerView>,
     /// Exec-time history per app for straggler thresholds.
-    exec_history: HashMap<AppId, Summary>,
+    /// The straggler monitor interleaves a record and a quantile query
+    /// per completion, so this is a [`QuantileTracker`] (O(log n) both
+    /// ways) rather than a [`Summary`], whose hot sorted cache would
+    /// make each record a linear insert — quadratic over a mission.
+    exec_history: HashMap<AppId, QuantileTracker>,
     active_series: TimeSeries,
     stragglers_mitigated: u64,
     faults_recovered: u64,
@@ -301,6 +319,13 @@ impl Cluster {
             wait_queue: VecDeque::new(),
             running: 0,
             completions: Vec::new(),
+            by_busy: {
+                let mut v = vec![BTreeSet::new(); params.cores_per_server as usize + 1];
+                v[0].extend(0..params.servers);
+                v
+            },
+            with_free: (0..params.servers).collect(),
+            #[cfg(debug_assertions)]
             view_scratch: Vec::with_capacity(servers),
             exec_history: HashMap::new(),
             active_series: TimeSeries::new(),
@@ -424,8 +449,115 @@ impl Cluster {
         self.heap.push(Reverse((at, seq, ev)));
     }
 
+    /// Moves `server` to busy level `new`, keeping the placement index
+    /// consistent.
+    fn set_busy(&mut self, server: u32, new: u32) {
+        let old = self.busy[server as usize];
+        if old == new {
+            return;
+        }
+        self.by_busy[old as usize].remove(&server);
+        self.by_busy[new as usize].insert(server);
+        let cores = self.params.cores_per_server;
+        if old >= cores && new < cores {
+            self.with_free.insert(server);
+        } else if old < cores && new >= cores {
+            self.with_free.remove(&server);
+        }
+        self.busy[server as usize] = new;
+    }
+
+    fn server_is_up(&self, server: u32, now: SimTime) -> bool {
+        self.down_until[server as usize] <= now
+    }
+
+    /// The reference policy's `healthy_free`: up, spare core, not on
+    /// probation (a crashed server reports itself full there).
+    fn healthy_free(&self, server: u32, now: SimTime) -> bool {
+        self.server_is_up(server, now)
+            && self.busy[server as usize] < self.params.cores_per_server
+            && self.probation_until[server as usize] <= now
+    }
+
+    /// Chooses a server for `self.invs[idx]` through the placement
+    /// index — the same decision [`SchedulerPolicy::choose`] makes over
+    /// a full server-view sweep, without the per-admission O(servers)
+    /// rebuild. Debug builds assert the equivalence on every call.
+    fn choose_indexed(&mut self, now: SimTime, idx: u32) -> Option<u32> {
+        let n = self.params.servers;
+        let cores = self.params.cores_per_server;
+        let (app, isolate, parent_server) = {
+            let inv = &self.invs[idx as usize].inv;
+            (inv.app, inv.isolate, inv.parent_server)
+        };
+        let choice = match self.params.policy {
+            SchedulerPolicy::OpenWhiskDefault => {
+                // Home invoker = hash(app) mod n, probe forward. The
+                // probe ends at the first free server — O(1) until the
+                // cluster saturates.
+                let home = (app.0 as usize).wrapping_mul(0x9e37) % n as usize;
+                (0..n as usize).map(|i| ((home + i) % n as usize) as u32).find(|&s| {
+                    self.server_is_up(s, now) && self.busy[s as usize] < cores
+                })
+            }
+            SchedulerPolicy::HiveMind => {
+                // 1. Parent colocation.
+                let mut pick =
+                    parent_server.filter(|&p| p < n && self.healthy_free(p, now));
+                // 2. Warm-container steering.
+                if pick.is_none() && !isolate {
+                    pick = self
+                        .warm
+                        .warm_server(now, app)
+                        .filter(|&w| w < n && self.healthy_free(w, now));
+                }
+                // 3. Least-utilized healthy server: identical totals
+                //    make utilization order the busy-count order, so
+                //    the lowest non-empty bucket's smallest eligible id
+                //    is the reference policy's minimum.
+                if pick.is_none() {
+                    'buckets: for bucket in &self.by_busy[..cores as usize] {
+                        for &s in bucket {
+                            if self.server_is_up(s, now)
+                                && self.probation_until[s as usize] <= now
+                            {
+                                pick = Some(s);
+                                break 'buckets;
+                            }
+                        }
+                    }
+                }
+                // 4. Saturated-but-probationed fallback: smallest id
+                //    with a spare core.
+                pick.or_else(|| {
+                    self.with_free
+                        .iter()
+                        .copied()
+                        .find(|&s| self.server_is_up(s, now))
+                })
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            self.refresh_server_views(now);
+            debug_assert_eq!(
+                choice,
+                self.params.policy.choose(
+                    now,
+                    &self.invs[idx as usize].inv,
+                    &self.view_scratch,
+                    &self.warm
+                ),
+                "indexed placement diverged from the reference policy"
+            );
+        }
+        choice
+    }
+
     /// Rebuilds `view_scratch` with the schedulers' picture of the
-    /// cluster at `now`.
+    /// cluster at `now` (debug-only reference oracle for the placement
+    /// index).
+    #[cfg(debug_assertions)]
     fn refresh_server_views(&mut self, now: SimTime) {
         self.view_scratch.clear();
         for s in 0..self.params.servers {
@@ -450,9 +582,7 @@ impl Cluster {
         if hist.len() < self.params.straggler_min_samples {
             return None;
         }
-        Some(SimDuration::from_secs_f64(
-            hist.quantile(self.params.straggler_quantile),
-        ))
+        Some(SimDuration::from_secs_f64(hist.quantile()))
     }
 
     fn admit(&mut self, now: SimTime, idx: u32) {
@@ -463,14 +593,7 @@ impl Cluster {
             self.enqueue_or_shed(now, idx);
             return;
         }
-        self.refresh_server_views(now);
-        let choice = {
-            let st = &self.invs[idx as usize];
-            self.params
-                .policy
-                .choose(now, &st.inv, &self.view_scratch, &self.warm)
-        };
-        let Some(server) = choice else {
+        let Some(server) = self.choose_indexed(now, idx) else {
             self.enqueue_or_shed(now, idx);
             return;
         };
@@ -600,7 +723,7 @@ impl Cluster {
     /// core, acquires a container, and schedules the data-in stage.
     fn place(&mut self, now: SimTime, idx: u32, server: u32) {
         // --- Occupy a pinned core. ---
-        self.busy[server as usize] += 1;
+        self.set_busy(server, self.busy[server as usize] + 1);
         self.running += 1;
         self.active_series.record(now, self.running as f64);
 
@@ -861,9 +984,10 @@ impl Cluster {
             }
         }
         let exec_total = wasted + exec_eff;
+        let straggler_q = self.params.straggler_quantile;
         self.exec_history
             .entry(app)
-            .or_default()
+            .or_insert_with(|| QuantileTracker::new(straggler_q))
             .record_duration(exec_eff);
         {
             let st = &mut self.invs[idx as usize];
@@ -916,7 +1040,7 @@ impl Cluster {
             st.done = true;
             (st.server, st.inv.app, st.inv.tag)
         };
-        self.busy[server as usize] -= 1;
+        self.set_busy(server, self.busy[server as usize] - 1);
         self.running -= 1;
         self.active_series.record(now, self.running as f64);
         if self.params.overload.admission.per_app_limit.is_some() {
@@ -984,14 +1108,7 @@ impl Cluster {
             if self.running >= self.params.max_concurrent {
                 break;
             }
-            self.refresh_server_views(now);
-            let choice = self.params.policy.choose(
-                now,
-                &self.invs[head as usize].inv,
-                &self.view_scratch,
-                &self.warm,
-            );
-            let Some(server) = choice else {
+            let Some(server) = self.choose_indexed(now, head) else {
                 break;
             };
             self.wait_queue.pop_front();
@@ -1025,7 +1142,7 @@ impl Cluster {
         }
         let lost = resubmit.len() as u32;
         debug_assert_eq!(lost, self.busy[server as usize], "core accounting");
-        self.busy[server as usize] = 0;
+        self.set_busy(server, 0);
         self.running -= lost;
         self.active_series.record(now, self.running as f64);
         self.warm.flush_server(server);
@@ -1228,6 +1345,7 @@ impl Component for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hivemind_sim::stats::Summary;
 
     fn run_all(cluster: &mut Cluster) -> Vec<Completion> {
         let mut done = Vec::new();

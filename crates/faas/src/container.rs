@@ -8,7 +8,7 @@
 //! empirically chosen 10–30 s window (Sec. 4.3) so short-lived edge tasks
 //! mostly hit warm containers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hivemind_sim::dist::Dist;
 use hivemind_sim::time::{SimDuration, SimTime};
@@ -80,6 +80,11 @@ pub struct WarmPool {
     params: ContainerParams,
     /// (server, app) -> expiry times of idle containers.
     idle: HashMap<(u32, AppId), Vec<SimTime>>,
+    /// app -> server -> latest idle-container expiry. Mirrors `idle`
+    /// (a server appears iff its `idle` entry is non-empty) so
+    /// `warm_server` can walk servers in ascending id order and stop at
+    /// the first live one instead of scanning the whole pool.
+    by_app: HashMap<AppId, BTreeMap<u32, SimTime>>,
     warm_hits: u64,
     cold_misses: u64,
 }
@@ -96,6 +101,7 @@ impl WarmPool {
         WarmPool {
             params,
             idle: HashMap::new(),
+            by_app: HashMap::new(),
             warm_hits: 0,
             cold_misses: 0,
         }
@@ -109,40 +115,72 @@ impl WarmPool {
     /// Parks a just-finished container as idle on `server`, eligible for
     /// reuse until the keep-alive window expires.
     pub fn park(&mut self, now: SimTime, server: u32, app: AppId) {
-        self.idle
-            .entry((server, app))
+        let expiry = now + self.params.keep_alive;
+        self.idle.entry((server, app)).or_default().push(expiry);
+        let slot = self
+            .by_app
+            .entry(app)
             .or_default()
-            .push(now + self.params.keep_alive);
+            .entry(server)
+            .or_insert(expiry);
+        *slot = (*slot).max(expiry);
     }
 
     /// Attempts to take a warm container for `app` on `server`. Returns
     /// `true` on a warm hit (and consumes the container).
     pub fn try_take(&mut self, now: SimTime, server: u32, app: AppId) -> bool {
+        let mut hit = false;
         if let Some(expiries) = self.idle.get_mut(&(server, app)) {
             expiries.retain(|&e| e > now);
-            if expiries.pop().is_some() {
-                self.warm_hits += 1;
-                return true;
+            hit = expiries.pop().is_some();
+            match expiries.iter().copied().max() {
+                Some(max) => {
+                    if let Some(slot) = self.by_app.get_mut(&app).and_then(|m| m.get_mut(&server))
+                    {
+                        *slot = max;
+                    }
+                }
+                None => {
+                    self.idle.remove(&(server, app));
+                    if let Some(servers) = self.by_app.get_mut(&app) {
+                        servers.remove(&server);
+                        if servers.is_empty() {
+                            self.by_app.remove(&app);
+                        }
+                    }
+                }
             }
         }
-        self.cold_misses += 1;
-        false
+        if hit {
+            self.warm_hits += 1;
+        } else {
+            self.cold_misses += 1;
+        }
+        hit
     }
 
     /// Drops every idle container on `server` (the server crashed; its
     /// containers died with it).
     pub fn flush_server(&mut self, server: u32) {
         self.idle.retain(|&(s, _), _| s != server);
+        self.by_app.retain(|_, servers| {
+            servers.remove(&server);
+            !servers.is_empty()
+        });
     }
 
     /// Any server holding a warm container for `app` at `now`, if one
     /// exists (used by schedulers to steer invocations toward warm nodes).
     pub fn warm_server(&self, now: SimTime, app: AppId) -> Option<u32> {
-        self.idle
+        // Ascending-id walk over the per-app index; the first entry whose
+        // latest expiry is still live is exactly the `min` the old
+        // whole-pool scan produced. Entries that expired without being
+        // taken are skipped here and reaped by `try_take`/`flush_server`.
+        self.by_app
+            .get(&app)?
             .iter()
-            .filter(|((_, a), expiries)| *a == app && expiries.iter().any(|&e| e > now))
-            .map(|((s, _), _)| *s)
-            .min()
+            .find(|&(_, &expiry)| expiry > now)
+            .map(|(&s, _)| s)
     }
 
     /// Samples the instantiation latency for a hit/miss.

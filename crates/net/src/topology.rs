@@ -216,6 +216,20 @@ impl Topology {
         device % self.routers
     }
 
+    /// Conservative cross-shard lookahead: the smallest propagation delay
+    /// on any wireless-medium link. No event generated by one device can
+    /// influence hardware owned by another in less virtual time than a
+    /// wireless hop, so a sharded engine may safely advance each device
+    /// partition by this window between synchronization barriers.
+    pub fn lookahead(&self) -> SimDuration {
+        self.links
+            .iter()
+            .filter(|l| l.class == LinkClass::WirelessMedium)
+            .map(|l| l.propagation)
+            .min()
+            .unwrap_or(self.params.wireless_propagation)
+    }
+
     fn wifi(&self, r: u32) -> LinkRef {
         LinkRef(r)
     }
@@ -324,6 +338,17 @@ mod tests {
         let wifi = &t.links()[0];
         assert_eq!(wifi.class, LinkClass::WirelessMedium);
         assert!((wifi.bytes_per_sec - 867e6 / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lookahead_is_the_wireless_hop() {
+        let t = Topology::new(TopologyParams::default());
+        assert_eq!(t.lookahead(), SimDuration::from_millis(5));
+        let p = TopologyParams {
+            wireless_propagation: SimDuration::from_millis(2),
+            ..TopologyParams::default()
+        };
+        assert_eq!(Topology::new(p).lookahead(), SimDuration::from_millis(2));
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Spatial sharding primitives for the parallel DES engine.
+//!
+//! A sharded engine partitions its devices into contiguous blocks — one
+//! per swarm region — and runs each block's device-local events on its
+//! own worker under conservative lookahead. Everything a shard produces
+//! for the shared global phase is stamped with an [`EffectKey`] and
+//! re-ordered through [`merge_keyed`], whose output depends only on the
+//! keys — never on how devices were grouped into shards. That invariance
+//! is the heart of the byte-determinism contract: `HIVEMIND_SHARDS`
+//! changes wall-clock time, never a single output byte.
+//!
+//! * [`ShardMap`] — contiguous device → shard assignment (spatial
+//!   regions: the controller assigns adjacent field strips to adjacent
+//!   device ids, so contiguous id blocks *are* spatial regions).
+//! * [`EffectKey`] — the `(time, lane, seq)` merge key; `lane` is a
+//!   shard-count-invariant identity (a device id), `seq` a per-lane
+//!   monotone counter.
+//! * [`merge_keyed`] — order-stable k-way merge of per-shard batches.
+//! * [`shards_from`] — `HIVEMIND_SHARDS` parsing (default 1: sharding
+//!   is opt-in, the single-shard path is the reference semantics).
+
+use crate::time::SimTime;
+
+/// Environment variable selecting the shard count.
+pub const SHARDS_ENV: &str = "HIVEMIND_SHARDS";
+
+/// Parses a `HIVEMIND_SHARDS`-style value. `None`, empty, or garbage
+/// fall back to 1 (unsharded); `0` or `auto` mean "one shard per
+/// available core".
+pub fn shards_from(var: Option<&str>) -> u32 {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+    };
+    match var.map(str::trim) {
+        Some("0") | Some("auto") => auto(),
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        None => 1,
+    }
+}
+
+/// Reads the shard count from the environment (see [`shards_from`]).
+pub fn shards_from_env() -> u32 {
+    shards_from(std::env::var(SHARDS_ENV).ok().as_deref())
+}
+
+/// Contiguous device → shard assignment.
+///
+/// Devices `[first(s), first(s+1))` belong to shard `s`; block sizes
+/// differ by at most one. Contiguity is deliberate: the swarm controller
+/// hands adjacent field strips to adjacent device ids, so a contiguous
+/// id block is a spatial region and intra-shard traffic is
+/// neighbour-local.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::shard::ShardMap;
+///
+/// let map = ShardMap::new(10, 4);
+/// assert_eq!(map.shards(), 4);
+/// assert_eq!(map.range(0), 0..3);
+/// assert_eq!(map.range(3), 8..10);
+/// assert_eq!(map.shard_of(8), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    devices: u32,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// Builds a map of `devices` over `shards` blocks. The shard count
+    /// is clamped to `[1, devices]` so every shard owns at least one
+    /// device (for `devices == 0`, a single empty shard).
+    pub fn new(devices: u32, shards: u32) -> ShardMap {
+        ShardMap {
+            devices,
+            shards: shards.clamp(1, devices.max(1)),
+        }
+    }
+
+    /// Total devices covered.
+    pub fn devices(&self) -> u32 {
+        self.devices
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// First device of shard `s`. Blocks of `ceil(d/n)` cover the first
+    /// `d % n` shards, the remainder get `floor(d/n)`.
+    pub fn first(&self, s: u32) -> u32 {
+        let d = self.devices as u64;
+        let n = self.shards as u64;
+        let s = s as u64;
+        let base = d / n;
+        let extra = d % n;
+        (s * base + s.min(extra)) as u32
+    }
+
+    /// Device range `[first(s), first(s+1))` owned by shard `s`.
+    pub fn range(&self, s: u32) -> std::ops::Range<u32> {
+        self.first(s)..self.first(s + 1)
+    }
+
+    /// The shard owning `device`.
+    pub fn shard_of(&self, device: u32) -> u32 {
+        debug_assert!(device < self.devices);
+        let d = self.devices as u64;
+        let n = self.shards as u64;
+        let base = d / n;
+        let extra = d % n;
+        let dev = device as u64;
+        let split = extra * (base + 1);
+        let s = if dev < split {
+            dev / (base + 1)
+        } else {
+            extra + (dev - split) / base.max(1)
+        };
+        s as u32
+    }
+}
+
+/// The order-stable merge key for cross-shard event exchange.
+///
+/// Ordering is `(time, lane, seq)`. The lane must be a shard-count
+/// invariant identity (the engine uses device ids) and `seq` a counter
+/// that is monotone per lane, so the sort order of any set of keys is
+/// independent of which shard produced which key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EffectKey {
+    /// The virtual instant the effect applies at.
+    pub at: SimTime,
+    /// Shard-count-invariant producer identity (device id).
+    pub lane: u32,
+    /// Per-lane emission counter (ties within one lane keep causal
+    /// order even when an earlier emission is future-dated).
+    pub seq: u64,
+}
+
+impl EffectKey {
+    /// Builds a key.
+    pub fn new(at: SimTime, lane: u32, seq: u64) -> EffectKey {
+        EffectKey { at, lane, seq }
+    }
+}
+
+/// Merges per-shard batches of keyed items into one globally ordered
+/// stream.
+///
+/// Each batch must be sorted by key (shards emit in local processing
+/// order, which sorts per lane; the engine sorts each batch before
+/// handing it over). The output is the unique `(time, lane, seq)` order
+/// of the union — by construction independent of how items were
+/// distributed across batches, which is what makes the sharded engine's
+/// global phase byte-identical for every shard count.
+pub fn merge_keyed<T>(mut batches: Vec<Vec<(EffectKey, T)>>) -> Vec<(EffectKey, T)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    match batches.len() {
+        0 => return Vec::new(),
+        1 => return batches.pop().expect("one batch"),
+        _ => {}
+    }
+    let total = batches.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // K-way merge over batch cursors; the heap is keyed by the head
+    // key with the batch index as a tiebreaker it can never need (keys
+    // are unique across shards: one lane lives in exactly one batch).
+    let mut cursors: Vec<std::vec::IntoIter<(EffectKey, T)>> =
+        batches.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(EffectKey, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    let mut heads: Vec<Option<(EffectKey, T)>> = Vec::with_capacity(cursors.len());
+    for (i, c) in cursors.iter_mut().enumerate() {
+        let head = c.next();
+        if let Some((k, _)) = &head {
+            heap.push(Reverse((*k, i)));
+        }
+        heads.push(head);
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (k, v) = heads[i].take().expect("head present while queued");
+        debug_assert!(out.last().map(|(p, _): &(EffectKey, T)| *p < k).unwrap_or(true));
+        out.push((k, v));
+        let next = cursors[i].next();
+        if let Some((nk, _)) = &next {
+            heap.push(Reverse((*nk, i)));
+        }
+        heads[i] = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_from_parses_and_falls_back() {
+        assert_eq!(shards_from(Some("4")), 4);
+        assert_eq!(shards_from(Some(" 2 ")), 2);
+        assert_eq!(shards_from(None), 1);
+        assert_eq!(shards_from(Some("")), 1);
+        assert_eq!(shards_from(Some("lots")), 1);
+        assert!(shards_from(Some("0")) >= 1);
+        assert!(shards_from(Some("auto")) >= 1);
+    }
+
+    #[test]
+    fn shard_map_blocks_are_contiguous_and_balanced() {
+        for devices in [1u32, 2, 7, 16, 100, 4096] {
+            for shards in [1u32, 2, 3, 8, 200] {
+                let map = ShardMap::new(devices, shards);
+                assert!(map.shards() >= 1 && map.shards() <= devices.max(1));
+                let mut covered = 0u32;
+                for s in 0..map.shards() {
+                    let r = map.range(s);
+                    assert_eq!(r.start, covered, "contiguous blocks");
+                    for dev in r.clone() {
+                        assert_eq!(map.shard_of(dev), s, "dev {dev} of {devices}/{shards}");
+                    }
+                    covered = r.end;
+                }
+                assert_eq!(covered, devices, "blocks tile the fleet");
+                let sizes: Vec<u32> = (0..map.shards())
+                    .map(|s| map.range(s).len() as u32)
+                    .collect();
+                let (min, max) = (
+                    *sizes.iter().min().unwrap(),
+                    *sizes.iter().max().unwrap(),
+                );
+                assert!(max - min <= 1, "balanced within one: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_global_sort_for_any_partition() {
+        // A fixed event population, partitioned two different ways,
+        // must merge to the identical stream.
+        let key = |ns: u64, lane: u32, seq: u64| EffectKey::new(SimTime::from_nanos(ns), lane, seq);
+        let all = vec![
+            (key(5, 0, 0), "a"),
+            (key(5, 1, 0), "b"),
+            (key(5, 2, 0), "c"),
+            (key(7, 0, 1), "d"),
+            (key(7, 2, 1), "e"),
+            (key(9, 1, 1), "f"),
+        ];
+        let mut expected = all.clone();
+        expected.sort_by_key(|&(k, _)| k);
+
+        let by_lane = |lanes: &[&[u32]]| -> Vec<Vec<(EffectKey, &str)>> {
+            lanes
+                .iter()
+                .map(|ls| {
+                    all.iter()
+                        .filter(|(k, _)| ls.contains(&k.lane))
+                        .cloned()
+                        .collect()
+                })
+                .collect()
+        };
+        for partition in [
+            by_lane(&[&[0, 1, 2]]),
+            by_lane(&[&[0], &[1], &[2]]),
+            by_lane(&[&[0, 1], &[2]]),
+            by_lane(&[&[2], &[0, 1]]),
+        ] {
+            assert_eq!(merge_keyed(partition), expected);
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_batches() {
+        let empty: Vec<Vec<(EffectKey, u8)>> = vec![vec![], vec![]];
+        assert!(merge_keyed(empty).is_empty());
+        assert!(merge_keyed(Vec::<Vec<(EffectKey, u8)>>::new()).is_empty());
+    }
+}

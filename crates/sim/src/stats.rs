@@ -264,6 +264,152 @@ impl fmt::Display for Summary {
     }
 }
 
+/// Order-preserving bijection from `f64` to `u64`: `key_of(a) <= key_of(b)`
+/// iff `a.total_cmp(&b).is_le()`.
+fn key_of(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+fn val_of(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
+}
+
+/// A running fixed-quantile estimator with *exact* order statistics.
+///
+/// [`Summary`] is the right tool when all samples arrive before the first
+/// quantile query: recording is an O(1) push and the sort happens once.
+/// But a monitor that interleaves `record` and `quantile` per event (the
+/// straggler detector does exactly that) keeps `Summary`'s sorted cache
+/// hot, turning every record into an O(n) positional insert — quadratic
+/// over a run. This tracker answers the same nearest-rank quantile in
+/// O(log n) per operation by holding the multiset split in two balanced
+/// maps at the rank boundary: `low` holds exactly the `ceil(q·n)` smallest
+/// samples, so the current quantile is always `low`'s maximum.
+///
+/// Values returned are bit-identical to `Summary::quantile(q)` over the
+/// same samples.
+///
+/// # Examples
+///
+/// ```rust
+/// use hivemind_sim::stats::{QuantileTracker, Summary};
+///
+/// let mut t = QuantileTracker::new(0.90);
+/// let mut s = Summary::new();
+/// for v in [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0] {
+///     t.record(v);
+///     s.record(v);
+///     assert_eq!(t.quantile(), s.quantile(0.90));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileTracker {
+    q: f64,
+    /// The `ceil(q·len)` smallest sample keys, with multiplicity.
+    low: std::collections::BTreeMap<u64, u32>,
+    /// Every remaining sample key, with multiplicity.
+    high: std::collections::BTreeMap<u64, u32>,
+    low_len: usize,
+    len: usize,
+}
+
+impl QuantileTracker {
+    /// Creates a tracker for the `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        QuantileTracker {
+            q,
+            low: std::collections::BTreeMap::new(),
+            high: std::collections::BTreeMap::new(),
+            low_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Nearest rank (1-indexed) of the tracked quantile at count `n` —
+    /// the same formula [`Summary::quantile`] uses.
+    fn rank(&self, n: usize) -> usize {
+        ((self.q * n as f64).ceil() as usize).clamp(1, n)
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "quantile sample must be finite");
+        let k = key_of(value);
+        self.len += 1;
+        let fits_low = self
+            .low
+            .last_key_value()
+            .is_none_or(|(&max, _)| k <= max);
+        if fits_low {
+            *self.low.entry(k).or_insert(0) += 1;
+            self.low_len += 1;
+        } else {
+            *self.high.entry(k).or_insert(0) += 1;
+        }
+        // The target rank moves by at most one per insert, so each loop
+        // runs at most once.
+        let target = self.rank(self.len);
+        while self.low_len > target {
+            let (&k, _) = self.low.last_key_value().expect("low non-empty");
+            Self::take(&mut self.low, k);
+            *self.high.entry(k).or_insert(0) += 1;
+            self.low_len -= 1;
+        }
+        while self.low_len < target {
+            let (&k, _) = self.high.first_key_value().expect("high non-empty");
+            Self::take(&mut self.high, k);
+            *self.low.entry(k).or_insert(0) += 1;
+            self.low_len += 1;
+        }
+    }
+
+    /// Records a duration, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Removes one instance of `k` from `map`.
+    fn take(map: &mut std::collections::BTreeMap<u64, u32>, k: u64) {
+        let count = map.get_mut(&k).expect("key present");
+        *count -= 1;
+        if *count == 0 {
+            map.remove(&k);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current exact nearest-rank quantile; `0.0` when empty.
+    pub fn quantile(&self) -> f64 {
+        match self.low.last_key_value() {
+            Some((&k, _)) => val_of(k),
+            None => 0.0,
+        }
+    }
+}
+
 /// Fixed-bin histogram over `[min, max]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -587,6 +733,50 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.record(SimTime::from_secs(2), 1.0);
         ts.record(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn quantile_tracker_matches_summary_exactly() {
+        // Deterministic pseudo-random stream (SplitMix64) with forced
+        // duplicates and a wide dynamic range; the tracker must agree
+        // with Summary's nearest-rank quantile bit-for-bit after every
+        // single insert, at several q values.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let mut t = QuantileTracker::new(q);
+            let mut s = Summary::new();
+            let mut x: u64 = 0x9e3779b97f4a7c15;
+            for i in 0..500 {
+                x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(0x2545f4914f6cdd1d);
+                let v = if i % 7 == 0 {
+                    2.5 // forced duplicate
+                } else {
+                    (x >> 11) as f64 / (1u64 << 40) as f64
+                };
+                t.record(v);
+                s.record(v);
+                assert_eq!(t.quantile().to_bits(), s.quantile(q).to_bits(), "q={q} i={i}");
+                let _ = s.quantile(q); // keep Summary's sorted cache hot
+            }
+            assert_eq!(t.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn quantile_tracker_handles_negatives_and_zero() {
+        let mut t = QuantileTracker::new(0.5);
+        let mut s = Summary::new();
+        for v in [-3.5, 0.0, -0.0, 7.25, -1.0, 2.0, -3.5] {
+            t.record(v);
+            s.record(v);
+            assert_eq!(t.quantile().to_bits(), s.quantile(0.5).to_bits());
+        }
+    }
+
+    #[test]
+    fn quantile_tracker_empty_is_zero() {
+        let t = QuantileTracker::new(0.9);
+        assert!(t.is_empty());
+        assert_eq!(t.quantile(), 0.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!
 //! let config = ExperimentConfig::scenario(Scenario::StationaryItems)
 //!     .platform(Platform::HiveMind)
-//!     .drones(16)
+//!     .devices(16)
 //!     .seed(7);
 //! let outcome = Experiment::new(config).run();
 //! assert!(outcome.mission.completed);

@@ -70,7 +70,7 @@ fn swarm_scaling_preserves_hivemind_mission_time() {
         Experiment::new(
             ExperimentConfig::scenario(Scenario::StationaryItems)
                 .platform(Platform::HiveMind)
-                .drones(devices)
+                .devices(devices)
                 .seed(1),
         )
         .run()
@@ -91,7 +91,7 @@ fn centralized_collapses_at_scale_hivemind_does_not() {
         Experiment::new(
             ExperimentConfig::scenario(Scenario::StationaryItems)
                 .platform(platform)
-                .drones(512)
+                .devices(512)
                 .seed(1),
         )
         .run()

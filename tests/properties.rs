@@ -7,6 +7,7 @@ use hivemind::apps::kernels::ocr::{recognize, SignImage};
 use hivemind::net::fabric::{Fabric, Transfer};
 use hivemind::net::topology::{Node, Topology, TopologyParams};
 use hivemind::sim::rng::RngForge;
+use hivemind::sim::shard::{merge_keyed, EffectKey, ShardMap};
 use hivemind::sim::stats::Summary;
 use hivemind::sim::time::{SimDuration, SimTime};
 use hivemind::swarm::geometry::{partition_field, Rect};
@@ -159,6 +160,68 @@ proptest! {
         prop_assert_eq!(result.unique_count, people as usize);
     }
 
+    /// The sharded engine's exchange order is partition-invariant: for
+    /// any set of keyed events and any shard count, merging the
+    /// per-shard batches yields exactly the single-shard (globally
+    /// sorted) stream. This is the data-structure core of the
+    /// `HIVEMIND_SHARDS` byte-determinism contract.
+    #[test]
+    fn shard_merge_equals_single_shard_order(
+        events in prop::collection::vec((0u64..50_000_000, 0u32..16), 1..120),
+        shards in 1u32..9,
+    ) {
+        // Stamp per-lane monotone sequence numbers, as the engine does.
+        let mut seq = [0u64; 16];
+        let mut keyed: Vec<(EffectKey, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(nanos, lane))| {
+                seq[lane as usize] += 1;
+                (
+                    EffectKey::new(SimTime::from_nanos(nanos), lane, seq[lane as usize]),
+                    i,
+                )
+            })
+            .collect();
+
+        // Reference: the single-shard semantics — one global sort.
+        let mut reference = keyed.clone();
+        reference.sort_by_key(|&(k, _)| k);
+
+        // Partition lanes into shard batches (each batch sorted, as
+        // shards emit), merge, and demand the identical stream.
+        let map = ShardMap::new(16, shards);
+        let mut batches: Vec<Vec<(EffectKey, usize)>> =
+            (0..map.shards()).map(|_| Vec::new()).collect();
+        keyed.sort_by_key(|&(k, _)| k);
+        for (k, v) in keyed {
+            batches[map.shard_of(k.lane) as usize].push((k, v));
+        }
+        prop_assert_eq!(merge_keyed(batches), reference);
+    }
+
+    /// A shard map tiles the device range exactly: every device belongs
+    /// to one shard, blocks are contiguous, and sizes differ by at most
+    /// one.
+    #[test]
+    fn shard_map_tiles_the_fleet(devices in 1u32..5000, shards in 1u32..64) {
+        let map = ShardMap::new(devices, shards);
+        let mut covered = 0u32;
+        let mut sizes = Vec::new();
+        for s in 0..map.shards() {
+            let range = map.range(s);
+            prop_assert_eq!(range.start, covered, "blocks must be contiguous");
+            for d in range.clone() {
+                prop_assert_eq!(map.shard_of(d), s);
+            }
+            sizes.push(range.len());
+            covered = range.end;
+        }
+        prop_assert_eq!(covered, devices);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "block sizes differ by more than one");
+    }
+
     /// OCR round-trips any string over its alphabet when noise-free.
     #[test]
     fn ocr_roundtrips_clean_text(chars in prop::collection::vec(0usize..15, 1..8)) {
@@ -207,10 +270,11 @@ proptest! {
         .platform(Platform::CentralizedFaaS)
         .duration(SimDuration::from_secs(8))
         .seed(seed)
-        .trace(true);
+        .plan(RunPlan::new().trace(true));
 
         // Bounded give-up retry: issued = completed + lost.
-        let chaotic = Experiment::new(cfg.clone().faults(plan.clone())).run();
+        let chaotic =
+            Experiment::new(cfg.clone().plan(RunPlan::new().trace(true).faults(plan.clone()))).run();
         let issued = chaotic
             .trace
             .as_ref()
@@ -224,7 +288,7 @@ proptest! {
         // Retry-forever (the paper's respawn semantics): nothing is lost
         // and every issued task completes.
         let forever = Experiment::new(
-            cfg.faults(plan.retry(RetryPolicy::default())),
+            cfg.plan(RunPlan::new().trace(true).faults(plan.retry(RetryPolicy::default()))),
         )
         .run();
         let issued = forever
