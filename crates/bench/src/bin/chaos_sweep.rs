@@ -82,10 +82,9 @@ fn sweep() {
             .plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0))),
     )
     .run();
-    let mtbf = Experiment::new(
-        base.plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(900.0))),
-    )
-    .run();
+    let mtbf =
+        Experiment::new(base.plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(900.0))))
+            .run();
     let mut table = Table::new(["mission", "time (s)", "found", "completed", "failures"]);
     for (label, o) in [
         ("healthy", &healthy),

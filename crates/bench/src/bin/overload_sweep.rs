@@ -177,17 +177,23 @@ fn sweep() {
         .seed(9)
         .plan(RunPlan::new().faults(storm));
     let no_breaker = Experiment::new(base.clone()).run();
-    let with_breaker = Experiment::new(base.clone().plan(
-        base.plan.clone().overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2))),
-    ))
-    .run();
-    let with_spillover = Experiment::new(base.clone().plan(
-        base.plan.clone().overload(
-            OverloadPolicy::default()
-                .breaker(3, SimDuration::from_secs(2))
-                .spillover(),
+    let with_breaker = Experiment::new(
+        base.clone().plan(
+            base.plan
+                .clone()
+                .overload(OverloadPolicy::default().breaker(3, SimDuration::from_secs(2))),
         ),
-    ))
+    )
+    .run();
+    let with_spillover = Experiment::new(
+        base.clone().plan(
+            base.plan.overload(
+                OverloadPolicy::default()
+                    .breaker(3, SimDuration::from_secs(2))
+                    .spillover(),
+            ),
+        ),
+    )
     .run();
     let mut table = Table::new(["policy", "completed", "lost", "shed", "spilled", "opens"]);
     for (label, o) in [

@@ -128,6 +128,34 @@ fn measure_swarm_events_per_sec(shards: u32) -> f64 {
     best
 }
 
+/// Per-phase breakdown of the same 256-device workload, run once with
+/// profiling enabled: wall-clock per engine phase (shard, merge, hub)
+/// plus the deterministic operation counters (calendar-queue ops, RNG
+/// draws, merged elements, exchanged effects). The counters are exact,
+/// so a >25% jump in any of them is an algorithmic regression, not
+/// timer noise.
+fn measure_phase_breakdown() -> hivemind_core::engine::PhaseBreakdown {
+    let mut cfg = EngineConfig::testbed(Platform::HiveMind);
+    cfg.devices = 256;
+    cfg.servers = 192;
+    cfg.shards = 1;
+    let mut engine = SwarmEngine::new(cfg);
+    engine.enable_profiling();
+    for i in 0..40u64 {
+        for dev in 0..256 {
+            let app = if dev % 2 == 0 {
+                App::FaceRecognition
+            } else {
+                App::DroneDetection
+            };
+            engine.submit_task(SimTime::from_secs(i), dev, app, dev);
+        }
+    }
+    let records = engine.run_to_completion();
+    assert!(!records.is_empty(), "workload must complete tasks");
+    engine.phase_breakdown()
+}
+
 /// The fig17 swarm-scalability headline point: the 100k-device
 /// HiveMind mission (same configuration as the fig17b sweep), measured
 /// once. Full-fidelity only — this is a minutes-scale run; the recorded
@@ -238,6 +266,19 @@ fn main() {
     println!("  swarm_events_per_sec (1 shard): {swarm_single:.0}");
     println!("  swarm_events_per_sec_sharded ({swarm_shards} shards): {swarm_sharded:.0}");
 
+    println!("perf_smoke: profiling the per-phase breakdown...");
+    let bd = measure_phase_breakdown();
+    println!(
+        "  phases: shard {:.1} ms, merge {:.1} ms, hub {:.1} ms",
+        bd.shard_ns as f64 / 1e6,
+        bd.merge_ns as f64 / 1e6,
+        bd.hub_ns as f64 / 1e6
+    );
+    println!(
+        "  counters: {} queue ops, {} rng draws, {} merged, {} exchanged over {} epochs",
+        bd.queue_ops, bd.rng_draws, bd.merge_elems, bd.exchange_effects, bd.exchange_epochs
+    );
+
     let fig17_100k = cli.full().then(|| {
         println!("perf_smoke: full fidelity — running the fig17 100k-device point...");
         let point = measure_fig17_100k();
@@ -270,6 +311,16 @@ fn main() {
         "  \"swarm_events_per_sec_sharded\": {swarm_sharded:.0},"
     );
     let _ = writeln!(json, "  \"swarm_shards\": {swarm_shards},");
+    json.push_str("  \"phase_breakdown\": {\n");
+    let _ = writeln!(json, "    \"shard_ms\": {:.1},", bd.shard_ns as f64 / 1e6);
+    let _ = writeln!(json, "    \"merge_ms\": {:.1},", bd.merge_ns as f64 / 1e6);
+    let _ = writeln!(json, "    \"hub_ms\": {:.1},", bd.hub_ns as f64 / 1e6);
+    let _ = writeln!(json, "    \"queue_ops\": {},", bd.queue_ops);
+    let _ = writeln!(json, "    \"rng_draws\": {},", bd.rng_draws);
+    let _ = writeln!(json, "    \"merge_elems\": {},", bd.merge_elems);
+    let _ = writeln!(json, "    \"exchange_effects\": {},", bd.exchange_effects);
+    let _ = writeln!(json, "    \"exchange_epochs\": {}", bd.exchange_epochs);
+    json.push_str("  },\n");
     if let Some((wall_s, job_s, completed)) = fig17_100k {
         json.push_str("  \"fig17_100k\": {\n");
         let _ = writeln!(json, "    \"wall_s\": {wall_s:.1},");
@@ -327,6 +378,39 @@ fn main() {
             }
         }
         rows.push(("total", total));
+        // Phase wall-clock gates like a figure (relative + slack floor);
+        // the operation counters are deterministic, so they gate on the
+        // bare ratio — a 25% count increase is an algorithmic
+        // regression, never timer noise.
+        let phase_ms = [
+            ("shard_ms", bd.shard_ns as f64 / 1e6),
+            ("merge_ms", bd.merge_ns as f64 / 1e6),
+            ("hub_ms", bd.hub_ns as f64 / 1e6),
+        ];
+        for (key, ms) in phase_ms {
+            if let Some(base) = baseline_value(&baseline, key) {
+                if ms > base * REGRESSION_RATIO + SLACK_MS {
+                    failures.push(format!(
+                        "{key} phase wall regressed: {ms:.1} ms vs baseline {base:.1} ms"
+                    ));
+                }
+            }
+        }
+        let phase_counts = [
+            ("queue_ops", bd.queue_ops),
+            ("rng_draws", bd.rng_draws),
+            ("merge_elems", bd.merge_elems),
+            ("exchange_effects", bd.exchange_effects),
+        ];
+        for (key, count) in phase_counts {
+            if let Some(base) = baseline_value(&baseline, key) {
+                if count as f64 > base * REGRESSION_RATIO {
+                    failures.push(format!(
+                        "{key} count regressed: {count} vs baseline {base:.0}"
+                    ));
+                }
+            }
+        }
         for &(fig, ms) in rows.iter() {
             if let Some(base) = baseline_value(&baseline, fig) {
                 if ms > base * REGRESSION_RATIO + SLACK_MS {

@@ -545,7 +545,8 @@ mod tests {
 
         // A map for the wrong fleet size is rejected.
         assert!(c.align_device_shards(ShardMap::new(8, 4)).is_err());
-        c.align_device_shards(ShardMap::new(16, 4)).expect("aligned");
+        c.align_device_shards(ShardMap::new(16, 4))
+            .expect("aligned");
 
         // Contiguous blocks of 4, and every region lands in exactly one
         // shard's view.

@@ -38,14 +38,16 @@
 //! one wireless propagation). Each epoch runs two phases:
 //!
 //! 1. **Shard phase** (parallel): every shard drains its own action
-//!    heap and FIFO wake index up to the epoch boundary, drawing only
-//!    from per-device RNG lanes (`forge.indexed_stream("device", d)`)
+//!    calendar and FIFO wake index up to the epoch boundary, drawing
+//!    only from per-device RNG lanes (`forge.indexed_stream("device", d)`)
 //!    and emitting boundary *effects* stamped `(time, device, seq)`.
-//! 2. **Hub phase** (serial): the per-shard effect batches pass through
-//!    the order-stable merge ([`merge_keyed`]) and are applied
-//!    interleaved, in global time order, with hub actions, network
-//!    deliveries, and cloud completions — all hub randomness stays on
-//!    the global `"engine"` stream.
+//! 2. **Hub phase** (serial): the per-shard effect batches are folded,
+//!    together with the previous epoch's not-yet-due leftovers, through
+//!    one order-stable k-way merge ([`merge_keyed_into`]) per barrier —
+//!    batched exchange, not per-event handoff — and applied interleaved,
+//!    in global time order, with hub actions, network deliveries, and
+//!    cloud completions. All hub randomness stays on the global
+//!    `"engine"` stream.
 //!
 //! Because every shard-phase draw is keyed by device, every effect by a
 //! shard-count-invariant `(time, device, seq)` key, and the epoch grid
@@ -57,8 +59,7 @@
 
 pub mod fifo;
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use hivemind_apps::suite::App;
 use hivemind_faas::cluster::Cluster;
@@ -67,10 +68,11 @@ use hivemind_faas::types::{AppId, AppProfile, Invocation};
 use hivemind_net::fabric::{Fabric, Transfer};
 use hivemind_net::rpc::RpcProfile;
 use hivemind_net::topology::{Node, Topology, TopologyParams};
+use hivemind_sim::calendar::CalendarQueue;
 use hivemind_sim::faults::{self, FaultPlan};
 use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::rng::RngForge;
-use hivemind_sim::shard::{merge_keyed, shards_from_env, EffectKey, ShardMap};
+use hivemind_sim::shard::{merge_keyed_into, shards_from_env, EffectKey, ShardMap};
 use hivemind_sim::time::{SimDuration, SimTime};
 use hivemind_sim::trace::{ArgValue, Trace, TraceHandle};
 use rand::rngs::SmallRng;
@@ -82,7 +84,7 @@ use fifo::FifoServer;
 use hivemind_accel::fpga::{FpgaConfig, FpgaFabric, SoftRegisters};
 
 use hivemind_swarm::device::DeviceProfile;
-use hivemind_swarm::Battery;
+use hivemind_swarm::{Battery, BatteryBlock};
 
 /// Epoch length used when nothing couples the hub back into the shard
 /// phase inside an epoch (the dataflow is feed-forward): batching many
@@ -307,45 +309,15 @@ struct TaskState {
     shed: bool,
 }
 
-/// A device's shard-owned hardware: its FIFO compute queue, battery,
-/// dedicated RNG lane, and effect-sequence counter.
-#[derive(Debug)]
-struct DeviceState {
-    fifo: FifoServer,
-    battery: Battery,
-    rng: SmallRng,
-    /// Monotone per-device effect counter — the `seq` leg of the
-    /// shard-count-invariant `(time, device, seq)` merge key.
-    seq: u64,
-}
-
-/// A capture scheduled on a shard's local heap. Ordered by `(at, seq)`
-/// only; `seq` is unique per shard, so the order is total.
+/// The payload of a capture scheduled on a shard's action calendar. The
+/// `(at, seq)` key lives in the queue itself; `seq` is unique per shard,
+/// so the key order is total and the payload is never compared.
 #[derive(Debug, Clone, Copy)]
-struct LocalCapture {
-    at: SimTime,
-    seq: u64,
+struct Capture {
     task: u32,
     device: u32,
     app: App,
     placement: PlacementSite,
-}
-
-impl PartialEq for LocalCapture {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-impl Eq for LocalCapture {}
-impl PartialOrd for LocalCapture {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for LocalCapture {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Device-local context a FIFO job completion needs that the job id
@@ -388,44 +360,40 @@ enum Effect {
     QueueDepth { depth: u64 },
 }
 
-/// Heap wrapper ordering pending effects by key alone (keys are unique:
-/// one `(time, device, seq)` triple is emitted at most once).
-#[derive(Debug)]
-struct PendingEffect {
-    key: EffectKey,
-    effect: Effect,
-}
-
-impl PartialEq for PendingEffect {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for PendingEffect {}
-impl PartialOrd for PendingEffect {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingEffect {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
-
 /// One spatial shard: a contiguous device block with its own action
-/// heap, FIFO wake index, and outbound effect batch.
+/// calendar, FIFO wake index, and outbound effect batch.
+///
+/// Per-device hot state is struct-of-arrays: parallel vectors indexed by
+/// the block offset `device - first_dev`, aligned with [`ShardMap`]'s
+/// contiguous ranges, so the inner loop streams dense cache lines
+/// instead of pointer-chasing one struct per device. The FIFO queues
+/// (cold, pointer-heavy) live in their own array away from the battery /
+/// RNG / sequence state the per-event path actually touches.
 #[derive(Debug)]
 struct Shard {
     first_dev: u32,
-    devs: Vec<DeviceState>,
-    actions: BinaryHeap<Reverse<LocalCapture>>,
+    /// Per-device FIFO compute queues, block-offset order.
+    fifos: Vec<FifoServer>,
+    /// Per-device batteries, one dense block.
+    batteries: BatteryBlock,
+    /// Per-device RNG lanes (`forge.indexed_stream("device", dev)`).
+    rngs: Vec<SmallRng>,
+    /// Per-device monotone effect counters — the `seq` leg of the
+    /// shard-count-invariant `(time, device, seq)` merge key.
+    eseqs: Vec<u64>,
+    /// Scheduled captures, keyed `(at, seq)`; `aseq` is the per-shard
+    /// tie-break counter.
+    actions: CalendarQueue<(SimTime, u64), Capture>,
     aseq: u64,
     /// Conservative wake index over this shard's FIFO queues (entries
-    /// may be early, never late).
-    wake: BinaryHeap<Reverse<(SimTime, u32)>>,
-    /// Task → device-local context for in-flight FIFO jobs.
-    pending_jobs: HashMap<u32, EdgePending>,
+    /// may be early, never late; equal keys are interchangeable).
+    wake: CalendarQueue<(SimTime, u32), ()>,
+    /// Task → device-local context for in-flight FIFO jobs. Fixed-seed
+    /// hashing: insert/remove churn must rehash at workload-determined
+    /// instants or the steady-state allocation pin would be flaky.
+    pending_jobs: hivemind_sim::hash::DetHashMap<u32, EdgePending>,
+    /// RNG sampling calls made by this shard (profiling breakdown).
+    rng_draws: u64,
     done_scratch: Vec<(SimTime, u64, SimDuration)>,
     /// Effects emitted this epoch, sorted by key at the barrier.
     out: Vec<(EffectKey, Effect)>,
@@ -438,13 +406,44 @@ struct Shard {
 impl Shard {
     /// The earliest device-local instant at which anything happens.
     fn next_event(&self) -> Option<SimTime> {
-        let a = self.actions.peek().map(|Reverse(e)| e.at);
-        let w = self.wake.peek().map(|Reverse((t, _))| *t);
+        let a = self.actions.peek().map(|(t, _)| t);
+        let w = self.wake.peek().map(|(t, _)| t);
         match (a, w) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (x, y) => x.or(y),
         }
     }
+}
+
+/// Per-phase cost breakdown of a run, for profiling harnesses
+/// (`perf_smoke`, `HIVEMIND_PROFILE=1`).
+///
+/// The operation counters (`queue_ops`, `rng_draws`, `merge_elems`,
+/// `exchange_effects`) are exact and deterministic — they count the same
+/// way on every machine and never feed back into scheduling. The
+/// `*_ns` wall-clock timers are only accumulated while profiling is
+/// enabled ([`Engine::enable_profiling`] or `HIVEMIND_PROFILE=1`) and
+/// vary run to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Wall nanoseconds inside the parallel shard phase.
+    pub shard_ns: u64,
+    /// Wall nanoseconds inside the barrier merge/exchange.
+    pub merge_ns: u64,
+    /// Wall nanoseconds inside the serial hub phase.
+    pub hub_ns: u64,
+    /// Calendar-queue pushes + pops across the hub action queue and
+    /// every shard's action and wake queues.
+    pub queue_ops: u64,
+    /// Service/cost sampling calls drawn from RNG lanes (hub and shard).
+    pub rng_draws: u64,
+    /// Elements folded through the k-way exchange merge at barriers
+    /// (zero when every barrier hits the buffer-swap fast path).
+    pub merge_elems: u64,
+    /// Effects handed across the shard → hub barrier.
+    pub exchange_effects: u64,
+    /// Barrier epochs that exchanged at least one effect.
+    pub exchange_epochs: u64,
 }
 
 /// Read-only configuration snapshot the parallel shard phase runs
@@ -473,10 +472,17 @@ pub struct Engine {
     map: ShardMap,
     /// Conservative cross-shard lookahead (the wireless hop).
     lookahead: SimDuration,
-    /// Merged shard effects not yet due (effects may be future-dated
-    /// past their epoch, e.g. `finish + send_cost`).
-    pending: BinaryHeap<Reverse<PendingEffect>>,
-    actions: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
+    /// Merged shard effects not yet applied, as one sorted run consumed
+    /// through `pending_cursor` (effects may be future-dated past their
+    /// epoch, e.g. `finish + send_cost`). Rebuilt once per barrier by
+    /// folding the leftovers with the fresh per-shard batches.
+    pending: Vec<(EffectKey, Effect)>,
+    pending_cursor: usize,
+    /// The merge target swapped with `pending` at each barrier; both
+    /// buffers hold their high-water capacity, so the exchange is
+    /// allocation-free in steady state.
+    pending_scratch: Vec<(EffectKey, Effect)>,
+    actions: CalendarQueue<(SimTime, u64), Action>,
     seq: u64,
     tasks: Vec<TaskState>,
     /// Purpose of each in-flight transfer, indexed by its dense
@@ -507,6 +513,13 @@ pub struct Engine {
     ledger: FaultLedger,
     shed_ledger: ShedLedger,
     hub_events: u64,
+    /// RNG sampling calls made by the hub (profiling breakdown).
+    rng_draws: u64,
+    /// Whether the per-phase wall-clock timers run (`HIVEMIND_PROFILE=1`
+    /// or [`Engine::enable_profiling`]). Counters are always on.
+    profile: bool,
+    /// Accumulated phase timers and exchange counters.
+    breakdown: PhaseBreakdown,
     /// Cores available to the shard phase (cached at construction).
     phase_budget: usize,
 }
@@ -691,23 +704,25 @@ impl Engine {
         let shards = (0..map.shards())
             .map(|s| {
                 let range = map.range(s);
+                let n = range.len();
                 Shard {
                     first_dev: range.start,
-                    devs: range
-                        .map(|dev| DeviceState {
-                            fifo: FifoServer::new(cfg.device_profile.cores),
-                            battery: Battery::new(cfg.device_profile.battery),
-                            // One RNG lane per device, keyed by the
-                            // shard-count-invariant device id — re-sharding
-                            // never reshuffles a single draw.
-                            rng: forge.indexed_stream("device", dev as u64),
-                            seq: 0,
-                        })
+                    fifos: (0..n)
+                        .map(|_| FifoServer::new(cfg.device_profile.cores))
                         .collect(),
-                    actions: BinaryHeap::new(),
+                    batteries: BatteryBlock::new(cfg.device_profile.battery, n),
+                    // One RNG lane per device, keyed by the
+                    // shard-count-invariant device id — re-sharding
+                    // never reshuffles a single draw.
+                    rngs: range
+                        .map(|dev| forge.indexed_stream("device", dev as u64))
+                        .collect(),
+                    eseqs: vec![0; n],
+                    actions: CalendarQueue::new(),
                     aseq: 0,
-                    wake: BinaryHeap::new(),
-                    pending_jobs: HashMap::new(),
+                    wake: CalendarQueue::new(),
+                    pending_jobs: hivemind_sim::hash::DetHashMap::default(),
+                    rng_draws: 0,
                     done_scratch: Vec::new(),
                     out: Vec::new(),
                     cursor: SimTime::ZERO,
@@ -729,12 +744,14 @@ impl Engine {
             shards,
             map,
             lookahead,
-            pending: BinaryHeap::new(),
+            pending: Vec::new(),
+            pending_cursor: 0,
+            pending_scratch: Vec::new(),
             fabric,
             cluster,
             pool,
             now: SimTime::ZERO,
-            actions: BinaryHeap::with_capacity(64),
+            actions: CalendarQueue::with_capacity(64),
             seq: 0,
             tasks: Vec::new(),
             tags: Vec::new(),
@@ -752,6 +769,9 @@ impl Engine {
             ledger,
             shed_ledger: ShedLedger::default(),
             hub_events: 0,
+            rng_draws: 0,
+            profile: std::env::var_os("HIVEMIND_PROFILE").is_some_and(|v| v != "0"),
+            breakdown: PhaseBreakdown::default(),
             phase_budget: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -815,6 +835,27 @@ impl Engine {
         self.hub_events + self.shards.iter().map(|s| s.events).sum::<u64>()
     }
 
+    /// Turns on the per-phase wall-clock timers (equivalent to running
+    /// with `HIVEMIND_PROFILE=1`). The operation counters in
+    /// [`PhaseBreakdown`] accumulate regardless.
+    pub fn enable_profiling(&mut self) {
+        self.profile = true;
+    }
+
+    /// The per-phase cost breakdown accumulated so far. Timers are zero
+    /// unless profiling is enabled; counters are always exact.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        let mut b = self.breakdown;
+        b.queue_ops = self.actions.ops()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.actions.ops() + s.wake.ops())
+                .sum::<u64>();
+        b.rng_draws = self.rng_draws + self.shards.iter().map(|s| s.rng_draws).sum::<u64>();
+        b
+    }
+
     /// The resolved placement for an app on this platform.
     pub fn placement_of(&self, app: App) -> PlacementSite {
         self.placements[&app]
@@ -869,21 +910,22 @@ impl Engine {
         let sh = &mut self.shards[self.map.shard_of(device) as usize];
         let seq = sh.aseq;
         sh.aseq += 1;
-        sh.actions.push(Reverse(LocalCapture {
-            at,
-            seq,
-            task: id,
-            device,
-            app,
-            placement,
-        }));
+        sh.actions.push(
+            (at, seq),
+            Capture {
+                task: id,
+                device,
+                app,
+                placement,
+            },
+        );
         id
     }
 
     fn push_action(&mut self, at: SimTime, action: Action) {
         let seq = self.seq;
         self.seq += 1;
-        self.actions.push(Reverse((at, seq, action)));
+        self.actions.push((at, seq), action);
     }
 
     /// Records the purpose of transfer `id` (ids are dense, so the table
@@ -891,31 +933,30 @@ impl Engine {
     fn set_tag(&mut self, id: u64, purpose: TagPurpose) {
         let i = id as usize;
         if self.tags.len() <= i {
-            self.tags.resize(i + 1, None);
+            // Grow to a power of two so the table reallocates O(log n)
+            // times over a run, not once per new transfer id.
+            self.tags.resize((i + 1).next_power_of_two(), None);
         }
         self.tags[i] = Some(purpose);
     }
 
-    fn device(&self, device: u32) -> &DeviceState {
-        let sh = &self.shards[self.map.shard_of(device) as usize];
-        &sh.devs[(device - sh.first_dev) as usize]
-    }
-
-    fn device_mut(&mut self, device: u32) -> &mut DeviceState {
-        let sh = &mut self.shards[self.map.shard_of(device) as usize];
-        &mut sh.devs[(device - sh.first_dev) as usize]
+    /// Resolves a device id to its `(shard index, block offset)` pair.
+    #[inline]
+    fn locate(&self, device: u32) -> (usize, usize) {
+        let s = self.map.shard_of(device) as usize;
+        (s, (device - self.shards[s].first_dev) as usize)
     }
 
     /// The earliest instant at which anything will happen.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        let mut best: Option<SimTime> = self.actions.peek().map(|Reverse((t, _, _))| *t);
+        let mut best: Option<SimTime> = self.actions.peek().map(|(t, _)| t);
         let mut merge = |t: Option<SimTime>| {
             best = match (best, t) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
         };
-        merge(self.pending.peek().map(|Reverse(p)| p.key.at));
+        merge(self.pending.get(self.pending_cursor).map(|&(k, _)| k.at));
         merge(self.fabric.next_wakeup());
         merge(self.cluster.as_ref().and_then(|c| c.next_wakeup()));
         merge(self.pool.as_ref().and_then(|p| p.next_wakeup()));
@@ -928,6 +969,20 @@ impl Engine {
     /// Runs until quiescent or `deadline`, returning completed records
     /// accumulated since the last call.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<TaskRecord> {
+        self.advance_until(deadline);
+        std::mem::take(&mut self.records)
+    }
+
+    /// Like [`Engine::run_until`], but appends the completed records into
+    /// `out` instead of returning a fresh vector. Both `out` and the
+    /// internal record buffer keep their capacity, so a warmed-up caller
+    /// polling epoch after epoch never touches the allocator.
+    pub fn run_until_into(&mut self, deadline: SimTime, out: &mut Vec<TaskRecord>) {
+        self.advance_until(deadline);
+        out.append(&mut self.records);
+    }
+
+    fn advance_until(&mut self, deadline: SimTime) {
         while let Some(t) = self.next_wakeup() {
             if t > deadline {
                 break;
@@ -938,7 +993,6 @@ impl Engine {
         if deadline > self.now && deadline < SimTime::MAX {
             self.now = deadline;
         }
-        std::mem::take(&mut self.records)
     }
 
     /// Runs until every injected task has completed.
@@ -975,9 +1029,22 @@ impl Engine {
             self.lookahead.max(EPOCH_FLOOR)
         };
         let end = start.saturating_add(horizon).min(deadline);
-        self.run_shard_phase(end);
-        self.collect_effects();
-        self.run_hub_phase(end);
+        if self.profile {
+            let t0 = std::time::Instant::now();
+            self.run_shard_phase(end);
+            let t1 = std::time::Instant::now();
+            self.collect_effects();
+            let t2 = std::time::Instant::now();
+            self.run_hub_phase(end);
+            let t3 = std::time::Instant::now();
+            self.breakdown.shard_ns += (t1 - t0).as_nanos() as u64;
+            self.breakdown.merge_ns += (t2 - t1).as_nanos() as u64;
+            self.breakdown.hub_ns += (t3 - t2).as_nanos() as u64;
+        } else {
+            self.run_shard_phase(end);
+            self.collect_effects();
+            self.run_hub_phase(end);
+        }
         self.drain_spillover(end);
         // The clock tracks the latest *processed* event, not the epoch
         // boundary: the boundary is only a processing bound, so leaving
@@ -1040,23 +1107,58 @@ impl Engine {
         });
     }
 
-    /// Barrier: merge every shard's (sorted) effect batch into the
-    /// pending stream in `(time, device, seq)` order.
+    /// Barrier: the batched cross-shard exchange. Every shard's (sorted)
+    /// effect batch and the previous epoch's not-yet-due leftovers fold
+    /// through one k-way merge into the next pending run — a single
+    /// buffer swap per epoch instead of a per-event heap handoff. The
+    /// result is the same unique `(time, device, seq)` order a global
+    /// heap would produce, independent of the shard count.
     fn collect_effects(&mut self) {
         if self.shards.len() == 1 {
-            let batch = std::mem::take(&mut self.shards[0].out);
-            for (key, effect) in batch {
-                self.pending.push(Reverse(PendingEffect { key, effect }));
+            let sh = &mut self.shards[0];
+            if sh.out.is_empty() {
+                return;
             }
+            self.breakdown.exchange_epochs += 1;
+            self.breakdown.exchange_effects += sh.out.len() as u64;
+            if self.pending_cursor == self.pending.len() {
+                // No leftovers: the fresh batch *is* the next pending
+                // run; swap buffers and reuse the old one for emission.
+                std::mem::swap(&mut self.pending, &mut sh.out);
+            } else {
+                self.pending_scratch.clear();
+                merge_keyed_into(
+                    &[&self.pending[self.pending_cursor..], &sh.out],
+                    &mut self.pending_scratch,
+                );
+                std::mem::swap(&mut self.pending, &mut self.pending_scratch);
+                self.breakdown.merge_elems += self.pending.len() as u64;
+            }
+            sh.out.clear();
+            self.pending_cursor = 0;
             return;
         }
-        let batches: Vec<Vec<(EffectKey, Effect)>> = self
-            .shards
-            .iter_mut()
-            .map(|s| std::mem::take(&mut s.out))
-            .collect();
-        for (key, effect) in merge_keyed(batches) {
-            self.pending.push(Reverse(PendingEffect { key, effect }));
+        let leftover = self.pending_cursor < self.pending.len();
+        if !leftover && self.shards.iter().all(|s| s.out.is_empty()) {
+            return;
+        }
+        self.breakdown.exchange_epochs += 1;
+        self.breakdown.exchange_effects +=
+            self.shards.iter().map(|s| s.out.len() as u64).sum::<u64>();
+        self.pending_scratch.clear();
+        {
+            let mut runs: Vec<&[(EffectKey, Effect)]> = Vec::with_capacity(self.shards.len() + 1);
+            runs.push(&self.pending[self.pending_cursor..]);
+            for sh in &self.shards {
+                runs.push(&sh.out);
+            }
+            merge_keyed_into(&runs, &mut self.pending_scratch);
+        }
+        std::mem::swap(&mut self.pending, &mut self.pending_scratch);
+        self.breakdown.merge_elems += self.pending.len() as u64;
+        self.pending_cursor = 0;
+        for sh in &mut self.shards {
+            sh.out.clear();
         }
     }
 
@@ -1065,7 +1167,8 @@ impl Engine {
     /// order up to the epoch boundary.
     fn run_hub_phase(&mut self, end: SimTime) {
         loop {
-            let mut best: Option<SimTime> = self.pending.peek().map(|Reverse(p)| p.key.at);
+            let mut best: Option<SimTime> =
+                self.pending.get(self.pending_cursor).map(|&(k, _)| k.at);
             {
                 let mut merge = |t: Option<SimTime>| {
                     best = match (best, t) {
@@ -1073,7 +1176,7 @@ impl Engine {
                         (a, b) => a.or(b),
                     };
                 };
-                merge(self.actions.peek().map(|Reverse((t, _, _))| *t));
+                merge(self.actions.peek().map(|(t, _)| t));
                 merge(self.fabric.next_wakeup());
                 merge(self.cluster.as_ref().and_then(|c| c.next_wakeup()));
                 merge(self.pool.as_ref().and_then(|p| p.next_wakeup()));
@@ -1085,23 +1188,19 @@ impl Engine {
             if t > self.now {
                 self.now = t;
             }
-            // 1. Due effects, in merge-key order.
-            while self
-                .pending
-                .peek()
-                .is_some_and(|Reverse(p)| p.key.at <= t)
-            {
-                let Reverse(p) = self.pending.pop().expect("peeked");
+            // 1. Due effects: a cursor walk over the sorted pending run,
+            //    already in merge-key order.
+            while let Some(&(key, effect)) = self.pending.get(self.pending_cursor) {
+                if key.at > t {
+                    break;
+                }
+                self.pending_cursor += 1;
                 self.hub_events += 1;
-                self.apply_effect(p.key, p.effect);
+                self.apply_effect(key, effect);
             }
             // 2. Hub actions due now.
-            while self
-                .actions
-                .peek()
-                .is_some_and(|Reverse((at, _, _))| *at <= t)
-            {
-                let Reverse((at, _, action)) = self.actions.pop().expect("peeked");
+            while self.actions.peek().is_some_and(|(at, _)| at <= t) {
+                let ((at, _), action) = self.actions.pop().expect("peeked");
                 self.hub_events += 1;
                 self.handle_action(at, action);
             }
@@ -1155,19 +1254,19 @@ impl Engine {
     fn hub_edge_submit(&mut self, now: SimTime, device: u32, job: u64, service: SimDuration) {
         let sh = &mut self.shards[self.map.shard_of(device) as usize];
         let di = (device - sh.first_dev) as usize;
-        let d = &mut sh.devs[di];
-        let prev = d.fifo.next_wakeup();
-        d.fifo.submit(now, job, service);
-        let new = d.fifo.next_wakeup();
+        let fifo = &mut sh.fifos[di];
+        let prev = fifo.next_wakeup();
+        fifo.submit(now, job, service);
+        let new = fifo.next_wakeup();
         // Index only head changes — one live entry per device, not one
         // per job (which would go quadratic on overloaded devices).
         if new != prev {
             if let Some(t) = new {
-                sh.wake.push(Reverse((t, device)));
+                sh.wake.push((t, device), ());
             }
         }
         if self.tracer.is_enabled() {
-            let depth = sh.devs[di].fifo.load() as f64;
+            let depth = sh.fifos[di].load() as f64;
             self.tracer.counter("edge", "queue", device, now, depth);
         }
     }
@@ -1189,7 +1288,7 @@ impl Engine {
                     st.network += network;
                     st.management += management;
                 }
-                self.device_mut(device).battery.draw_radio(bytes);
+                self.battery_mut(device).draw_radio(bytes);
                 let server = self.pick_server();
                 let tag = self.fabric.send(
                     at,
@@ -1294,6 +1393,7 @@ impl Engine {
         match purpose {
             TagPurpose::Upload { task } => {
                 self.tasks[task as usize].network += d.latency();
+                self.rng_draws += 1;
                 let recv = self.cloud_rpc.recv_cost(&mut self.rng, d.bytes);
                 self.tasks[task as usize].network += recv;
                 self.push_action(d.delivered_at + recv, Action::SubmitCloud { task });
@@ -1304,13 +1404,15 @@ impl Engine {
                     st.network += d.latency();
                     st.device
                 };
+                self.rng_draws += 1;
                 let recv = self.edge_rpc.recv_overhead.sample(&mut self.rng);
                 self.tasks[task as usize].network += recv;
-                self.device_mut(device).battery.draw_radio(d.bytes);
+                self.battery_mut(device).draw_radio(d.bytes);
                 self.push_action(d.delivered_at + recv, Action::Finish { task });
             }
             TagPurpose::ResultUpload { task } => {
                 self.tasks[task as usize].network += d.latency();
+                self.rng_draws += 1;
                 let recv = self.cloud_rpc.recv_cost(&mut self.rng, d.bytes);
                 self.tasks[task as usize].network += recv;
                 self.push_action(d.delivered_at + recv, Action::Finish { task });
@@ -1383,6 +1485,7 @@ impl Engine {
             let spill = self.cfg.overload.spillover;
             if spill.enabled {
                 let factor = self.cfg.device_profile.compute_slowdown / 10.0;
+                self.rng_draws += 1;
                 let service = edge_service_from(&mut self.rng, app, factor)
                     .mul_f64(1.0 / spill.degraded_speedup);
                 {
@@ -1390,7 +1493,7 @@ impl Engine {
                     st.placement = PlacementSite::Edge;
                     st.exec = st.exec.max(service);
                 }
-                self.device_mut(device).battery.draw_compute(service);
+                self.battery_mut(device).draw_compute(service);
                 self.shed_ledger.tasks_spilled += 1;
                 self.shed_ledger.accuracy_penalty_sum_pct += spill.accuracy_penalty_pct;
                 if self.tracer.is_enabled() {
@@ -1426,6 +1529,7 @@ impl Engine {
             }
             return;
         }
+        self.rng_draws += 1;
         let send = self.cloud_rpc.send_cost(&mut self.rng, output_bytes);
         self.tasks[task as usize].network += send;
         self.push_action(
@@ -1528,12 +1632,14 @@ impl Engine {
 
     /// Battery state of a device.
     pub fn battery(&self, device: u32) -> &Battery {
-        &self.device(device).battery
+        let (s, di) = self.locate(device);
+        self.shards[s].batteries.cell(di)
     }
 
     /// Mutable battery access (missions charge motion energy directly).
     pub fn battery_mut(&mut self, device: u32) -> &mut Battery {
-        &mut self.device_mut(device).battery
+        let (s, di) = self.locate(device);
+        self.shards[s].batteries.cell_mut(di)
     }
 
     /// The network fabric (bandwidth accounting).
@@ -1567,12 +1673,14 @@ impl Engine {
 
     /// Pending on-device work for a device (queue depth).
     pub fn edge_load(&self, device: u32) -> usize {
-        self.device(device).fifo.load()
+        let (s, di) = self.locate(device);
+        self.shards[s].fifos[di].load()
     }
 
     /// Total on-device busy compute time for a device.
     pub fn edge_busy_time(&self, device: u32) -> SimDuration {
-        self.device(device).fifo.busy_time()
+        let (s, di) = self.locate(device);
+        self.shards[s].fifos[di].busy_time()
     }
 }
 
@@ -1586,23 +1694,25 @@ fn shard_phase(sh: &mut Shard, ctx: &ShardCtx<'_>, upto: SimTime) {
             break;
         }
         sh.cursor = sh.cursor.max(t);
-        while sh.actions.peek().is_some_and(|Reverse(e)| e.at <= t) {
-            let Reverse(e) = sh.actions.pop().expect("peeked");
+        while sh.actions.peek().is_some_and(|(at, _)| at <= t) {
+            let ((at, _), c) = sh.actions.pop().expect("peeked");
             sh.events += 1;
-            shard_capture(sh, ctx, e);
+            shard_capture(sh, ctx, at, c);
         }
         drain_completions(sh, ctx, t);
     }
     // The hub merges batches by `(time, device, seq)`; emissions can be
     // future-dated (`finish + send`), so local order is not key order.
-    sh.out.sort_by_key(|&(k, _)| k);
+    // Keys are unique, so the unstable sort is order-deterministic and
+    // avoids the stable sort's temporary buffer.
+    sh.out.sort_unstable_by_key(|&(k, _)| k);
 }
 
 /// Stamps and queues one effect on the shard's outbound batch.
 fn emit(sh: &mut Shard, device: u32, at: SimTime, effect: Effect) {
     let di = (device - sh.first_dev) as usize;
-    let seq = sh.devs[di].seq;
-    sh.devs[di].seq += 1;
+    let seq = sh.eseqs[di];
+    sh.eseqs[di] += 1;
     sh.out.push((EffectKey::new(at, device, seq), effect));
 }
 
@@ -1617,44 +1727,49 @@ fn fifo_submit(
     service: SimDuration,
 ) {
     let di = (device - sh.first_dev) as usize;
-    let d = &mut sh.devs[di];
-    let prev = d.fifo.next_wakeup();
-    d.fifo.submit(now, job, service);
-    let new = d.fifo.next_wakeup();
+    let fifo = &mut sh.fifos[di];
+    let prev = fifo.next_wakeup();
+    fifo.submit(now, job, service);
+    let new = fifo.next_wakeup();
     if new != prev {
         if let Some(t) = new {
-            sh.wake.push(Reverse((t, device)));
+            sh.wake.push((t, device), ());
         }
     }
     if ctx.trace {
-        let depth = sh.devs[di].fifo.load() as u64;
+        let depth = sh.fifos[di].load() as u64;
         emit(sh, device, now, Effect::QueueDepth { depth });
     }
 }
 
-fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, e: LocalCapture) {
-    let LocalCapture {
-        at,
+fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, at: SimTime, c: Capture) {
+    let Capture {
         task,
         device,
         app,
         placement,
-        ..
-    } = e;
+    } = c;
     let di = (device - sh.first_dev) as usize;
     match placement {
         PlacementSite::Edge => {
-            let d = &mut sh.devs[di];
-            let service = edge_service_from(&mut d.rng, app, ctx.device_factor);
+            sh.rng_draws += 1;
+            let service = edge_service_from(&mut sh.rngs[di], app, ctx.device_factor);
             let bytes = app.cloud_profile().output_bytes.max(1);
-            d.battery.draw_compute(service);
+            sh.batteries.cell_mut(di).draw_compute(service);
             sh.pending_jobs
                 .insert(task, EdgePending::Exec { bytes, service });
-            fifo_submit(sh, ctx, at, device, edge_job(task, EdgeJobKind::Exec), service);
+            fifo_submit(
+                sh,
+                ctx,
+                at,
+                device,
+                edge_job(task, EdgeJobKind::Exec),
+                service,
+            );
         }
         PlacementSite::Cloud => {
-            let mut upload = (scaled_input_bytes(app, ctx.input_scale) as f64)
-                * ctx.upload_fraction;
+            let mut upload =
+                (scaled_input_bytes(app, ctx.input_scale) as f64) * ctx.upload_fraction;
             if ctx.hybrid {
                 // The synthesized collect tier is rate-adaptive: it
                 // never offers more than ~70% of the device's fair
@@ -1669,11 +1784,11 @@ fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, e: LocalCapture) {
                 // The synthesized on-device filter tier runs first: a
                 // cheap salience detector, far lighter than the full
                 // model (bounded so it never dominates the device).
-                let d = &mut sh.devs[di];
-                let filter = edge_service_from(&mut d.rng, app, ctx.device_factor)
+                sh.rng_draws += 1;
+                let filter = edge_service_from(&mut sh.rngs[di], app, ctx.device_factor)
                     .mul_f64(0.02)
                     .min(SimDuration::from_millis(40));
-                d.battery.draw_compute(filter);
+                sh.batteries.cell_mut(di).draw_compute(filter);
                 sh.pending_jobs
                     .insert(task, EdgePending::Filter { upload_bytes });
                 fifo_submit(
@@ -1685,9 +1800,8 @@ fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, e: LocalCapture) {
                     filter,
                 );
             } else {
-                let send = ctx
-                    .edge_rpc
-                    .send_cost(&mut sh.devs[di].rng, upload_bytes);
+                sh.rng_draws += 1;
+                let send = ctx.edge_rpc.send_cost(&mut sh.rngs[di], upload_bytes);
                 emit(
                     sh,
                     device,
@@ -1708,28 +1822,30 @@ fn shard_capture(sh: &mut Shard, ctx: &ShardCtx<'_>, e: LocalCapture) {
 /// order (wake entries are exact head times or stale-early duplicates).
 fn drain_completions(sh: &mut Shard, ctx: &ShardCtx<'_>, t: SimTime) {
     let mut done = std::mem::take(&mut sh.done_scratch);
-    while let Some(&Reverse((et, dev))) = sh.wake.peek() {
+    while let Some((et, dev)) = sh.wake.peek() {
         if et > t {
             break;
         }
         sh.wake.pop();
         let di = (dev - sh.first_dev) as usize;
-        match sh.devs[di].fifo.next_wakeup() {
+        match sh.fifos[di].next_wakeup() {
             Some(actual) if actual <= t => {
-                sh.devs[di].fifo.advance_into(actual, &mut done);
-                if let Some(next) = sh.devs[di].fifo.next_wakeup() {
-                    sh.wake.push(Reverse((next, dev)));
+                sh.fifos[di].advance_into(actual, &mut done);
+                if let Some(next) = sh.fifos[di].next_wakeup() {
+                    sh.wake.push((next, dev), ());
                 }
                 if ctx.trace {
-                    let depth = sh.devs[di].fifo.load() as u64;
+                    let depth = sh.fifos[di].load() as u64;
                     emit(sh, dev, actual, Effect::QueueDepth { depth });
                 }
-                for (finish, job, queued) in std::mem::take(&mut done) {
+                // Drain in place: `done` keeps its high-water capacity
+                // across batches instead of reallocating per completion.
+                for (finish, job, queued) in done.drain(..) {
                     sh.events += 1;
                     edge_completion(sh, ctx, dev, finish, job, queued);
                 }
             }
-            Some(actual) => sh.wake.push(Reverse((actual, dev))),
+            Some(actual) => sh.wake.push((actual, dev), ()),
             None => {}
         }
     }
@@ -1751,9 +1867,9 @@ fn edge_completion(
             let Some(EdgePending::Exec { bytes, service }) = sh.pending_jobs.remove(&task) else {
                 unreachable!("exec completion without pending state");
             };
-            let d = &mut sh.devs[di];
-            d.battery.draw_radio(bytes);
-            let send = ctx.edge_rpc.send_cost(&mut d.rng, bytes);
+            sh.batteries.cell_mut(di).draw_radio(bytes);
+            sh.rng_draws += 1;
+            let send = ctx.edge_rpc.send_cost(&mut sh.rngs[di], bytes);
             emit(
                 sh,
                 dev,
@@ -1771,9 +1887,8 @@ fn edge_completion(
             let Some(EdgePending::Filter { upload_bytes }) = sh.pending_jobs.remove(&task) else {
                 unreachable!("filter completion without pending state");
             };
-            let send = ctx
-                .edge_rpc
-                .send_cost(&mut sh.devs[di].rng, upload_bytes);
+            sh.rng_draws += 1;
+            let send = ctx.edge_rpc.send_cost(&mut sh.rngs[di], upload_bytes);
             emit(
                 sh,
                 dev,

@@ -39,7 +39,9 @@ pub struct FifoServer {
     /// Completions not yet handed out, ordered by `(finish, id)`.
     ready: BinaryHeap<Reverse<(SimTime, u64, SimDuration)>>,
     /// Queue delay per running id (parallel to `running` entries).
-    delays: std::collections::HashMap<u64, SimDuration>,
+    /// Fixed-seed hashing: per-job insert/remove churn must rehash at
+    /// workload-determined instants (see `hivemind_sim::hash`).
+    delays: hivemind_sim::hash::DetHashMap<u64, SimDuration>,
     seq: u64,
     /// Total busy core-time accumulated (for energy accounting).
     busy_time: SimDuration,
@@ -58,7 +60,7 @@ impl FifoServer {
             running: BinaryHeap::new(),
             waiting: VecDeque::new(),
             ready: BinaryHeap::new(),
-            delays: std::collections::HashMap::new(),
+            delays: hivemind_sim::hash::DetHashMap::default(),
             seq: 0,
             busy_time: SimDuration::ZERO,
         }

@@ -158,7 +158,12 @@ impl RunPlan {
     /// fire within `horizon_secs`, the fault plan and overload policy
     /// must each be self-consistent, and a pinned shard count must not
     /// exceed the fleet (one shard owns at least one device).
-    pub fn validate(&self, devices: u32, servers: u32, horizon_secs: f64) -> Result<(), ConfigError> {
+    pub fn validate(
+        &self,
+        devices: u32,
+        servers: u32,
+        horizon_secs: f64,
+    ) -> Result<(), ConfigError> {
         for &(at_secs, device) in &self.device_failures {
             if device >= devices {
                 return Err(ConfigError::FailedDeviceOutOfRange {
@@ -953,7 +958,10 @@ mod tests {
             .devices(4)
             .plan(RunPlan::new().shards(5));
         match Experiment::try_new(cfg) {
-            Err(ConfigError::InvalidShardPlan { shards: 5, fleet: 4 }) => {}
+            Err(ConfigError::InvalidShardPlan {
+                shards: 5,
+                fleet: 4,
+            }) => {}
             other => panic!("expected InvalidShardPlan, got {other:?}"),
         }
     }

@@ -956,11 +956,7 @@ impl ShardModel {
             map,
         };
         for (d, &ms) in offsets_ms.iter().enumerate() {
-            let key = EffectKey::new(
-                SimTime::ZERO + SimDuration::from_millis(ms),
-                d as u32,
-                0,
-            );
+            let key = EffectKey::new(SimTime::ZERO + SimDuration::from_millis(ms), d as u32, 0);
             model.insert(key, hops);
         }
         model
@@ -1126,10 +1122,7 @@ impl McModel for ShardModel {
     fn describe(&self, action: &ShardAction) -> String {
         match *action {
             ShardAction::Consume(s) => match self.pending[s as usize].first() {
-                Some(&(k, _)) => format!(
-                    "consume(shard={s}, at={:?}, lane={})",
-                    k.at, k.lane
-                ),
+                Some(&(k, _)) => format!("consume(shard={s}, at={:?}, lane={})", k.at, k.lane),
                 None => format!("consume(shard={s}, empty)"),
             },
             ShardAction::Barrier => format!("barrier(epoch_end={:?})", self.epoch_end()),

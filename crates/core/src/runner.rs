@@ -122,9 +122,18 @@ impl Runner {
                 .collect()
         });
         set_outer_workers(1);
-        let mut indexed: Vec<(usize, U)> = parts.into_iter().flatten().collect();
-        indexed.sort_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, u)| u).collect()
+        // O(n) order restoration: every input index is produced exactly
+        // once, so results drop straight into their slots — no sort.
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, u) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index produced twice");
+            slots[i] = Some(u);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("work-stealing cursor covers every index"))
+            .collect()
     }
 
     /// Runs each configuration (a sweep) and returns the outcomes in

@@ -85,12 +85,14 @@ fn bounded_retry_masks_moderate_chaos() {
             .platform(Platform::CentralizedFaaS)
             .duration(SimDuration::from_secs(30))
             .seed(7)
-            .plan(RunPlan::new().faults(
-                FaultPlan::default()
-                    .function_fault_rate(0.10)
-                    .packet_loss(0.05)
-                    .retry(RetryPolicy::bounded(4, SimDuration::from_millis(50))),
-            )),
+            .plan(
+                RunPlan::new().faults(
+                    FaultPlan::default()
+                        .function_fault_rate(0.10)
+                        .packet_loss(0.05)
+                        .retry(RetryPolicy::bounded(4, SimDuration::from_millis(50))),
+                ),
+            ),
     )
     .run();
     let r = outcome.recovery.expect("active plan yields recovery stats");
@@ -109,8 +111,10 @@ fn controller_failover_still_finds_every_target() {
         .platform(Platform::HiveMind)
         .seed(11);
     let healthy = Experiment::new(base.clone()).run();
-    let failover =
-        Experiment::new(base.plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0)))).run();
+    let failover = Experiment::new(
+        base.plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0))),
+    )
+    .run();
     assert!(failover.mission.completed);
     assert_eq!(
         failover.mission.targets_found,

@@ -30,7 +30,11 @@ fn mission_outcome_identical_across_shard_counts() {
         .seed(11);
     let reference = sharded(&base, 1);
     for shards in [2u32, 8] {
-        assert_eq!(reference, sharded(&base, shards), "{shards} shards diverged");
+        assert_eq!(
+            reference,
+            sharded(&base, shards),
+            "{shards} shards diverged"
+        );
     }
 }
 
@@ -49,7 +53,9 @@ fn shard_thread_grid_yields_one_byte_stream() {
     for shards in [1u32, 2, 8] {
         for threads in [1usize, 4] {
             let cfg = base.clone().plan(RunPlan::new().shards(shards));
-            let got = Runner::with_threads(threads).run_replicates(&cfg, 3).to_json();
+            let got = Runner::with_threads(threads)
+                .run_replicates(&cfg, 3)
+                .to_json();
             assert_eq!(
                 reference, got,
                 "diverged at {shards} shards x {threads} threads"
@@ -76,7 +82,11 @@ fn faulted_mission_is_shard_invariant() {
         );
     let reference = sharded(&base, 1);
     for shards in [2u32, 8] {
-        assert_eq!(reference, sharded(&base, shards), "{shards} shards diverged");
+        assert_eq!(
+            reference,
+            sharded(&base, shards),
+            "{shards} shards diverged"
+        );
     }
 }
 
@@ -99,7 +109,11 @@ fn overloaded_run_is_shard_invariant() {
         );
     let reference = sharded(&base, 1);
     for shards in [2u32, 8] {
-        assert_eq!(reference, sharded(&base, shards), "{shards} shards diverged");
+        assert_eq!(
+            reference,
+            sharded(&base, shards),
+            "{shards} shards diverged"
+        );
     }
 }
 

@@ -10,7 +10,7 @@
 //! probation, Sec. 4.6).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hivemind_sim::component::Component;
 use hivemind_sim::faults::{self, RetryDecision, RetryPolicy};
@@ -24,9 +24,9 @@ use rand::Rng;
 
 use crate::container::{ContainerParams, WarmPool};
 use crate::dataplane::{DataPlane, ExchangeProtocol};
+use crate::scheduler::SchedulerPolicy;
 #[cfg(debug_assertions)]
 use crate::scheduler::ServerView;
-use crate::scheduler::SchedulerPolicy;
 use crate::types::{
     AppId, AppProfile, Completion, Invocation, LatencyBreakdown, Outcome, ShedReason,
 };
@@ -177,6 +177,36 @@ struct InvState {
     probe: bool,
 }
 
+/// Ascending sorted-`Vec` id set for the placement index. Iterates in
+/// ascending server-id order exactly like the `BTreeSet` it replaced —
+/// the chooser's tie-break depends on that — but inserts and removes
+/// shift within one pre-reserved buffer instead of splitting tree
+/// nodes, so steady-state busy-level changes never touch the allocator.
+#[derive(Debug, Default, Clone)]
+struct SortedIdSet(Vec<u32>);
+
+impl SortedIdSet {
+    fn with_capacity(cap: usize) -> Self {
+        SortedIdSet(Vec::with_capacity(cap))
+    }
+
+    fn insert(&mut self, id: u32) {
+        if let Err(pos) = self.0.binary_search(&id) {
+            self.0.insert(pos, id);
+        }
+    }
+
+    fn remove(&mut self, id: u32) {
+        if let Ok(pos) = self.0.binary_search(&id) {
+            self.0.remove(pos);
+        }
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.0.iter()
+    }
+}
+
 /// The serverless cluster.
 ///
 /// # Examples
@@ -223,8 +253,8 @@ pub struct Cluster {
     /// busy-count order *is* utilization order and the indexed chooser
     /// reproduces [`SchedulerPolicy::choose`] decision-for-decision
     /// (asserted against it in debug builds).
-    by_busy: Vec<BTreeSet<u32>>,
-    with_free: BTreeSet<u32>,
+    by_busy: Vec<SortedIdSet>,
+    with_free: SortedIdSet,
     /// Reusable scheduler-view buffer for the debug-only reference
     /// placement check.
     #[cfg(debug_assertions)]
@@ -309,7 +339,10 @@ impl Cluster {
             warm: WarmPool::new(params.container.clone()),
             busy: vec![0; servers],
             probation_until: vec![SimTime::ZERO; servers],
-            straggler_events: vec![VecDeque::new(); servers],
+            // Per-server windows see at most a handful of events; reserve
+            // so the first straggler on a node doesn't allocate. (`vec!`
+            // would clone the reservation away.)
+            straggler_events: (0..servers).map(|_| VecDeque::with_capacity(8)).collect(),
             dataplane: DataPlane::for_cluster(params.servers),
             rng: forge.stream("faas-cluster"),
             apps: HashMap::new(),
@@ -320,11 +353,25 @@ impl Cluster {
             running: 0,
             completions: Vec::new(),
             by_busy: {
-                let mut v = vec![BTreeSet::new(); params.cores_per_server as usize + 1];
-                v[0].extend(0..params.servers);
+                // Full capacity per busy level: a level can transiently
+                // hold every server, and reserving up front is what
+                // keeps `set_busy` allocation-free for the whole run.
+                // (`vec![set; n]` would clone away the reservation.)
+                let mut v: Vec<SortedIdSet> = (0..=params.cores_per_server)
+                    .map(|_| SortedIdSet::with_capacity(servers))
+                    .collect();
+                for s in 0..params.servers {
+                    v[0].insert(s);
+                }
                 v
             },
-            with_free: (0..params.servers).collect(),
+            with_free: {
+                let mut s = SortedIdSet::with_capacity(servers);
+                for id in 0..params.servers {
+                    s.insert(id);
+                }
+                s
+            },
             #[cfg(debug_assertions)]
             view_scratch: Vec::with_capacity(servers),
             exec_history: HashMap::new(),
@@ -456,13 +503,13 @@ impl Cluster {
         if old == new {
             return;
         }
-        self.by_busy[old as usize].remove(&server);
+        self.by_busy[old as usize].remove(server);
         self.by_busy[new as usize].insert(server);
         let cores = self.params.cores_per_server;
         if old >= cores && new < cores {
             self.with_free.insert(server);
         } else if old < cores && new >= cores {
-            self.with_free.remove(&server);
+            self.with_free.remove(server);
         }
         self.busy[server as usize] = new;
     }
@@ -496,14 +543,13 @@ impl Cluster {
                 // probe ends at the first free server — O(1) until the
                 // cluster saturates.
                 let home = (app.0 as usize).wrapping_mul(0x9e37) % n as usize;
-                (0..n as usize).map(|i| ((home + i) % n as usize) as u32).find(|&s| {
-                    self.server_is_up(s, now) && self.busy[s as usize] < cores
-                })
+                (0..n as usize)
+                    .map(|i| ((home + i) % n as usize) as u32)
+                    .find(|&s| self.server_is_up(s, now) && self.busy[s as usize] < cores)
             }
             SchedulerPolicy::HiveMind => {
                 // 1. Parent colocation.
-                let mut pick =
-                    parent_server.filter(|&p| p < n && self.healthy_free(p, now));
+                let mut pick = parent_server.filter(|&p| p < n && self.healthy_free(p, now));
                 // 2. Warm-container steering.
                 if pick.is_none() && !isolate {
                     pick = self
@@ -517,9 +563,8 @@ impl Cluster {
                 //    is the reference policy's minimum.
                 if pick.is_none() {
                     'buckets: for bucket in &self.by_busy[..cores as usize] {
-                        for &s in bucket {
-                            if self.server_is_up(s, now)
-                                && self.probation_until[s as usize] <= now
+                        for &s in bucket.iter() {
+                            if self.server_is_up(s, now) && self.probation_until[s as usize] <= now
                             {
                                 pick = Some(s);
                                 break 'buckets;

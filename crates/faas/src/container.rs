@@ -78,12 +78,17 @@ impl ContainerParams {
 #[derive(Debug, Clone, Default)]
 pub struct WarmPool {
     params: ContainerParams,
-    /// (server, app) -> expiry times of idle containers.
+    /// (server, app) -> expiry times of idle containers. Entries are
+    /// never removed once created — an emptied slot keeps its `Vec`'s
+    /// capacity — so steady-state park/take cycles stay off the
+    /// allocator.
     idle: HashMap<(u32, AppId), Vec<SimTime>>,
-    /// app -> server -> latest idle-container expiry. Mirrors `idle`
-    /// (a server appears iff its `idle` entry is non-empty) so
+    /// app -> server -> latest idle-container expiry. Mirrors `idle` so
     /// `warm_server` can walk servers in ascending id order and stop at
-    /// the first live one instead of scanning the whole pool.
+    /// the first live one instead of scanning the whole pool. A server
+    /// whose containers are all gone keeps its entry as a tombstone with
+    /// a past expiry (readers check `expiry > now` anyway); removing and
+    /// re-inserting would churn tree nodes on every park/take cycle.
     by_app: HashMap<AppId, BTreeMap<u32, SimTime>>,
     warm_hits: u64,
     cold_misses: u64,
@@ -133,22 +138,11 @@ impl WarmPool {
         if let Some(expiries) = self.idle.get_mut(&(server, app)) {
             expiries.retain(|&e| e > now);
             hit = expiries.pop().is_some();
-            match expiries.iter().copied().max() {
-                Some(max) => {
-                    if let Some(slot) = self.by_app.get_mut(&app).and_then(|m| m.get_mut(&server))
-                    {
-                        *slot = max;
-                    }
-                }
-                None => {
-                    self.idle.remove(&(server, app));
-                    if let Some(servers) = self.by_app.get_mut(&app) {
-                        servers.remove(&server);
-                        if servers.is_empty() {
-                            self.by_app.remove(&app);
-                        }
-                    }
-                }
+            // `None` leaves a tombstone: `now` is never `> now`, so the
+            // server stops being offered until the next park refreshes it.
+            let latest = expiries.iter().copied().max().unwrap_or(now);
+            if let Some(slot) = self.by_app.get_mut(&app).and_then(|m| m.get_mut(&server)) {
+                *slot = latest;
             }
         }
         if hit {
@@ -162,11 +156,16 @@ impl WarmPool {
     /// Drops every idle container on `server` (the server crashed; its
     /// containers died with it).
     pub fn flush_server(&mut self, server: u32) {
-        self.idle.retain(|&(s, _), _| s != server);
-        self.by_app.retain(|_, servers| {
-            servers.remove(&server);
-            !servers.is_empty()
-        });
+        for (&(s, _), expiries) in self.idle.iter_mut() {
+            if s == server {
+                expiries.clear();
+            }
+        }
+        for servers in self.by_app.values_mut() {
+            if let Some(slot) = servers.get_mut(&server) {
+                *slot = SimTime::ZERO;
+            }
+        }
     }
 
     /// Any server holding a warm container for `app` at `now`, if one

@@ -18,7 +18,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::link::Link;
-use crate::topology::{LinkClass, LinkRef, Node, Topology};
+use crate::topology::{LinkClass, Node, Path, Topology};
 
 /// Unique id of a transfer within one fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,7 +104,7 @@ struct HopState {
     dst: Node,
     bytes: u64,
     sent_at: SimTime,
-    path: Vec<LinkRef>,
+    path: Path,
     next_hop: usize,
 }
 

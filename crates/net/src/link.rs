@@ -117,8 +117,10 @@ impl<T: Eq> Link<T> {
             propagation,
             busy_until: SimTime::ZERO,
             seq: 0,
-            waiting: BinaryHeap::new(),
-            in_flight: BinaryHeap::new(),
+            // Pre-reserved so a link's first few transfers don't allocate
+            // mid-mission; deeper queues grow once to their high water.
+            waiting: BinaryHeap::with_capacity(8),
+            in_flight: BinaryHeap::with_capacity(8),
             bytes_carried: 0,
         }
     }

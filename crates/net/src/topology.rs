@@ -27,6 +27,55 @@ pub enum Node {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkRef(pub(crate) u32);
 
+/// A hop sequence through the fabric, stored inline (every route in the
+/// two-tier topology is at most [`Path::MAX_HOPS`] links), so building
+/// one per transfer never touches the allocator — the fabric's send
+/// path is allocation-free in steady state. Dereferences to a
+/// `[LinkRef]` slice for iteration and indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Path {
+    links: [LinkRef; Path::MAX_HOPS],
+    len: u8,
+}
+
+impl Path {
+    /// The longest route the topology produces (device → device across
+    /// two routers: wifi, trunk up, switch, trunk down, wifi).
+    pub const MAX_HOPS: usize = 5;
+
+    /// A path holding a copy of `links`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` exceeds [`Path::MAX_HOPS`].
+    pub fn new(links: &[LinkRef]) -> Path {
+        assert!(links.len() <= Path::MAX_HOPS, "path exceeds MAX_HOPS");
+        let mut inline = [LinkRef(0); Path::MAX_HOPS];
+        inline[..links.len()].copy_from_slice(links);
+        Path {
+            links: inline,
+            len: links.len() as u8,
+        }
+    }
+}
+
+impl std::ops::Deref for Path {
+    type Target = [LinkRef];
+
+    fn deref(&self) -> &[LinkRef] {
+        &self.links[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a LinkRef;
+    type IntoIter = std::slice::Iter<'a, LinkRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 impl LinkRef {
     /// Raw index into the topology's link table.
     pub fn index(self) -> usize {
@@ -255,32 +304,32 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if a node index exceeds the topology size.
-    pub fn path(&self, src: Node, dst: Node) -> Vec<LinkRef> {
+    pub fn path(&self, src: Node, dst: Node) -> Path {
         match (src, dst) {
-            (a, b) if a == b => vec![],
+            (a, b) if a == b => Path::new(&[]),
             (Node::Device(d), Node::Server(s)) => {
                 self.check(src, dst);
                 let r = self.router_of(d);
-                vec![
+                Path::new(&[
                     self.wifi(r),
                     self.trunk_up(r),
                     self.switch(),
                     self.nic_rx(s),
-                ]
+                ])
             }
             (Node::Server(s), Node::Device(d)) => {
                 self.check(src, dst);
                 let r = self.router_of(d);
-                vec![
+                Path::new(&[
                     self.nic_tx(s),
                     self.switch(),
                     self.trunk_down(r),
                     self.wifi(r),
-                ]
+                ])
             }
             (Node::Server(a), Node::Server(b)) => {
                 self.check(src, dst);
-                vec![self.nic_tx(a), self.switch(), self.nic_rx(b)]
+                Path::new(&[self.nic_tx(a), self.switch(), self.nic_rx(b)])
             }
             (Node::Device(_), Node::Device(_)) => {
                 // Device-to-device traffic relays through its router(s); the
@@ -293,15 +342,15 @@ impl Topology {
                 let ra = self.router_of(a);
                 let rb = self.router_of(b);
                 if ra == rb {
-                    vec![self.wifi(ra), self.wifi(ra)]
+                    Path::new(&[self.wifi(ra), self.wifi(ra)])
                 } else {
-                    vec![
+                    Path::new(&[
                         self.wifi(ra),
                         self.trunk_up(ra),
                         self.switch(),
                         self.trunk_down(rb),
                         self.wifi(rb),
-                    ]
+                    ])
                 }
             }
         }

@@ -3,11 +3,12 @@
 //! The [`Engine`] owns a model and a time-ordered queue of that model's
 //! events. Ties in event time are broken by insertion order (a monotone
 //! sequence number), so execution is fully deterministic regardless of the
-//! heap's internal layout.
+//! queue's internal layout. The queue itself is an adaptive
+//! [`CalendarQueue`](crate::calendar::CalendarQueue) keyed by
+//! `(at, seq)`; handlers schedule straight into it through the
+//! [`Context`], with no intermediate staging buffer.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceHandle;
 
@@ -23,53 +24,18 @@ pub trait Model {
     fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Scheduling interface handed to [`Model::handle`].
 ///
 /// A `Context` exposes the current virtual time and lets the handler enqueue
 /// future events. Events scheduled "now" run after the current handler
-/// returns, in FIFO order with other same-instant events.
+/// returns, in FIFO order with other same-instant events (the `(at, seq)`
+/// key makes that order explicit; the calendar queue preserves it exactly).
 #[derive(Debug)]
 pub struct Context<E> {
     now: SimTime,
     seq: u64,
-    pending: Vec<Scheduled<E>>,
+    queue: CalendarQueue<(SimTime, u64), E>,
     tracer: TraceHandle,
-}
-
-impl<E> std::fmt::Debug for Scheduled<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scheduled")
-            .field("at", &self.at)
-            .field("seq", &self.seq)
-            .finish_non_exhaustive()
-    }
 }
 
 impl<E> Context<E> {
@@ -88,7 +54,7 @@ impl<E> Context<E> {
         assert!(at >= self.now, "cannot schedule event in the past");
         let seq = self.seq;
         self.seq += 1;
-        self.pending.push(Scheduled { at, seq, event });
+        self.queue.push((at, seq), event);
     }
 
     /// Schedules `event` after the relative delay `after`.
@@ -131,7 +97,6 @@ impl<E> Context<E> {
 #[derive(Debug)]
 pub struct Engine<M: Model> {
     model: M,
-    queue: BinaryHeap<Scheduled<M::Event>>,
     ctx: Context<M::Event>,
     processed: u64,
 }
@@ -156,15 +121,14 @@ impl<M: Model> Engine<M> {
     /// [`Engine::new`] with the event queue pre-sized for `capacity`
     /// concurrent events, so a caller that knows its steady-state backlog
     /// (e.g. one event per simulated device) skips the queue's growth
-    /// reallocations.
+    /// rebuilds.
     pub fn with_capacity(model: M, capacity: usize) -> Self {
         Engine {
             model,
-            queue: BinaryHeap::with_capacity(capacity),
             ctx: Context {
                 now: SimTime::ZERO,
                 seq: 0,
-                pending: Vec::new(),
+                queue: CalendarQueue::with_capacity(capacity),
                 tracer: TraceHandle::disabled(),
             },
             processed: 0,
@@ -214,30 +178,23 @@ impl<M: Model> Engine<M> {
     /// Panics if `at` is before the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
         self.ctx.schedule_at(at, event);
-        self.drain_pending();
     }
 
     /// Schedules an event `after` the current time.
     pub fn schedule_after(&mut self, after: SimDuration, event: M::Event) {
         self.ctx.schedule_after(after, event);
-        self.drain_pending();
-    }
-
-    fn drain_pending(&mut self) {
-        self.queue.extend(self.ctx.pending.drain(..));
     }
 
     /// Fires the next event, if any. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
+        match self.ctx.queue.pop() {
             None => false,
-            Some(Scheduled { at, event, .. }) => {
+            Some(((at, _), event)) => {
                 debug_assert!(at >= self.ctx.now, "event queue went backwards");
                 self.ctx.now = at;
                 self.model.handle(&mut self.ctx, event);
                 self.processed += 1;
-                self.drain_pending();
                 true
             }
         }
@@ -259,10 +216,10 @@ impl<M: Model> Engine<M> {
     pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
         let mut budget = max_events;
         loop {
-            let Some(head) = self.queue.peek() else {
+            let Some((at, _)) = self.ctx.queue.peek() else {
                 return RunOutcome::Drained;
             };
-            if head.at > deadline {
+            if at > deadline {
                 self.ctx.now = deadline;
                 return RunOutcome::DeadlineReached;
             }
@@ -276,7 +233,7 @@ impl<M: Model> Engine<M> {
 
     /// Number of events currently queued.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.ctx.queue.len()
     }
 }
 
@@ -398,5 +355,19 @@ mod tests {
         assert_eq!(e.queued(), 2);
         e.step();
         assert_eq!(e.queued(), 1);
+    }
+
+    #[test]
+    fn late_external_schedules_after_deadline_run() {
+        // run_until pins the clock at the deadline; a later external
+        // schedule at exactly `now` must still be accepted and fire.
+        let mut e = recorder(false);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.run_until(SimTime::from_secs(10), u64::MAX);
+        e.schedule_at(SimTime::from_secs(10), 10);
+        e.schedule_at(SimTime::from_secs(12), 12);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        let order: Vec<u32> = e.model().fired.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, vec![1, 10, 12]);
     }
 }

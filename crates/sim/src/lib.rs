@@ -11,6 +11,10 @@
 //!   [`SimDuration`]) with no floating-point drift.
 //! * [`engine`] — a generic event queue and run loop ([`Engine`],
 //!   [`Model`]) with deterministic tie-breaking.
+//! * [`calendar`] — the adaptive calendar queue ([`CalendarQueue`]) the
+//!   engines schedule through: heap-identical `(time, tiebreak)` order at
+//!   O(1) amortized cost, shadow-checked against a reference heap in
+//!   debug builds.
 //! * [`component`] — the [`Component`] state-machine
 //!   interface that lets independent substrates (network, FaaS cluster,
 //!   swarm) compose into one simulation without a workspace-wide event enum.
@@ -20,6 +24,9 @@
 //!   log-normal, bounded Pareto, empirical).
 //! * [`stats`] — streaming summaries, percentile estimation, histograms,
 //!   time series and bandwidth meters used by every experiment harness.
+//! * [`hash`] — fixed-seed hashing ([`hash::DetHashMap`]) so hot maps with
+//!   insert/remove churn rehash and resize at workload-determined (not
+//!   process-seed-determined) instants.
 //! * [`faults`] — the declarative fault-injection vocabulary
 //!   ([`FaultPlan`], [`RetryPolicy`]) whose draws come from a dedicated
 //!   seed-chain lane, so enabling faults never perturbs a fault-free run.
@@ -68,10 +75,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod component;
 pub mod dist;
 pub mod engine;
 pub mod faults;
+pub mod hash;
 pub mod mc;
 pub mod overload;
 pub mod rng;
@@ -80,6 +89,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::{CalendarKey, CalendarQueue};
 pub use component::Component;
 pub use dist::Dist;
 pub use engine::{Context, Engine, Model};
@@ -87,7 +97,7 @@ pub use faults::{FaultPlan, RetryDecision, RetryPolicy};
 pub use mc::{McConfig, McModel, McReport};
 pub use overload::{CircuitBreaker, OverloadPolicy};
 pub use rng::RngForge;
-pub use shard::{EffectKey, ShardMap};
+pub use shard::{merge_keyed_into, EffectKey, ShardMap};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceHandle, Tracer};

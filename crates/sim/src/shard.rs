@@ -16,6 +16,10 @@
 //!   shard-count-invariant identity (a device id), `seq` a per-lane
 //!   monotone counter.
 //! * [`merge_keyed`] — order-stable k-way merge of per-shard batches.
+//! * [`merge_keyed_into`] — the batched-exchange variant: merges
+//!   pre-sorted runs (leftover pending + per-shard buffers) into a
+//!   caller-owned vector once per barrier epoch, allocation-free in
+//!   steady state.
 //! * [`shards_from`] — `HIVEMIND_SHARDS` parsing (default 1: sharding
 //!   is opt-in, the single-shard path is the reference semantics).
 
@@ -177,7 +181,8 @@ pub fn merge_keyed<T>(mut batches: Vec<Vec<(EffectKey, T)>>) -> Vec<(EffectKey, 
     // are unique across shards: one lane lives in exactly one batch).
     let mut cursors: Vec<std::vec::IntoIter<(EffectKey, T)>> =
         batches.into_iter().map(Vec::into_iter).collect();
-    let mut heap: BinaryHeap<Reverse<(EffectKey, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    let mut heap: BinaryHeap<Reverse<(EffectKey, usize)>> =
+        BinaryHeap::with_capacity(cursors.len());
     let mut heads: Vec<Option<(EffectKey, T)>> = Vec::with_capacity(cursors.len());
     for (i, c) in cursors.iter_mut().enumerate() {
         let head = c.next();
@@ -188,7 +193,10 @@ pub fn merge_keyed<T>(mut batches: Vec<Vec<(EffectKey, T)>>) -> Vec<(EffectKey, 
     }
     while let Some(Reverse((_, i))) = heap.pop() {
         let (k, v) = heads[i].take().expect("head present while queued");
-        debug_assert!(out.last().map(|(p, _): &(EffectKey, T)| *p < k).unwrap_or(true));
+        debug_assert!(out
+            .last()
+            .map(|(p, _): &(EffectKey, T)| *p < k)
+            .unwrap_or(true));
         out.push((k, v));
         let next = cursors[i].next();
         if let Some((nk, _)) = &next {
@@ -197,6 +205,83 @@ pub fn merge_keyed<T>(mut batches: Vec<Vec<(EffectKey, T)>>) -> Vec<(EffectKey, 
         heads[i] = next;
     }
     out
+}
+
+/// Merges pre-sorted runs of keyed items into `out`, appending in global
+/// `(time, lane, seq)` order.
+///
+/// The batched-exchange counterpart of [`merge_keyed`]: instead of
+/// consuming owned per-shard vectors and re-heapifying each item, the
+/// caller keeps its effect buffers (and any leftover not-yet-due run from
+/// the previous barrier) alive, hands them over as slices once per
+/// barrier epoch, and reuses `out` as the next epoch's pending stream.
+/// Items must be `Copy` (they are copied out of the runs; the source
+/// buffers are untouched and can simply be cleared afterwards).
+///
+/// Each run must be sorted by key; keys must be unique across runs (one
+/// lane lives in exactly one shard). The output order therefore depends
+/// only on the union of keys — never on how items were split into runs —
+/// and matches [`merge_keyed`] exactly.
+pub fn merge_keyed_into<T: Copy>(runs: &[&[(EffectKey, T)]], out: &mut Vec<(EffectKey, T)>) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    out.reserve(total);
+    match runs {
+        [] => {}
+        [a] => out.extend_from_slice(a),
+        [a, b] => merge_two_into(a, b, out),
+        _ => {
+            // K-way linear pick-min: k is the shard count plus one
+            // (tiny), so a scan beats heap bookkeeping.
+            let mut cur = vec![0usize; runs.len()];
+            loop {
+                let mut best: Option<(EffectKey, usize)> = None;
+                for (i, r) in runs.iter().enumerate() {
+                    if let Some(&(k, _)) = r.get(cur[i]) {
+                        if best.is_none_or(|(bk, _)| k < bk) {
+                            best = Some((k, i));
+                        }
+                    }
+                }
+                let Some((_, i)) = best else { break };
+                out.push(runs[i][cur[i]]);
+                cur[i] += 1;
+            }
+        }
+    }
+    debug_assert!(
+        out.windows(2).all(|w| w[0].0 < w[1].0),
+        "merged run sorted by unique keys"
+    );
+}
+
+/// Two-run merge (the single-shard engine's leftover + fresh-batch case),
+/// kept allocation-free for the steady-state hot path.
+fn merge_two_into<T: Copy>(
+    mut a: &[(EffectKey, T)],
+    mut b: &[(EffectKey, T)],
+    out: &mut Vec<(EffectKey, T)>,
+) {
+    loop {
+        match (a.first(), b.first()) {
+            (Some(&(ka, _)), Some(&(kb, _))) => {
+                if ka <= kb {
+                    out.push(a[0]);
+                    a = &a[1..];
+                } else {
+                    out.push(b[0]);
+                    b = &b[1..];
+                }
+            }
+            (Some(_), None) => {
+                out.extend_from_slice(a);
+                return;
+            }
+            (None, _) => {
+                out.extend_from_slice(b);
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,10 +318,7 @@ mod tests {
                 let sizes: Vec<u32> = (0..map.shards())
                     .map(|s| map.range(s).len() as u32)
                     .collect();
-                let (min, max) = (
-                    *sizes.iter().min().unwrap(),
-                    *sizes.iter().max().unwrap(),
-                );
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
                 assert!(max - min <= 1, "balanced within one: {sizes:?}");
             }
         }
@@ -284,5 +366,64 @@ mod tests {
         let empty: Vec<Vec<(EffectKey, u8)>> = vec![vec![], vec![]];
         assert!(merge_keyed(empty).is_empty());
         assert!(merge_keyed(Vec::<Vec<(EffectKey, u8)>>::new()).is_empty());
+    }
+
+    #[test]
+    fn merge_into_matches_merge_keyed_for_any_partition() {
+        // A deterministic LCG builds a population of unique keys, split
+        // into k runs round-robin by lane; the slice-based merge must
+        // reproduce the owned merge byte for byte, for every k.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        let mut all: Vec<(EffectKey, u64)> = Vec::new();
+        let mut seqs = [0u64; 7];
+        for i in 0..500u64 {
+            let lane = (step() % 7) as u32;
+            let at = SimTime::from_nanos(step() % 1_000_000);
+            let seq = seqs[lane as usize];
+            seqs[lane as usize] += 1;
+            all.push((EffectKey::new(at, lane, seq), i));
+        }
+        for k in [1usize, 2, 3, 5, 7] {
+            let mut runs: Vec<Vec<(EffectKey, u64)>> = vec![Vec::new(); k];
+            for (key, v) in &all {
+                runs[(key.lane as usize) % k].push((*key, *v));
+            }
+            for r in &mut runs {
+                r.sort_by_key(|&(k, _)| k);
+            }
+            let slices: Vec<&[(EffectKey, u64)]> = runs.iter().map(Vec::as_slice).collect();
+            let mut out = Vec::new();
+            merge_keyed_into(&slices, &mut out);
+            assert_eq!(out, merge_keyed(runs.clone()), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn merge_into_appends_after_existing_prefix() {
+        let key = |ns: u64| EffectKey::new(SimTime::from_nanos(ns), 0, ns);
+        let mut out = vec![(key(1), 10u64)];
+        let a = [(key(2), 20u64), (key(5), 50)];
+        let b = [(key(3), 30u64)];
+        merge_keyed_into(&[&a, &b], &mut out);
+        assert_eq!(
+            out,
+            vec![(key(1), 10), (key(2), 20), (key(3), 30), (key(5), 50)]
+        );
+    }
+
+    #[test]
+    fn merge_into_handles_empty_runs() {
+        let mut out: Vec<(EffectKey, u8)> = Vec::new();
+        merge_keyed_into(&[], &mut out);
+        assert!(out.is_empty());
+        let empty: &[(EffectKey, u8)] = &[];
+        merge_keyed_into(&[empty, empty, empty], &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -287,9 +287,13 @@ fn val_of(k: u64) -> f64 {
 /// straggler detector does exactly that) keeps `Summary`'s sorted cache
 /// hot, turning every record into an O(n) positional insert — quadratic
 /// over a run. This tracker answers the same nearest-rank quantile in
-/// O(log n) per operation by holding the multiset split in two balanced
-/// maps at the rank boundary: `low` holds exactly the `ceil(q·n)` smallest
-/// samples, so the current quantile is always `low`'s maximum.
+/// O(log n) per operation by holding the multiset split in two binary
+/// heaps at the rank boundary: `low` (a max-heap) holds exactly the
+/// `ceil(q·n)` smallest samples, so the current quantile is always
+/// `low`'s root. Heaps rather than ordered maps because both are
+/// `Vec`-backed: past their high-water capacity, recording a sample
+/// never touches the allocator, which keeps the straggler monitor off
+/// the engine's steady-state allocation budget.
 ///
 /// Values returned are bit-identical to `Summary::quantile(q)` over the
 /// same samples.
@@ -310,11 +314,10 @@ fn val_of(k: u64) -> f64 {
 #[derive(Debug, Clone)]
 pub struct QuantileTracker {
     q: f64,
-    /// The `ceil(q·len)` smallest sample keys, with multiplicity.
-    low: std::collections::BTreeMap<u64, u32>,
-    /// Every remaining sample key, with multiplicity.
-    high: std::collections::BTreeMap<u64, u32>,
-    low_len: usize,
+    /// Max-heap of the `ceil(q·len)` smallest sample keys.
+    low: std::collections::BinaryHeap<u64>,
+    /// Min-heap of every remaining sample key.
+    high: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     len: usize,
 }
 
@@ -328,9 +331,8 @@ impl QuantileTracker {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         QuantileTracker {
             q,
-            low: std::collections::BTreeMap::new(),
-            high: std::collections::BTreeMap::new(),
-            low_len: 0,
+            low: std::collections::BinaryHeap::new(),
+            high: std::collections::BinaryHeap::new(),
             len: 0,
         }
     }
@@ -350,45 +352,28 @@ impl QuantileTracker {
         assert!(value.is_finite(), "quantile sample must be finite");
         let k = key_of(value);
         self.len += 1;
-        let fits_low = self
-            .low
-            .last_key_value()
-            .is_none_or(|(&max, _)| k <= max);
+        let fits_low = self.low.peek().is_none_or(|&max| k <= max);
         if fits_low {
-            *self.low.entry(k).or_insert(0) += 1;
-            self.low_len += 1;
+            self.low.push(k);
         } else {
-            *self.high.entry(k).or_insert(0) += 1;
+            self.high.push(std::cmp::Reverse(k));
         }
         // The target rank moves by at most one per insert, so each loop
         // runs at most once.
         let target = self.rank(self.len);
-        while self.low_len > target {
-            let (&k, _) = self.low.last_key_value().expect("low non-empty");
-            Self::take(&mut self.low, k);
-            *self.high.entry(k).or_insert(0) += 1;
-            self.low_len -= 1;
+        while self.low.len() > target {
+            let k = self.low.pop().expect("low non-empty");
+            self.high.push(std::cmp::Reverse(k));
         }
-        while self.low_len < target {
-            let (&k, _) = self.high.first_key_value().expect("high non-empty");
-            Self::take(&mut self.high, k);
-            *self.low.entry(k).or_insert(0) += 1;
-            self.low_len += 1;
+        while self.low.len() < target {
+            let std::cmp::Reverse(k) = self.high.pop().expect("high non-empty");
+            self.low.push(k);
         }
     }
 
     /// Records a duration, in seconds.
     pub fn record_duration(&mut self, d: SimDuration) {
         self.record(d.as_secs_f64());
-    }
-
-    /// Removes one instance of `k` from `map`.
-    fn take(map: &mut std::collections::BTreeMap<u64, u32>, k: u64) {
-        let count = map.get_mut(&k).expect("key present");
-        *count -= 1;
-        if *count == 0 {
-            map.remove(&k);
-        }
     }
 
     /// Number of samples recorded.
@@ -403,8 +388,8 @@ impl QuantileTracker {
 
     /// The current exact nearest-rank quantile; `0.0` when empty.
     pub fn quantile(&self) -> f64 {
-        match self.low.last_key_value() {
-            Some((&k, _)) => val_of(k),
+        match self.low.peek() {
+            Some(&k) => val_of(k),
             None => 0.0,
         }
     }
@@ -746,7 +731,9 @@ mod tests {
             let mut s = Summary::new();
             let mut x: u64 = 0x9e3779b97f4a7c15;
             for i in 0..500 {
-                x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(0x2545f4914f6cdd1d);
+                x = x
+                    .wrapping_mul(0xbf58476d1ce4e5b9)
+                    .wrapping_add(0x2545f4914f6cdd1d);
                 let v = if i % 7 == 0 {
                     2.5 // forced duplicate
                 } else {
@@ -754,7 +741,11 @@ mod tests {
                 };
                 t.record(v);
                 s.record(v);
-                assert_eq!(t.quantile().to_bits(), s.quantile(q).to_bits(), "q={q} i={i}");
+                assert_eq!(
+                    t.quantile().to_bits(),
+                    s.quantile(q).to_bits(),
+                    "q={q} i={i}"
+                );
                 let _ = s.quantile(q); // keep Summary's sorted cache hot
             }
             assert_eq!(t.len(), s.len());

@@ -13,6 +13,64 @@ use hivemind_sim::time::SimDuration;
 use crate::battery::{Battery, BatteryParams};
 use crate::geometry::Point;
 
+/// A contiguous block of per-device batteries for one shard's device
+/// range.
+///
+/// The engine's shard inner loop touches battery state on every capture,
+/// completion, and radio transfer; keeping the cells in one dense array
+/// indexed by `device - first_dev` (the [`ShardMap`] block offset) turns
+/// that access into a cache-line stream instead of a pointer chase
+/// through per-device structs. Cells are plain [`Battery`] values —
+/// the block is the struct-of-arrays layout, not a new semantics.
+///
+/// [`ShardMap`]: hivemind_sim::shard::ShardMap
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryBlock {
+    cells: Vec<Battery>,
+}
+
+impl BatteryBlock {
+    /// A block of `n` fresh, full batteries sharing one parameter set
+    /// (one device class per swarm, as in the paper's fleets).
+    pub fn new(params: BatteryParams, n: usize) -> BatteryBlock {
+        BatteryBlock {
+            cells: vec![Battery::new(params); n],
+        }
+    }
+
+    /// Number of cells in the block.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The battery at block offset `i` (`device - first_dev`).
+    #[inline]
+    pub fn cell(&self, i: usize) -> &Battery {
+        &self.cells[i]
+    }
+
+    /// Mutable access to the battery at block offset `i`.
+    #[inline]
+    pub fn cell_mut(&mut self, i: usize) -> &mut Battery {
+        &mut self.cells[i]
+    }
+
+    /// Iterates the cells in device order.
+    pub fn iter(&self) -> impl Iterator<Item = &Battery> {
+        self.cells.iter()
+    }
+
+    /// Total energy consumed across the block, joules.
+    pub fn consumed_j_total(&self) -> f64 {
+        self.cells.iter().map(Battery::consumed_j).sum()
+    }
+}
+
 /// Device class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
@@ -220,5 +278,23 @@ mod tests {
         let c = Camera::drone_default();
         assert_eq!(c.frames_in(SimDuration::from_secs(10)), 80);
         assert_eq!(c.frames_in(SimDuration::from_millis(100)), 0);
+    }
+
+    #[test]
+    fn battery_block_cells_are_independent() {
+        let mut block = BatteryBlock::new(BatteryParams::drone(), 4);
+        assert_eq!(block.len(), 4);
+        assert!(!block.is_empty());
+        block.cell_mut(1).draw_motion(SimDuration::from_secs(60));
+        block.cell_mut(3).draw_radio(1_000_000);
+        assert_eq!(block.cell(0).consumed_j(), 0.0);
+        assert!(block.cell(1).consumed_j() > 0.0);
+        assert_eq!(block.cell(2).consumed_j(), 0.0);
+        let total: f64 = block.iter().map(Battery::consumed_j).sum();
+        assert!((total - block.consumed_j_total()).abs() < 1e-12);
+        assert_eq!(
+            block.consumed_j_total(),
+            block.cell(1).consumed_j() + block.cell(3).consumed_j()
+        );
     }
 }

@@ -32,6 +32,6 @@ pub mod maze;
 pub mod route;
 
 pub use battery::Battery;
-pub use device::{Device, DeviceKind};
+pub use device::{BatteryBlock, Device, DeviceKind};
 pub use field::Field;
 pub use geometry::{Point, Rect};

@@ -81,13 +81,15 @@ fn main() {
             .platform(Platform::CentralizedFaaS)
             .duration_secs(30.0)
             .seed(4)
-            .plan(RunPlan::new().faults(
-                FaultPlan::default()
-                    .function_fault_rate(0.10)
-                    .packet_loss(0.05)
-                    .server_crash(1, 10.0, 8.0) // server 1 down for 8 s
-                    .slo(SimDuration::from_secs(2)),
-            )),
+            .plan(
+                RunPlan::new().faults(
+                    FaultPlan::default()
+                        .function_fault_rate(0.10)
+                        .packet_loss(0.05)
+                        .server_crash(1, 10.0, 8.0) // server 1 down for 8 s
+                        .slo(SimDuration::from_secs(2)),
+                ),
+            ),
     )
     .run();
     let r = chaotic.recovery.expect("active plan yields recovery stats");
