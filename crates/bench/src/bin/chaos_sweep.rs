@@ -82,14 +82,32 @@ fn sweep() {
             .plan(RunPlan::new().faults(FaultPlan::default().controller_failover(60.0))),
     )
     .run();
-    let mtbf =
-        Experiment::new(base.plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(900.0))))
-            .run();
+    let mtbf = Experiment::new(
+        base.clone()
+            .plan(RunPlan::new().faults(FaultPlan::default().device_mtbf(900.0))),
+    )
+    .run();
+    // A 30 s wireless partition with the disconnect plane armed: devices
+    // ride out the outage on the degraded on-device model and replay
+    // buffered summaries at heal (see partition_sweep for the full grid).
+    let partition = Experiment::new(
+        base.plan(
+            RunPlan::new()
+                .faults(
+                    FaultPlan::default()
+                        .partition_hold_bound(256)
+                        .partition(60.0, 90.0),
+                )
+                .disconnect(DisconnectPolicy::default().autonomous()),
+        ),
+    )
+    .run();
     let mut table = Table::new(["mission", "time (s)", "found", "completed", "failures"]);
     for (label, o) in [
         ("healthy", &healthy),
         ("controller failover @60s", &failover),
         ("device MTBF 900 s", &mtbf),
+        ("30 s partition, autonomous", &partition),
     ] {
         let (devf, ctlf) = o
             .recovery
@@ -105,13 +123,22 @@ fn sweep() {
     }
     table.print();
     println!("(the failover stalls cluster admission for the 3 s detection window + takeover;");
-    println!(" MTBF failures are detected via heartbeats and absorbed by neighbours)");
+    println!(" MTBF failures are detected via heartbeats and absorbed by neighbours;");
+    println!(" the partition is ridden out on-device and reconciled exactly once at heal)");
     assert!(
         failover.mission.completed
             && failover.mission.targets_found >= healthy.mission.targets_found,
         "a mid-mission controller failover must not lose targets: {} vs {}",
         failover.mission.targets_found,
         healthy.mission.targets_found
+    );
+    let reconnect = partition.reconnect.expect("armed plane populates stats");
+    assert!(
+        partition.mission.completed && reconnect.partitions == 1,
+        "a partitioned mission with autonomy armed must still complete \
+         (completed {}, partitions {})",
+        partition.mission.completed,
+        reconnect.partitions
     );
 }
 

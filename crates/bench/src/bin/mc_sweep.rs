@@ -4,7 +4,7 @@
 //! Where the DES samples one fault schedule per seed, the checker in
 //! `hivemind_sim::mc` enumerates *every* schedule the fault budgets
 //! allow, checking the protocol invariants at each reachable state. This
-//! binary drives the four lifted protocols from `hivemind_core::mc`
+//! binary drives the five lifted protocols from `hivemind_core::mc`
 //! over their canonical small instances and reports the explored state
 //! space:
 //!
@@ -22,14 +22,20 @@
 //!   events at barriers. Invariants: no shard consumes past its horizon;
 //!   the merged stream is totally ordered by `(time, shard, seq)`;
 //!   every consumed event is merged or still staged.
+//! * **disconnected operation** — lease-based autonomy with buffered
+//!   replay: partitions expire the device's lease, updates accumulate in
+//!   a bounded ring, and heals replay through a watermarked session.
+//!   Invariants: exactly-once replay conservation; no spurious failure
+//!   declaration for a device that was merely partitioned.
 //!
-//! A second section checks the lane's *bug-finding power*: five planted
+//! A second section checks the lane's *bug-finding power*: seven planted
 //! bugs (the historical orphan-dropping failover, a breaker that skips
 //! half-open, an exchange without response dedup, a barrier that
 //! concatenates batches in shard order, a shard that consumes one
-//! lookahead past the epoch horizon) must each produce a minimal
-//! counterexample that replays through the DES engine to the identical
-//! violation.
+//! lookahead past the epoch horizon, a replay session without watermark
+//! dedup, a controller that skips reconnect grace) must each produce a
+//! minimal counterexample that replays through the DES engine to the
+//! identical violation.
 //!
 //! The checker is a pure function of the model — FNV-fingerprint dedup,
 //! canonical action order, no wall clock — so every number and schedule
@@ -39,9 +45,10 @@
 
 use hivemind_bench::{banner, runner, Table};
 use hivemind_core::mc::{
-    exchange_instance, exchange_mutant, exchange_smoke_instance, failover_instance,
-    failover_legacy_instance, replay_schedule, retry_breaker_instance, retry_breaker_mutant,
-    shard_eager_mutant, shard_merge_instance, shard_merge_mutant,
+    disconnect_instance, disconnect_no_dedup_mutant, disconnect_no_grace_mutant, exchange_instance,
+    exchange_mutant, exchange_smoke_instance, failover_instance, failover_legacy_instance,
+    replay_schedule, retry_breaker_instance, retry_breaker_mutant, shard_eager_mutant,
+    shard_merge_instance, shard_merge_mutant,
 };
 use hivemind_sim::mc::{check, McConfig, McModel, McStats, Schedule};
 
@@ -120,6 +127,28 @@ fn catch<M: McModel>(
     )
 }
 
+/// The disconnect plane's planted bugs run only in the full sweep: the
+/// smoke section (and its golden) predates the protocol and pins the
+/// original five.
+fn disconnect_bugs() -> [String; 2] {
+    [
+        catch(
+            "reconnect replay: watermark dedup off, duplicates re-delivered",
+            "exactly-once replay",
+            disconnect_no_dedup_mutant,
+            24,
+            |s| assert_eq!(replay_schedule(disconnect_instance(), s), None),
+        ),
+        catch(
+            "reconnect grace: heal without re-arm read silence as death",
+            "spurious failure declaration",
+            disconnect_no_grace_mutant,
+            24,
+            |s| assert_eq!(replay_schedule(disconnect_instance(), s), None),
+        ),
+    ]
+}
+
 fn planted_bugs() -> [String; 5] {
     [
         catch(
@@ -186,13 +215,19 @@ fn sweep() {
     table.row(stats_row("data exchange (3 sessions)", &exchange));
     let shard = verify("shard merge", &shard_merge_instance(), &cfg(16));
     table.row(stats_row("sharded barrier merge (3 shards)", &shard));
+    let disconnect = verify("disconnect", &disconnect_instance(), &cfg(24));
+    table.row(stats_row("disconnected operation", &disconnect));
     table.print();
     println!("(2 servers / 1 controller / 3 tasks per protocol; every fault");
     println!(" schedule within the crash/drop/duplicate/failover budgets;");
-    println!(" the shard protocol explores every consume/barrier interleaving)");
+    println!(" the shard protocol explores every consume/barrier interleaving;");
+    println!(" the disconnect protocol every partition/heal/replay schedule)");
 
     banner("Planted bugs: each must yield a replayable minimal counterexample");
     for rendered in planted_bugs() {
+        println!("{rendered}");
+    }
+    for rendered in disconnect_bugs() {
         println!("{rendered}");
     }
 }

@@ -38,7 +38,7 @@ use hivemind_core::platform::Platform;
 use hivemind_sim::engine::{Context, Engine, Model};
 use hivemind_sim::time::{SimDuration, SimTime};
 
-const FIGURES: [&str; 15] = [
+const FIGURES: [&str; 16] = [
     "fig01",
     "fig03",
     "fig04",
@@ -54,6 +54,7 @@ const FIGURES: [&str; 15] = [
     "fig18",
     "chaos_sweep",
     "overload_sweep",
+    "partition_sweep",
 ];
 
 /// Pre-PR wall-clock of `all_figures` at default fidelity on the

@@ -126,6 +126,15 @@ fn mc_sweep() {
     check_golden("mc_sweep", env!("CARGO_BIN_EXE_mc_sweep"));
 }
 
+/// `partition_sweep --smoke` runs a partitioned fleet with lease-based
+/// autonomy armed and prints outcome JSON including the `"reconnect"`
+/// block — the golden that pins the disconnect plane's degrade, buffer
+/// and exactly-once replay accounting byte-for-byte.
+#[test]
+fn partition_sweep() {
+    check_golden("partition_sweep", env!("CARGO_BIN_EXE_partition_sweep"));
+}
+
 /// A subset re-runs under explicit worker counts: the parallel replicate
 /// runner must produce byte-identical output regardless of
 /// `HIVEMIND_THREADS`.
@@ -137,6 +146,7 @@ fn thread_count_invariance() {
         ("chaos_sweep", env!("CARGO_BIN_EXE_chaos_sweep")),
         ("overload_sweep", env!("CARGO_BIN_EXE_overload_sweep")),
         ("mc_sweep", env!("CARGO_BIN_EXE_mc_sweep")),
+        ("partition_sweep", env!("CARGO_BIN_EXE_partition_sweep")),
     ] {
         let one = smoke_stdout(bin, exe, Some("1"));
         let eight = smoke_stdout(bin, exe, Some("8"));

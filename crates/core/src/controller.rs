@@ -272,6 +272,28 @@ impl SwarmController {
         fo
     }
 
+    /// Reconnect reconciliation at a partition heal: every live device's
+    /// stale heartbeat is re-armed from `heal`, exactly as
+    /// [`SwarmController::fail_primary`] re-arms after a takeover.
+    /// Beats sent during the partition never reached the controller, so
+    /// without this grace the first failure check after heal would read
+    /// the partition's silence as fleet-wide device death and double-
+    /// assign every strip to heirs while the original owners are still
+    /// flying. A device that is genuinely dead stays silent *after* the
+    /// heal too, so it is still detected — one window later, never
+    /// spuriously. Returns how many devices were re-armed.
+    pub fn reconcile_reconnect(&mut self, heal: SimTime) -> u32 {
+        let mut rearmed = 0;
+        for d in 0..self.alive.len() as u32 {
+            let stale = self.heartbeats.last_beat(d).is_none_or(|t| t < heal);
+            if self.alive[d as usize] && stale {
+                let _ = self.heartbeats.try_beat(d, heal);
+                rearmed += 1;
+            }
+        }
+        rearmed
+    }
+
     /// Configures scheduler sharding: with `n` shards each scheduler owns
     /// `1/n` of the task stream but keeps global visibility (Omega-style
     /// shared state).
@@ -515,6 +537,37 @@ mod tests {
         let failed = c.check_failures(late);
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].0, 0);
+    }
+
+    #[test]
+    fn reconnect_reconciliation_prevents_double_assignment() {
+        let mut c = controller();
+        for d in 0..16 {
+            c.heartbeat(d, SimTime::from_secs(1));
+        }
+        // A 30 s partition: no beat reaches the controller. A naive
+        // failure check at heal would declare all 16 devices dead and
+        // hand every strip to (equally dead) heirs.
+        let heal = SimTime::from_secs(31);
+        let rearmed = c.reconcile_reconnect(heal);
+        assert_eq!(rearmed, 16, "every live device re-arms at heal");
+        assert!(
+            c.check_failures(heal).is_empty(),
+            "partition silence must not read as device death"
+        );
+        assert_eq!(c.alive_count(), 16);
+        // The window re-arms from the heal: a device that stays silent
+        // afterwards is still detected, one window later.
+        let late = heal + SimDuration::from_secs(4);
+        for d in 1..16 {
+            c.heartbeat(d, late);
+        }
+        let failed = c.check_failures(late);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, 0);
+        // Already-failed devices are not resurrected by reconciliation.
+        assert_eq!(c.reconcile_reconnect(late + SimDuration::from_secs(1)), 15);
+        assert!(!c.is_alive(0));
     }
 
     #[test]

@@ -69,6 +69,7 @@ use hivemind_net::fabric::{Fabric, Transfer};
 use hivemind_net::rpc::RpcProfile;
 use hivemind_net::topology::{Node, Topology, TopologyParams};
 use hivemind_sim::calendar::CalendarQueue;
+use hivemind_sim::disconnect::{self, DisconnectPolicy};
 use hivemind_sim::faults::{self, FaultPlan};
 use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::rng::RngForge;
@@ -84,6 +85,7 @@ use fifo::FifoServer;
 use hivemind_accel::fpga::{FpgaConfig, FpgaFabric, SoftRegisters};
 
 use hivemind_swarm::device::DeviceProfile;
+use hivemind_swarm::disconnect::{ReplayRing, ReplaySession};
 use hivemind_swarm::{Battery, BatteryBlock};
 
 /// Epoch length used when nothing couples the hub back into the shard
@@ -135,6 +137,13 @@ pub struct EngineConfig {
     /// circuit breakers, spills shed work to degraded on-device
     /// execution, and bounds link-ingress queues — all without RNG.
     pub overload: OverloadPolicy,
+    /// The disconnected-operation policy. The inert default perturbs
+    /// nothing; an active policy — together with scheduled partition
+    /// windows in [`EngineConfig::faults`] — lets a device whose cloud
+    /// lease expired flip to degraded autonomous on-device execution
+    /// (the brownout spillover path) and buffer update summaries in a
+    /// bounded ring for exactly-once replay at reconnect.
+    pub disconnect: DisconnectPolicy,
     /// Spatial shards the device-local event loop is split into. Each
     /// shard owns a contiguous device block (its FIFO queues, batteries,
     /// and per-device RNG lanes) and advances on its own core under
@@ -161,6 +170,7 @@ impl EngineConfig {
             trace: false,
             faults: FaultPlan::default(),
             overload: OverloadPolicy::default(),
+            disconnect: DisconnectPolicy::default(),
             shards: 0,
         }
     }
@@ -197,6 +207,39 @@ pub struct ShedLedger {
     /// was configured.
     pub tasks_shed: u64,
     /// Accuracy points lost across all spilled tasks (sum, not mean).
+    pub accuracy_penalty_sum_pct: f64,
+}
+
+/// Engine-level disconnected-operation bookkeeping: what the disconnect
+/// plane did while partitioned (lease expirations, degraded autonomous
+/// executions, buffered summaries) and what the reconnect sessions
+/// reconciled at heal (exactly-once replays, suppressed duplicates,
+/// explicit expiries, staleness).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReconnectLedger {
+    /// Reconnect reconciliation sessions run (one per healed partition).
+    pub partitions: u32,
+    /// Device lease expirations (one per device per merged partition
+    /// window it went autonomous under).
+    pub lease_expirations: u64,
+    /// Cloud-bound tasks re-routed to degraded autonomous on-device
+    /// execution because the device's lease had expired.
+    pub tasks_degraded: u64,
+    /// Update summaries buffered while disconnected.
+    pub updates_buffered: u64,
+    /// Buffered updates replayed exactly once at reconnect.
+    pub updates_replayed: u64,
+    /// Buffered updates evicted under the ring bound (explicit expiry,
+    /// never silent growth).
+    pub updates_expired: u64,
+    /// Replay offers the session watermark rejected as duplicates.
+    pub duplicates_dropped: u64,
+    /// Stale heartbeats re-armed by reconnect reconciliation instead of
+    /// being read as device deaths.
+    pub devices_rearmed: u64,
+    /// Sum over replayed updates of (heal − buffered-at), seconds.
+    pub staleness_secs_sum: f64,
+    /// Accuracy points lost across all degraded tasks (sum, not mean).
     pub accuracy_penalty_sum_pct: f64,
 }
 
@@ -241,9 +284,19 @@ impl TaskRecord {
 /// Hub-side actions (everything device-local lives in the shard phase).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Action {
-    SubmitCloud { task: u32 },
-    Response { task: u32, from_server: u32 },
-    Finish { task: u32 },
+    SubmitCloud {
+        task: u32,
+    },
+    Response {
+        task: u32,
+        from_server: u32,
+    },
+    Finish {
+        task: u32,
+    },
+    /// A scheduled partition healed: run the reconnect reconciliation
+    /// session (replay every device's buffered updates exactly once).
+    Reconnect,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -512,6 +565,21 @@ pub struct Engine {
     tracer: TraceHandle,
     ledger: FaultLedger,
     shed_ledger: ShedLedger,
+    /// Armed when the disconnect policy is active *and* the fault plan
+    /// schedules wireless partitions (there is nothing to survive
+    /// otherwise). Never true under the inert defaults, so the plane
+    /// cannot perturb a byte of any existing run.
+    disconnect_armed: bool,
+    /// Per-device bounded rings of update summaries awaiting replay
+    /// (empty unless the disconnect plane is armed).
+    rings: Vec<ReplayRing<u32>>,
+    /// Per-device exactly-once replay sessions: lifetime watermarks, so
+    /// dedup is session-scoped across repeated partitions.
+    sessions: Vec<ReplaySession>,
+    /// Heal instant (seconds) of the merged partition window each device
+    /// is currently autonomous under (`None` = lease held).
+    autonomy_heal: Vec<Option<f64>>,
+    reconnect_ledger: ReconnectLedger,
     hub_events: u64,
     /// RNG sampling calls made by the hub (profiling breakdown).
     rng_draws: u64,
@@ -540,6 +608,9 @@ impl Engine {
         }
         if let Err(e) = cfg.overload.validate() {
             panic!("invalid overload policy: {e}");
+        }
+        if let Err(e) = cfg.disconnect.validate() {
+            panic!("invalid disconnect policy: {e}");
         }
         let forge = RngForge::new(cfg.seed);
         let tracer = if cfg.trace {
@@ -739,7 +810,8 @@ impl Engine {
         let devices_per_router = cfg.devices.div_ceil(topo_params.effective_routers()).max(1);
         let uplink_budget_bytes =
             0.7 * (topo_params.wireless_bps / 8.0) / devices_per_router as f64;
-        Engine {
+        let disconnect_armed = cfg.disconnect.is_active() && !cfg.faults.net.partitions.is_empty();
+        let mut engine = Engine {
             uplink_budget_bytes,
             shards,
             map,
@@ -768,6 +840,25 @@ impl Engine {
             tracer,
             ledger,
             shed_ledger: ShedLedger::default(),
+            disconnect_armed,
+            rings: if disconnect_armed {
+                (0..cfg.devices)
+                    .map(|_| ReplayRing::new(cfg.disconnect.buffer_cap))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            sessions: if disconnect_armed {
+                vec![ReplaySession::new(); cfg.devices as usize]
+            } else {
+                Vec::new()
+            },
+            autonomy_heal: if disconnect_armed {
+                vec![None; cfg.devices as usize]
+            } else {
+                Vec::new()
+            },
+            reconnect_ledger: ReconnectLedger::default(),
             hub_events: 0,
             rng_draws: 0,
             profile: std::env::var_os("HIVEMIND_PROFILE").is_some_and(|v| v != "0"),
@@ -776,7 +867,31 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cfg,
+        };
+        if engine.disconnect_armed {
+            // One reconciliation session per distinct heal instant.
+            // Chained windows fold to their final heal, so a partition
+            // that "heals" straight into the next window reconciles once,
+            // at the true end — exactly when the fabric releases its held
+            // transfers.
+            let mut heals: Vec<f64> = engine
+                .cfg
+                .faults
+                .net
+                .partitions
+                .iter()
+                .filter_map(|p| engine.cfg.faults.net.partition_until(p.from_secs))
+                .collect();
+            heals.sort_by(|a, b| a.partial_cmp(b).expect("validated windows are finite"));
+            heals.dedup();
+            for h in heals {
+                engine.push_action(
+                    SimTime::ZERO + SimDuration::from_secs_f64(h),
+                    Action::Reconnect,
+                );
+            }
         }
+        engine
     }
 
     /// The engine's tracing handle (disabled unless
@@ -1023,11 +1138,16 @@ impl Engine {
     /// configuration and the (shard-count-invariant) event stream, so
     /// sharding never moves the boundaries.
     fn run_epoch(&mut self, start: SimTime, deadline: SimTime, stop_on_record: bool) {
-        let horizon = if stop_on_record || self.cfg.overload.spillover.enabled {
-            self.lookahead
-        } else {
-            self.lookahead.max(EPOCH_FLOOR)
-        };
+        let horizon =
+            if stop_on_record || self.cfg.overload.spillover.enabled || self.disconnect_armed {
+                // Spillover and autonomous degraded execution both feed hub
+                // decisions back into device FIFOs through `spill_inbox`;
+                // epochs shrink to the true lookahead so the feedback lands
+                // within one wireless hop of its causal time.
+                self.lookahead
+            } else {
+                self.lookahead.max(EPOCH_FLOOR)
+            };
         let end = start.saturating_add(horizon).min(deadline);
         if self.profile {
             let t0 = std::time::Instant::now();
@@ -1288,6 +1408,13 @@ impl Engine {
                     st.network += network;
                     st.management += management;
                 }
+                if let Some(heal) = self.autonomous_at(at) {
+                    // The device's cloud lease expired mid-partition:
+                    // degrade to autonomous on-device execution instead
+                    // of holding the uplink for the rest of the window.
+                    self.degrade_task(at, device, task, heal);
+                    return;
+                }
                 self.battery_mut(device).draw_radio(bytes);
                 let server = self.pick_server();
                 let tag = self.fabric.send(
@@ -1313,6 +1440,15 @@ impl Engine {
                     st.network += network;
                     st.management += management;
                     st.exec = exec;
+                }
+                if let Some(heal) = self.autonomous_at(at) {
+                    // The result is already computed at full fidelity on
+                    // the device; finish locally and queue a summary for
+                    // replay at heal instead of holding the upload.
+                    self.note_autonomous(at, device, heal);
+                    self.buffer_update(at, device, task);
+                    self.finish_task(at, task);
+                    return;
                 }
                 let server = self.pick_server();
                 let tag = self.fabric.send(
@@ -1377,6 +1513,163 @@ impl Engine {
                 self.set_tag(tag.0, TagPurpose::Response { task });
             }
             Action::Finish { task } => self.finish_task(t, task),
+            Action::Reconnect => self.reconcile_reconnect(t),
+        }
+    }
+
+    /// When `at` falls inside a scheduled partition *and* the lease
+    /// granted by the last pre-partition heartbeat ack has expired (the
+    /// merged window has been open for at least one lease timeout),
+    /// returns the window's heal instant in seconds. A pure function of
+    /// the fault plan and the policy — no RNG, no per-shard state — so
+    /// the autonomy decision is shard-count-invariant. During the first
+    /// lease-timeout of a partition the device still trusts the cloud
+    /// and its uplinks hold in the fabric, exactly as without the plane.
+    fn autonomous_at(&self, at: SimTime) -> Option<f64> {
+        if !self.disconnect_armed {
+            return None;
+        }
+        let t = (at - SimTime::ZERO).as_secs_f64();
+        let heal = self.cfg.faults.net.partition_until(t)?;
+        let lease = self.cfg.disconnect.lease_timeout.as_secs_f64();
+        // The lease had expired by `at` iff the same merged window
+        // already covered `at - lease`; a distinct earlier window means
+        // the lease was renewed in the gap between them.
+        match self.cfg.faults.net.partition_until(t - lease) {
+            Some(h) if h == heal => Some(heal),
+            _ => None,
+        }
+    }
+
+    /// Marks `device` autonomous under the merged window healing at
+    /// `heal`, counting one lease expiration per (device, window).
+    fn note_autonomous(&mut self, at: SimTime, device: u32, heal: f64) {
+        let slot = &mut self.autonomy_heal[device as usize];
+        if *slot != Some(heal) {
+            *slot = Some(heal);
+            self.reconnect_ledger.lease_expirations += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    disconnect::TRACE_CAT,
+                    disconnect::EV_AUTONOMOUS,
+                    device,
+                    at,
+                    vec![("heal_secs", ArgValue::Str(format!("{heal}")))],
+                );
+            }
+        }
+    }
+
+    /// Buffers one update summary for `task` in `device`'s replay ring.
+    fn buffer_update(&mut self, at: SimTime, device: u32, task: u32) {
+        let seq = self.rings[device as usize].push(at, task);
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                disconnect::TRACE_CAT,
+                disconnect::EV_BUFFERED,
+                device,
+                at,
+                vec![
+                    ("task", ArgValue::U64(task as u64)),
+                    ("seq", ArgValue::U64(seq)),
+                ],
+            );
+        }
+    }
+
+    /// Re-routes a cloud-bound task to degraded autonomous on-device
+    /// execution — the brownout spillover path with the disconnect
+    /// policy's speedup/penalty — and buffers its update summary.
+    fn degrade_task(&mut self, at: SimTime, device: u32, task: u32, heal: f64) {
+        self.note_autonomous(at, device, heal);
+        let app = self.tasks[task as usize].app;
+        let policy = self.cfg.disconnect;
+        let factor = self.cfg.device_profile.compute_slowdown / 10.0;
+        self.rng_draws += 1;
+        let service =
+            edge_service_from(&mut self.rng, app, factor).mul_f64(1.0 / policy.degraded_speedup);
+        {
+            let st = &mut self.tasks[task as usize];
+            st.placement = PlacementSite::Edge;
+            st.exec = st.exec.max(service);
+        }
+        self.battery_mut(device).draw_compute(service);
+        self.reconnect_ledger.tasks_degraded += 1;
+        self.reconnect_ledger.accuracy_penalty_sum_pct += policy.accuracy_penalty_pct;
+        self.buffer_update(at, device, task);
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                "task",
+                "degraded",
+                device,
+                at,
+                vec![("task", ArgValue::U64(task as u64))],
+            );
+        }
+        // The device FIFO belongs to the shard phase; like overload
+        // spillover, the job is resubmitted at the (shard-count-
+        // invariant) epoch boundary.
+        self.spill_inbox
+            .push((at, device, edge_job(task, EdgeJobKind::Spillover), service));
+    }
+
+    /// The heal-time reconciliation session: every device drains its
+    /// replay ring through its lifetime [`ReplaySession`] watermark in
+    /// device-id order (deterministic and shard-count-invariant). Each
+    /// accepted summary costs one radio transmission and rides the
+    /// fabric untagged — bandwidth and energy are charged, but no
+    /// response path follows. Duplicate offers are suppressed, so every
+    /// buffered update lands exactly once across repeated partitions.
+    fn reconcile_reconnect(&mut self, t: SimTime) {
+        self.reconnect_ledger.partitions += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                disconnect::TRACE_CAT,
+                disconnect::EV_RECONNECT,
+                0,
+                t,
+                vec![(
+                    "partitions",
+                    ArgValue::U64(self.reconnect_ledger.partitions as u64),
+                )],
+            );
+        }
+        let summary_bytes = self.cfg.disconnect.summary_bytes;
+        for device in 0..self.cfg.devices {
+            self.autonomy_heal[device as usize] = None;
+            if self.rings[device as usize].is_empty() {
+                continue;
+            }
+            let updates: Vec<_> = self.rings[device as usize].drain().collect();
+            for u in updates {
+                if !self.sessions[device as usize].offer(u.seq) {
+                    continue;
+                }
+                self.reconnect_ledger.staleness_secs_sum += (t - u.at).as_secs_f64();
+                self.battery_mut(device).draw_radio(summary_bytes);
+                let server = self.pick_server();
+                let _ = self.fabric.send(
+                    t,
+                    Transfer {
+                        src: Node::Device(device),
+                        dst: Node::Server(server),
+                        bytes: summary_bytes,
+                        tag: u.seq,
+                    },
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        disconnect::TRACE_CAT,
+                        disconnect::EV_REPLAYED,
+                        device,
+                        t,
+                        vec![
+                            ("task", ArgValue::U64(u.item as u64)),
+                            ("seq", ArgValue::U64(u.seq)),
+                        ],
+                    );
+                }
+            }
         }
     }
 
@@ -1617,6 +1910,32 @@ impl Engine {
     /// accumulated accuracy penalty).
     pub fn shed_ledger(&self) -> ShedLedger {
         self.shed_ledger
+    }
+
+    /// Engine-level disconnected-operation bookkeeping. The replay
+    /// counters are read live from the per-device rings and sessions, so
+    /// the conservation identity
+    /// `buffered == replayed + expired + still-buffered` holds by
+    /// construction at every instant.
+    pub fn reconnect_ledger(&self) -> ReconnectLedger {
+        let mut l = self.reconnect_ledger;
+        l.updates_buffered = self.rings.iter().map(|r| r.pushed()).sum();
+        l.updates_expired = self.rings.iter().map(|r| r.expired()).sum();
+        l.updates_replayed = self.sessions.iter().map(|s| s.delivered()).sum();
+        l.duplicates_dropped = self.sessions.iter().map(|s| s.duplicates()).sum();
+        l
+    }
+
+    /// Whether the disconnect plane is armed for this run: an active
+    /// policy plus at least one scheduled partition window.
+    pub fn disconnect_armed(&self) -> bool {
+        self.disconnect_armed
+    }
+
+    /// Records heartbeat re-arms applied by the mission layer's reconnect
+    /// reconciliation (the controller side of the heal protocol).
+    pub fn note_reconnect_rearm(&mut self, devices: u32) {
+        self.reconnect_ledger.devices_rearmed += devices as u64;
     }
 
     /// Records a device failure applied by the mission layer: `detection`

@@ -31,7 +31,8 @@ use std::fmt;
 use hivemind_apps::learning::RetrainMode;
 use hivemind_apps::scenario::{Fleet, Scenario};
 use hivemind_apps::suite::App;
-use hivemind_sim::faults::FaultPlan;
+use hivemind_sim::disconnect::DisconnectPolicy;
+use hivemind_sim::faults::{FaultPlan, FaultPlanError};
 use hivemind_sim::overload::OverloadPolicy;
 use hivemind_sim::stats::Summary;
 use hivemind_sim::time::{SimDuration, SimTime};
@@ -39,7 +40,7 @@ use hivemind_swarm::device::DeviceProfile;
 
 use crate::engine::{Engine, EngineConfig, TaskRecord};
 use crate::metrics::{
-    BandwidthStats, BatteryStats, MissionOutcome, Outcome, RecoveryStats, ShedStats,
+    BandwidthStats, BatteryStats, MissionOutcome, Outcome, ReconnectStats, RecoveryStats, ShedStats,
 };
 use crate::mission;
 use crate::platform::Platform;
@@ -91,6 +92,11 @@ pub struct RunPlan {
     /// inert default leaves every metric byte-identical; an active policy
     /// makes no RNG draws, so its decisions are pure functions of load.
     pub overload: OverloadPolicy,
+    /// The disconnected-operation policy (lease-based autonomy, bounded
+    /// update buffering, exactly-once reconnect replay). The inert
+    /// default leaves every metric byte-identical; the plane only ever
+    /// acts during partition windows scheduled in the fault plan.
+    pub disconnect: DisconnectPolicy,
     /// Collect a structured event trace; the result lands in
     /// [`Outcome::trace`]. Tracing draws no randomness, so enabling it
     /// never changes any metric.
@@ -129,6 +135,16 @@ impl RunPlan {
         self
     }
 
+    /// Attaches a disconnected-operation policy. Like the overload
+    /// plane, the disconnect plane's own decisions draw no randomness:
+    /// autonomy flips are pure functions of the fault plan's partition
+    /// windows and the lease timeout (degraded execution samples its
+    /// service time from the same engine stream the spillover path uses).
+    pub fn disconnect(mut self, policy: DisconnectPolicy) -> Self {
+        self.disconnect = policy;
+        self
+    }
+
     /// Enables (or disables) structured event tracing for the run.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
@@ -150,7 +166,10 @@ impl RunPlan {
     /// Whether any plane deviates from the inert default in a way that
     /// can change metrics (sharding and tracing never do).
     pub fn is_active(&self) -> bool {
-        self.faults.is_active() || self.overload.is_active() || !self.device_failures.is_empty()
+        self.faults.is_active()
+            || self.overload.is_active()
+            || self.disconnect.is_active()
+            || !self.device_failures.is_empty()
     }
 
     /// Cross-checks every plane against the workload it will run under:
@@ -184,6 +203,9 @@ impl RunPlan {
         self.overload
             .validate()
             .map_err(ConfigError::InvalidOverloadPolicy)?;
+        self.disconnect
+            .validate()
+            .map_err(ConfigError::InvalidDisconnectPolicy)?;
         if self.shards > devices {
             return Err(ConfigError::InvalidShardPlan {
                 shards: self.shards,
@@ -251,14 +273,18 @@ pub enum ConfigError {
         /// The workload's time horizon, seconds.
         horizon_secs: f64,
     },
-    /// The fault plan itself is inconsistent (bad probability, empty
-    /// window, out-of-range target…); the string is the plan's own
-    /// description of the first problem.
-    InvalidFaultPlan(String),
+    /// The fault plan itself is inconsistent (bad probability, empty or
+    /// non-finite window, overlapping partitions, out-of-range target…);
+    /// the typed variant names the first problem precisely.
+    InvalidFaultPlan(FaultPlanError),
     /// The overload policy is inconsistent (zero deadline, zero cooldown,
     /// out-of-range spillover model…); the string is the policy's own
     /// description of the first problem.
     InvalidOverloadPolicy(String),
+    /// The disconnect policy is inconsistent (zero lease timeout, zero
+    /// buffer, sub-unity speedup…); the string is the policy's own
+    /// description of the first problem.
+    InvalidDisconnectPolicy(String),
     /// The pinned shard count exceeds the fleet (a shard must own at
     /// least one device).
     InvalidShardPlan {
@@ -288,6 +314,9 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             ConfigError::InvalidOverloadPolicy(msg) => {
                 write!(f, "invalid overload policy: {msg}")
+            }
+            ConfigError::InvalidDisconnectPolicy(msg) => {
+                write!(f, "invalid disconnect policy: {msg}")
             }
             ConfigError::InvalidShardPlan { shards, fleet } => write!(
                 f,
@@ -502,6 +531,7 @@ impl ExperimentConfig {
             trace: self.plan.trace,
             faults: self.plan.faults.clone(),
             overload: self.plan.overload.clone(),
+            disconnect: self.plan.disconnect,
             shards: self.plan.shards,
         }
     }
@@ -738,6 +768,37 @@ impl Experiment {
                 ledger.accuracy_penalty_sum_pct / records.len().max(1) as f64;
             outcome.shed = Some(shed);
         }
+        // Reconnect metrics likewise exist only for runs with an active
+        // disconnect policy. The conservation identity
+        // `buffered == replayed + expired + (still buffered at run end)`
+        // holds by construction — the counters are read live from the
+        // per-device rings and sessions.
+        if cfg.plan.disconnect.is_active() {
+            let ledger = engine.reconnect_ledger();
+            let net = engine.fabric().fault_stats();
+            let mut reconnect = ReconnectStats {
+                partitions: ledger.partitions,
+                lease_expirations: ledger.lease_expirations,
+                tasks_degraded: ledger.tasks_degraded,
+                updates_buffered: ledger.updates_buffered,
+                updates_replayed: ledger.updates_replayed,
+                updates_expired: ledger.updates_expired,
+                duplicates_dropped: ledger.duplicates_dropped,
+                devices_rearmed: ledger.devices_rearmed,
+                held_high_water: net.held_high_water,
+                transfers_dropped: net.transfers_dropped,
+                ..ReconnectStats::default()
+            };
+            if ledger.updates_replayed > 0 {
+                reconnect.mean_staleness_secs =
+                    ledger.staleness_secs_sum / ledger.updates_replayed as f64;
+            }
+            if ledger.tasks_degraded > 0 {
+                reconnect.mean_accuracy_penalty_pct =
+                    ledger.accuracy_penalty_sum_pct / ledger.tasks_degraded as f64;
+            }
+            outcome.reconnect = Some(reconnect);
+        }
         if mission.duration_secs == 0.0 {
             mission.duration_secs = end.as_secs_f64();
         }
@@ -923,6 +984,89 @@ mod tests {
                 assert!(msg.contains("per_app_limit"), "{msg}");
             }
             other => panic!("expected InvalidOverloadPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inert_disconnect_policy_is_byte_identical() {
+        let base = Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .duration_secs(15.0)
+                .seed(7),
+        )
+        .run();
+        let with_default = Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .duration_secs(15.0)
+                .plan(RunPlan::new().disconnect(DisconnectPolicy::default()))
+                .seed(7),
+        )
+        .run();
+        assert_eq!(base.to_json(), with_default.to_json());
+        assert!(with_default.reconnect.is_none());
+    }
+
+    fn partitioned(policy: DisconnectPolicy) -> Outcome {
+        Experiment::new(
+            ExperimentConfig::single_app(App::FaceRecognition)
+                .platform(Platform::CentralizedFaaS)
+                .duration_secs(25.0)
+                .plan(
+                    RunPlan::new()
+                        .faults(FaultPlan::default().partition(5.0, 15.0))
+                        .disconnect(policy),
+                )
+                .seed(9),
+        )
+        .run()
+    }
+
+    #[test]
+    fn partition_with_autonomy_degrades_and_replays() {
+        let o = partitioned(DisconnectPolicy::default().autonomous());
+        let r = o.reconnect.expect("armed plane populates reconnect stats");
+        assert_eq!(r.partitions, 1);
+        assert!(r.lease_expirations > 0, "leases expire inside the window");
+        assert!(r.tasks_degraded > 0, "cut-off uplinks run on-device");
+        assert!(r.updates_replayed > 0, "the heal replays the buffer");
+        assert_eq!(
+            r.updates_buffered,
+            r.updates_replayed + r.updates_expired,
+            "after the heal every buffered update was replayed or expired"
+        );
+        assert_eq!(r.duplicates_dropped, 0, "one heal, one session, no dups");
+        assert!(r.mean_staleness_secs > 0.0, "replayed updates aged");
+        assert!(r.mean_accuracy_penalty_pct > 0.0);
+        assert_eq!(o.tasks.len(), 400, "no task is lost to the partition");
+        assert!(o.to_json().contains("\"reconnect\":{\"partitions\":"));
+    }
+
+    #[test]
+    fn lease_longer_than_partition_never_degrades() {
+        // The device's lease outlives the whole outage, so it keeps
+        // trusting the cloud and every transfer simply holds (the
+        // baseline path) — the plane is armed but never fires.
+        let o = partitioned(
+            DisconnectPolicy::default()
+                .autonomous()
+                .lease_timeout(SimDuration::from_secs(30)),
+        );
+        let r = o.reconnect.expect("armed plane populates reconnect stats");
+        assert_eq!(r.partitions, 1, "the heal still reconciles");
+        assert_eq!(r.tasks_degraded, 0);
+        assert_eq!(r.updates_replayed, 0);
+        assert_eq!(o.tasks.len(), 400);
+    }
+
+    #[test]
+    fn invalid_disconnect_policy_is_rejected() {
+        let cfg = ExperimentConfig::single_app(App::FaceRecognition)
+            .plan(RunPlan::new().disconnect(DisconnectPolicy::default().buffer_cap(0)));
+        match Experiment::try_new(cfg) {
+            Err(ConfigError::InvalidDisconnectPolicy(msg)) => {
+                assert!(msg.contains("buffer_cap"), "{msg}");
+            }
+            other => panic!("expected InvalidDisconnectPolicy, got {other:?}"),
         }
     }
 

@@ -26,12 +26,20 @@
 //!   another shard can still send (lookahead safety), and the merged
 //!   stream is in `(time, lane, seq)` order — independent of schedule
 //!   and shard count.
+//! * [`DisconnectModel`] — the disconnected-operation plane's buffer /
+//!   replay / reconcile protocol (`swarm::disconnect` + the controller's
+//!   reconnect reconciliation) under a partition/duplication adversary.
+//!   Invariants: exactly-once replay (every buffered update delivered
+//!   once, expired once, or still buffered) and no spurious failure
+//!   declaration from partition silence.
 //!
 //! Each model has a canonical small instance (2 servers / 1 controller /
 //! 3 tasks, per the reproduction roadmap) explored to zero violations,
 //! plus a planted-bug mutant ([`SkipHalfOpenBreaker`], the no-dedup
 //! exchange variant, the legacy orphan-dropping controller, the
-//! `(shard, time)`-keyed merge and the eager-horizon shard) that must
+//! `(shard, time)`-keyed merge, the eager-horizon shard, and the
+//! disconnect plane's duplicate-accepting session and
+//! grace-skipping heal) that must
 //! yield a counterexample — proving the lane can actually find bugs.
 //! Counterexamples replay deterministically through the DES engine via
 //! [`replay_schedule`].
@@ -1131,6 +1139,266 @@ impl McModel for ShardModel {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol 5: disconnected operation — buffer, replay, reconcile.
+// ---------------------------------------------------------------------------
+
+/// One enabled event in the disconnect protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectAction {
+    /// One virtual second passes: connected, the device's beat reaches
+    /// the controller; partitioned, the device buffers an update summary
+    /// in its bounded ring instead.
+    Tick,
+    /// The adversary opens a wireless partition (budgeted).
+    Partition,
+    /// The partition heals: the controller reconciles (re-arms the stale
+    /// heartbeat under the takeover-grace rule) and the device replays
+    /// its buffered ring through the reconnect session.
+    Heal,
+    /// The adversary re-delivers the most recently replayed update
+    /// (budgeted) — a network duplicate of a summary that already landed.
+    DupReplay,
+}
+
+/// The disconnected-operation protocol over one always-live device and
+/// its controller, under a partition/duplication adversary.
+///
+/// Each tick the device either beats the controller (connected) or
+/// buffers an update in its bounded [`ReplayRing`]-shaped ring
+/// (partitioned; the oldest entry is evicted and counted as expired when
+/// the ring is full). A heal reconciles the controller — re-arming the
+/// stale heartbeat exactly as [`SwarmController::reconcile_reconnect`]
+/// does — and replays the ring through a watermark session that drops
+/// duplicates. The device itself never crashes, so the two invariants
+/// are sharp:
+///
+/// 1. **Exactly-once replay**: every update pushed is delivered once,
+///    expired once, or still buffered — never double-counted, even when
+///    the adversary re-delivers a replayed summary.
+/// 2. **No spurious death**: a controller that heard silence only
+///    because of a partition must never declare the device failed.
+///
+/// The `no_dedup` mutant accepts duplicate replays (breaking 1); the
+/// `no_grace` mutant skips the heal-time re-arm (breaking 2). Both must
+/// yield minimal counterexamples that replay through the DES engine.
+///
+/// [`ReplayRing`]: hivemind_swarm::disconnect::ReplayRing
+#[derive(Debug, Clone)]
+pub struct DisconnectModel {
+    horizon: u32,
+    cap: u32,
+    tick: u32,
+    /// Non-tick actions taken since the last tick — spreads same-tick
+    /// actions over distinct virtual instants for DES replay.
+    slot: u32,
+    partitioned: bool,
+    partition_budget: u32,
+    dup_budget: u32,
+    /// Device-side ring: pending update seqs, oldest first.
+    buffered: Vec<u64>,
+    /// Next update seq (== total updates pushed).
+    next_seq: u64,
+    /// Updates evicted by the ring bound.
+    expired: u64,
+    /// Updates the reconnect session accepted.
+    delivered: u64,
+    /// Duplicate replays the session rejected.
+    duplicates: u64,
+    /// Highest seq the session has accepted.
+    watermark: Option<u64>,
+    /// Controller view: tick of the device's last recorded beat.
+    last_beat_tick: u32,
+    /// Controller view: latched failure declaration.
+    declared_failed: bool,
+    /// Planted bug: the session accepts duplicate replays.
+    no_dedup: bool,
+    /// Planted bug: the heal skips the takeover-grace re-arm.
+    no_grace: bool,
+}
+
+impl DisconnectModel {
+    /// A single device explored for `horizon` ticks with a ring of
+    /// `cap` entries and the given adversary budgets.
+    pub fn new(
+        horizon: u32,
+        cap: u32,
+        partition_budget: u32,
+        dup_budget: u32,
+        no_dedup: bool,
+        no_grace: bool,
+    ) -> DisconnectModel {
+        DisconnectModel {
+            horizon,
+            cap,
+            tick: 0,
+            slot: 0,
+            partitioned: false,
+            partition_budget,
+            dup_budget,
+            buffered: Vec::new(),
+            next_seq: 0,
+            expired: 0,
+            delivered: 0,
+            duplicates: 0,
+            watermark: None,
+            last_beat_tick: 0,
+            declared_failed: false,
+            no_dedup,
+            no_grace,
+        }
+    }
+
+    /// Offers one replayed seq to the reconnect session.
+    fn offer(&mut self, seq: u64) {
+        let fresh = self.watermark.is_none_or(|w| seq > w);
+        if fresh || self.no_dedup {
+            self.delivered += 1;
+            self.watermark = Some(self.watermark.map_or(seq, |w| w.max(seq)));
+        } else {
+            self.duplicates += 1;
+        }
+    }
+
+    /// The controller's failure check: silence longer than the paper's
+    /// 3 s heartbeat window latches a declaration.
+    fn check(&mut self) {
+        if self.tick.saturating_sub(self.last_beat_tick) > 3 {
+            self.declared_failed = true;
+        }
+    }
+}
+
+impl Hash for DisconnectModel {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Constants of the run (horizon, cap, the mutant flags) are
+        // omitted; everything that can influence future behaviour is in.
+        self.tick.hash(state);
+        self.slot.hash(state);
+        self.partitioned.hash(state);
+        self.partition_budget.hash(state);
+        self.dup_budget.hash(state);
+        self.buffered.hash(state);
+        self.next_seq.hash(state);
+        self.expired.hash(state);
+        self.delivered.hash(state);
+        self.duplicates.hash(state);
+        self.watermark.hash(state);
+        self.last_beat_tick.hash(state);
+        self.declared_failed.hash(state);
+    }
+}
+
+impl McModel for DisconnectModel {
+    type Action = DisconnectAction;
+
+    fn enabled(&self, out: &mut Vec<DisconnectAction>) {
+        if self.tick >= self.horizon {
+            return;
+        }
+        out.push(DisconnectAction::Tick);
+        if self.partitioned {
+            out.push(DisconnectAction::Heal);
+        } else {
+            if self.partition_budget > 0 {
+                out.push(DisconnectAction::Partition);
+            }
+            if self.dup_budget > 0 && self.watermark.is_some() {
+                out.push(DisconnectAction::DupReplay);
+            }
+        }
+    }
+
+    fn apply(&mut self, action: &DisconnectAction) {
+        match *action {
+            DisconnectAction::Tick => {
+                self.tick += 1;
+                self.slot = 0;
+                if self.partitioned {
+                    // The lease expired; the device buffers a summary.
+                    if self.buffered.len() as u32 == self.cap {
+                        self.buffered.remove(0);
+                        self.expired += 1;
+                    }
+                    self.buffered.push(self.next_seq);
+                    self.next_seq += 1;
+                    // The controller hears nothing and cannot reach the
+                    // swarm, so its checks have no effect until heal.
+                } else {
+                    self.last_beat_tick = self.tick;
+                    self.check();
+                }
+            }
+            DisconnectAction::Partition => {
+                self.partitioned = true;
+                self.partition_budget -= 1;
+                self.slot += 1;
+            }
+            DisconnectAction::Heal => {
+                self.partitioned = false;
+                self.slot += 1;
+                // Reconnect reconciliation: re-arm the stale beat from
+                // the heal instant (takeover grace) — unless the planted
+                // bug skips it.
+                if !self.no_grace {
+                    self.last_beat_tick = self.last_beat_tick.max(self.tick);
+                }
+                // First post-heal failure check, before any new beat.
+                self.check();
+                // Replay the ring through the session, oldest first.
+                for seq in std::mem::take(&mut self.buffered) {
+                    self.offer(seq);
+                }
+            }
+            DisconnectAction::DupReplay => {
+                self.slot += 1;
+                self.dup_budget -= 1;
+                let seq = self.watermark.expect("enabled only past first replay");
+                self.offer(seq);
+            }
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // 1. Exactly-once replay: conservation over the buffered stream.
+        let accounted = self.delivered + self.expired + self.buffered.len() as u64;
+        if self.next_seq != accounted {
+            return Err(format!(
+                "exactly-once replay: {} updates pushed but {} delivered + \
+                 {} expired + {} still buffered",
+                self.next_seq,
+                self.delivered,
+                self.expired,
+                self.buffered.len()
+            ));
+        }
+        // 2. No spurious death: the device beat every connected tick, so
+        //    any declaration means partition silence was read as death.
+        if self.declared_failed {
+            return Err("spurious failure declaration: the device is live and only \
+                 a partition silenced its beats"
+                .to_string());
+        }
+        Ok(())
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(self.tick as u64 * 1000 + self.slot as u64 * 10)
+    }
+
+    fn describe(&self, action: &DisconnectAction) -> String {
+        match *action {
+            DisconnectAction::Tick => format!("tick({})", self.tick + 1),
+            DisconnectAction::Partition => format!("partition(tick={})", self.tick),
+            DisconnectAction::Heal => format!("heal(tick={})", self.tick),
+            DisconnectAction::DupReplay => format!(
+                "dup_replay(seq={})",
+                self.watermark.expect("enabled only past first replay")
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Counterexample replay through the DES engine.
 // ---------------------------------------------------------------------------
 
@@ -1300,6 +1568,27 @@ pub fn shard_merge_mutant() -> ShardModel {
 /// produce a lookahead-safety counterexample.
 pub fn shard_eager_mutant() -> ShardModel {
     ShardModel::new(6, 3, &SHARD_OFFSETS_MS, 1, MergeRule::ByKey, true)
+}
+
+/// The disconnect protocol's canonical instance: one device over 8
+/// ticks with a 2-entry ring, up to 2 partitions and 1 duplicated
+/// replay. Small enough to overflow the ring (exercising expiry) and to
+/// chain two partition/heal cycles. Explores to zero violations.
+pub fn disconnect_instance() -> DisconnectModel {
+    DisconnectModel::new(8, 2, 2, 1, false, false)
+}
+
+/// Planted bug: the reconnect session accepts duplicate replays. The
+/// checker must produce an exactly-once counterexample.
+pub fn disconnect_no_dedup_mutant() -> DisconnectModel {
+    DisconnectModel::new(8, 2, 2, 1, true, false)
+}
+
+/// Planted bug: the heal skips the takeover-grace re-arm, so the first
+/// post-heal failure check reads partition silence as device death. The
+/// checker must produce a spurious-declaration counterexample.
+pub fn disconnect_no_grace_mutant() -> DisconnectModel {
+    DisconnectModel::new(8, 2, 2, 1, false, true)
 }
 
 #[cfg(test)]
@@ -1498,6 +1787,50 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_instance_holds_exhaustively() {
+        let report = check(&disconnect_instance(), &cfg(24));
+        assert!(
+            report.holds(),
+            "unexpected violation: {:?}",
+            report
+                .violation
+                .map(|v| (v.message, v.schedule.to_string()))
+        );
+        assert!(!report.stats.truncated);
+        assert!(
+            report.stats.states > 100,
+            "exploration is non-trivial ({} states)",
+            report.stats.states
+        );
+    }
+
+    #[test]
+    fn disconnect_no_dedup_mutant_is_caught_and_replays() {
+        let report = check(&disconnect_no_dedup_mutant(), &cfg(24));
+        let v = report.violation.expect("duplicate replay must be caught");
+        assert!(v.message.contains("exactly-once replay"), "{}", v.message);
+        let (index, message) =
+            replay_schedule(disconnect_no_dedup_mutant(), &v.schedule).expect("must reproduce");
+        assert_eq!(index, v.schedule.len() - 1);
+        assert_eq!(message, v.message);
+        // The deduplicating session survives the exact same schedule.
+        assert_eq!(replay_schedule(disconnect_instance(), &v.schedule), None);
+    }
+
+    #[test]
+    fn disconnect_no_grace_mutant_is_caught_and_replays() {
+        let report = check(&disconnect_no_grace_mutant(), &cfg(24));
+        let v = report.violation.expect("spurious death must be caught");
+        assert!(v.message.contains("spurious failure"), "{}", v.message);
+        let (index, message) =
+            replay_schedule(disconnect_no_grace_mutant(), &v.schedule).expect("must reproduce");
+        assert_eq!(index, v.schedule.len() - 1);
+        assert_eq!(message, v.message);
+        // The graced reconciliation survives the exact same schedule.
+        assert_eq!(replay_schedule(disconnect_instance(), &v.schedule), None);
+    }
+
+    #[test]
     fn counterexamples_are_minimal() {
         // The mutant breaker needs 2 give-ups (3 actions each: submit,
         // fail→retry, fail→give-up), 2 ticks to clear the cool-down, and
@@ -1519,5 +1852,17 @@ mod tests {
             .expect("caught");
         assert!(v.message.contains("task conservation"), "{}", v.message);
         assert!(v.depth <= 14, "schedule:\n{}", v.schedule);
+        // The duplicate-replay bug needs a partition, one buffered tick,
+        // the heal that replays it, and the duplicated delivery.
+        let v = check(&disconnect_no_dedup_mutant(), &cfg(24))
+            .violation
+            .expect("caught");
+        assert_eq!(v.depth, 4, "schedule:\n{}", v.schedule);
+        // The grace-skipping heal needs a partition held past the 3 s
+        // window (4 ticks) plus the heal whose check misfires.
+        let v = check(&disconnect_no_grace_mutant(), &cfg(24))
+            .violation
+            .expect("caught");
+        assert_eq!(v.depth, 6, "schedule:\n{}", v.schedule);
     }
 }

@@ -189,6 +189,44 @@ pub struct ShedStats {
     pub net_holds: u64,
 }
 
+/// Disconnected-operation metrics, populated only when the experiment ran
+/// with an active [`DisconnectPolicy`] (so unconfigured outcomes serialize
+/// byte-identically to pre-disconnect-plane builds).
+///
+/// [`DisconnectPolicy`]: hivemind_sim::disconnect::DisconnectPolicy
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReconnectStats {
+    /// Reconnect reconciliation sessions run (one per healed partition).
+    pub partitions: u32,
+    /// Device lease expirations (one per device per merged partition
+    /// window it went autonomous under).
+    pub lease_expirations: u64,
+    /// Cloud-bound tasks re-routed to degraded autonomous on-device
+    /// execution after a lease expiry.
+    pub tasks_degraded: u64,
+    /// Update summaries buffered while disconnected.
+    pub updates_buffered: u64,
+    /// Buffered updates replayed exactly once at reconnect.
+    pub updates_replayed: u64,
+    /// Buffered updates evicted under the replay-ring bound (explicit
+    /// expiry, never silent growth).
+    pub updates_expired: u64,
+    /// Replay offers the session watermark rejected as duplicates.
+    pub duplicates_dropped: u64,
+    /// Stale heartbeats re-armed at reconciliation instead of being read
+    /// as device deaths.
+    pub devices_rearmed: u64,
+    /// Mean staleness of replayed updates (heal − buffered-at), seconds.
+    pub mean_staleness_secs: f64,
+    /// Mean accuracy penalty over degraded tasks, percent.
+    pub mean_accuracy_penalty_pct: f64,
+    /// High-water mark of transfers simultaneously held by partition
+    /// windows in the fabric.
+    pub held_high_water: u64,
+    /// Held transfers tail-dropped at the fabric's partition hold bound.
+    pub transfers_dropped: u64,
+}
+
 /// Mission-level outcome (end-to-end scenarios).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MissionOutcome {
@@ -242,6 +280,9 @@ pub struct Outcome {
     /// Overload-control metrics; `None` unless the run had an active
     /// overload policy.
     pub shed: Option<ShedStats>,
+    /// Disconnected-operation metrics; `None` unless the run had an
+    /// active disconnect policy.
+    pub reconnect: Option<ReconnectStats>,
     /// Structured event trace, present when the experiment ran with
     /// [`crate::experiment::ExperimentConfig::trace`] enabled. Excluded
     /// from [`Outcome::to_json`] — export it via
@@ -330,6 +371,29 @@ impl Outcome {
                 s.tasks_shed,
                 s.mean_accuracy_penalty_pct,
                 s.net_holds
+            ));
+        }
+        // Likewise emitted only for disconnect-policy runs, preserving
+        // byte-identity for unconfigured experiments.
+        if let Some(r) = &self.reconnect {
+            out.push_str(&format!(
+                ",\"reconnect\":{{\"partitions\":{},\"lease_expirations\":{},\
+                 \"tasks_degraded\":{},\"updates_buffered\":{},\"updates_replayed\":{},\
+                 \"updates_expired\":{},\"duplicates_dropped\":{},\"devices_rearmed\":{},\
+                 \"mean_staleness_secs\":{:?},\"mean_accuracy_penalty_pct\":{:?},\
+                 \"held_high_water\":{},\"transfers_dropped\":{}}}",
+                r.partitions,
+                r.lease_expirations,
+                r.tasks_degraded,
+                r.updates_buffered,
+                r.updates_replayed,
+                r.updates_expired,
+                r.duplicates_dropped,
+                r.devices_rearmed,
+                r.mean_staleness_secs,
+                r.mean_accuracy_penalty_pct,
+                r.held_high_water,
+                r.transfers_dropped
             ));
         }
         out.push('}');

@@ -323,6 +323,47 @@ fn drone_mission(cfg: &ExperimentConfig, scenario: Scenario) -> Outcome {
             SimDuration::from_secs_f64(cfg.plan.faults.devices.controller_takeover_secs),
         );
     }
+    // Disconnected operation: with the disconnect plane armed, devices
+    // beat once per second and the controller runs its failure detector
+    // on the beat stream. Beats raised inside a partition window never
+    // reach the controller (the device buffers a summary instead — the
+    // engine side of this plane), so at every heal the reconnect
+    // reconciliation re-arms live devices' leases before the next check;
+    // without it the detector would read partition silence as fleet-wide
+    // death and double-assign every strip. The whole loop is a pure
+    // function of the fault plan — no RNG — and is skipped entirely when
+    // the plane is inert.
+    if engine.disconnect_armed() {
+        let net = &cfg.plan.faults.net;
+        let mut heals: Vec<f64> = net
+            .partitions
+            .iter()
+            .filter_map(|p| net.partition_until(p.from_secs))
+            .collect();
+        heals.sort_by(|a, b| a.total_cmp(b));
+        heals.dedup();
+        let mut next_heal = 0;
+        let horizon = scenario.mission_timeout().as_secs_f64() as u64;
+        for sec in 0..=horizon {
+            let t_secs = sec as f64;
+            while next_heal < heals.len() && heals[next_heal] <= t_secs {
+                let heal = SimTime::ZERO + SimDuration::from_secs_f64(heals[next_heal]);
+                let rearmed = controller.reconcile_reconnect(heal);
+                engine.note_reconnect_rearm(rearmed);
+                next_heal += 1;
+            }
+            if net.partition_until(t_secs).is_some() {
+                continue;
+            }
+            let now = SimTime::ZERO + SimDuration::from_secs_f64(t_secs);
+            for dev in 0..cfg.devices {
+                if fail_secs[dev as usize].is_none_or(|f| t_secs < f) {
+                    let _ = controller.try_heartbeat(dev, now);
+                }
+            }
+            let _ = controller.check_failures(now);
+        }
+    }
 
     // One frame batch per second of flight; a failed device stops
     // producing batches at its failure instant (`None` entries keep the

@@ -23,8 +23,8 @@
 
 pub use crate::experiment::{ConfigError, Experiment, ExperimentConfig, RunPlan};
 pub use crate::metrics::{
-    BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome, RecoveryStats,
-    ShedStats,
+    BandwidthStats, BatteryStats, BreakdownSummary, MissionOutcome, Outcome, ReconnectStats,
+    RecoveryStats, ShedStats,
 };
 pub use crate::platform::Platform;
 pub use crate::runner::{RunSet, Runner};
@@ -32,7 +32,8 @@ pub use crate::runner::{RunSet, Runner};
 pub use hivemind_apps::learning::RetrainMode;
 pub use hivemind_apps::scenario::Scenario;
 pub use hivemind_apps::suite::App;
-pub use hivemind_sim::faults::{FaultPlan, RetryPolicy};
+pub use hivemind_sim::disconnect::DisconnectPolicy;
+pub use hivemind_sim::faults::{FaultPlan, FaultPlanError, RetryPolicy};
 pub use hivemind_sim::overload::OverloadPolicy;
 pub use hivemind_sim::time::{SimDuration, SimTime};
 pub use hivemind_sim::trace::Trace;

@@ -70,6 +70,11 @@ pub struct NetFaultStats {
     pub packets_lost: u64,
     /// Transfers held back by a disconnect window or partition.
     pub transfers_held: u64,
+    /// Most transfers simultaneously held behind outage/partition windows.
+    pub held_high_water: u64,
+    /// Transfers tail-dropped because a hold would have exceeded
+    /// `NetFaults::hold_bound` (0 when the bound is unset).
+    pub transfers_dropped: u64,
 }
 
 /// Per-transfer fault state: the plan's network knobs plus a private RNG
@@ -81,6 +86,9 @@ struct FabricFaults {
     cfg: NetFaults,
     rng: SmallRng,
     stats: NetFaultStats,
+    /// Transfers currently held behind outage/partition windows; bounded
+    /// by `cfg.hold_bound` when set.
+    held_now: u64,
 }
 
 /// Bounded-ingress backpressure state: the policy knobs plus a counter of
@@ -114,6 +122,10 @@ struct HopState {
 #[derive(Debug)]
 struct Delayed {
     at: SimTime,
+    /// `true` when the delay came from an outage/partition window (the
+    /// hold is charged against `hold_bound` and released on re-entry);
+    /// `false` for backpressure re-offers and retransmit pauses.
+    fault_hold: bool,
     state: HopState,
 }
 
@@ -242,8 +254,14 @@ impl Fabric {
                 cfg,
                 rng,
                 stats: NetFaultStats::default(),
+                held_now: 0,
             });
         }
+    }
+
+    /// Transfers currently held behind outage/partition windows.
+    pub fn held_transfers_now(&self) -> u64 {
+        self.faults.as_ref().map(|f| f.held_now).unwrap_or(0)
     }
 
     /// What the fault plane did so far (zeros when no faults are armed).
@@ -318,25 +336,37 @@ impl Fabric {
             path,
             next_hop: 0,
         };
-        let start = if wireless {
-            self.apply_faults(now, &state)
+        let (start, fault_hold) = if wireless {
+            match self.apply_faults(now, &state) {
+                Some(v) => v,
+                // Tail-dropped at the hold bound: the id is spent but the
+                // transfer never enters the fabric.
+                None => return id,
+            }
         } else {
-            now
+            (now, false)
         };
         if start > now {
-            self.delayed.push(Reverse(Delayed { at: start, state }));
+            self.delayed.push(Reverse(Delayed {
+                at: start,
+                fault_hold,
+                state,
+            }));
         } else {
             self.route(now, state);
         }
         id
     }
 
-    /// Applies the armed fault plan to a wireless-crossing transfer and
-    /// returns the instant it may actually enter the fabric. No-op (and
-    /// zero RNG draws) when no faults are armed.
-    fn apply_faults(&mut self, now: SimTime, state: &HopState) -> SimTime {
+    /// Applies the armed fault plan to a wireless-crossing transfer.
+    /// Returns `Some((start, fault_hold))` — the instant the transfer may
+    /// actually enter the fabric, and whether an outage/partition window
+    /// held it (charged against `hold_bound`) — or `None` when the hold
+    /// bound is full and the transfer is tail-dropped. No-op (and zero
+    /// RNG draws) when no faults are armed.
+    fn apply_faults(&mut self, now: SimTime, state: &HopState) -> Option<(SimTime, bool)> {
         let Some(f) = self.faults.as_mut() else {
-            return now;
+            return Some((now, false));
         };
         let mut start = now;
         // Hold the transfer while any partition, or a disconnect window of
@@ -362,9 +392,34 @@ impl Fabric {
                 None => break,
             }
         }
-        if start > now {
+        let fault_hold = start > now;
+        if fault_hold {
+            // Bounded hold accounting: a full hold buffer tail-drops the
+            // newest transfer instead of growing silently.
+            if let Some(bound) = f.cfg.hold_bound {
+                if f.held_now >= bound as u64 {
+                    f.stats.transfers_dropped += 1;
+                    if self.tracer.is_enabled() {
+                        self.tracer.instant(
+                            "net",
+                            "held.drop",
+                            0,
+                            now,
+                            vec![
+                                ("transfer", ArgValue::U64(state.id.0)),
+                                ("held", ArgValue::U64(f.held_now)),
+                            ],
+                        );
+                    }
+                    return None;
+                }
+            }
+            f.held_now += 1;
             f.stats.transfers_held += 1;
+            f.stats.held_high_water = f.stats.held_high_water.max(f.held_now);
             if self.tracer.is_enabled() {
+                self.tracer
+                    .counter("net", "held_transfers", 0, now, f.held_now as f64);
                 self.tracer.instant(
                     faults::TRACE_CAT,
                     faults::EV_INJECTED,
@@ -413,7 +468,7 @@ impl Fabric {
                 }
             }
         }
-        start
+        Some((start, fault_hold))
     }
 
     fn route(&mut self, now: SimTime, mut state: HopState) {
@@ -459,6 +514,7 @@ impl Fabric {
                         }
                         self.delayed.push(Reverse(Delayed {
                             at: now + bp.cfg.retry_delay,
+                            fault_hold: false,
                             state,
                         }));
                         return;
@@ -536,6 +592,20 @@ impl Fabric {
                     let Some(Reverse(d)) = self.delayed.pop() else {
                         unreachable!("peeked head vanished")
                     };
+                    if d.fault_hold {
+                        if let Some(f) = self.faults.as_mut() {
+                            f.held_now = f.held_now.saturating_sub(1);
+                            if self.tracer.is_enabled() {
+                                self.tracer.counter(
+                                    "net",
+                                    "held_transfers",
+                                    0,
+                                    rt,
+                                    f.held_now as f64,
+                                );
+                            }
+                        }
+                    }
                     self.route(rt, d.state);
                     continue;
                 }
@@ -859,6 +929,77 @@ mod tests {
         }
         assert_eq!(drain(&mut plain), drain(&mut armed));
         assert_eq!(armed.backpressure_holds(), 0);
+    }
+
+    #[test]
+    fn partition_holds_are_accounted_and_released() {
+        use hivemind_sim::rng::RngForge;
+
+        let mut f = fabric();
+        let cfg = hivemind_sim::faults::FaultPlan::default()
+            .partition(1.0, 2.0)
+            .net;
+        f.set_faults(cfg, RngForge::new(7).child("faults").stream("net"));
+        // Two transfers inside the window are held; one before it is not.
+        f.send(
+            SimTime::ZERO,
+            Transfer {
+                src: Node::Device(0),
+                dst: Node::Server(0),
+                bytes: 1_000,
+                tag: 0,
+            },
+        );
+        for tag in 1..3u64 {
+            f.send(
+                SimTime::from_secs(1),
+                Transfer {
+                    src: Node::Device(tag as u32),
+                    dst: Node::Server(0),
+                    bytes: 1_000,
+                    tag,
+                },
+            );
+        }
+        assert_eq!(f.held_transfers_now(), 2);
+        assert_eq!(f.fault_stats().held_high_water, 2);
+        assert_eq!(f.fault_stats().transfers_dropped, 0);
+        let d = drain(&mut f);
+        assert_eq!(d.len(), 3, "unbounded holds never drop");
+        assert_eq!(f.held_transfers_now(), 0, "releases drain the ledger");
+        assert_eq!(f.fault_stats().held_high_water, 2);
+    }
+
+    #[test]
+    fn hold_bound_tail_drops_past_capacity() {
+        use hivemind_sim::rng::RngForge;
+
+        let mut f = fabric();
+        let cfg = hivemind_sim::faults::FaultPlan::default()
+            .partition(1.0, 2.0)
+            .partition_hold_bound(2)
+            .net;
+        f.set_faults(cfg, RngForge::new(7).child("faults").stream("net"));
+        for tag in 0..5u64 {
+            f.send(
+                SimTime::from_secs(1),
+                Transfer {
+                    src: Node::Device(tag as u32),
+                    dst: Node::Server(0),
+                    bytes: 1_000,
+                    tag,
+                },
+            );
+        }
+        assert_eq!(f.held_transfers_now(), 2, "bound caps the hold buffer");
+        assert_eq!(f.fault_stats().transfers_dropped, 3);
+        assert_eq!(f.fault_stats().held_high_water, 2);
+        let d = drain(&mut f);
+        // Oldest two (held before the bound filled) survive the window.
+        assert_eq!(d.len(), 2);
+        let tags: Vec<u64> = d.iter().map(|x| x.tag).collect();
+        assert_eq!(tags, vec![0, 1]);
+        assert_eq!(f.held_transfers_now(), 0);
     }
 
     #[test]

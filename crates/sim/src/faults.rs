@@ -29,6 +29,8 @@
 //! [`DeviceFaults`] — but the vocabulary is defined here so a plan can be
 //! validated and threaded as one value.
 
+use std::fmt;
+
 use crate::time::SimDuration;
 
 /// Trace category used by every fault-plane event
@@ -45,6 +47,151 @@ pub const EV_RECOVERED: &str = "recovered";
 /// primary controller) is declared dead after 3 s of missed heartbeats
 /// (Sec. 4.6).
 pub const DETECTION_WINDOW: SimDuration = SimDuration::from_secs(3);
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+///
+/// Typed variants (instead of a bare string) let config gates match on
+/// the exact defect — a NaN window versus an overlapping partition — and
+/// keep the boundary conditions unit-testable one by one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability knob outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// Which knob.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `net.bandwidth_factor` outside `(0, 1]` (or NaN).
+    InvalidBandwidthFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault window that is NaN/infinite, starts before `t = 0`, or is
+    /// inverted/empty (`until <= from`).
+    InvalidWindow {
+        /// Which window family (`"partition"`, `"link outage"`).
+        name: &'static str,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        until: f64,
+    },
+    /// Two partition windows overlap; hold/heal accounting needs them
+    /// disjoint (merge adjacent windows into one instead).
+    OverlappingPartitions {
+        /// End of the earlier window, seconds.
+        first_until: f64,
+        /// Start of the later window that begins before `first_until`.
+        second_from: f64,
+    },
+    /// A per-device fault targets a device id beyond the fleet.
+    DeviceOutOfRange {
+        /// The offending id.
+        device: u32,
+        /// Fleet size.
+        fleet: u32,
+    },
+    /// A server crash targets a server id beyond the cluster.
+    ServerOutOfRange {
+        /// The offending id.
+        server: u32,
+        /// Cluster size.
+        cluster: u32,
+    },
+    /// A server crash with a negative/NaN instant or non-positive
+    /// downtime.
+    InvalidServerCrash {
+        /// Crash instant, seconds.
+        at: f64,
+        /// Downtime, seconds.
+        down: f64,
+    },
+    /// `retry.max_attempts == 0`.
+    ZeroRetryAttempts,
+    /// `retry.backoff_factor < 1` (or NaN).
+    InvalidBackoffFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A non-positive (or NaN) device MTBF.
+    InvalidMtbf {
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative (or NaN) controller-failover instant.
+    InvalidControllerFailover {
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative (or NaN) controller-takeover duration.
+    InvalidTakeover {
+        /// The offending value.
+        value: f64,
+    },
+    /// `net.hold_bound == Some(0)`: a zero-capacity hold buffer would
+    /// drop every held transfer.
+    ZeroHoldBound,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            FaultPlanError::InvalidBandwidthFactor { value } => {
+                write!(f, "net.bandwidth_factor must be in (0, 1], got {value}")
+            }
+            FaultPlanError::InvalidWindow { name, from, until } => write!(
+                f,
+                "{name} window must satisfy 0 <= from < until, got [{from}, {until})"
+            ),
+            FaultPlanError::OverlappingPartitions {
+                first_until,
+                second_from,
+            } => write!(
+                f,
+                "partitions overlap: a window starting at {second_from} s begins before \
+                 an earlier window ends at {first_until} s (merge them instead)"
+            ),
+            FaultPlanError::DeviceOutOfRange { device, fleet } => write!(
+                f,
+                "link outage targets device {device} but the fleet has {fleet}"
+            ),
+            FaultPlanError::ServerOutOfRange { server, cluster } => write!(
+                f,
+                "server crash targets server {server} but the cluster has {cluster}"
+            ),
+            FaultPlanError::InvalidServerCrash { at, down } => write!(
+                f,
+                "server crash needs at_secs >= 0 and down_secs > 0, got at {at} down {down}"
+            ),
+            FaultPlanError::ZeroRetryAttempts => {
+                write!(f, "retry.max_attempts must be at least 1")
+            }
+            FaultPlanError::InvalidBackoffFactor { value } => {
+                write!(f, "retry.backoff_factor must be >= 1, got {value}")
+            }
+            FaultPlanError::InvalidMtbf { value } => {
+                write!(f, "devices.mtbf_secs must be positive, got {value}")
+            }
+            FaultPlanError::InvalidControllerFailover { value } => write!(
+                f,
+                "devices.controller_failover_at_secs must be >= 0, got {value}"
+            ),
+            FaultPlanError::InvalidTakeover { value } => write!(
+                f,
+                "devices.controller_takeover_secs must be >= 0, got {value}"
+            ),
+            FaultPlanError::ZeroHoldBound => {
+                write!(f, "net.hold_bound must be at least 1 when set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A declarative description of every disturbance injected into one run.
 ///
@@ -159,6 +306,14 @@ impl FaultPlan {
         self
     }
 
+    /// Bounds the fabric's partition hold buffer to `bound` transfers:
+    /// when a hold would exceed it, the newest transfer is dropped and
+    /// counted instead of growing the buffer silently.
+    pub fn partition_hold_bound(mut self, bound: u32) -> Self {
+        self.net.hold_bound = Some(bound);
+        self
+    }
+
     /// Sets the end-to-end latency SLO used for the violation fraction.
     pub fn slo(mut self, slo: SimDuration) -> Self {
         self.slo = Some(slo);
@@ -166,56 +321,76 @@ impl FaultPlan {
     }
 
     /// Checks every knob against the fleet shape (`devices` drones,
-    /// `servers` cloud servers). Returns a human-readable description of
-    /// the first problem found.
-    pub fn validate(&self, devices: u32, servers: u32) -> Result<(), String> {
-        let prob = |name: &str, p: f64| -> Result<(), String> {
+    /// `servers` cloud servers). Returns the first problem found as a
+    /// typed [`FaultPlanError`] (human-readable through `Display`).
+    pub fn validate(&self, devices: u32, servers: u32) -> Result<(), FaultPlanError> {
+        let prob = |name: &'static str, p: f64| -> Result<(), FaultPlanError> {
+            // NaN fails the range check too (comparisons are false).
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+                return Err(FaultPlanError::InvalidProbability { name, value: p });
             }
             Ok(())
         };
-        let window = |name: &str, from: f64, until: f64| -> Result<(), String> {
+        let window = |name: &'static str, from: f64, until: f64| -> Result<(), FaultPlanError> {
             if !(from.is_finite() && until.is_finite()) || from < 0.0 || until <= from {
-                return Err(format!(
-                    "{name} window must satisfy 0 <= from < until, got [{from}, {until})"
-                ));
+                return Err(FaultPlanError::InvalidWindow { name, from, until });
             }
             Ok(())
         };
         prob("net.packet_loss", self.net.packet_loss)?;
         if !(self.net.bandwidth_factor > 0.0 && self.net.bandwidth_factor <= 1.0) {
-            return Err(format!(
-                "net.bandwidth_factor must be in (0, 1], got {}",
-                self.net.bandwidth_factor
-            ));
+            return Err(FaultPlanError::InvalidBandwidthFactor {
+                value: self.net.bandwidth_factor,
+            });
         }
         for o in &self.net.disconnects {
             if o.device >= devices {
-                return Err(format!(
-                    "link outage targets device {} but the fleet has {devices}",
-                    o.device
-                ));
+                return Err(FaultPlanError::DeviceOutOfRange {
+                    device: o.device,
+                    fleet: devices,
+                });
             }
             window("link outage", o.from_secs, o.until_secs)?;
         }
         for p in &self.net.partitions {
             window("partition", p.from_secs, p.until_secs)?;
         }
+        // Partition windows must be pairwise disjoint: hold/heal (and the
+        // disconnect plane's reconnect sessions) account per window, and
+        // an overlap almost always means two schedules were concatenated
+        // by mistake. Sorted by start, any overlap is adjacent.
+        let mut starts: Vec<(f64, f64)> = self
+            .net
+            .partitions
+            .iter()
+            .map(|p| (p.from_secs, p.until_secs))
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).expect("windows validated finite"));
+        for pair in starts.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(FaultPlanError::OverlappingPartitions {
+                    first_until: pair[0].1,
+                    second_from: pair[1].0,
+                });
+            }
+        }
+        if self.net.hold_bound == Some(0) {
+            return Err(FaultPlanError::ZeroHoldBound);
+        }
         for c in &self.servers {
             if c.server >= servers {
-                return Err(format!(
-                    "server crash targets server {} but the cluster has {servers}",
-                    c.server
-                ));
+                return Err(FaultPlanError::ServerOutOfRange {
+                    server: c.server,
+                    cluster: servers,
+                });
             }
             let at_ok = c.at_secs.is_finite() && c.at_secs >= 0.0;
             let down_ok = c.down_secs.is_finite() && c.down_secs > 0.0;
             if !at_ok || !down_ok {
-                return Err(format!(
-                    "server crash needs at_secs >= 0 and down_secs > 0, got at {} down {}",
-                    c.at_secs, c.down_secs
-                ));
+                return Err(FaultPlanError::InvalidServerCrash {
+                    at: c.at_secs,
+                    down: c.down_secs,
+                });
             }
         }
         if let Some(r) = self.functions.fault_rate {
@@ -223,35 +398,29 @@ impl FaultPlan {
         }
         let rp = &self.functions.retry;
         if rp.max_attempts == 0 {
-            return Err("retry.max_attempts must be at least 1".into());
+            return Err(FaultPlanError::ZeroRetryAttempts);
         }
-        if rp.backoff_factor < 1.0 {
-            return Err(format!(
-                "retry.backoff_factor must be >= 1, got {}",
-                rp.backoff_factor
-            ));
+        // NaN-safe: a NaN backoff factor must be rejected too.
+        if rp.backoff_factor.is_nan() || rp.backoff_factor < 1.0 {
+            return Err(FaultPlanError::InvalidBackoffFactor {
+                value: rp.backoff_factor,
+            });
         }
         if let Some(mtbf) = self.devices.mtbf_secs {
             // NaN-safe: a NaN MTBF must be rejected too.
             let ok = mtbf.is_finite() && mtbf > 0.0;
             if !ok {
-                return Err(format!("devices.mtbf_secs must be positive, got {mtbf}"));
+                return Err(FaultPlanError::InvalidMtbf { value: mtbf });
             }
         }
         if let Some(at) = self.devices.controller_failover_at_secs {
             if !(at.is_finite() && at >= 0.0) {
-                return Err(format!(
-                    "devices.controller_failover_at_secs must be >= 0, got {at}"
-                ));
+                return Err(FaultPlanError::InvalidControllerFailover { value: at });
             }
         }
         let takeover = self.devices.controller_takeover_secs;
-        let takeover_ok = takeover.is_finite() && takeover >= 0.0;
-        if !takeover_ok {
-            return Err(format!(
-                "devices.controller_takeover_secs must be >= 0, got {}",
-                self.devices.controller_takeover_secs
-            ));
+        if !(takeover.is_finite() && takeover >= 0.0) {
+            return Err(FaultPlanError::InvalidTakeover { value: takeover });
         }
         Ok(())
     }
@@ -277,6 +446,11 @@ pub struct NetFaults {
     /// Whole-segment partitions; every wireless transfer is held until
     /// the partition heals.
     pub partitions: Vec<Partition>,
+    /// Upper bound on how many transfers the fabric may hold behind
+    /// partition/outage windows at once. `None` (the default) keeps the
+    /// historical unbounded-hold behaviour; `Some(n)` tail-drops the
+    /// newest transfer once `n` are already held, counting each drop.
+    pub hold_bound: Option<u32>,
 }
 
 impl Default for NetFaults {
@@ -287,6 +461,7 @@ impl Default for NetFaults {
             bandwidth_factor: 1.0,
             disconnects: Vec::new(),
             partitions: Vec::new(),
+            hold_bound: None,
         }
     }
 }
@@ -298,6 +473,7 @@ impl NetFaults {
             || self.bandwidth_factor != 1.0
             || !self.disconnects.is_empty()
             || !self.partitions.is_empty()
+            || self.hold_bound.is_some()
     }
 
     /// `true` if the fabric needs a per-transfer fault pass (loss or
@@ -305,6 +481,30 @@ impl NetFaults {
     /// topology build time and needs no per-transfer work).
     pub fn per_transfer(&self) -> bool {
         self.packet_loss > 0.0 || !self.disconnects.is_empty() || !self.partitions.is_empty()
+    }
+
+    /// If a whole-segment partition covers instant `t_secs`, returns the
+    /// heal instant (the latest `until` of any covering window — windows
+    /// are validated disjoint, but chained coverage is still folded).
+    ///
+    /// This is the *pure* partition query the disconnect plane routes on:
+    /// it inspects only the declarative plan, so hold-vs-degrade decisions
+    /// stay byte-identical across shard and thread counts.
+    pub fn partition_until(&self, t_secs: f64) -> Option<f64> {
+        let mut release: Option<f64> = None;
+        loop {
+            let t = release.unwrap_or(t_secs);
+            let next = self
+                .partitions
+                .iter()
+                .filter(|p| t >= p.from_secs && t < p.until_secs)
+                .map(|p| p.until_secs)
+                .fold(None::<f64>, |acc, u| Some(acc.map_or(u, |a| a.max(u))));
+            match next {
+                Some(u) if Some(u) != release => release = Some(u),
+                _ => return release,
+            }
+        }
     }
 }
 
@@ -562,6 +762,117 @@ mod tests {
         let mut bad_retry = FaultPlan::default();
         bad_retry.functions.retry.max_attempts = 0;
         assert!(fleet(bad_retry).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_windows_with_typed_errors() {
+        let fleet = |p: FaultPlan| p.validate(8, 4);
+        // NaN start, NaN end, negative start, inverted, empty.
+        for (from, until) in [
+            (f64::NAN, 2.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, f64::INFINITY),
+            (-0.5, 2.0),
+            (3.0, 2.0),
+            (2.0, 2.0),
+        ] {
+            // matches! rather than assert_eq: NaN payloads never compare
+            // equal, but the variant and window family must be right.
+            assert!(
+                matches!(
+                    fleet(FaultPlan::default().partition(from, until)),
+                    Err(FaultPlanError::InvalidWindow {
+                        name: "partition",
+                        ..
+                    })
+                ),
+                "partition [{from}, {until}) must be rejected"
+            );
+            assert!(
+                matches!(
+                    fleet(FaultPlan::default().link_outage(0, from, until)),
+                    Err(FaultPlanError::InvalidWindow {
+                        name: "link outage",
+                        ..
+                    })
+                ),
+                "link outage [{from}, {until}) must be rejected"
+            );
+        }
+        // NaN comparisons are false, so a NaN window must not slip past
+        // the ordering check either.
+        assert!(fleet(FaultPlan::default().partition(f64::NAN, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_partitions() {
+        let fleet = |p: FaultPlan| p.validate(8, 4);
+        // Strict overlap, in either declaration order.
+        assert_eq!(
+            fleet(FaultPlan::default().partition(1.0, 5.0).partition(4.0, 8.0)),
+            Err(FaultPlanError::OverlappingPartitions {
+                first_until: 5.0,
+                second_from: 4.0,
+            })
+        );
+        assert!(fleet(FaultPlan::default().partition(4.0, 8.0).partition(1.0, 5.0)).is_err());
+        // Full containment.
+        assert!(fleet(
+            FaultPlan::default()
+                .partition(1.0, 10.0)
+                .partition(3.0, 4.0)
+        )
+        .is_err());
+        // Back-to-back windows sharing a boundary instant are disjoint
+        // (half-open intervals): accepted.
+        assert!(fleet(FaultPlan::default().partition(1.0, 5.0).partition(5.0, 8.0)).is_ok());
+        // Disjoint with a gap: accepted.
+        assert!(fleet(
+            FaultPlan::default()
+                .partition(1.0, 2.0)
+                .partition(30.0, 40.0)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nan_backoff_and_zero_hold_bound() {
+        let fleet = |p: FaultPlan| p.validate(8, 4);
+        let mut nan_backoff = FaultPlan::default();
+        nan_backoff.functions.retry.backoff_factor = f64::NAN;
+        assert!(matches!(
+            fleet(nan_backoff),
+            Err(FaultPlanError::InvalidBackoffFactor { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            fleet(FaultPlan::default().partition_hold_bound(0)),
+            Err(FaultPlanError::ZeroHoldBound)
+        );
+        assert!(fleet(FaultPlan::default().partition_hold_bound(1)).is_ok());
+        // A hold bound alone arms the net plane (the fabric must account
+        // holds) but needs no per-transfer fault pass by itself.
+        let plan = FaultPlan::default().partition_hold_bound(16);
+        assert!(plan.net.is_active());
+        assert!(!plan.net.per_transfer());
+    }
+
+    #[test]
+    fn partition_until_folds_chained_windows() {
+        let net = FaultPlan::default()
+            .partition(10.0, 20.0)
+            .partition(20.0, 25.0)
+            .partition(40.0, 50.0)
+            .net;
+        assert_eq!(net.partition_until(5.0), None);
+        // Covered by the first window; the chain extends through the
+        // back-to-back second window.
+        assert_eq!(net.partition_until(10.0), Some(25.0));
+        assert_eq!(net.partition_until(19.9), Some(25.0));
+        assert_eq!(net.partition_until(20.0), Some(25.0));
+        // Heal instant itself is connected (half-open windows).
+        assert_eq!(net.partition_until(25.0), None);
+        assert_eq!(net.partition_until(45.0), Some(50.0));
+        assert_eq!(NetFaults::default().partition_until(0.0), None);
     }
 
     #[test]

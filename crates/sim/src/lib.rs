@@ -30,6 +30,10 @@
 //! * [`faults`] — the declarative fault-injection vocabulary
 //!   ([`FaultPlan`], [`RetryPolicy`]) whose draws come from a dedicated
 //!   seed-chain lane, so enabling faults never perturbs a fault-free run.
+//! * [`disconnect`] — the declarative disconnected-operation vocabulary
+//!   ([`DisconnectPolicy`]): lease-based autonomy during partitions,
+//!   bounded update buffering, and exactly-once replay at heal — zero RNG
+//!   of its own, inert by default.
 //! * [`overload`] — the declarative overload-control vocabulary
 //!   ([`OverloadPolicy`], [`CircuitBreaker`]): bounded admission, load
 //!   shedding, circuit breaking, and brownout spillover, all decided
@@ -77,6 +81,7 @@
 
 pub mod calendar;
 pub mod component;
+pub mod disconnect;
 pub mod dist;
 pub mod engine;
 pub mod faults;
@@ -91,9 +96,10 @@ pub mod trace;
 
 pub use calendar::{CalendarKey, CalendarQueue};
 pub use component::Component;
+pub use disconnect::DisconnectPolicy;
 pub use dist::Dist;
 pub use engine::{Context, Engine, Model};
-pub use faults::{FaultPlan, RetryDecision, RetryPolicy};
+pub use faults::{FaultPlan, FaultPlanError, RetryDecision, RetryPolicy};
 pub use mc::{McConfig, McModel, McReport};
 pub use overload::{CircuitBreaker, OverloadPolicy};
 pub use rng::RngForge;

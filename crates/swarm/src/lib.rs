@@ -18,13 +18,17 @@
 //! * [`battery`] — energy accounting (motion dominates, communication and
 //!   on-board compute also drain, Sec. 5.2);
 //! * [`failover`] — heartbeat tracking (1 s beat / 3 s timeout) and the
-//!   geometric load repartitioning of Fig. 10.
+//!   geometric load repartitioning of Fig. 10;
+//! * [`disconnect`] — lease clocks, bounded replay rings, and the
+//!   exactly-once reconnect session used by the disconnected-operation
+//!   plane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod battery;
 pub mod device;
+pub mod disconnect;
 pub mod failover;
 pub mod field;
 pub mod geometry;
